@@ -1,0 +1,72 @@
+// Reproduces Figure 7: memory used in FD discovery on weather fragments
+// with varying numbers of rows (left) and diabetic fragments with varying
+// numbers of columns (right), for HyFD vs DHyFD, plus the paper's PIR
+// (performance increase rate) and MIR (memory increase rate).
+//
+// PIR = (t_HyFD - t_DHyFD) / t_HyFD; MIR = (m_DHyFD - m_HyFD) / m_DHyFD.
+//
+// Flags: --weather_rows=..., --diabetic_rows=N, --cols=...
+#include "bench_util.h"
+
+#include "algo/dhyfd.h"
+#include "algo/hyfd.h"
+
+namespace dhyfd::bench {
+namespace {
+
+void Report(const Relation& r, const char* label) {
+  DiscoveryResult hy = Hyfd().discover(r);
+  DiscoveryResult dhy = Dhyfd().discover(r);
+  double pir = hy.stats.seconds > 0
+                   ? (hy.stats.seconds - dhy.stats.seconds) / hy.stats.seconds
+                   : 0;
+  double mir = dhy.stats.memory_mb > 0
+                   ? (dhy.stats.memory_mb - hy.stats.memory_mb) / dhy.stats.memory_mb
+                   : 0;
+  std::printf("%12s %10.3f %10.3f %10.2f %10.2f %8.1f%% %8.1f%%\n", label,
+              hy.stats.seconds, dhy.stats.seconds, hy.stats.memory_mb,
+              dhy.stats.memory_mb, 100 * pir, 100 * mir);
+  std::fflush(stdout);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  PrintHeader("Figure 7",
+              "Memory (MB) and time (s) of HyFD vs DHyFD on weather fragments "
+              "(varying rows) and diabetic fragments (varying columns). "
+              "Paper: DHyFD trades conservatively more memory for solid "
+              "performance gains (positive PIR).");
+
+  std::vector<std::string> row_list =
+      flags.get_list("weather_rows", {"2000", "4000", "8000", "12000", "16000"});
+  std::printf("weather fragments (rows sweep)\n");
+  std::printf("%12s %10s %10s %10s %10s %9s %9s\n", "rows", "hyfd_s", "dhyfd_s",
+              "hyfd_MB", "dhyfd_MB", "PIR", "MIR");
+  PrintRule(78);
+  Relation weather = LoadBenchmark("weather", 16000);
+  for (const std::string& rs : row_list) {
+    int rows = std::atoi(rs.c_str());
+    Relation frag = weather.fragment(rows, weather.num_cols());
+    Report(frag, rs.c_str());
+  }
+
+  std::printf("\ndiabetic fragments (columns sweep, %d rows)\n",
+              flags.get_int("diabetic_rows", 4000));
+  std::printf("%12s %10s %10s %10s %10s %9s %9s\n", "cols", "hyfd_s", "dhyfd_s",
+              "hyfd_MB", "dhyfd_MB", "PIR", "MIR");
+  PrintRule(78);
+  Relation diabetic = LoadBenchmark("diabetic", flags.get_int("diabetic_rows", 4000));
+  std::vector<std::string> col_list =
+      flags.get_list("cols", {"10", "15", "20", "25", "30"});
+  for (const std::string& cs : col_list) {
+    int cols = std::atoi(cs.c_str());
+    Relation frag = diabetic.fragment(diabetic.num_rows(), cols);
+    Report(frag, cs.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dhyfd::bench
+
+int main(int argc, char** argv) { return dhyfd::bench::Main(argc, argv); }

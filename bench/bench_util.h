@@ -1,0 +1,109 @@
+#ifndef DHYFD_BENCH_BENCH_UTIL_H_
+#define DHYFD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algo/discovery.h"
+#include "datagen/benchmark_data.h"
+#include "relation/encoder.h"
+
+namespace dhyfd::bench {
+
+/// Minimal --key=value flag parser shared by all bench binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "1";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  int get_int(const std::string& key, int def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::atoi(it->second.c_str());
+  }
+  double get_double(const std::string& key, double def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::atof(it->second.c_str());
+  }
+  std::string get_str(const std::string& key, const std::string& def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+  /// Comma-separated list flag.
+  std::vector<std::string> get_list(const std::string& key,
+                                    const std::vector<std::string>& def) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : it->second) {
+      if (c == ',') {
+        if (!cur.empty()) out.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Generates and DIIS-encodes a benchmark analog.
+inline Relation LoadBenchmark(const std::string& name, int rows_override = 0,
+                              NullSemantics semantics = NullSemantics::kNullEqualsNull) {
+  RawTable table = GenerateBenchmark(name, rows_override);
+  return EncodeRelation(table, semantics).relation;
+}
+
+/// Formats a measured runtime, or "TL" for timed-out runs.
+inline std::string FmtTime(const DiscoveryStats& stats) {
+  if (stats.timed_out) return "TL";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", stats.seconds);
+  return buf;
+}
+
+/// Formats a paper-reported figure (handles the TL / N/A sentinels).
+inline std::string FmtPaper(double v) {
+  if (v == kTimeLimit) return "TL";
+  if (v == kNotAvail) return "N/A";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Standard preamble: what the bench reproduces and how to read it.
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("=== %s ===\n%s\n", experiment, description);
+  std::printf(
+      "NOTE: data sets are seeded synthetic analogs (see DESIGN.md); "
+      "absolute numbers differ from the paper's testbed, the qualitative "
+      "shape is what reproduces.\n\n");
+}
+
+}  // namespace dhyfd::bench
+
+#endif  // DHYFD_BENCH_BENCH_UTIL_H_

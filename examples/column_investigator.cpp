@@ -1,0 +1,74 @@
+// Column investigator: the paper's Section VI-B qualitative analysis —
+// "fix a column of interest and see which minimal LHSs cause how many
+// redundant occurrences in that column" (the city-in-ncvoter table).
+//
+// Usage:
+//   example_column_investigator                   # demo: ncvoter's city
+//   example_column_investigator data.csv city
+#include <cstdio>
+#include <string>
+
+#include "algo/discovery.h"
+#include "datagen/benchmark_data.h"
+#include "fd/cover.h"
+#include "ranking/ranking.h"
+#include "relation/csv.h"
+#include "relation/encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace dhyfd;
+
+  RawTable table;
+  std::string column;
+  if (argc > 2) {
+    table = ReadCsvFile(argv[1]);
+    column = argv[2];
+  } else {
+    table = GenerateBenchmark("ncvoter", 1000);
+    column = "city";
+    std::printf("no file given; investigating column 'city' of the built-in "
+                "ncvoter-style demo\n");
+  }
+
+  EncodedRelation encoded = EncodeRelation(table);
+  const Relation& r = encoded.relation;
+  AttrId target = r.schema().index_of(column);
+  if (target < 0) {
+    std::fprintf(stderr, "column '%s' not found; columns are:\n", column.c_str());
+    for (const std::string& name : r.schema().names()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 1;
+  }
+
+  DiscoveryResult res = MakeDiscovery("dhyfd")->discover(r);
+  FdSet canonical = CanonicalCover(res.fds, r.num_cols());
+  std::printf("discovered %lld FDs (canonical cover: %lld) in %.3f s\n",
+              static_cast<long long>(res.fds.size()),
+              static_cast<long long>(canonical.size()), res.stats.seconds);
+
+  // The paper's per-column table: minimal LHSs determining the target,
+  // with redundancy counts including (#red) and excluding (#red-0) nulls.
+  // LHSs come from the left-reduced cover so every minimal LHS appears.
+  auto candidates = LhsCandidatesForColumn(r, res.fds, target);
+  std::printf("\nminimal LHSs for %s (%zu)\n", column.c_str(), candidates.size());
+  std::printf("%-55s %8s %8s\n", "LHS", "#red", "#red-0");
+  for (size_t i = 0; i < candidates.size() && i < 15; ++i) {
+    // Paper Section VI-B: #red counts any redundant occurrence in the
+    // column; #red-0 requires no nulls on the LHS attributes or the column.
+    const FdRedundancy& c = candidates[i];
+    std::printf("%-55s %8lld %8lld%s\n", r.schema().format(c.fd.lhs).c_str(),
+                static_cast<long long>(c.with_nulls),
+                static_cast<long long>(c.excluding_null_lhs_rhs),
+                c.excluding_null_lhs_rhs > 0 &&
+                        c.excluding_null_lhs_rhs == c.excluding_null_rhs
+                    ? "   <- strong evidence (no nulls involved)"
+                    : "");
+  }
+
+  std::printf("\nreading the table (paper Section VI-B): large #red-0 marks "
+              "FDs whose pattern has strong support; #red >> #red-0 hints "
+              "the agreement rides on null markers; zero redundancy marks "
+              "key-like LHSs.\n");
+  return 0;
+}

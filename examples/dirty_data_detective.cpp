@@ -1,0 +1,75 @@
+// Dirty-data detective: the paper's Section VI qualitative insight in
+// reverse. FDs whose redundancy is tiny-but-nonzero are suspicious: either
+// the FD holds accidentally, or — like sigma_4 = voter_id -> state, whose
+// only support is a duplicated voter — the few supporting rows are dirty.
+// This example surfaces those FDs together with the concrete witness rows
+// a data steward should look at.
+//
+// Usage:
+//   example_dirty_data_detective            # built-in ncvoter-style demo
+//   example_dirty_data_detective data.csv
+#include <cstdio>
+#include <string>
+
+#include "algo/discovery.h"
+#include "datagen/benchmark_data.h"
+#include "fd/cover.h"
+#include "partition/stripped_partition.h"
+#include "ranking/ranking.h"
+#include "relation/csv.h"
+#include "relation/encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace dhyfd;
+
+  RawTable table = argc > 1 ? ReadCsvFile(argv[1])
+                            : GenerateBenchmark("ncvoter", 1000);
+  EncodedRelation enc = EncodeRelation(table);
+  const Relation& r = enc.relation;
+  std::printf("inspecting %s (%d rows, %d columns)\n",
+              argc > 1 ? argv[1] : "built-in ncvoter-style demo", r.num_rows(),
+              r.num_cols());
+
+  DiscoveryResult res = MakeDiscovery("dhyfd")->discover(r);
+  FdSet canonical = CanonicalCover(res.fds, r.num_cols());
+  auto ranked = RankFds(r, canonical, RedundancyMode::kWithNulls);
+  std::printf("%lld FDs in the canonical cover\n\n",
+              static_cast<long long>(canonical.size()));
+
+  // Suspicious FDs: the lowest-but-nonzero redundancy in the ranking — the
+  // FDs whose entire support is a handful of row pairs.
+  std::printf("most weakly-supported FDs and their witness rows:\n");
+  int shown = 0;
+  for (auto it = ranked.rbegin(); it != ranked.rend() && shown < 5; ++it) {
+    if (it->with_nulls == 0) continue;
+    std::printf("\n  %s  (only %lld redundant values)\n",
+                it->fd.to_string(r.schema()).c_str(),
+                static_cast<long long>(it->with_nulls));
+    // The witnesses: the clusters of pi_LHS with >= 2 tuples.
+    StrippedPartition pi = BuildPartition(r, it->fd.lhs);
+    int cluster_shown = 0;
+    for (const auto& cluster : pi.clusters) {
+      if (cluster_shown >= 2) break;
+      std::printf("    rows sharing this LHS value:\n");
+      for (size_t i = 0; i < cluster.size() && i < 3; ++i) {
+        std::printf("      row %d:", cluster[i]);
+        for (int c = 0; c < r.num_cols() && c < 6; ++c) {
+          std::printf(" %s", enc.decode(cluster[i], c).c_str());
+        }
+        std::printf("%s\n", r.num_cols() > 6 ? " ..." : "");
+      }
+      ++cluster_shown;
+    }
+    ++shown;
+  }
+  if (shown == 0) {
+    std::printf("  (none — every FD is either well-supported or a key)\n");
+  }
+
+  std::printf("\nwhat to do with these (paper Section VI): if the witness "
+              "rows are near-duplicates, they are likely data-entry "
+              "duplicates (sigma_4's duplicated voter); if they look "
+              "unrelated, the FD probably holds by accident and should not "
+              "be enforced.\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// fd_tool: a small command-line front end for the whole library.
+//
+//   example_fd_tool discover <csv> [--algo=dhyfd] [--semantics=eq|neq]
+//                   [--canonical] [--out=cover.fds]
+//       Discover FDs, optionally reduce to a canonical cover, print or save.
+//
+//   example_fd_tool rank <csv> [--cover=cover.fds] [--top=20]
+//       Rank FDs by the data redundancy they cause (discovers a canonical
+//       cover first unless one is loaded from --cover).
+//
+//   example_fd_tool keys <csv>
+//       Candidate keys of the data set.
+//
+//   example_fd_tool armstrong <cover.fds> [--out=sample.csv]
+//       Generate a minimal Armstrong relation for a saved cover: a sample
+//       database that satisfies exactly those FDs.
+//
+//   example_fd_tool generate <dataset> [rows] [--out=data.csv]
+//       Emit one of the built-in benchmark analogs as CSV.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "algo/discovery.h"
+#include "core/profiler.h"
+#include "datagen/benchmark_data.h"
+#include "fd/armstrong.h"
+#include "fd/cover.h"
+#include "fd/cover_io.h"
+#include "fd/keys.h"
+#include "ranking/ranking.h"
+#include "relation/csv.h"
+#include "relation/encoder.h"
+
+namespace {
+
+using namespace dhyfd;
+
+std::string GetFlag(int argc, char** argv, const std::string& key,
+                    const std::string& def) {
+  std::string prefix = "--" + key + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& key) {
+  std::string flag = "--" + key;
+  for (int i = 2; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int CmdDiscover(int argc, char** argv) {
+  RawTable table = ReadCsvFile(argv[2]);
+  NullSemantics sem = GetFlag(argc, argv, "semantics", "eq") == "neq"
+                          ? NullSemantics::kNullNotEqualsNull
+                          : NullSemantics::kNullEqualsNull;
+  EncodedRelation enc = EncodeRelation(table, sem);
+  std::string algo = GetFlag(argc, argv, "algo", "dhyfd");
+  DiscoveryResult res = MakeDiscovery(algo)->discover(enc.relation);
+  std::fprintf(stderr, "%s: %lld FDs in %.3f s (%.1f MB)\n", algo.c_str(),
+               static_cast<long long>(res.fds.size()), res.stats.seconds,
+               res.stats.memory_mb);
+  FdSet cover = res.fds;
+  if (HasFlag(argc, argv, "canonical")) {
+    cover = CanonicalCover(cover, enc.relation.num_cols());
+    std::fprintf(stderr, "canonical cover: %lld FDs\n",
+                 static_cast<long long>(cover.size()));
+  }
+  std::string out = GetFlag(argc, argv, "out", "");
+  if (out.empty()) {
+    std::printf("%s", WriteCoverString(enc.relation.schema(), cover).c_str());
+  } else {
+    WriteCoverFile(enc.relation.schema(), cover, out);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdRank(int argc, char** argv) {
+  RawTable table = ReadCsvFile(argv[2]);
+  EncodedRelation enc = EncodeRelation(table);
+  FdSet cover;
+  std::string cover_path = GetFlag(argc, argv, "cover", "");
+  if (!cover_path.empty()) {
+    cover = ReadCoverFile(cover_path).cover;
+  } else {
+    DiscoveryResult res = MakeDiscovery("dhyfd")->discover(enc.relation);
+    cover = CanonicalCover(res.fds, enc.relation.num_cols());
+  }
+  auto ranked = RankFds(enc.relation, cover);
+  int top = std::atoi(GetFlag(argc, argv, "top", "20").c_str());
+  std::printf("%s", FormatRanking(enc.relation.schema(), ranked,
+                                  static_cast<size_t>(top))
+                        .c_str());
+  return 0;
+}
+
+int CmdKeys(int argc, char** argv) {
+  RawTable table = ReadCsvFile(argv[2]);
+  EncodedRelation enc = EncodeRelation(table);
+  DiscoveryResult res = MakeDiscovery("dhyfd")->discover(enc.relation);
+  FdSet canonical = CanonicalCover(res.fds, enc.relation.num_cols());
+  auto keys = FindCandidateKeys(canonical, enc.relation.num_cols(), 64);
+  std::printf("%zu candidate key(s):\n", keys.size());
+  for (const AttributeSet& key : keys) {
+    std::printf("  {%s}\n", enc.relation.schema().format(key).c_str());
+  }
+  return 0;
+}
+
+int CmdArmstrong(int argc, char** argv) {
+  LoadedCover loaded = ReadCoverFile(argv[2]);
+  Relation r = BuildArmstrongRelation(loaded.cover, loaded.schema.size());
+  // Decode into a CSV with per-column symbolic values.
+  RawTable out;
+  out.header = loaded.schema.names();
+  out.rows.assign(r.num_rows(), std::vector<std::string>(r.num_cols()));
+  for (RowId row = 0; row < r.num_rows(); ++row) {
+    for (int c = 0; c < r.num_cols(); ++c) {
+      out.rows[row][c] =
+          loaded.schema.name(c) + std::to_string(r.value(row, c));
+    }
+  }
+  std::string path = GetFlag(argc, argv, "out", "");
+  if (path.empty()) {
+    std::printf("%s", WriteCsvString(out).c_str());
+  } else {
+    std::ofstream f(path);
+    WriteCsv(out, f);
+    std::fprintf(stderr, "wrote %d-row Armstrong relation to %s\n",
+                 out.num_rows(), path.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  int rows = argc > 3 && argv[3][0] != '-' ? std::atoi(argv[3]) : 0;
+  RawTable table = GenerateBenchmark(argv[2], rows);
+  std::string path = GetFlag(argc, argv, "out", "");
+  if (path.empty()) {
+    std::printf("%s", WriteCsvString(table).c_str());
+  } else {
+    std::ofstream f(path);
+    WriteCsv(table, f);
+    std::fprintf(stderr, "wrote %d rows to %s\n", table.num_rows(), path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s discover|rank|keys|armstrong|generate <input> "
+                 "[flags]\n(see file header for details)\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string cmd = argv[1];
+  try {
+    if (cmd == "discover") return CmdDiscover(argc, argv);
+    if (cmd == "rank") return CmdRank(argc, argv);
+    if (cmd == "keys") return CmdKeys(argc, argv);
+    if (cmd == "armstrong") return CmdArmstrong(argc, argv);
+    if (cmd == "generate") return CmdGenerate(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

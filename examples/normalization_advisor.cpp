@@ -1,0 +1,84 @@
+// Normalization advisor: the paper grounds its redundancy ranking in
+// normal-form theory — the FDs causing redundant values are the ones
+// normalization eliminates. This example profiles a data set, reports
+// candidate keys and the schema's normal form, ranks the BCNF violations
+// by the redundancy they cause, and prints both a BCNF decomposition and a
+// dependency-preserving 3NF synthesis.
+//
+// Usage:
+//   example_normalization_advisor            # built-in lineitem-style demo
+//   example_normalization_advisor data.csv
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "datagen/benchmark_data.h"
+#include "fd/closure.h"
+#include "fd/keys.h"
+#include "fd/normalize.h"
+#include "relation/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace dhyfd;
+
+  RawTable table = argc > 1 ? ReadCsvFile(argv[1])
+                            : GenerateBenchmark("lineitem", 2000);
+  std::printf("analyzing %s (%d rows, %d columns)\n",
+              argc > 1 ? argv[1] : "built-in lineitem-style demo",
+              table.num_rows(), table.num_cols());
+
+  ProfileReport report = Profiler().profile(table);
+  const Schema& schema = report.schema;
+  const int n = schema.size();
+  const FdSet& cover = report.canonical;
+
+  std::vector<AttributeSet> keys = FindCandidateKeys(cover, n, 32);
+  std::printf("\ncandidate keys (%zu%s):\n", keys.size(),
+              keys.size() == 32 ? "+, capped" : "");
+  for (size_t i = 0; i < keys.size() && i < 5; ++i) {
+    std::printf("  {%s}\n", schema.format(keys[i]).c_str());
+  }
+
+  std::printf("\nnormal form: %s\n",
+              IsBcnf(cover, n)   ? "BCNF"
+              : Is3nf(cover, n)  ? "3NF (not BCNF)"
+                                 : "below 3NF");
+
+  std::printf("\nBCNF violations ranked by the data redundancy they cause:\n");
+  ClosureEngine closure(cover, n);
+  int shown = 0;
+  for (const FdRedundancy& red : report.ranking) {
+    if (closure.closure(red.fd.lhs).count() == n) continue;  // superkey LHS
+    if (red.excluding_null_rhs == 0) continue;
+    std::printf("  %-58s fixes %lld redundant values\n",
+                red.fd.to_string(schema).c_str(),
+                static_cast<long long>(red.excluding_null_rhs));
+    if (++shown >= 8) break;
+  }
+  if (shown == 0) {
+    std::printf("  none - the schema is effectively in BCNF for this data\n");
+    return 0;
+  }
+
+  std::printf("\nBCNF decomposition (lossless%s):\n",
+              DecomposeBcnf(cover, n).dependencies_preserved
+                  ? ", dependency-preserving"
+                  : "; some FDs become cross-table constraints");
+  BcnfResult bcnf = DecomposeBcnf(cover, n);
+  for (const SubSchema& s : bcnf.schemas) {
+    std::printf("  %s\n", s.to_string(schema).c_str());
+  }
+
+  std::printf("\n3NF synthesis (lossless and dependency-preserving):\n");
+  for (const SubSchema& s : Synthesize3nf(cover, n)) {
+    std::printf("  %s\n", s.to_string(schema).c_str());
+  }
+
+  std::printf("\nredundancy eliminated by full normalization: up to %lld of "
+              "%lld values (%.2f%%)\n",
+              static_cast<long long>(report.dataset_redundancy.red),
+              static_cast<long long>(report.dataset_redundancy.num_values),
+              report.dataset_redundancy.percent_red());
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "algo/ddm.h"
+
+namespace dhyfd {
+
+Ddm::Ddm(const Relation& r) : rel_(r), refiner_(r) {
+  const int m = r.num_cols();
+  static_partitions_.reserve(m);
+  attribute_supports_.reserve(m);
+  for (AttrId a = 0; a < m; ++a) {
+    static_partitions_.push_back(BuildAttributePartition(r, a));
+    attribute_supports_.push_back(static_partitions_.back().support());
+  }
+}
+
+const StrippedPartition& Ddm::partition_for_id(int id) const {
+  if (id < rel_.num_cols()) return static_partitions_[id];
+  return dynamic_[id - rel_.num_cols()].partition;
+}
+
+AttributeSet Ddm::attrs_for_id(int id) const {
+  if (id < rel_.num_cols()) return AttributeSet::single(id);
+  return dynamic_[id - rel_.num_cols()].attrs;
+}
+
+int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
+                    ExtendedFdTree& tree) {
+  const int m = rel_.num_cols();
+  std::vector<Entry> fresh;
+  fresh.reserve(level_nodes.size());
+  int64_t refinements = 0;
+
+  // Capture the nodes' current partition references before wiping ids:
+  // Algorithm 3 starts each refinement from the node's previous partition.
+  std::vector<int> old_ids;
+  old_ids.reserve(level_nodes.size());
+  for (const ExtendedFdTree::Node* node : level_nodes) old_ids.push_back(node->id);
+
+  // Reset every id to its default so no node anywhere in the tree keeps a
+  // reference into the dynamic array we are about to replace.
+  tree.reset_ids();
+
+  for (size_t idx = 0; idx < level_nodes.size(); ++idx) {
+    ExtendedFdTree::Node* node = level_nodes[idx];
+    AttributeSet path = tree.path_of(node);
+    // Algorithm 3 steps 7-9: start from the node's current partition — the
+    // dynamic entry its id pointed to, or its own attribute's partition.
+    const StrippedPartition* start;
+    AttributeSet start_attrs;
+    if (old_ids[idx] >= m) {
+      const Entry& e = dynamic_[old_ids[idx] - m];
+      start = &e.partition;
+      start_attrs = e.attrs;
+    } else {
+      start = &static_partitions_[node->attr];
+      start_attrs = AttributeSet::single(node->attr);
+    }
+    Entry entry;
+    entry.attrs = path;
+    entry.partition = *start;
+    AttributeSet todo = path - start_attrs;
+    todo.for_each([&](AttrId b) {
+      refinements += entry.partition.size();
+      entry.partition = refiner_.refine(entry.partition, b);
+    });
+    int new_id = m + static_cast<int>(fresh.size());
+    fresh.push_back(std::move(entry));
+    // Step 13-15: re-point the node and propagate to descendants, keeping
+    // every id consistent (descendant paths are supersets of `path`).
+    std::vector<ExtendedFdTree::Node*> stack = {node};
+    while (!stack.empty()) {
+      ExtendedFdTree::Node* cur = stack.back();
+      stack.pop_back();
+      cur->id = new_id;
+      for (const auto& c : cur->children) stack.push_back(c.get());
+    }
+  }
+  dynamic_ = std::move(fresh);
+  return refinements;
+}
+
+size_t Ddm::memory_bytes() const {
+  size_t bytes = 0;
+  for (const StrippedPartition& p : static_partitions_) bytes += p.memory_bytes();
+  for (const Entry& e : dynamic_) bytes += e.partition.memory_bytes();
+  return bytes;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,161 @@
+#include "algo/dhyfd.h"
+
+#include <algorithm>
+
+#include "algo/agree_sets.h"
+#include "algo/ddm.h"
+#include "algo/sampler.h"
+#include "algo/validator.h"
+#include "fdtree/extended_fd_tree.h"
+#include "util/deadline.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace dhyfd {
+
+DiscoveryResult Dhyfd::discover(const Relation& r) {
+  Timer timer;
+  MemoryWatermark mem;
+  Deadline deadline(options_.time_limit_seconds);
+  DiscoveryResult result;
+  const int m = r.num_cols();
+  const AttributeSet all = AttributeSet::full(m);
+
+  // Algorithm 6 line 3: the DDM pre-computes every single-attribute
+  // stripped partition.
+  Ddm ddm(r);
+
+  // Line 4: the extended FD-tree starts from the single FD {} -> R.
+  ExtendedFdTree tree(m);
+  tree.init_root_fd(all);
+  tree.set_controlled_level(1);
+
+  // Lines 5-6: one-off sorted-neighborhood sampling, plus validating the
+  // root FD against the whole relation (partition {r}).
+  NeighborhoodSampler sampler(r, ddm.static_partitions());
+  std::vector<AttributeSet> violations =
+      sampler.initial(options_.initial_sampling_windows);
+  result.stats.sampled_non_fds = static_cast<int64_t>(violations.size());
+  result.stats.pairs_compared += sampler.pairs_compared();
+  {
+    StrippedPartition whole;
+    if (r.num_rows() >= 2) {
+      std::vector<RowId> rows(r.num_rows());
+      for (RowId i = 0; i < r.num_rows(); ++i) rows[i] = i;
+      whole.clusters.push_back(std::move(rows));
+    }
+    result.stats.validations += tree.root()->rhs.count();
+    ValidationOutcome v = ValidateWithPartition(r, AttributeSet(), tree.root()->rhs,
+                                                whole, AttributeSet(), ddm.refiner());
+    result.stats.pairs_compared += v.pairs_checked;
+    result.stats.invalidated += tree.root()->rhs.count() - v.valid_rhs.count();
+    for (AttributeSet& z : v.violations) violations.push_back(z);
+  }
+
+  // Lines 7-8: induct all initial non-FDs, most specific first.
+  SortBySizeDescending(violations);
+  for (const AttributeSet& x : violations) {
+    if (deadline.expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+    tree.induct(x, all - x);
+  }
+
+  // Lines 9-10.
+  size_t logical_peak = 0;
+  int cl = 1;
+  int vl = 1;
+  int64_t num_fds = 0;
+  std::vector<ExtendedFdTree::Node*> candidates = tree.level_nodes(1);
+
+  // Line 11: main loop over validation levels.
+  while (!candidates.empty() && !result.stats.timed_out) {
+    result.stats.levels = vl;
+    violations.clear();
+
+    // Line 13: candidate FDs on this level, before induction.
+    int64_t total = 0;
+    for (ExtendedFdTree::Node* n : candidates) total += n->rhs.count();
+
+    for (ExtendedFdTree::Node* node : candidates) {
+      if (deadline.expired()) {
+        result.stats.timed_out = true;
+        break;
+      }
+      if (!node->is_fd_node()) continue;
+      AttributeSet lhs = tree.path_of(node);
+      // Lines 15-16: a node without a dynamic partition starts from the
+      // path attribute with the smallest single-attribute support.
+      if (node->id < m) {
+        AttrId best = lhs.first();
+        lhs.for_each([&](AttrId a) {
+          if (ddm.attribute_support(a) < ddm.attribute_support(best)) best = a;
+        });
+        node->id = best;
+      }
+      // Lines 17-18: validate from the DDM's partition for this node.
+      const StrippedPartition& base = ddm.partition_for_id(node->id);
+      AttributeSet base_attrs = ddm.attrs_for_id(node->id);
+      result.stats.validations += node->rhs.count();
+      ValidationOutcome v =
+          ValidateWithPartition(r, lhs, node->rhs, base, base_attrs, ddm.refiner());
+      result.stats.pairs_compared += v.pairs_checked;
+      result.stats.refinements += v.refinements;
+      result.stats.invalidated += node->rhs.count() - v.valid_rhs.count();
+      for (AttributeSet& z : v.violations) violations.push_back(z);
+    }
+
+    // Lines 19-20: induct this level's violations, most specific first.
+    SortBySizeDescending(violations);
+    for (const AttributeSet& x : violations) {
+      if (deadline.expired()) {
+        result.stats.timed_out = true;
+        break;
+      }
+      tree.induct(x, all - x);
+    }
+
+    // Lines 21-25: efficiency-inefficiency ratio.
+    std::vector<ExtendedFdTree::Node*> reusables;
+    for (ExtendedFdTree::Node* n : candidates) {
+      if (!n->is_leaf()) reusables.push_back(n);
+    }
+    int64_t num_new_fds = 0;
+    for (ExtendedFdTree::Node* n : candidates) num_new_fds += n->rhs.count();
+    num_fds += num_new_fds;
+    double efficiency =
+        total > 0 ? static_cast<double>(num_new_fds) / static_cast<double>(total) : 0.0;
+    int64_t higher_fds = tree.total_fd_count() - num_fds;
+    double inefficiency =
+        higher_fds > 0
+            ? static_cast<double>(reusables.size()) / static_cast<double>(higher_fds)
+            : 0.0;
+
+    // Lines 26-27: refresh the DDM when validation is paying off.
+    if (options_.enable_ddm && vl > 1 && !reusables.empty() && inefficiency > 0 &&
+        efficiency / inefficiency > options_.ratio_threshold) {
+      cl = vl;
+      tree.set_controlled_level(cl);
+      result.stats.refinements += ddm.update(reusables, tree);
+      ++result.stats.ddm_updates;
+    }
+    mem.sample();
+    logical_peak = std::max(logical_peak, ddm.memory_bytes() + tree.memory_bytes());
+
+    // Lines 28-29.
+    ++vl;
+    candidates = tree.level_nodes(vl);
+  }
+
+  // Line 30.
+  result.fds = tree.collect();
+  result.fds.sort();
+  result.stats.seconds = timer.seconds();
+  logical_peak = std::max(logical_peak, ddm.memory_bytes() + tree.memory_bytes());
+  result.stats.memory_mb = std::max(
+      mem.delta_peak_mb(), static_cast<double>(logical_peak) / (1024.0 * 1024.0));
+  return result;
+}
+
+}  // namespace dhyfd

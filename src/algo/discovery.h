@@ -1,0 +1,63 @@
+#ifndef DHYFD_ALGO_DISCOVERY_H_
+#define DHYFD_ALGO_DISCOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "relation/relation.h"
+
+namespace dhyfd {
+
+/// Run statistics shared by every discovery algorithm; these back the
+/// paper's Table II (time, memory) and the scalability figures.
+struct DiscoveryStats {
+  double seconds = 0;
+  double memory_mb = 0;            // peak RSS delta during the run
+  int64_t validations = 0;         // candidate FDs checked against the data
+  int64_t invalidated = 0;         // candidates found invalid
+  int64_t sampled_non_fds = 0;     // non-FDs from sampling / agree sets
+  int64_t pairs_compared = 0;      // tuple pairs inspected
+  int64_t refinements = 0;         // stripped-partition cluster refinements
+  int ddm_updates = 0;             // DDM rebuilds (DHyFD only)
+  int levels = 0;                  // validation levels processed
+  /// True if the run was abandoned at its time limit; fds is then partial
+  /// (the paper reports such runs as "TL").
+  bool timed_out = false;
+};
+
+struct DiscoveryResult {
+  /// A left-reduced cover of the FDs satisfied by the input, with singleton
+  /// RHSs, in deterministic sorted order.
+  FdSet fds;
+  DiscoveryStats stats;
+};
+
+/// Common interface for all six discovery algorithms, so benches and tests
+/// can sweep over them uniformly.
+class FdDiscovery {
+ public:
+  virtual ~FdDiscovery() = default;
+  virtual std::string name() const = 0;
+  virtual DiscoveryResult discover(const Relation& r) = 0;
+};
+
+/// Names accepted by MakeDiscovery: "tane", "fdep", "fdep1", "fdep2",
+/// "hyfd", "dhyfd", plus the extra row-based baselines "fastfds" and
+/// "depminer". time_limit_seconds > 0 sets a cooperative deadline.
+std::unique_ptr<FdDiscovery> MakeDiscovery(const std::string& name,
+                                           double time_limit_seconds = 0);
+
+/// All six algorithm names in the paper's Table II order.
+const std::vector<std::string>& AllDiscoveryNames();
+
+/// Brute-force reference: computes the left-reduced cover by enumerating
+/// agree sets of all tuple pairs and minimizing. Exponential in columns;
+/// only for cross-checking on small inputs in tests.
+FdSet BruteForceDiscover(const Relation& r);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_ALGO_DISCOVERY_H_

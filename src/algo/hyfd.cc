@@ -1,0 +1,133 @@
+#include "algo/hyfd.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "algo/agree_sets.h"
+#include "algo/sampler.h"
+#include "algo/validator.h"
+#include "fdtree/extended_fd_tree.h"
+#include "partition/partition_ops.h"
+#include "util/deadline.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace dhyfd {
+
+DiscoveryResult Hyfd::discover(const Relation& r) {
+  Timer timer;
+  MemoryWatermark mem;
+  Deadline deadline(options_.time_limit_seconds);
+  DiscoveryResult result;
+  const int m = r.num_cols();
+  const AttributeSet all = AttributeSet::full(m);
+
+  // Static single-attribute stripped partitions (HyFD's PLIs).
+  std::vector<StrippedPartition> attr_partitions;
+  attr_partitions.reserve(m);
+  std::vector<int64_t> supports(m);
+  for (AttrId a = 0; a < m; ++a) {
+    attr_partitions.push_back(BuildAttributePartition(r, a));
+    supports[a] = attr_partitions.back().support();
+  }
+  PartitionRefiner refiner(r);
+  NeighborhoodSampler sampler(r, attr_partitions);
+  size_t static_bytes = 0;
+  for (const StrippedPartition& p : attr_partitions) static_bytes += p.memory_bytes();
+  size_t logical_peak = 2 * static_bytes;  // PLIs + the sampler's sorted copy
+
+  ExtendedFdTree tree(m);
+  tree.init_root_fd(all);
+
+  auto induct_sorted = [&](std::vector<AttributeSet> non_fds) {
+    SortBySizeDescending(non_fds);
+    for (const AttributeSet& x : non_fds) {
+      if (deadline.expired()) {
+        result.stats.timed_out = true;
+        break;
+      }
+      tree.induct(x, all - x);
+    }
+  };
+
+  auto sampling_phase = [&]() {
+    for (int i = 0; i < options_.max_windows_per_phase; ++i) {
+      std::vector<AttributeSet> fresh = sampler.run(sampler.window() + 1);
+      result.stats.sampled_non_fds += static_cast<int64_t>(fresh.size());
+      induct_sorted(std::move(fresh));
+      if (sampler.last_efficiency() < options_.sampling_efficiency_threshold) break;
+    }
+  };
+
+  // Initial sampling phase, then validate the root FD {} -> R directly.
+  sampling_phase();
+  {
+    StrippedPartition whole;
+    if (r.num_rows() >= 2) {
+      std::vector<RowId> rows(r.num_rows());
+      for (RowId i = 0; i < r.num_rows(); ++i) rows[i] = i;
+      whole.clusters.push_back(std::move(rows));
+    }
+    result.stats.validations += tree.root()->rhs.count();
+    ValidationOutcome v = ValidateWithPartition(r, AttributeSet(), tree.root()->rhs,
+                                                whole, AttributeSet(), refiner);
+    result.stats.pairs_compared += v.pairs_checked;
+    result.stats.invalidated += tree.root()->rhs.count() - v.valid_rhs.count();
+    induct_sorted(std::move(v.violations));
+  }
+
+  // Validation phase, level by level. Violations are inducted after each
+  // level; a level with too many invalidations triggers more sampling.
+  int vl = 1;
+  while (vl <= tree.depth() && !result.stats.timed_out) {
+    result.stats.levels = vl;
+    std::vector<ExtendedFdTree::Node*> candidates = tree.level_nodes(vl);
+    std::vector<AttributeSet> violations;
+    int64_t total = 0;
+    int64_t invalid = 0;
+    for (ExtendedFdTree::Node* node : candidates) {
+      if (deadline.expired()) {
+        result.stats.timed_out = true;
+        break;
+      }
+      if (!node->is_fd_node()) continue;
+      AttributeSet lhs = tree.path_of(node);
+      AttributeSet rhs = node->rhs;
+      total += rhs.count();
+      result.stats.validations += rhs.count();
+      // HyFD always starts from a single-attribute partition: pick the
+      // path attribute whose partition has the least support.
+      AttrId pivot = lhs.first();
+      lhs.for_each([&](AttrId a) {
+        if (supports[a] < supports[pivot]) pivot = a;
+      });
+      ValidationOutcome v =
+          ValidateWithPartition(r, lhs, rhs, attr_partitions[pivot],
+                                AttributeSet::single(pivot), refiner);
+      result.stats.pairs_compared += v.pairs_checked;
+      result.stats.refinements += v.refinements;
+      invalid += rhs.count() - v.valid_rhs.count();
+      for (AttributeSet& z : v.violations) violations.push_back(z);
+    }
+    induct_sorted(std::move(violations));
+    mem.sample();
+    logical_peak = std::max(logical_peak, 2 * static_bytes + tree.memory_bytes());
+    if (total > 0 &&
+        static_cast<double>(invalid) >
+            options_.validation_switch_threshold * static_cast<double>(total)) {
+      sampling_phase();
+    }
+    ++vl;
+  }
+
+  result.fds = tree.collect();
+  result.fds.sort();
+  result.stats.pairs_compared += sampler.pairs_compared();
+  result.stats.seconds = timer.seconds();
+  logical_peak = std::max(logical_peak, 2 * static_bytes + tree.memory_bytes());
+  result.stats.memory_mb = std::max(
+      mem.delta_peak_mb(), static_cast<double>(logical_peak) / (1024.0 * 1024.0));
+  return result;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,62 @@
+#include "algo/sampler.h"
+
+#include <algorithm>
+
+namespace dhyfd {
+
+NeighborhoodSampler::NeighborhoodSampler(
+    const Relation& r, const std::vector<StrippedPartition>& attr_partitions)
+    : rel_(r) {
+  const int m = r.num_cols();
+  sorted_clusters_.resize(m);
+  for (AttrId a = 0; a < m; ++a) {
+    sorted_clusters_[a] = attr_partitions[a].clusters;
+    for (auto& cluster : sorted_clusters_[a]) {
+      // Sort by the remaining attributes, wrapping around from a+1, so the
+      // neighborhood ordering differs per attribute and covers more pairs.
+      std::sort(cluster.begin(), cluster.end(), [&](RowId x, RowId y) {
+        for (int off = 1; off < m; ++off) {
+          AttrId c = (a + off) % m;
+          ValueId vx = rel_.value(x, c), vy = rel_.value(y, c);
+          if (vx != vy) return vx < vy;
+        }
+        return x < y;
+      });
+    }
+  }
+}
+
+std::vector<AttributeSet> NeighborhoodSampler::run(int window) {
+  std::vector<AttributeSet> fresh;
+  int64_t comparisons = 0;
+  const int m = rel_.num_cols();
+  for (AttrId a = 0; a < m; ++a) {
+    for (const auto& cluster : sorted_clusters_[a]) {
+      if (static_cast<int>(cluster.size()) <= window) continue;
+      for (size_t i = 0; i + window < cluster.size(); ++i) {
+        RowId s = cluster[i], t = cluster[i + window];
+        ++comparisons;
+        AttributeSet ag = rel_.agree_set(s, t);
+        if (ag.count() == m) continue;  // duplicate rows imply no non-FD
+        if (seen_.insert(ag).second) fresh.push_back(ag);
+      }
+    }
+  }
+  pairs_compared_ += comparisons;
+  last_efficiency_ =
+      comparisons == 0 ? 0.0
+                       : static_cast<double>(fresh.size()) / static_cast<double>(comparisons);
+  window_ = std::max(window_, window);
+  return fresh;
+}
+
+std::vector<AttributeSet> NeighborhoodSampler::initial(int max_window) {
+  std::vector<AttributeSet> all;
+  for (int w = 1; w <= max_window; ++w) {
+    std::vector<AttributeSet> fresh = run(w);
+    all.insert(all.end(), fresh.begin(), fresh.end());
+  }
+  return all;
+}
+
+}  // namespace dhyfd

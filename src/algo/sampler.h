@@ -1,0 +1,56 @@
+#ifndef DHYFD_ALGO_SAMPLER_H_
+#define DHYFD_ALGO_SAMPLER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "partition/stripped_partition.h"
+#include "relation/relation.h"
+
+namespace dhyfd {
+
+/// Sorted-neighborhood pair selection sampling (Hernandez & Stolfo; used by
+/// HyFD and, once at start-up, by DHyFD).
+///
+/// For every attribute, the rows of each cluster of pi_A are sorted
+/// lexicographically by the remaining attributes (the "sorted
+/// neighborhood"); likely-similar tuples then sit next to each other.
+/// Comparing rows at neighbor distance w harvests large agree sets — the
+/// most specific non-FDs — cheaply.
+class NeighborhoodSampler {
+ public:
+  /// `attr_partitions` must contain one partition per attribute and outlive
+  /// the sampler.
+  NeighborhoodSampler(const Relation& r,
+                      const std::vector<StrippedPartition>& attr_partitions);
+
+  /// Compares rows at distance `window` within every sorted cluster and
+  /// returns the agree sets not seen before (across all calls).
+  std::vector<AttributeSet> run(int window);
+
+  /// Runs windows 1..max_window: the one-off initial sampling of DHyFD.
+  std::vector<AttributeSet> initial(int max_window);
+
+  int64_t pairs_compared() const { return pairs_compared_; }
+
+  /// New non-FDs per comparison in the most recent run(); HyFD's sampling
+  /// phase stops when this drops below its efficiency threshold.
+  double last_efficiency() const { return last_efficiency_; }
+
+  /// Largest window run so far; HyFD resumes from window() + 1.
+  int window() const { return window_; }
+
+ private:
+  const Relation& rel_;
+  // Per attribute: that attribute's clusters with rows in sorted-
+  // neighborhood order.
+  std::vector<std::vector<std::vector<RowId>>> sorted_clusters_;
+  std::unordered_set<AttributeSet, AttributeSetHash> seen_;
+  int64_t pairs_compared_ = 0;
+  double last_efficiency_ = 0;
+  int window_ = 0;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_ALGO_SAMPLER_H_

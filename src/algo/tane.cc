@@ -1,0 +1,236 @@
+#include "algo/tane.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "partition/partition_ops.h"
+#include "util/deadline.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace dhyfd {
+
+namespace {
+
+struct LevelEntry {
+  AttributeSet attrs;
+  AttributeSet cplus;  // TANE's C+(X): still-possible RHS attributes
+  StrippedPartition partition;
+  int64_t error = 0;  // e(X) = ||pi_X|| - |pi_X|
+};
+
+using Level = std::vector<LevelEntry>;
+using LevelIndex = std::unordered_map<AttributeSet, int, AttributeSetHash>;
+
+// Persistent store of every C+(X) computed so far. The key-pruning rule
+// needs C+ of sibling sets that may have been deleted — or never generated
+// because an ancestor was a key; Huhtala et al. define those recursively as
+// the intersection of the C+ of all |X|-1-subsets (memoized here).
+class CplusStore {
+ public:
+  explicit CplusStore(int num_attrs) {
+    memo_.emplace(AttributeSet(), AttributeSet::full(num_attrs));
+  }
+
+  void put(const AttributeSet& s, const AttributeSet& cplus) { memo_[s] = cplus; }
+
+  AttributeSet get(const AttributeSet& s) {
+    auto it = memo_.find(s);
+    if (it != memo_.end()) return it->second;
+    AttributeSet cplus = AttributeSet::full(AttributeSet::kCapacity);
+    s.for_each([&](AttrId c) {
+      AttributeSet sub = s;
+      sub.reset(c);
+      cplus &= get(sub);
+    });
+    memo_.emplace(s, cplus);
+    return cplus;
+  }
+
+  size_t memory_bytes() const {
+    return memo_.size() * (2 * sizeof(AttributeSet) + 2 * sizeof(void*));
+  }
+
+ private:
+  std::unordered_map<AttributeSet, AttributeSet, AttributeSetHash> memo_;
+};
+
+}  // namespace
+
+DiscoveryResult Tane::discover(const Relation& r) {
+  Timer timer;
+  MemoryWatermark mem;
+  Deadline deadline(options_.time_limit_seconds);
+  DiscoveryResult result;
+  const int m = r.num_cols();
+  const int64_t empty_error = r.num_rows() > 0 ? r.num_rows() - 1 : 0;
+  const AttributeSet all = AttributeSet::full(m);
+
+  // Level 0 state: C+({}) = R, e({}) = |r| - 1.
+  Level level;
+  LevelIndex index;
+  for (AttrId a = 0; a < m; ++a) {
+    LevelEntry e;
+    e.attrs = AttributeSet::single(a);
+    e.cplus = all;
+    e.partition = BuildAttributePartition(r, a);
+    e.error = e.partition.error();
+    index.emplace(e.attrs, static_cast<int>(level.size()));
+    level.push_back(std::move(e));
+  }
+  CplusStore cplus_store(m);
+  // Level-1 dependencies {} -> A (constant columns).
+  for (LevelEntry& e : level) {
+    ++result.stats.validations;
+    if (e.error == empty_error) {
+      AttrId a = e.attrs.first();
+      result.fds.add(Fd(AttributeSet(), a));
+      e.cplus.reset(a);
+      // {} -> A valid: remove all B in R - X from C+(X) (X = {A}).
+      e.cplus &= e.attrs;
+    } else {
+      ++result.stats.invalidated;
+    }
+    cplus_store.put(e.attrs, e.cplus);
+  }
+
+  // Errors of the previous level, for the e(X - A) == e(X) test.
+  std::unordered_map<AttributeSet, int64_t, AttributeSetHash> prev_errors;
+  prev_errors.emplace(AttributeSet(), empty_error);
+  size_t logical_peak = 0;
+
+  int level_num = 1;
+  while (!level.empty() && !result.stats.timed_out) {
+    result.stats.levels = level_num;
+    if (level_num >= 2) {
+      // compute_dependencies for this level.
+      for (LevelEntry& e : level) {
+        if (deadline.expired()) {
+          result.stats.timed_out = true;
+          break;
+        }
+        AttributeSet check = e.attrs & e.cplus;
+        check.for_each([&](AttrId a) {
+          AttributeSet x_minus_a = e.attrs;
+          x_minus_a.reset(a);
+          auto it = prev_errors.find(x_minus_a);
+          if (it == prev_errors.end()) return;  // pruned parent
+          ++result.stats.validations;
+          if (it->second == e.error) {
+            result.fds.add(Fd(x_minus_a, a));
+            e.cplus.reset(a);
+            e.cplus -= all - e.attrs;
+          } else {
+            ++result.stats.invalidated;
+          }
+        });
+        cplus_store.put(e.attrs, e.cplus);
+      }
+    }
+
+    // Prune: drop X with empty C+; emit key-based FDs and drop superkeys.
+    Level pruned;
+    LevelIndex pruned_index;
+    for (LevelEntry& e : level) {
+      if (e.cplus.empty()) continue;
+      if (e.error == 0) {
+        // X is a (super)key. Huhtala et al.'s key pruning rule: emit X -> A
+        // for A in C+(X) - X whenever A survives the C+ of every sibling
+        // set (X + {A}) - {B}, B in X; then delete X from the level.
+        AttributeSet extra = e.cplus - e.attrs;
+        extra.for_each([&](AttrId a) {
+          bool emit = true;
+          e.attrs.for_each([&](AttrId b) {
+            if (!emit) return;
+            AttributeSet sibling = e.attrs;
+            sibling.reset(b);
+            sibling.set(a);
+            // Sibling C+ may belong to a set that was deleted or never
+            // generated; the store derives it recursively in that case.
+            if (!cplus_store.get(sibling).test(a)) emit = false;
+          });
+          if (emit) {
+            ++result.stats.validations;
+            result.fds.add(Fd(e.attrs, a));
+          }
+        });
+        continue;  // superkeys never extend to the next level
+      }
+      pruned_index.emplace(e.attrs, static_cast<int>(pruned.size()));
+      pruned.push_back(std::move(e));
+    }
+
+    if (options_.max_level > 0 && level_num >= options_.max_level) break;
+
+    // generate_next_level via prefix blocks: combine entries that share all
+    // attributes except their largest one.
+    prev_errors.clear();
+    for (const LevelEntry& e : pruned) prev_errors.emplace(e.attrs, e.error);
+
+    std::unordered_map<AttributeSet, std::vector<int>, AttributeSetHash> blocks;
+    for (int i = 0; i < static_cast<int>(pruned.size()); ++i) {
+      AttributeSet prefix = pruned[i].attrs;
+      prefix.reset(pruned[i].attrs.last());
+      blocks[prefix].push_back(i);
+    }
+
+    Level next;
+    LevelIndex next_index;
+    for (auto& [prefix, members] : blocks) {
+      (void)prefix;
+      if (result.stats.timed_out) break;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          if (deadline.expired()) {
+            result.stats.timed_out = true;
+            break;
+          }
+          const LevelEntry& a = pruned[members[i]];
+          const LevelEntry& b = pruned[members[j]];
+          AttributeSet xy = a.attrs | b.attrs;
+          // All |XY|-1 subsets must have survived pruning.
+          bool ok = true;
+          AttributeSet cplus = all;
+          xy.for_each([&](AttrId c) {
+            if (!ok) return;
+            AttributeSet sub = xy;
+            sub.reset(c);
+            auto it = pruned_index.find(sub);
+            if (it == pruned_index.end()) {
+              ok = false;
+            } else {
+              cplus &= pruned[it->second].cplus;
+            }
+          });
+          if (!ok || cplus.empty()) continue;
+          LevelEntry e;
+          e.attrs = xy;
+          e.cplus = cplus;
+          e.partition = IntersectPartitions(a.partition, b.partition, r.num_rows());
+          e.error = e.partition.error();
+          result.stats.refinements += a.partition.size();
+          next_index.emplace(xy, static_cast<int>(next.size()));
+          next.push_back(std::move(e));
+        }
+        if (result.stats.timed_out) break;
+      }
+    }
+    mem.sample();
+    size_t level_bytes = cplus_store.memory_bytes();
+    for (const LevelEntry& e : level) level_bytes += e.partition.memory_bytes();
+    for (const LevelEntry& e : next) level_bytes += e.partition.memory_bytes();
+    logical_peak = std::max(logical_peak, level_bytes);
+    level = std::move(next);
+    index = std::move(next_index);
+    ++level_num;
+  }
+
+  result.fds.sort();
+  result.stats.seconds = timer.seconds();
+  result.stats.memory_mb = std::max(
+      mem.delta_peak_mb(), static_cast<double>(logical_peak) / (1024.0 * 1024.0));
+  return result;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,32 @@
+#ifndef DHYFD_ALGO_TANE_H_
+#define DHYFD_ALGO_TANE_H_
+
+#include "algo/discovery.h"
+
+namespace dhyfd {
+
+struct TaneOptions {
+  /// Hard cap on lattice level (LHS size); 0 means no cap. The paper's TANE
+  /// baseline runs uncapped; benches may cap to emulate its time limit.
+  int max_level = 0;
+  /// Cooperative deadline in seconds (0 = none); on expiry the run stops
+  /// with stats.timed_out set, mirroring the paper's TL entries.
+  double time_limit_seconds = 0;
+};
+
+/// TANE (Huhtala et al. 1999): the column-based baseline. Traverses the
+/// attribute lattice level by level, validating candidates via stripped-
+/// partition errors and pruning with RHS-candidate sets C+ and superkeys.
+class Tane : public FdDiscovery {
+ public:
+  explicit Tane(TaneOptions options = {}) : options_(options) {}
+  std::string name() const override { return "tane"; }
+  DiscoveryResult discover(const Relation& r) override;
+
+ private:
+  TaneOptions options_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_ALGO_TANE_H_

@@ -1,0 +1,52 @@
+#include "algo/validator.h"
+
+namespace dhyfd {
+
+ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& lhs,
+                                        const AttributeSet& rhs,
+                                        const StrippedPartition& base,
+                                        const AttributeSet& base_attrs,
+                                        PartitionRefiner& refiner) {
+  ValidationOutcome out;
+  out.valid_rhs = rhs;
+  if (rhs.empty()) return out;
+
+  AttributeSet missing = lhs - base_attrs;
+  std::vector<AttrId> missing_attrs;
+  missing.for_each([&](AttrId a) { missing_attrs.push_back(a); });
+
+  std::vector<std::vector<RowId>> pi, next;
+  for (const auto& s : base.clusters) {
+    // Algorithm 4 steps 5-8: refine only this class, one attribute at a time.
+    pi.clear();
+    pi.push_back(s);
+    for (AttrId a : missing_attrs) {
+      next.clear();
+      for (const auto& cluster : pi) {
+        refiner.refine_cluster(cluster, a, next);
+        ++out.refinements;
+      }
+      pi.swap(next);
+      if (pi.empty()) break;
+    }
+    for (const auto& cluster : pi) {
+      RowId t0 = cluster[0];
+      for (size_t i = 1; i < cluster.size(); ++i) {
+        RowId ti = cluster[i];
+        ++out.pairs_checked;
+        AttributeSet invalid;
+        out.valid_rhs.for_each([&](AttrId a) {
+          if (r.value(ti, a) != r.value(t0, a)) invalid.set(a);
+        });
+        if (!invalid.empty()) {
+          out.valid_rhs -= invalid;
+          out.violations.push_back(r.agree_set(t0, ti));
+          if (out.valid_rhs.empty()) return out;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,39 @@
+#ifndef DHYFD_ALGO_VALIDATOR_H_
+#define DHYFD_ALGO_VALIDATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition_ops.h"
+#include "relation/relation.h"
+#include "util/attribute_set.h"
+
+namespace dhyfd {
+
+/// Result of validating one candidate FD X -> Y (paper Algorithm 4).
+struct ValidationOutcome {
+  /// RHS attributes that survived: X -> valid_rhs holds on r.
+  AttributeSet valid_rhs;
+  /// Agree sets Z of witnessing violation pairs; each implies the non-FD
+  /// Z !-> R - Z. At most |Y| entries: a pair is recorded only when it
+  /// knocks out at least one still-valid RHS attribute.
+  std::vector<AttributeSet> violations;
+  int64_t pairs_checked = 0;
+  int64_t refinements = 0;
+};
+
+/// Validates X -> Y from a stripped partition pi_{X'} with X' subseteq X.
+///
+/// Refines one equivalence class at a time by the attributes X - X'
+/// (Algorithm 5 via `refiner`) so an invalid FD aborts early without paying
+/// for the full pi_X. This combination of validation with non-FD extraction
+/// is the DDM's validation primitive.
+ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& lhs,
+                                        const AttributeSet& rhs,
+                                        const StrippedPartition& base,
+                                        const AttributeSet& base_attrs,
+                                        PartitionRefiner& refiner);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_ALGO_VALIDATOR_H_

@@ -1,0 +1,67 @@
+#include "core/profiler.h"
+
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace dhyfd {
+
+ProfileReport Profiler::profile(const RawTable& table) const {
+  EncodedRelation encoded = EncodeRelation(table, options_.semantics);
+  return profile(encoded.relation);
+}
+
+ProfileReport Profiler::profile(const Relation& relation) const {
+  ProfileReport report;
+  report.schema = relation.schema();
+  report.null_stats = ComputeNullStats(relation);
+
+  std::unique_ptr<FdDiscovery> algo = MakeDiscovery(options_.algorithm);
+  report.discovery = algo->discover(relation);
+  report.left_reduced = report.discovery.fds;
+
+  if (options_.compute_canonical) {
+    report.cover_stats = ComputeCoverStats(report.left_reduced, relation.num_cols());
+    report.canonical = CanonicalCover(report.left_reduced, relation.num_cols());
+  }
+
+  if (options_.compute_ranking) {
+    const FdSet& cover =
+        options_.compute_canonical ? report.canonical : report.left_reduced;
+    Timer timer;
+    report.ranking = RankFds(relation, cover, options_.ranking_mode);
+    report.dataset_redundancy = ComputeDatasetRedundancy(relation, cover);
+    report.ranking_seconds = timer.seconds();
+  }
+  return report;
+}
+
+std::string ProfileReport::summary() const {
+  std::ostringstream out;
+  out << "schema: " << schema.size() << " columns\n";
+  out << "nulls: " << null_stats.null_occurrences << " occurrences in "
+      << null_stats.incomplete_columns << " columns ("
+      << null_stats.incomplete_rows << " incomplete rows)\n";
+  out << "left-reduced cover: |L-r|=" << left_reduced.size()
+      << "  ||L-r||=" << left_reduced.attribute_occurrences() << "  ("
+      << discovery.stats.seconds << " s, " << discovery.stats.memory_mb
+      << " MB)\n";
+  if (!canonical.empty() || cover_stats.canonical_count > 0) {
+    out << "canonical cover:    |Can|=" << canonical.size()
+        << "  ||Can||=" << canonical.attribute_occurrences() << "  ("
+        << cover_stats.seconds << " s, " << cover_stats.percent_size
+        << "% of |L-r|)\n";
+  }
+  if (!ranking.empty()) {
+    out << "redundancy: #red=" << dataset_redundancy.red << " ("
+        << dataset_redundancy.percent_red() << "%)  #red+0="
+        << dataset_redundancy.red_plus0 << " ("
+        << dataset_redundancy.percent_red_plus0() << "%) of "
+        << dataset_redundancy.num_values << " values\n";
+    out << "ranking computed for " << ranking.size() << " FDs in "
+        << ranking_seconds << " s\n";
+  }
+  return out.str();
+}
+
+}  // namespace dhyfd

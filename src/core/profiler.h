@@ -1,0 +1,61 @@
+#ifndef DHYFD_CORE_PROFILER_H_
+#define DHYFD_CORE_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/discovery.h"
+#include "fd/cover.h"
+#include "ranking/ranking.h"
+#include "relation/encoder.h"
+
+namespace dhyfd {
+
+/// Options for the one-call profiling pipeline.
+struct ProfileOptions {
+  /// One of AllDiscoveryNames(); DHyFD by default.
+  std::string algorithm = "dhyfd";
+  NullSemantics semantics = NullSemantics::kNullEqualsNull;
+  /// Compute the canonical cover from the left-reduced one (Section V-D).
+  bool compute_canonical = true;
+  /// Rank the (canonical) cover by data redundancy (Section VI).
+  bool compute_ranking = true;
+  RedundancyMode ranking_mode = RedundancyMode::kExcludingNullRhs;
+};
+
+/// Everything the paper derives from one data set.
+struct ProfileReport {
+  Schema schema;
+  NullStats null_stats;
+  DiscoveryResult discovery;
+  /// The discovered left-reduced cover (same as discovery.fds).
+  FdSet left_reduced;
+  FdSet canonical;
+  CoverStats cover_stats;
+  /// Canonical-cover FDs ranked by descending redundancy.
+  std::vector<FdRedundancy> ranking;
+  DatasetRedundancy dataset_redundancy;
+  double ranking_seconds = 0;
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+/// The library's quickstart entry point: discover -> cover -> rank.
+class Profiler {
+ public:
+  explicit Profiler(ProfileOptions options = {}) : options_(options) {}
+
+  /// Profiles a raw CSV table (encodes it first under options.semantics).
+  ProfileReport profile(const RawTable& table) const;
+
+  /// Profiles an already-encoded relation.
+  ProfileReport profile(const Relation& relation) const;
+
+ private:
+  ProfileOptions options_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_CORE_PROFILER_H_

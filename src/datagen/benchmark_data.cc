@@ -1,0 +1,651 @@
+#include "datagen/benchmark_data.h"
+
+#include <stdexcept>
+
+namespace dhyfd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Recipe helpers.
+// ---------------------------------------------------------------------------
+
+void AddRandom(DatasetSpec& s, const std::string& name, int domain, double skew = 0,
+               double null_rate = 0) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kRandom;
+  c.domain_size = domain;
+  c.skew = skew;
+  c.null_rate = null_rate;
+  s.columns.push_back(std::move(c));
+}
+
+void AddConstant(DatasetSpec& s, const std::string& name) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kConstant;
+  s.columns.push_back(std::move(c));
+}
+
+void AddKey(DatasetSpec& s, const std::string& name) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kKey;
+  s.columns.push_back(std::move(c));
+}
+
+void AddDerived(DatasetSpec& s, const std::string& name, std::vector<int> parents,
+                int domain, double null_rate = 0) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kDerived;
+  c.domain_size = domain;
+  c.null_rate = null_rate;
+  c.parents = std::move(parents);
+  s.columns.push_back(std::move(c));
+}
+
+// Fills up to `total` columns with random columns of cycling small domains;
+// the workhorse for wide survey-style data sets (plista, flight, horse...).
+void FillSmallDomains(DatasetSpec& s, const std::string& prefix, int count,
+                      int min_domain, int max_domain, double null_rate) {
+  for (int i = 0; i < count; ++i) {
+    int domain = min_domain + (i * 7) % (max_domain - min_domain + 1);
+    AddRandom(s, prefix + std::to_string(i), domain, /*skew=*/0, null_rate);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-data-set recipes. Shapes (columns, domain profile, null rate, planted
+// FD structure) follow the originals as described in DESIGN.md.
+// ---------------------------------------------------------------------------
+
+DatasetSpec SpecIris(int rows) {
+  DatasetSpec s{.name = "iris", .rows = rows, .seed = 101};
+  AddRandom(s, "sepal_len", 35);
+  AddRandom(s, "sepal_wid", 23);
+  AddRandom(s, "petal_len", 43);
+  AddRandom(s, "petal_wid", 22);
+  AddDerived(s, "class", {2, 3}, 3);
+  return s;
+}
+
+DatasetSpec SpecBalance(int rows) {
+  DatasetSpec s{.name = "balance", .rows = rows, .seed = 102};
+  AddRandom(s, "left_weight", 5);
+  AddRandom(s, "left_dist", 5);
+  AddRandom(s, "right_weight", 5);
+  AddRandom(s, "right_dist", 5);
+  AddDerived(s, "class", {0, 1, 2, 3}, 3);
+  return s;
+}
+
+DatasetSpec SpecChess(int rows) {
+  DatasetSpec s{.name = "chess", .rows = rows, .seed = 103};
+  AddRandom(s, "wk_file", 8);
+  AddRandom(s, "wk_rank", 8);
+  AddRandom(s, "wr_file", 8);
+  AddRandom(s, "wr_rank", 8);
+  AddRandom(s, "bk_file", 8);
+  AddRandom(s, "bk_rank", 8);
+  AddDerived(s, "result", {0, 1, 2, 3, 4, 5}, 18);
+  return s;
+}
+
+DatasetSpec SpecAbalone(int rows) {
+  DatasetSpec s{.name = "abalone", .rows = rows, .seed = 104};
+  AddRandom(s, "sex", 3);
+  AddRandom(s, "length", rows / 30 + 40);
+  AddRandom(s, "diameter", rows / 36 + 30);
+  AddRandom(s, "height", rows / 80 + 20);
+  AddRandom(s, "whole_w", rows / 2 + 100);
+  AddRandom(s, "shucked_w", rows / 3 + 80);
+  AddRandom(s, "viscera_w", rows / 5 + 60);
+  AddRandom(s, "shell_w", rows / 4 + 70);
+  AddRandom(s, "rings", 29);
+  return s;
+}
+
+DatasetSpec SpecNursery(int rows) {
+  DatasetSpec s{.name = "nursery", .rows = rows, .seed = 105};
+  AddRandom(s, "parents", 3);
+  AddRandom(s, "has_nurs", 5);
+  AddRandom(s, "form", 4);
+  AddRandom(s, "children", 4);
+  AddRandom(s, "housing", 3);
+  AddRandom(s, "finance", 2);
+  AddRandom(s, "social", 3);
+  AddRandom(s, "health", 3);
+  AddDerived(s, "class", {0, 1, 2, 3, 4, 5, 6, 7}, 5);
+  return s;
+}
+
+DatasetSpec SpecBreast(int rows) {
+  DatasetSpec s{.name = "breast", .rows = rows, .seed = 106};
+  s.near_duplicate_rate = 0.05;
+  AddRandom(s, "id", rows - rows / 12);  // near key with a few repeats
+  for (int i = 0; i < 9; ++i) {
+    AddRandom(s, "f" + std::to_string(i), 10, 0.8, i == 5 ? 0.02 : 0.0);
+  }
+  AddDerived(s, "class", {2, 3, 4}, 2);
+  return s;
+}
+
+DatasetSpec SpecBridges(int rows) {
+  DatasetSpec s{.name = "bridges", .rows = rows, .seed = 107};
+  s.near_duplicate_rate = 0.10;
+  AddKey(s, "id");
+  AddRandom(s, "river", 3);
+  AddRandom(s, "location", 50, 0, 0.01);
+  AddRandom(s, "erected", 30);
+  AddRandom(s, "purpose", 4);
+  AddRandom(s, "length", 30, 0, 0.2);
+  AddRandom(s, "lanes", 4, 0, 0.1);
+  AddRandom(s, "clear_g", 2, 0, 0.02);
+  AddRandom(s, "t_or_d", 2, 0, 0.05);
+  AddRandom(s, "material", 3, 0, 0.02);
+  AddRandom(s, "span", 3, 0, 0.1);
+  AddRandom(s, "rel_l", 3, 0, 0.04);
+  AddRandom(s, "type", 7, 0, 0.02);
+  return s;
+}
+
+DatasetSpec SpecEcho(int rows) {
+  DatasetSpec s{.name = "echo", .rows = rows, .seed = 108};
+  s.near_duplicate_rate = 0.05;
+  AddRandom(s, "survival", 40, 0, 0.02);
+  AddRandom(s, "still_alive", 2, 0, 0.01);
+  AddRandom(s, "age", 30, 0, 0.04);
+  AddRandom(s, "pe", 2, 0, 0.01);
+  AddRandom(s, "fs", 60, 0, 0.06);
+  AddRandom(s, "epss", 60, 0, 0.1);
+  AddRandom(s, "lvdd", 50, 0, 0.08);
+  AddRandom(s, "wm_score", 30, 0, 0.03);
+  AddRandom(s, "wm_index", 30, 0, 0.01);
+  AddRandom(s, "mult", 15, 0, 0.03);
+  AddRandom(s, "name", 2);
+  AddRandom(s, "group", 3, 0, 0.16);
+  AddRandom(s, "alive_at_1", 2, 0, 0.4);
+  return s;
+}
+
+DatasetSpec SpecAdult(int rows) {
+  DatasetSpec s{.name = "adult", .rows = rows, .seed = 109};
+  s.near_duplicate_rate = 0.03;
+  AddRandom(s, "age", 74, 0.6);
+  AddRandom(s, "workclass", 9, 1.0, 0.05);
+  AddRandom(s, "fnlwgt", rows / 2 + 500);
+  AddRandom(s, "education", 16, 0.8);
+  AddDerived(s, "education_num", {3}, 16);  // education -> education_num
+  AddRandom(s, "marital", 7, 0.7);
+  AddRandom(s, "occupation", 15, 0.4, 0.05);
+  AddRandom(s, "relationship", 6, 0.6);
+  AddRandom(s, "race", 5, 1.2);
+  AddRandom(s, "sex", 2);
+  AddRandom(s, "cap_gain", 120, 2.0);
+  AddRandom(s, "cap_loss", 99, 2.0);
+  AddRandom(s, "hours", 96, 1.0);
+  // Never mutated by near-duplicates: retains accidental FDs with this RHS,
+  // landing the total near the paper's 78.
+  s.columns.back().allow_mutation = false;
+  AddRandom(s, "country", 42, 2.0, 0.02);
+  return s;
+}
+
+DatasetSpec SpecLetter(int rows) {
+  DatasetSpec s{.name = "letter", .rows = rows, .seed = 110};
+  s.near_duplicate_rate = 0.04;
+  for (int i = 0; i < 16; ++i) AddRandom(s, "f" + std::to_string(i), 16, 0.3);
+  AddDerived(s, "class", {0, 3, 7, 12}, 26);
+  return s;
+}
+
+DatasetSpec SpecNcvoter(int rows) {
+  DatasetSpec s{.name = "ncvoter", .rows = rows, .seed = 111};
+  s.duplicate_row_rate = 0.004;  // the odd duplicated voter (Table I)
+  s.near_duplicate_rate = 0.01;
+  AddRandom(s, "voter_id", rows - rows / 200);  // near-key, rare repeats
+  AddRandom(s, "first_name", rows / 4 + 50, 0.8);
+  AddRandom(s, "middle_name", rows / 3 + 50, 0.8, 0.12);
+  AddRandom(s, "last_name", rows / 4 + 80, 0.8);
+  AddRandom(s, "name_prefix", 4, 1.5, 0.97);
+  AddRandom(s, "name_suffix", 6, 1.5, 0.93);
+  AddRandom(s, "age", 80, 0.4);
+  AddRandom(s, "gender", 2);
+  AddRandom(s, "race", 7, 1.4);
+  AddRandom(s, "ethnic", 3, 1.0);
+  AddRandom(s, "street_address", rows - rows / 20);  // near-key (flatmates)
+  AddRandom(s, "zip_code", rows / 12 + 20, 0.5);
+  AddDerived(s, "city", {11}, rows / 25 + 10);   // zip -> city
+  AddConstant(s, "state");                       // all voters from nc
+  AddDerived(s, "area_code", {11}, rows / 40 + 8);
+  AddRandom(s, "full_phone_num", rows - rows / 30, 0, 0.04);
+  AddRandom(s, "register_date", rows / 3 + 100);
+  AddRandom(s, "download_month", 3);
+  AddDerived(s, "party", {6, 8}, 4);
+  return s;
+}
+
+DatasetSpec SpecHepatitis(int rows) {
+  DatasetSpec s{.name = "hepatitis", .rows = rows, .seed = 112};
+  s.near_duplicate_rate = 0.30;
+  AddRandom(s, "class", 2);
+  AddRandom(s, "age", 50, 0.4);
+  AddRandom(s, "sex", 2);
+  for (int i = 0; i < 13; ++i) {
+    AddRandom(s, "sym" + std::to_string(i), 2, 0, 0.04 + 0.01 * (i % 4));
+    // Two protected columns carry the surviving accidental-FD mass,
+    // landing the total near the paper's 8,250.
+    if (i < 2) s.columns.back().allow_mutation = false;
+  }
+  AddRandom(s, "bilirubin", 30, 0, 0.04);
+  AddRandom(s, "alk", 60, 0, 0.19);
+  AddRandom(s, "sgot", 70, 0, 0.03);
+  AddRandom(s, "albumin", 30, 0, 0.1);
+  return s;
+}
+
+DatasetSpec SpecHorse(int rows) {
+  DatasetSpec s{.name = "horse", .rows = rows, .seed = 113};
+  s.near_duplicate_rate = 0.30;
+  AddRandom(s, "surgery", 2, 0, 0.003);
+  AddRandom(s, "age", 2);
+  AddRandom(s, "hospital_id", rows - rows / 10);
+  for (int i = 0; i < 22; ++i) {
+    AddRandom(s, "c" + std::to_string(i), 3 + (i % 5), 0, 0.15 + 0.02 * (i % 5));
+    if (i < 1) s.columns.back().allow_mutation = false;
+  }
+  AddRandom(s, "outcome", 3, 0, 0.02);
+  s.columns.back().allow_mutation = false;
+  AddRandom(s, "lesion_site", 60, 1.0, 0.0);
+  AddRandom(s, "lesion_type", 30, 1.0, 0.0);
+  AddRandom(s, "cp_data", 2);
+  return s;
+}
+
+DatasetSpec SpecPlista(int rows) {
+  DatasetSpec s{.name = "plista", .rows = rows, .seed = 114};
+  s.near_duplicate_rate = 0.30;
+  AddKey(s, "item_id");
+  AddConstant(s, "team");
+  FillSmallDomains(s, "p", 53, 2, 40, 0.12);
+  // No protected columns: with 63 columns even one unprotected RHS explodes
+  // combinatorially at this row scale; the analog keeps the planted FDs.
+  AddRandom(s, "publisher", rows / 8 + 10, 1.2);
+  AddDerived(s, "domain_id", {55}, rows / 10 + 8);
+  AddRandom(s, "created_ts", rows - rows / 15);
+  AddRandom(s, "updated_ts", rows - rows / 25);
+  AddDerived(s, "category", {55, 2}, 30);
+  FillSmallDomains(s, "q", 3, 2, 6, 0.3);
+  return s;
+}
+
+DatasetSpec SpecFlight(int rows) {
+  DatasetSpec s{.name = "flight", .rows = rows, .seed = 115};
+  s.near_duplicate_rate = 0.35;
+  AddKey(s, "flight_key");
+  AddConstant(s, "year");
+  AddRandom(s, "month", 12);
+  AddRandom(s, "day", 31);
+  AddRandom(s, "carrier", 14, 0.8);
+  AddRandom(s, "tail_num", rows / 3 + 40, 0, 0.25);
+  AddRandom(s, "origin", 60, 1.0);
+  // NOTE: at 109 columns and laptop-scale rows, any derived column makes
+  // the accidental-FD lattice intractable (every sibling-conditioned LHS
+  // becomes minimal). The analog therefore keeps flight's width and null
+  // profile but only constant/key planted structure; see DESIGN.md.
+  AddRandom(s, "origin_city", 55, 1.0);
+  AddRandom(s, "origin_state", 30, 1.0);
+  AddRandom(s, "dest", 60, 1.0);
+  AddRandom(s, "dest_city", 55, 1.0);
+  AddRandom(s, "dest_state", 30, 1.0);
+  // Wide tail of sparse operational columns, heavily null (the original
+  // flight data set has 109 columns, most of them mostly missing).
+  FillSmallDomains(s, "op", 89, 2, 25, 0.35);
+  // No protected columns (see plista note).
+  AddConstant(s, "source");
+  AddRandom(s, "delay_code", 5, 1.5, 0.6);
+  AddRandom(s, "cancelled", 2, 2.0);
+  AddRandom(s, "diverted", 2, 2.0);
+  AddRandom(s, "distance_bin", 12);
+  AddRandom(s, "region_pair", 25, 1.0);
+  AddRandom(s, "pad0", 6, 0, 0.5);
+  AddRandom(s, "pad1", 8, 0, 0.45);
+  return s;
+}
+
+DatasetSpec SpecFdReduced(int rows) {
+  // Papenbrock's synthetic generator: every planted FD has a 3-attribute
+  // LHS, which is why TANE shines on it (short-LHS lattice levels).
+  DatasetSpec s{.name = "fd_reduced", .rows = rows, .seed = 116};
+  for (int i = 0; i < 20; ++i) {
+    AddRandom(s, "b" + std::to_string(i), rows / 25 + 17);
+  }
+  for (int i = 0; i < 10; ++i) {
+    int p0 = (i * 3) % 20, p1 = (i * 5 + 1) % 20, p2 = (i * 7 + 2) % 20;
+    AddDerived(s, "d" + std::to_string(i), {p0, p1, p2}, rows / 4 + 97);
+  }
+  return s;
+}
+
+DatasetSpec SpecWeather(int rows) {
+  DatasetSpec s{.name = "weather", .rows = rows, .seed = 117};
+  s.near_duplicate_rate = 0.01;
+  AddRandom(s, "station", 450, 0.5);
+  AddDerived(s, "state", {0}, 50);
+  AddDerived(s, "lat_bin", {0}, 180);
+  AddDerived(s, "lon_bin", {0}, 240);
+  AddRandom(s, "date", 740);
+  AddDerived(s, "month", {4}, 25);
+  AddRandom(s, "temp_max", 130, 0.2);
+  AddRandom(s, "temp_min", 120, 0.2);
+  AddRandom(s, "precip", 300, 1.5);
+  AddRandom(s, "snow", 120, 2.2);
+  AddRandom(s, "wind_dir", 36);
+  AddRandom(s, "wind_speed", 80, 0.7);
+  AddRandom(s, "humidity", 100);
+  AddRandom(s, "pressure", 220);
+  AddRandom(s, "visibility", 40, 0.8);
+  AddRandom(s, "cloud", 9);
+  AddRandom(s, "events", 12, 1.4);
+  AddDerived(s, "station_name", {0}, 449);
+  return s;
+}
+
+DatasetSpec SpecDiabetic(int rows) {
+  DatasetSpec s{.name = "diabetic", .rows = rows, .seed = 118};
+  s.near_duplicate_rate = 0.12;
+  AddKey(s, "encounter_id");
+  AddRandom(s, "patient_id", rows / 2 + 100);
+  AddRandom(s, "race", 6, 1.0, 0.02);
+  AddRandom(s, "gender", 3, 0.5);
+  AddRandom(s, "age_band", 10);
+  AddRandom(s, "weight_band", 10, 0, 0.6);
+  AddRandom(s, "admission_type", 8, 1.0);
+  AddRandom(s, "discharge", 26, 1.3);
+  AddRandom(s, "admission_src", 17, 1.2);
+  AddRandom(s, "time_in_hosp", 14);
+  AddRandom(s, "payer_code", 18, 1.0, 0.4);
+  AddRandom(s, "specialty", 70, 1.5, 0.35);
+  AddRandom(s, "num_lab", 120, 0.3);
+  AddRandom(s, "num_proc", 7);
+  AddRandom(s, "num_meds", 75, 0.5);
+  AddRandom(s, "outpatient", 20, 2.0);
+  AddRandom(s, "emergency", 20, 2.5);
+  AddRandom(s, "inpatient", 15, 2.0);
+  AddRandom(s, "diag_1", 700, 1.2, 0.01);
+  AddDerived(s, "diag_2", {18}, 500, 0.02);  // comorbidity follows diag_1
+  AddDerived(s, "diag_3", {18}, 450, 0.05);
+  AddRandom(s, "num_diag", 16);
+  for (int i = 0; i < 7; ++i) AddRandom(s, "med" + std::to_string(i), 4, 1.8);
+  AddRandom(s, "readmitted", 3);
+  return s;
+}
+
+DatasetSpec SpecPdbx(int rows) {
+  // Very tall, very few FDs: mostly independent small-domain columns over
+  // millions of rows, plus a handful of constants and one derived pair.
+  DatasetSpec s{.name = "pdbx", .rows = rows, .seed = 119};
+  s.near_duplicate_rate = 0.02;
+  AddRandom(s, "entry_id", rows / 5 + 11);
+  AddRandom(s, "atom_site", 28);
+  s.columns.back().allow_mutation = false;
+  AddRandom(s, "symbol", 90);
+  AddDerived(s, "symbol_group", {2}, 18);
+  AddRandom(s, "residue", 24);
+  AddRandom(s, "chain", 36);
+  AddRandom(s, "seq_id", 1200);
+  AddRandom(s, "x_bin", 2000);
+  AddRandom(s, "y_bin", 2000);
+  AddRandom(s, "z_bin", 2000);
+  AddConstant(s, "model_num");
+  AddRandom(s, "occupancy", 60, 2.5);
+  AddConstant(s, "format_ver");
+  return s;
+}
+
+DatasetSpec SpecLineitem(int rows) {
+  DatasetSpec s{.name = "lineitem", .rows = rows, .seed = 120};
+  s.near_duplicate_rate = 0.01;
+  AddRandom(s, "orderkey", rows / 4 + 10);
+  AddRandom(s, "partkey", rows / 8 + 10);
+  AddDerived(s, "suppkey", {1}, rows / 40 + 10);  // part -> its supplier
+  AddRandom(s, "linenumber", 7);
+  AddRandom(s, "quantity", 50);
+  AddDerived(s, "extendedprice", {1, 4}, rows / 2 + 1000);
+  AddRandom(s, "discount", 11);
+  AddRandom(s, "tax", 9);
+  AddRandom(s, "returnflag", 3);
+  AddRandom(s, "linestatus", 2);
+  AddRandom(s, "shipdate", 2500);
+  AddDerived(s, "commitdate", {0}, 2400);
+  AddDerived(s, "receiptdate", {10, 6}, 2500);
+  AddRandom(s, "shipinstruct", 4);
+  AddRandom(s, "shipmode", 7);
+  AddRandom(s, "comment_len", 120);
+  return s;
+}
+
+DatasetSpec SpecUniprot(int rows) {
+  DatasetSpec s{.name = "uniprot", .rows = rows, .seed = 121};
+  s.near_duplicate_rate = 0.05;
+  AddKey(s, "entry");
+  AddDerived(s, "entry_name", {0}, 1 << 24);  // bijective-ish with the key
+  AddRandom(s, "status", 2);
+  AddRandom(s, "organism", rows / 14 + 30, 1.0);
+  AddDerived(s, "organism_id", {3}, rows / 14 + 29);
+  AddDerived(s, "taxonomy", {6}, 400);  // coarse bin of length
+  AddRandom(s, "length", 2000, 0.4);
+  AddRandom(s, "mass_bin", 2200, 0.4);
+  for (int i = 0; i < 16; ++i) {
+    AddRandom(s, "anno" + std::to_string(i), 6 + (i * 5) % 40, 0.8,
+              0.1 + 0.03 * (i % 5));
+  }
+  AddRandom(s, "created", 2600);
+  AddRandom(s, "modified", 2600);
+  AddRandom(s, "version", 120, 1.2);
+  AddRandom(s, "fragment", 2, 2.0, 0.3);
+  AddRandom(s, "precursor", 2, 2.0, 0.55);
+  AddRandom(s, "evidence", 5, 1.0);
+  return s;
+}
+
+DatasetSpec SpecChina(int rows) {
+  DatasetSpec s{.name = "china", .rows = rows, .seed = 122};
+  s.duplicate_row_rate = 0.12;  // heavy redundancy (41.65% in Table IV)
+  s.near_duplicate_rate = 0.10;
+  AddRandom(s, "province", 34, 0.8);
+  AddDerived(s, "region", {0}, 7);
+  AddRandom(s, "city", 340, 1.0, 0.01);
+  AddDerived(s, "city_tier", {2}, 5);
+  AddRandom(s, "year", 20);
+  AddRandom(s, "indicator", 60, 0.6);
+  AddDerived(s, "indicator_group", {5}, 12);
+  AddRandom(s, "value_bin", 500, 0.5, 0.03);
+  AddRandom(s, "unit", 9, 1.2);
+  AddRandom(s, "source", 14, 1.2, 0.05);
+  for (int i = 0; i < 10; ++i) {
+    AddRandom(s, "x" + std::to_string(i), 4 + (i * 3) % 30, 0.6, 0.02 * (i % 3));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog with the paper's reported numbers.
+// ---------------------------------------------------------------------------
+
+std::vector<BenchmarkInfo> BuildCatalog() {
+  std::vector<BenchmarkInfo> cat;
+  auto add = [&](BenchmarkInfo info) { cat.push_back(std::move(info)); };
+
+  const double TL = kTimeLimit, NA = kNotAvail;
+
+  add({.name = "iris", .paper_rows = 150, .default_rows = 150,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {150, 5, 4, 0.001, 0.002, 0.002, 0.002, 0.0001, 0.0001, 0.1, 0.67, 0.64},
+       .t3 = {4, 16, 4, 16, 100, 100, 0},
+       .t4 = {750, 31, 4.13}});
+  add({.name = "balance", .paper_rows = 625, .default_rows = 625,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {625, 5, 1, 0.002, 0.031, 0.04, 0.024, 0.001, 0.0001, 0.1, 0.7, 0.69},
+       .t3 = {1, 5, 1, 5, 100, 100, 0},
+       .t4 = {3125, 0, 0}});
+  add({.name = "chess", .paper_rows = 28056, .default_rows = 6000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {28056, 7, 1, 0.154, 50.192, 94.13, 47.942, 0.017, 0.017, 0.2, 12, 12},
+       .t3 = {1, 7, 1, 7, 100, 100, 0},
+       .t4 = {196392, 0, 0}});
+  add({.name = "abalone", .paper_rows = 4177, .default_rows = 4177,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {4177, 9, 137, 0.029, 0.785, 2.794, 1.191, 0.03, 0.017, 0.2, 3, 3},
+       .t3 = {137, 715, 41, 217, 30, 30, 0.001},
+       .t4 = {37593, 67, 0.18}});
+  add({.name = "nursery", .paper_rows = 12960, .default_rows = 6000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {12960, 9, 1, 0.241, 23.415, 26.205, 13.684, 0.011, 0.01, 0.5, 7, 5},
+       .t3 = {1, 9, 1, 9, 100, 100, 0},
+       .t4 = {116640, 0, 0}});
+  add({.name = "breast", .paper_rows = 699, .default_rows = 699,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {699, 11, 46, 0.044, 0.127, 0.09, 0.048, 0.02, 0.009, 0.2, 1, 1},
+       .t3 = {46, 214, 39, 184, 85, 86, 0},
+       .t4 = {7689, 706, 9.18, 706, 9.18}});
+  add({.name = "bridges", .paper_rows = 108, .default_rows = 108,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {108, 13, 142, 0.03, 0.011, 0.007, 0.005, 0.004, 0.003, 0.1, 0.7, 0.73},
+       .t3 = {142, 669, 65, 337, 46, 50, 0.002},
+       .t4 = {1404, 388, 28.13, 395, 28.13}});
+  add({.name = "echo", .paper_rows = 132, .default_rows = 132,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {132, 13, 527, 0.01, 0.007, 0.009, 0.006, 0.003, 0.002, 0.1, 0.69, 0.76},
+       .t3 = {527, 2322, 93, 392, 18, 17, 0.012},
+       .t4 = {1716, 375, 21.85, 416, 24.24}});
+  add({.name = "adult", .paper_rows = 48842, .default_rows = 8000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {48842, 14, 78, 22.491, 311.365, 278.591, 129.174, 0.279, 0.215, 1.1, 14, 14},
+       .t3 = {78, 495, 42, 267, 54, 54, 0.001},
+       .t4 = {683788, 75718, 11.07}});
+  add({.name = "letter", .paper_rows = 20000, .default_rows = 6000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {20000, 17, 61, 208.67, 73.718, 130.414, 47.4, 6.96, 2.035, 3.4, 33, 29},
+       .t3 = {61, 786, 61, 786, 100, 100, 0},
+       .t4 = {340000, 6809, 2}});
+  add({.name = "ncvoter", .paper_rows = 1000, .default_rows = 1000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {1000, 19, 758, 0.444, 0.384, 0.551, 0.216, 0.046, 0.029, 0.4, 3, 3},
+       .t3 = {758, 3754, 185, 927, 24, 25, 0.023},
+       .t4 = {19000, 2886, 15.19, 3659, 19.26}});
+  add({.name = "hepatitis", .paper_rows = 155, .default_rows = 155,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {155, 20, 8250, 9.851, 0.532, 0.158, 0.153, 0.174, 0.189, 0.6, 9, 14},
+       .t3 = {8250, 54821, 2204, 14718, 27, 27, 0.927},
+       .t4 = {3100, 1588, 51.23, 1629, 52.55}});
+  add({.name = "horse", .paper_rows = 368, .default_rows = 368,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {368, 29, 128727, 130.527, 4.985, 4.607, 3.334, 4.728, 2.595, 7.1, 123, 268},
+       .t3 = {128727, 1045762, 34053, 267385, 26, 26, 81.85},
+       .t4 = {10304, 3703, 35.94, 4854, 47.11}});
+  add({.name = "plista", .paper_rows = 1000, .default_rows = 1000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {1000, 63, 178152, TL, 35.985, 17.945, 13.894, 19.203, 15.403, 21.7, 389, 2048},
+       .t3 = {178152, 1397038, 22680, 166963, 13, 12, 276.35},
+       .t4 = {63000, 27024, 42.9, 50047, 79.44}});
+  add({.name = "flight", .paper_rows = 1000, .default_rows = 1000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {1000, 109, 982631, TL, 16.134, 21.28, 9.04, 37.064, 9.934, 53.4, 841, 2048},
+       .t3 = {982631, 6106725, 83496, 520623, 8, 9, 19996},
+       .t4 = {109000, 48297, 44.31, 100233, 91.96}});
+  add({.name = "fd_reduced", .paper_rows = 250000, .default_rows = 10000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {250000, 30, 89571, 8.084, TL, TL, TL, 201.005, 158.94, 41.1, 170, 181},
+       .t3 = {89571, 358238, 1550, 6203, 2, 2, 79.46},
+       .t4 = {7500000, 2500000, 33.33}});
+  add({.name = "weather", .paper_rows = 262920, .default_rows = 16000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = false,
+       .t2 = {262920, 18, 918, TL, TL, TL, TL, 332.734, 49.839, NA, 140, 1024},
+       .t3 = {918, 7219, 514, 4061, 56, 56, 0.015}});
+  add({.name = "diabetic", .paper_rows = 101766, .default_rows = 6000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {101766, 30, 40195, TL, TL, TL, TL, 2864.84, 847.582, NA, 2253, 4301},
+       .t3 = {40195, 464871, 32689, 378546, 81, 81, 9.14},
+       .t4 = {3052980, 420607, 13.78, 474460, 15.54}});
+  add({.name = "pdbx", .paper_rows = 17305799, .default_rows = 40000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {17305799, 13, 68, TL, TL, TL, TL, 95.893, 100.906, 240, 6348.8, 6451.2},
+       .t3 = {68, 157, 19, 58, 28, 37, 0},
+       .t4 = {224975387, 131743942, 58.56, 132441479, 58.87}});
+  add({.name = "lineitem", .paper_rows = 6001215, .default_rows = 30000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {6001215, 16, 3984, TL, TL, TL, TL, 1352.87, 1047.44, 2340, 2662.4, 27648},
+       .t3 = {3984, 24927, 679, 4241, 17, 17, 0.6},
+       .t4 = {96019440, 11407131, 11.88}});
+  add({.name = "uniprot", .paper_rows = 512000, .default_rows = 12000,
+       .has_table2 = true, .has_table3 = true, .has_table4 = true,
+       .t2 = {512000, 30, 3703, TL, TL, TL, TL, 184.573, 75.442, NA, 3481.6, 4608},
+       .t3 = {3703, 23530, 1677, 11179, 45, 48, 0.104},
+       .t4 = {15360030, 1288502, 8.39, 2556639, 16.64}});
+  add({.name = "china", .paper_rows = 236628, .default_rows = 8000,
+       .has_table2 = false, .has_table3 = false, .has_table4 = true,
+       .t4 = {4732560, 1971104, 41.65, 2022994, 42.75}});
+  return cat;
+}
+
+const std::vector<BenchmarkInfo>& Catalog() {
+  static const std::vector<BenchmarkInfo>* cat =
+      new std::vector<BenchmarkInfo>(BuildCatalog());
+  return *cat;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BenchmarkNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* v = new std::vector<std::string>();
+    for (const BenchmarkInfo& info : Catalog()) v->push_back(info.name);
+    return v;
+  }();
+  return *names;
+}
+
+const BenchmarkInfo* FindBenchmark(const std::string& name) {
+  for (const BenchmarkInfo& info : Catalog()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+DatasetSpec MakeBenchmarkSpec(const std::string& name, int rows_override) {
+  const BenchmarkInfo* info = FindBenchmark(name);
+  if (info == nullptr) throw std::invalid_argument("unknown benchmark: " + name);
+  int rows = rows_override > 0 ? rows_override : info->default_rows;
+  if (name == "iris") return SpecIris(rows);
+  if (name == "balance") return SpecBalance(rows);
+  if (name == "chess") return SpecChess(rows);
+  if (name == "abalone") return SpecAbalone(rows);
+  if (name == "nursery") return SpecNursery(rows);
+  if (name == "breast") return SpecBreast(rows);
+  if (name == "bridges") return SpecBridges(rows);
+  if (name == "echo") return SpecEcho(rows);
+  if (name == "adult") return SpecAdult(rows);
+  if (name == "letter") return SpecLetter(rows);
+  if (name == "ncvoter") return SpecNcvoter(rows);
+  if (name == "hepatitis") return SpecHepatitis(rows);
+  if (name == "horse") return SpecHorse(rows);
+  if (name == "plista") return SpecPlista(rows);
+  if (name == "flight") return SpecFlight(rows);
+  if (name == "fd_reduced") return SpecFdReduced(rows);
+  if (name == "weather") return SpecWeather(rows);
+  if (name == "diabetic") return SpecDiabetic(rows);
+  if (name == "pdbx") return SpecPdbx(rows);
+  if (name == "lineitem") return SpecLineitem(rows);
+  if (name == "uniprot") return SpecUniprot(rows);
+  if (name == "china") return SpecChina(rows);
+  throw std::invalid_argument("benchmark without recipe: " + name);
+}
+
+RawTable GenerateBenchmark(const std::string& name, int rows_override) {
+  return GenerateRawTable(MakeBenchmarkSpec(name, rows_override));
+}
+
+}  // namespace dhyfd

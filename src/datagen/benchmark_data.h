@@ -1,0 +1,69 @@
+#ifndef DHYFD_DATAGEN_BENCHMARK_DATA_H_
+#define DHYFD_DATAGEN_BENCHMARK_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+
+namespace dhyfd {
+
+/// Sentinels used in the paper's tables.
+inline constexpr double kTimeLimit = -1;   // "TL": exceeded the 1 h limit
+inline constexpr double kNotAvail = -2;    // "N/A"
+
+/// One row of the paper's Table II (runtime under null = null, memory MB).
+struct PaperTable2 {
+  int rows = 0, cols = 0, fds = 0;
+  double tane = kNotAvail, fdep = kNotAvail, fdep1 = kNotAvail, fdep2 = kNotAvail;
+  double hyfd = kNotAvail, dhyfd = kNotAvail, old_best = kNotAvail;
+  double hyfd_mb = kNotAvail, dhyfd_mb = kNotAvail;
+};
+
+/// One row of Table III (left-reduced vs canonical covers).
+struct PaperTable3 {
+  long long lr = 0, lr_occ = 0, can = 0, can_occ = 0;
+  double pct_size = 0, pct_card = 0, seconds = 0;
+};
+
+/// One row of Table IV (data redundancy). red_plus0 < 0 when the data set is
+/// complete and the paper reports only the null-free count.
+struct PaperTable4 {
+  long long values = 0, red = 0;
+  double pct_red = 0;
+  long long red_plus0 = -1;
+  double pct_red_plus0 = -1;
+};
+
+/// Catalog entry: the synthetic analog's recipe plus every figure the paper
+/// reports for the original data set, so benches can print
+/// paper-vs-measured side by side.
+struct BenchmarkInfo {
+  std::string name;
+  /// Paper row count (Table II); the generator may default to fewer rows so
+  /// the whole suite finishes in minutes — `default_rows` is that scale.
+  int paper_rows = 0;
+  int default_rows = 0;
+  bool has_table2 = false, has_table3 = false, has_table4 = false;
+  PaperTable2 t2;
+  PaperTable3 t3;
+  PaperTable4 t4;
+};
+
+/// All catalog names, in the paper's Table II order (plus `china`, which
+/// appears only in Table IV).
+const std::vector<std::string>& BenchmarkNames();
+
+/// Catalog lookup; returns nullptr for unknown names.
+const BenchmarkInfo* FindBenchmark(const std::string& name);
+
+/// Builds the generator spec for a data set's synthetic analog.
+/// rows_override > 0 overrides the default (scaled) row count.
+DatasetSpec MakeBenchmarkSpec(const std::string& name, int rows_override = 0);
+
+/// Convenience: generate + return the raw table.
+RawTable GenerateBenchmark(const std::string& name, int rows_override = 0);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_DATAGEN_BENCHMARK_DATA_H_

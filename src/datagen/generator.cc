@@ -1,0 +1,146 @@
+#include "datagen/generator.h"
+
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace dhyfd {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+RawTable GenerateRawTable(const DatasetSpec& spec) {
+  const int m = spec.num_cols();
+  RawTable table;
+  table.header.reserve(m);
+  for (const ColumnSpec& c : spec.columns) table.header.push_back(c.name);
+
+  Random rng(spec.seed);
+  // Integer values first; stringified at the end.
+  std::vector<std::vector<int64_t>> values(m, std::vector<int64_t>(spec.rows));
+  std::vector<std::vector<uint8_t>> nulls(m, std::vector<uint8_t>(spec.rows, 0));
+
+  // Columns eligible for near-duplicate mutation: any random column with a
+  // non-trivial domain. When a mutated column is a parent, its derived
+  // children are recomputed, so planted FDs are never violated.
+  std::vector<int> mutable_cols;
+  for (int c = 0; c < m; ++c) {
+    if (spec.columns[c].kind == ColumnKind::kRandom &&
+        spec.columns[c].domain_size >= 2 && spec.columns[c].allow_mutation) {
+      mutable_cols.push_back(c);
+    }
+  }
+
+  auto recompute_derived = [&](int row) {
+    for (int c = 0; c < m; ++c) {
+      const ColumnSpec& col = spec.columns[c];
+      if (col.kind != ColumnKind::kDerived) continue;
+      uint64_t h = 0x4cf5ad432745937full;
+      for (int p : col.parents) h = MixHash(h, static_cast<uint64_t>(values[p][row]));
+      values[c][row] = static_cast<int64_t>(h % static_cast<uint64_t>(col.domain_size));
+    }
+  };
+
+  size_t next_mutation = 0;
+  for (int row = 0; row < spec.rows; ++row) {
+    if (row > 0 && !mutable_cols.empty() && spec.near_duplicate_rate > 0 &&
+        rng.next_bool(spec.near_duplicate_rate)) {
+      // Copy the previous row wholesale, then redraw one mutable column and
+      // refresh its derived children. Key columns keep fresh values so
+      // planted keys stay unique.
+      for (int c = 0; c < m; ++c) {
+        if (spec.columns[c].kind == ColumnKind::kKey) {
+          values[c][row] = row;
+          continue;
+        }
+        values[c][row] = values[c][row - 1];
+        nulls[c][row] = nulls[c][row - 1];
+      }
+      // Round-robin over the mutable columns: every one is guaranteed to be
+      // hit once there are at least |mutable| near-duplicates, so no
+      // unprotected column's accidental FDs survive by luck.
+      int c = mutable_cols[next_mutation++ % mutable_cols.size()];
+      int64_t old = values[c][row];
+      int64_t fresh = old;
+      while (fresh == old) {
+        fresh = static_cast<int64_t>(rng.next_below(spec.columns[c].domain_size));
+      }
+      values[c][row] = fresh;
+      nulls[c][row] = 0;
+      recompute_derived(row);
+      continue;
+    }
+    bool duplicate = row > 0 && spec.duplicate_row_rate > 0 &&
+                     rng.next_bool(spec.duplicate_row_rate);
+    // Pass 1: independent columns.
+    for (int c = 0; c < m; ++c) {
+      const ColumnSpec& col = spec.columns[c];
+      switch (col.kind) {
+        case ColumnKind::kConstant:
+          values[c][row] = 0;
+          break;
+        case ColumnKind::kKey:
+          values[c][row] = row;
+          break;
+        case ColumnKind::kRandom:
+          if (duplicate) {
+            values[c][row] = values[c][row - 1];
+          } else if (col.skew > 0) {
+            values[c][row] =
+                static_cast<int64_t>(rng.next_zipf(col.domain_size, col.skew));
+          } else {
+            values[c][row] = static_cast<int64_t>(rng.next_below(col.domain_size));
+          }
+          break;
+        case ColumnKind::kDerived:
+          break;  // pass 2
+      }
+    }
+    // Pass 2: derived columns, in index order so a derived column may
+    // depend on any non-derived column or an earlier derived one.
+    for (int c = 0; c < m; ++c) {
+      const ColumnSpec& col = spec.columns[c];
+      if (col.kind != ColumnKind::kDerived) continue;
+      if (duplicate) {
+        // Parents were copied, so recomputing gives the same value; copy
+        // directly to keep the FD intact.
+        values[c][row] = values[c][row - 1];
+        continue;
+      }
+      uint64_t h = 0x4cf5ad432745937full;
+      for (int p : col.parents) {
+        if (p == c) throw std::invalid_argument("derived column depends on itself");
+        if (p > c && spec.columns[p].kind == ColumnKind::kDerived) {
+          throw std::invalid_argument("derived column depends on later derived column");
+        }
+        h = MixHash(h, static_cast<uint64_t>(values[p][row]));
+      }
+      values[c][row] = static_cast<int64_t>(h % static_cast<uint64_t>(col.domain_size));
+    }
+    // Null injection after the row is complete so derived columns read
+    // pre-null parent values (nulls are dirt, not structure).
+    for (int c = 0; c < m; ++c) {
+      const ColumnSpec& col = spec.columns[c];
+      if (col.null_rate > 0 && !duplicate && rng.next_bool(col.null_rate)) {
+        nulls[c][row] = 1;
+      }
+    }
+  }
+
+  table.rows.assign(spec.rows, std::vector<std::string>(m));
+  for (int row = 0; row < spec.rows; ++row) {
+    for (int c = 0; c < m; ++c) {
+      table.rows[row][c] =
+          nulls[c][row] ? std::string() : "v" + std::to_string(values[c][row]);
+    }
+  }
+  return table;
+}
+
+}  // namespace dhyfd

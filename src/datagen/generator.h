@@ -1,0 +1,71 @@
+#ifndef DHYFD_DATAGEN_GENERATOR_H_
+#define DHYFD_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/csv.h"
+
+namespace dhyfd {
+
+/// Column roles for the synthetic generator.
+enum class ColumnKind {
+  /// Independent draw from a (possibly skewed) finite domain.
+  kRandom,
+  /// Same value in every row (plants the FD {} -> A).
+  kConstant,
+  /// Unique value per row (plants the key A -> R).
+  kKey,
+  /// Deterministic function of the `parents` columns (plants parents -> A).
+  kDerived,
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind = ColumnKind::kRandom;
+  /// Distinct values for kRandom / kDerived.
+  int domain_size = 16;
+  /// Zipf-ish skew for kRandom (0 = uniform).
+  double skew = 0;
+  /// Fraction of cells replaced by a null marker after generation. Nulls on
+  /// kDerived columns may break the planted FD — deliberate dirt.
+  double null_rate = 0;
+  /// For kDerived: indices of determining columns (must be earlier-indexed
+  /// or non-derived; evaluation is in index order, so parents must not be
+  /// derived from this column).
+  std::vector<int> parents;
+  /// If false, near-duplicate rows never mutate this column, so the FDs
+  /// whose RHS is this column are not refuted by near-duplicates — a knob
+  /// for keeping some accidental FD mass in an analog.
+  bool allow_mutation = true;
+};
+
+/// A synthetic data set: the analog of one paper benchmark file.
+struct DatasetSpec {
+  std::string name;
+  int rows = 1000;
+  uint64_t seed = 42;
+  std::vector<ColumnSpec> columns;
+  /// With this probability a row duplicates the previous row on every
+  /// non-key column (near-duplicate tuples, ncvoter-style), creating large
+  /// agree sets and data redundancy.
+  double duplicate_row_rate = 0;
+  /// With this probability a row copies the previous row and redraws
+  /// exactly ONE random column (never a parent of a derived column). Such a
+  /// pair agrees on R minus that column, refuting every FD whose RHS is the
+  /// mutated column — the mechanism that keeps real-world FD counts low
+  /// even though the analog has far fewer rows than the original.
+  double near_duplicate_rate = 0;
+
+  int num_cols() const { return static_cast<int>(columns.size()); }
+};
+
+/// Generates the table; deterministic in (spec.seed, spec contents).
+/// Derived cells are a hash of the parent cells modulo the domain, so the
+/// planted FD parents -> column holds exactly (before null injection).
+RawTable GenerateRawTable(const DatasetSpec& spec);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_DATAGEN_GENERATOR_H_

@@ -1,0 +1,34 @@
+#ifndef DHYFD_FD_ARMSTRONG_H_
+#define DHYFD_FD_ARMSTRONG_H_
+
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "relation/relation.h"
+
+namespace dhyfd {
+
+/// Armstrong relation generation (Lopes, Petit & Lakhal, EDBT 2000 — cited
+/// by the paper as [10]).
+///
+/// An Armstrong relation for an FD set Sigma satisfies exactly the FDs
+/// implied by Sigma: every implied FD holds, every non-implied FD is
+/// violated. Discovery on the generated relation must therefore return a
+/// cover equivalent to Sigma — which makes this module both a user-facing
+/// feature (minimal example databases for a constraint design) and a
+/// cross-validation oracle for the whole discovery stack.
+
+/// The maximal sets max(Sigma, A): set-maximal attribute sets X with
+/// A not in closure(X). Computed from the minimal LHSs of A via transversal
+/// duality.
+std::vector<AttributeSet> MaximalSets(const FdSet& cover, AttrId attr, int num_attrs);
+
+/// Builds an Armstrong relation for the cover: one "reference" row plus one
+/// row per distinct maximal set, agreeing with the reference exactly on
+/// that set. Row count is 1 + |union of max sets| (minimum possible up to
+/// constants).
+Relation BuildArmstrongRelation(const FdSet& cover, int num_attrs);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_FD_ARMSTRONG_H_

@@ -1,0 +1,99 @@
+#include "fd/closure.h"
+
+namespace dhyfd {
+
+ClosureEngine::ClosureEngine(const FdSet& fds, int num_attrs)
+    : fds_(fds.fds), num_attrs_(num_attrs), lhs_index_(num_attrs) {
+  lhs_counts_.reserve(fds_.size());
+  for (int32_t i = 0; i < static_cast<int32_t>(fds_.size()); ++i) {
+    lhs_counts_.push_back(fds_[i].lhs.count());
+    if (fds_[i].lhs.empty()) {
+      empty_lhs_fds_.push_back(i);
+    } else {
+      fds_[i].lhs.for_each([&](AttrId a) { lhs_index_[a].push_back(i); });
+    }
+  }
+  counters_.assign(fds_.size(), 0);
+  stamps_.assign(fds_.size(), 0);
+}
+
+AttributeSet ClosureEngine::closure(const AttributeSet& x, int skip_fd,
+                                    const std::vector<uint8_t>* alive,
+                                    const AttributeSet* stop_when) const {
+  AttributeSet result = x;
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Stamp wrap-around: invalidate everything once per 2^32 calls.
+    stamps_.assign(stamps_.size(), 0);
+    epoch_ = 1;
+  }
+
+  if (stop_when != nullptr && stop_when->is_subset_of(result)) return result;
+
+  auto fd_enabled = [&](int32_t i) {
+    return i != skip_fd && (alive == nullptr || (*alive)[i] != 0);
+  };
+
+  // Worklist of attributes whose LHS counters still need decrementing.
+  std::vector<AttrId> queue;
+  queue.reserve(num_attrs_);
+  x.for_each([&](AttrId a) { queue.push_back(a); });
+
+  bool done = false;
+  auto fire = [&](int32_t i) {
+    fds_[i].rhs.for_each([&](AttrId b) {
+      if (!result.test(b)) {
+        result.set(b);
+        queue.push_back(b);
+      }
+    });
+    if (stop_when != nullptr && stop_when->is_subset_of(result)) done = true;
+  };
+
+  for (int32_t i : empty_lhs_fds_) {
+    if (fd_enabled(i)) fire(i);
+    if (done) return result;
+  }
+
+  while (!queue.empty() && !done) {
+    AttrId a = queue.back();
+    queue.pop_back();
+    for (int32_t i : lhs_index_[a]) {
+      if (stamps_[i] != epoch_) {
+        stamps_[i] = epoch_;
+        counters_[i] = lhs_counts_[i];
+      }
+      if (--counters_[i] == 0 && fd_enabled(i)) {
+        fire(i);
+        if (done) break;
+      }
+    }
+  }
+  return result;
+}
+
+bool ClosureEngine::implies(const AttributeSet& lhs, const AttributeSet& rhs,
+                            int skip_fd, const std::vector<uint8_t>* alive) const {
+  return rhs.is_subset_of(closure(lhs, skip_fd, alive, &rhs));
+}
+
+AttributeSet Closure(const FdSet& fds, const AttributeSet& x, int num_attrs) {
+  return ClosureEngine(fds, num_attrs).closure(x);
+}
+
+bool Implies(const FdSet& fds, const Fd& fd, int num_attrs) {
+  return ClosureEngine(fds, num_attrs).implies(fd.lhs, fd.rhs);
+}
+
+bool CoversEquivalent(const FdSet& a, const FdSet& b, int num_attrs) {
+  ClosureEngine ea(a, num_attrs), eb(b, num_attrs);
+  for (const Fd& fd : a.fds) {
+    if (!eb.implies(fd.lhs, fd.rhs)) return false;
+  }
+  for (const Fd& fd : b.fds) {
+    if (!ea.implies(fd.lhs, fd.rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,59 @@
+#ifndef DHYFD_FD_CLOSURE_H_
+#define DHYFD_FD_CLOSURE_H_
+
+#include <vector>
+
+#include "fd/fd_set.h"
+
+namespace dhyfd {
+
+/// Linear-time attribute closure (Beeri-Bernstein LinClosure) over a fixed
+/// FD set. Builds the attribute -> FD index once; each closure() call runs
+/// in O(||Sigma||). The canonical-cover computation calls closure once per
+/// FD, so this is the inner loop of Table III's "Time" column.
+class ClosureEngine {
+ public:
+  ClosureEngine(const FdSet& fds, int num_attrs);
+
+  /// X+ under the indexed FDs. FDs whose index is `skip_fd` or for which
+  /// alive (if non-null) is 0 are ignored. If `stop_when` is non-null the
+  /// computation returns as soon as the running closure contains it; the
+  /// returned set is then a (possibly partial) subset of X+ guaranteed to
+  /// contain stop_when iff X+ does.
+  AttributeSet closure(const AttributeSet& x, int skip_fd = -1,
+                       const std::vector<uint8_t>* alive = nullptr,
+                       const AttributeSet* stop_when = nullptr) const;
+
+  /// True if the (filtered) FD set implies lhs -> rhs. Early-exits once rhs
+  /// is reached, so it is much cheaper than a full closure on large covers.
+  bool implies(const AttributeSet& lhs, const AttributeSet& rhs, int skip_fd = -1,
+               const std::vector<uint8_t>* alive = nullptr) const;
+
+  int num_fds() const { return static_cast<int>(fds_.size()); }
+  const Fd& fd(int i) const { return fds_[i]; }
+
+ private:
+  std::vector<Fd> fds_;
+  int num_attrs_;
+  // For attribute a, the indices of FDs whose LHS contains a.
+  std::vector<std::vector<int32_t>> lhs_index_;
+  // FDs with empty LHS fire unconditionally.
+  std::vector<int32_t> empty_lhs_fds_;
+  std::vector<int32_t> lhs_counts_;  // |LHS| per FD
+  // Epoch-stamped counters: per closure() call only touched entries are
+  // (lazily) re-initialized, so a call costs O(work done), not O(|Sigma|).
+  mutable std::vector<int32_t> counters_;  // unmet LHS attrs per FD
+  mutable std::vector<uint32_t> stamps_;
+  mutable uint32_t epoch_ = 0;
+};
+
+/// One-shot convenience wrappers.
+AttributeSet Closure(const FdSet& fds, const AttributeSet& x, int num_attrs);
+bool Implies(const FdSet& fds, const Fd& fd, int num_attrs);
+
+/// True if the two FD sets imply each other (are covers of the same set).
+bool CoversEquivalent(const FdSet& a, const FdSet& b, int num_attrs);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_FD_CLOSURE_H_

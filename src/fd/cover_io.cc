@@ -1,0 +1,134 @@
+#include "fd/cover_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dhyfd {
+
+namespace {
+
+std::vector<std::string> SplitTrimmed(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  auto flush = [&]() {
+    size_t b = cur.find_first_not_of(" \t");
+    size_t e = cur.find_last_not_of(" \t");
+    parts.push_back(b == std::string::npos ? "" : cur.substr(b, e - b + 1));
+    cur.clear();
+  };
+  for (char c : text) {
+    if (c == sep) {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  return parts;
+}
+
+AttributeSet ParseAttrList(const std::string& text, const Schema& schema,
+                           int line_no) {
+  AttributeSet out;
+  if (text == "{}" || text.empty()) return out;
+  for (const std::string& name : SplitTrimmed(text, ',')) {
+    AttrId a = schema.index_of(name);
+    if (a < 0) {
+      throw std::runtime_error("cover line " + std::to_string(line_no) +
+                               ": unknown column '" + name + "'");
+    }
+    out.set(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteCover(const Schema& schema, const FdSet& cover, std::ostream& out) {
+  out << "# schema: ";
+  for (int i = 0; i < schema.size(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.name(i);
+  }
+  out << '\n';
+  out << "# " << cover.size() << " FDs, " << cover.attribute_occurrences()
+      << " attribute occurrences\n";
+  for (const Fd& fd : cover.fds) {
+    out << (fd.lhs.empty() ? "{}" : schema.format(fd.lhs)) << " -> "
+        << schema.format(fd.rhs) << '\n';
+  }
+}
+
+std::string WriteCoverString(const Schema& schema, const FdSet& cover) {
+  std::ostringstream out;
+  WriteCover(schema, cover, out);
+  return out.str();
+}
+
+void WriteCoverFile(const Schema& schema, const FdSet& cover, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cover: cannot write " + path);
+  WriteCover(schema, cover, out);
+}
+
+LoadedCover ReadCover(std::istream& in) {
+  LoadedCover result;
+  std::string line;
+  int line_no = 0;
+  bool have_schema = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::string kSchemaTag = "# schema: ";
+      if (!have_schema && line.rfind(kSchemaTag, 0) == 0) {
+        result.schema = Schema(SplitTrimmed(line.substr(kSchemaTag.size()), ','));
+        have_schema = true;
+      }
+      continue;
+    }
+    if (!have_schema) {
+      throw std::runtime_error("cover: missing '# schema:' header line");
+    }
+    size_t arrow = line.find("->");
+    if (arrow == std::string::npos) {
+      throw std::runtime_error("cover line " + std::to_string(line_no) +
+                               ": missing '->'");
+    }
+    std::string lhs_text = line.substr(0, arrow);
+    std::string rhs_text = line.substr(arrow + 2);
+    // Trim.
+    auto trim = [](std::string& s) {
+      size_t b = s.find_first_not_of(" \t");
+      size_t e = s.find_last_not_of(" \t");
+      s = b == std::string::npos ? "" : s.substr(b, e - b + 1);
+    };
+    trim(lhs_text);
+    trim(rhs_text);
+    AttributeSet lhs = ParseAttrList(lhs_text, result.schema, line_no);
+    AttributeSet rhs = ParseAttrList(rhs_text, result.schema, line_no);
+    if (rhs.empty()) {
+      throw std::runtime_error("cover line " + std::to_string(line_no) +
+                               ": empty RHS");
+    }
+    result.cover.add(Fd(lhs, rhs));
+  }
+  if (!have_schema) {
+    throw std::runtime_error("cover: missing '# schema:' header line");
+  }
+  return result;
+}
+
+LoadedCover ReadCoverString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadCover(in);
+}
+
+LoadedCover ReadCoverFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cover: cannot open " + path);
+  return ReadCover(in);
+}
+
+}  // namespace dhyfd

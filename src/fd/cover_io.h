@@ -1,0 +1,40 @@
+#ifndef DHYFD_FD_COVER_IO_H_
+#define DHYFD_FD_COVER_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "fd/fd_set.h"
+#include "relation/schema.h"
+
+namespace dhyfd {
+
+/// Plain-text serialization of FD covers, so profiling runs can be saved
+/// and reloaded (e.g., rank later without re-discovering).
+///
+/// Format: one FD per line, `lhs -> rhs` with comma-separated column
+/// names; an empty LHS is written as `{}`. Lines starting with `#` are
+/// comments; the first comment records the schema (all column names in
+/// order) and is required for loading.
+///
+///   # schema: city,street,zip
+///   city,street -> zip
+///   zip -> city
+
+void WriteCover(const Schema& schema, const FdSet& cover, std::ostream& out);
+std::string WriteCoverString(const Schema& schema, const FdSet& cover);
+void WriteCoverFile(const Schema& schema, const FdSet& cover, const std::string& path);
+
+struct LoadedCover {
+  Schema schema;
+  FdSet cover;
+};
+
+/// Throws std::runtime_error on malformed input or unknown column names.
+LoadedCover ReadCover(std::istream& in);
+LoadedCover ReadCoverString(const std::string& text);
+LoadedCover ReadCoverFile(const std::string& path);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_FD_COVER_IO_H_

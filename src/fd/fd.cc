@@ -1,0 +1,16 @@
+#include "fd/fd.h"
+
+namespace dhyfd {
+
+std::string Fd::to_string(const Schema& schema) const {
+  std::string out = lhs.empty() ? "{}" : schema.format(lhs);
+  out += " -> ";
+  out += schema.format(rhs);
+  return out;
+}
+
+std::string Fd::to_string() const {
+  return lhs.to_string() + " -> " + rhs.to_string();
+}
+
+}  // namespace dhyfd

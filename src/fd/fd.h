@@ -1,0 +1,38 @@
+#ifndef DHYFD_FD_FD_H_
+#define DHYFD_FD_FD_H_
+
+#include <string>
+
+#include "relation/schema.h"
+#include "util/attribute_set.h"
+
+namespace dhyfd {
+
+/// A functional dependency X -> Y over a schema.
+///
+/// Discovery algorithms emit left-reduced covers whose FDs have singleton
+/// RHSs; canonical covers merge FDs with equal LHSs, so `rhs` is a set.
+struct Fd {
+  AttributeSet lhs;
+  AttributeSet rhs;
+
+  Fd() = default;
+  Fd(AttributeSet l, AttributeSet r) : lhs(l), rhs(r) {}
+  Fd(AttributeSet l, AttrId r) : lhs(l), rhs(AttributeSet::single(r)) {}
+
+  bool operator==(const Fd& o) const { return lhs == o.lhs && rhs == o.rhs; }
+
+  /// Total attribute occurrences |LHS| + |RHS|; summed over a cover this is
+  /// the paper's ||.|| cover-size measure (Table III).
+  int attribute_occurrences() const { return lhs.count() + rhs.count(); }
+
+  /// Renders with schema names, e.g. "last_name, zip -> city".
+  std::string to_string(const Schema& schema) const;
+
+  /// Renders with numeric attributes, e.g. "{1,5} -> {3}".
+  std::string to_string() const;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_FD_FD_H_

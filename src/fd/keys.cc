@@ -1,0 +1,70 @@
+#include "fd/keys.h"
+
+#include <deque>
+
+#include "fd/closure.h"
+
+namespace dhyfd {
+
+namespace {
+
+// Greedily drops attributes while the set stays a superkey.
+AttributeSet MinimizeKey(const ClosureEngine& engine, AttributeSet key,
+                         const AttributeSet& all) {
+  AttributeSet attrs = key;
+  attrs.for_each([&](AttrId a) {
+    AttributeSet candidate = key;
+    candidate.reset(a);
+    if (engine.closure(candidate) == all) key = candidate;
+  });
+  return key;
+}
+
+}  // namespace
+
+bool IsSuperkey(const FdSet& cover, const AttributeSet& attrs, int num_attrs) {
+  ClosureEngine engine(cover, num_attrs);
+  return engine.closure(attrs) == AttributeSet::full(num_attrs);
+}
+
+AttributeSet MandatoryKeyAttributes(const FdSet& cover, int num_attrs) {
+  AttributeSet in_rhs;
+  for (const Fd& fd : cover.fds) in_rhs |= fd.rhs;
+  return AttributeSet::full(num_attrs) - in_rhs;
+}
+
+std::vector<AttributeSet> FindCandidateKeys(const FdSet& cover, int num_attrs,
+                                            size_t max_keys) {
+  ClosureEngine engine(cover, num_attrs);
+  const AttributeSet all = AttributeSet::full(num_attrs);
+  std::vector<AttributeSet> keys;
+  if (num_attrs == 0) return keys;
+
+  // Lucchesi-Osborn: seed with one minimal key, then expand each known key
+  // through every FD — X + (K - Y) is a superkey whenever K is.
+  keys.push_back(MinimizeKey(engine, all, all));
+  std::deque<AttributeSet> queue(keys.begin(), keys.end());
+  while (!queue.empty()) {
+    if (max_keys > 0 && keys.size() >= max_keys) break;
+    AttributeSet k = queue.front();
+    queue.pop_front();
+    for (const Fd& fd : cover.fds) {
+      AttributeSet candidate = fd.lhs | (k - fd.rhs);
+      bool dominated = false;
+      for (const AttributeSet& existing : keys) {
+        if (existing.is_subset_of(candidate)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      AttributeSet fresh = MinimizeKey(engine, candidate, all);
+      keys.push_back(fresh);
+      queue.push_back(fresh);
+      if (max_keys > 0 && keys.size() >= max_keys) break;
+    }
+  }
+  return keys;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,33 @@
+#ifndef DHYFD_FD_KEYS_H_
+#define DHYFD_FD_KEYS_H_
+
+#include <vector>
+
+#include "fd/fd_set.h"
+
+namespace dhyfd {
+
+/// Candidate-key discovery from an FD cover.
+///
+/// The paper motivates redundancy ranking partly through keys: FDs causing
+/// zero redundancy hint at keys (Section VI-A), and key/LHS structure
+/// drives the normalization use case. This module derives the minimal keys
+/// of a schema from a discovered cover with the classical attribute
+/// classification + closure expansion search.
+
+/// True if `attrs` is a superkey: its closure under `cover` is the schema.
+bool IsSuperkey(const FdSet& cover, const AttributeSet& attrs, int num_attrs);
+
+/// All minimal candidate keys. Worst case exponential in the number of
+/// keys (which the output must contain anyway); `max_keys` caps the search
+/// for pathological schemas (0 = unlimited).
+std::vector<AttributeSet> FindCandidateKeys(const FdSet& cover, int num_attrs,
+                                            size_t max_keys = 0);
+
+/// Attributes that appear in no RHS of the (singleton-RHS) cover; they must
+/// be part of every key. A classical seed for key search.
+AttributeSet MandatoryKeyAttributes(const FdSet& cover, int num_attrs);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_FD_KEYS_H_

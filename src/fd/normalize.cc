@@ -1,0 +1,181 @@
+#include "fd/normalize.h"
+
+#include <deque>
+
+#include "fd/closure.h"
+#include "fd/cover.h"
+#include "fd/keys.h"
+
+namespace dhyfd {
+
+std::string SubSchema::to_string(const Schema& schema) const {
+  std::string out = "R(" + schema.format(attrs) + ")";
+  if (is_key_schema) out += " [key schema]";
+  return out;
+}
+
+bool IsBcnf(const FdSet& cover, int num_attrs) {
+  ClosureEngine engine(cover, num_attrs);
+  const AttributeSet all = AttributeSet::full(num_attrs);
+  for (const Fd& fd : cover.fds) {
+    if (fd.rhs.is_subset_of(fd.lhs)) continue;  // trivial
+    if (engine.closure(fd.lhs) != all) return false;
+  }
+  return true;
+}
+
+bool Is3nf(const FdSet& cover, int num_attrs) {
+  ClosureEngine engine(cover, num_attrs);
+  const AttributeSet all = AttributeSet::full(num_attrs);
+  AttributeSet prime;
+  for (const AttributeSet& key : FindCandidateKeys(cover, num_attrs)) prime |= key;
+  for (const Fd& fd : cover.fds) {
+    if (engine.closure(fd.lhs) == all) continue;
+    AttributeSet nontrivial = fd.rhs - fd.lhs;
+    if (!nontrivial.is_subset_of(prime)) return false;
+  }
+  return true;
+}
+
+std::vector<Fd> BcnfViolations(const FdSet& cover, int num_attrs) {
+  ClosureEngine engine(cover, num_attrs);
+  const AttributeSet all = AttributeSet::full(num_attrs);
+  std::vector<Fd> out;
+  for (const Fd& fd : cover.fds) {
+    if (fd.rhs.is_subset_of(fd.lhs)) continue;
+    if (engine.closure(fd.lhs) != all) out.push_back(fd);
+  }
+  return out;
+}
+
+FdSet ProjectCover(const FdSet& cover, const AttributeSet& attrs, int num_attrs) {
+  // Enumerate subsets of attrs as LHS candidates; keep X -> (closure(X) &
+  // attrs) - X, then left-reduce. Exponential in |attrs|; decomposition
+  // schemas are small.
+  ClosureEngine engine(cover, num_attrs);
+  std::vector<AttrId> members;
+  attrs.for_each([&](AttrId a) { members.push_back(a); });
+  FdSet projected;
+  const size_t n = members.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    AttributeSet lhs;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) lhs.set(members[i]);
+    }
+    AttributeSet rhs = (engine.closure(lhs) & attrs) - lhs;
+    if (!rhs.empty()) projected.add(Fd(lhs, rhs));
+  }
+  return LeftReduce(projected, num_attrs);
+}
+
+BcnfResult DecomposeBcnf(const FdSet& cover, int num_attrs) {
+  BcnfResult result;
+  std::deque<AttributeSet> todo = {AttributeSet::full(num_attrs)};
+  while (!todo.empty()) {
+    AttributeSet attrs = todo.front();
+    todo.pop_front();
+    if (attrs.count() > 24) {
+      // Projection is exponential; treat very wide fragments as final.
+      result.schemas.push_back({attrs, FdSet(), false});
+      continue;
+    }
+    FdSet local = ProjectCover(cover, attrs, num_attrs);
+    ClosureEngine engine(local, num_attrs);
+    const Fd* violator = nullptr;
+    for (const Fd& fd : local.fds) {
+      if (fd.rhs.is_subset_of(fd.lhs)) continue;
+      if (!attrs.is_subset_of(engine.closure(fd.lhs))) {
+        violator = &fd;
+        break;
+      }
+    }
+    if (violator == nullptr) {
+      result.schemas.push_back({attrs, local, false});
+      continue;
+    }
+    // Split on X -> X+ & attrs: R1 = X+, R2 = attrs - (X+ - X).
+    AttributeSet closure = engine.closure(violator->lhs) & attrs;
+    AttributeSet r1 = closure;
+    AttributeSet r2 = (attrs - closure) | violator->lhs;
+    todo.push_back(r1);
+    todo.push_back(r2);
+  }
+  // Dependency preservation: every cover FD must be implied by the union of
+  // the projected FDs.
+  FdSet united;
+  for (const SubSchema& s : result.schemas) {
+    for (const Fd& fd : s.fds.fds) united.add(fd);
+  }
+  ClosureEngine check(united, num_attrs);
+  for (const Fd& fd : cover.fds) {
+    if (!check.implies(fd.lhs, fd.rhs)) {
+      result.dependencies_preserved = false;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<SubSchema> Synthesize3nf(const FdSet& canonical_cover, int num_attrs) {
+  // Bernstein synthesis: one schema per canonical-cover FD (the canonical
+  // cover already merged equal LHSs), dropping schemas contained in others,
+  // plus a key schema if none contains a candidate key. Attributes in no FD
+  // are appended to the key schema.
+  std::vector<SubSchema> schemas;
+  AttributeSet covered;
+  for (const Fd& fd : canonical_cover.fds) {
+    SubSchema s;
+    s.attrs = fd.lhs | fd.rhs;
+    s.fds.add(fd);
+    covered |= s.attrs;
+    schemas.push_back(std::move(s));
+  }
+  // Drop schemas whose attribute set is contained in another's, merging
+  // their FDs into the container (two passes: merge first, then collect,
+  // so containers processed earlier still receive the merged FDs).
+  std::vector<int> container(schemas.size(), -1);
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (size_t j = 0; j < schemas.size(); ++j) {
+      if (i == j || container[j] >= 0) continue;
+      if (schemas[i].attrs.is_subset_of(schemas[j].attrs) &&
+          (schemas[i].attrs != schemas[j].attrs || i > j)) {
+        container[i] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    int c = container[i];
+    if (c < 0) continue;
+    // Follow chains to a surviving container.
+    while (container[c] >= 0) c = container[c];
+    for (const Fd& fd : schemas[i].fds.fds) schemas[c].fds.add(fd);
+  }
+  std::vector<SubSchema> kept;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    if (container[i] < 0) kept.push_back(schemas[i]);
+  }
+
+  std::vector<AttributeSet> keys = FindCandidateKeys(canonical_cover, num_attrs, 64);
+  bool has_key_schema = false;
+  for (const SubSchema& s : kept) {
+    for (const AttributeSet& key : keys) {
+      if (key.is_subset_of(s.attrs)) {
+        has_key_schema = true;
+        break;
+      }
+    }
+    if (has_key_schema) break;
+  }
+  AttributeSet uncovered = AttributeSet::full(num_attrs) - covered;
+  if (!has_key_schema || !uncovered.empty()) {
+    SubSchema key_schema;
+    key_schema.attrs = (keys.empty() ? AttributeSet::full(num_attrs) : keys.front());
+    key_schema.attrs |= uncovered;
+    key_schema.is_key_schema = true;
+    kept.push_back(std::move(key_schema));
+  }
+  return kept;
+}
+
+}  // namespace dhyfd

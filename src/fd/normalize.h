@@ -1,0 +1,60 @@
+#ifndef DHYFD_FD_NORMALIZE_H_
+#define DHYFD_FD_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "relation/schema.h"
+
+namespace dhyfd {
+
+/// Schema normalization on top of discovered covers.
+///
+/// The paper grounds its redundancy measure in normal-form theory (Vincent;
+/// Boyce-Codd / Third Normal Form): the FDs that cause redundant values are
+/// exactly the ones normalization would eliminate. This module closes that
+/// loop: BCNF/3NF tests and the classical synthesis/decomposition
+/// algorithms, driven by a canonical cover.
+
+/// One relation of a decomposed schema.
+struct SubSchema {
+  AttributeSet attrs;
+  /// The FDs (projected from the cover) that this relation enforces.
+  FdSet fds;
+  bool is_key_schema = false;  // added by 3NF synthesis to preserve a key
+
+  std::string to_string(const Schema& schema) const;
+};
+
+/// True if every FD's LHS is a superkey (trivial FDs ignored).
+bool IsBcnf(const FdSet& cover, int num_attrs);
+
+/// True if for every FD X -> A, X is a superkey or A is a prime attribute
+/// (member of some candidate key).
+bool Is3nf(const FdSet& cover, int num_attrs);
+
+/// The FDs of `cover` that violate BCNF, most reusable first (input order).
+std::vector<Fd> BcnfViolations(const FdSet& cover, int num_attrs);
+
+/// Classical BCNF decomposition: repeatedly splits on a violating FD.
+/// Lossless; may not preserve all dependencies (flagged in the result).
+struct BcnfResult {
+  std::vector<SubSchema> schemas;
+  bool dependencies_preserved = true;
+};
+BcnfResult DecomposeBcnf(const FdSet& cover, int num_attrs);
+
+/// Bernstein-style 3NF synthesis from a canonical cover: one schema per
+/// LHS-group, plus a key schema when no group contains a candidate key.
+/// Lossless and dependency-preserving.
+std::vector<SubSchema> Synthesize3nf(const FdSet& canonical_cover, int num_attrs);
+
+/// The projection of `cover` onto `attrs`: all implied FDs X -> Y with
+/// X, Y inside attrs, left-reduced. Exponential in |attrs| in the worst
+/// case; intended for the small sub-schemas produced by decomposition.
+FdSet ProjectCover(const FdSet& cover, const AttributeSet& attrs, int num_attrs);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_FD_NORMALIZE_H_

@@ -1,0 +1,114 @@
+#include "fdtree/fd_tree.h"
+
+namespace dhyfd {
+
+FdTree::FdTree(int num_attrs) : num_attrs_(num_attrs), root_(new Node{-1, {}, {}, {}}) {}
+
+FdTree::Node* FdTree::Node::find_child(AttrId a) const {
+  for (const auto& c : children) {
+    if (c->attr == a) return c.get();
+    if (c->attr > a) break;  // children sorted ascending
+  }
+  return nullptr;
+}
+
+FdTree::Node* FdTree::ensure_child(Node* node, AttrId a) {
+  size_t pos = 0;
+  while (pos < node->children.size() && node->children[pos]->attr < a) ++pos;
+  if (pos < node->children.size() && node->children[pos]->attr == a) {
+    return node->children[pos].get();
+  }
+  auto child = std::make_unique<Node>(Node{a, {}, {}, {}});
+  Node* raw = child.get();
+  node->children.insert(node->children.begin() + pos, std::move(child));
+  ++node_count_;
+  return raw;
+}
+
+void FdTree::add(const AttributeSet& lhs, AttrId rhs) {
+  Node* current = root_.get();
+  current->rhs_subtree.set(rhs);  // classic labeling: every path node is marked
+  lhs.for_each([&](AttrId a) {
+    current = ensure_child(current, a);
+    current->rhs_subtree.set(rhs);
+  });
+  current->rhs.set(rhs);
+}
+
+bool FdTree::contains_rec(const Node* node, const AttributeSet& lhs, AttrId rhs) const {
+  if (node->rhs.test(rhs)) return true;
+  if (!node->rhs_subtree.test(rhs)) return false;
+  for (const auto& c : node->children) {
+    if (lhs.test(c->attr) && contains_rec(c.get(), lhs, rhs)) return true;
+  }
+  return false;
+}
+
+bool FdTree::contains_generalization(const AttributeSet& lhs, AttrId rhs) const {
+  return contains_rec(root_.get(), lhs, rhs);
+}
+
+bool FdTree::remove_generalizations(Node* node, const AttributeSet& lhs, AttrId rhs,
+                                    AttributeSet path, std::vector<AttributeSet>& removed) {
+  if (node->rhs.test(rhs)) {
+    node->rhs.reset(rhs);
+    removed.push_back(path);
+  }
+  bool subtree_has = node->rhs.test(rhs);
+  if (node->rhs_subtree.test(rhs)) {
+    for (const auto& c : node->children) {
+      if (lhs.test(c->attr)) {
+        AttributeSet child_path = path;
+        child_path.set(c->attr);
+        if (remove_generalizations(c.get(), lhs, rhs, child_path, removed)) {
+          subtree_has = true;
+        }
+      } else if (c->rhs_subtree.test(rhs)) {
+        // Branch not visited by this non-FD; label may still live there.
+        subtree_has = true;
+      }
+    }
+  }
+  if (!subtree_has) node->rhs_subtree.reset(rhs);
+  return subtree_has || node->rhs.test(rhs) || node->rhs_subtree.test(rhs);
+}
+
+void FdTree::induct(const AttributeSet& non_fd_lhs, AttrId rhs) {
+  std::vector<AttributeSet> removed;
+  remove_generalizations(root_.get(), non_fd_lhs, rhs, AttributeSet(), removed);
+  AttributeSet forbidden = non_fd_lhs;
+  forbidden.set(rhs);
+  for (const AttributeSet& z : removed) {
+    for (AttrId b = 0; b < num_attrs_; ++b) {
+      if (forbidden.test(b) || z.test(b)) continue;
+      AttributeSet specialized = z;
+      specialized.set(b);
+      if (!contains_generalization(specialized, rhs)) add(specialized, rhs);
+    }
+  }
+}
+
+void FdTree::collect_rec(const Node* node, AttributeSet path, FdSet& out) const {
+  node->rhs.for_each([&](AttrId a) { out.add(Fd(path, a)); });
+  for (const auto& c : node->children) {
+    AttributeSet child_path = path;
+    child_path.set(c->attr);
+    collect_rec(c.get(), child_path, out);
+  }
+}
+
+FdSet FdTree::collect() const {
+  FdSet out;
+  collect_rec(root_.get(), AttributeSet(), out);
+  return out;
+}
+
+int64_t FdTree::labels_rec(const Node* node) const {
+  int64_t n = node->rhs_subtree.count();
+  for (const auto& c : node->children) n += labels_rec(c.get());
+  return n;
+}
+
+int64_t FdTree::label_count() const { return labels_rec(root_.get()); }
+
+}  // namespace dhyfd

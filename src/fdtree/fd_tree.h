@@ -1,0 +1,75 @@
+#ifndef DHYFD_FDTREE_FD_TREE_H_
+#define DHYFD_FDTREE_FD_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "fd/fd_set.h"
+
+namespace dhyfd {
+
+/// The classic FD-tree of Flach & Savnik, used by the FDEP baseline.
+///
+/// Each node represents an attribute; the path from the root spells an FD's
+/// LHS. Classic trees label every node on a path with the RHS attributes of
+/// all FDs in its subtree ("excessive labeling", paper Section IV-C), which
+/// is what the extended FD-tree removes.
+class FdTree {
+ public:
+  explicit FdTree(int num_attrs);
+
+  int num_attrs() const { return num_attrs_; }
+
+  /// Inserts the FD lhs -> rhs (no minimality checking).
+  void add(const AttributeSet& lhs, AttrId rhs);
+
+  /// True if some FD Z -> rhs with Z subseteq lhs is in the tree.
+  bool contains_generalization(const AttributeSet& lhs, AttrId rhs) const;
+
+  /// Classic FD induction for the invalid FD `non_fd_lhs !-> rhs` (one RHS
+  /// attribute at a time): removes every generalization Z -> rhs with
+  /// Z subseteq non_fd_lhs and inserts all minimal non-refuted
+  /// specializations Z + {B} -> rhs for B outside non_fd_lhs + {rhs}.
+  void induct(const AttributeSet& non_fd_lhs, AttrId rhs);
+
+  /// All FDs in the tree, singleton RHSs.
+  FdSet collect() const;
+
+  size_t node_count() const { return node_count_; }
+
+  /// Approximate heap footprint; feeds the memory columns of Table II.
+  size_t memory_bytes() const {
+    return node_count_ * (sizeof(Node) + 2 * sizeof(void*));
+  }
+
+  /// Total node-label occurrences (the subtree labels included); quantifies
+  /// the classic tree's labeling overhead for the ablation bench.
+  int64_t label_count() const;
+
+ private:
+  struct Node {
+    AttrId attr;
+    AttributeSet rhs;          // FDs whose LHS ends exactly here
+    AttributeSet rhs_subtree;  // union of rhs over this node and descendants
+    std::vector<std::unique_ptr<Node>> children;  // ascending by attr
+
+    Node* find_child(AttrId a) const;
+  };
+
+  Node* ensure_child(Node* node, AttrId a);
+  // Removes generalizations of (lhs, rhs); appends their LHSs to `removed`.
+  // Returns true if the subtree below `node` still contains label `rhs`.
+  bool remove_generalizations(Node* node, const AttributeSet& lhs, AttrId rhs,
+                              AttributeSet path, std::vector<AttributeSet>& removed);
+  void collect_rec(const Node* node, AttributeSet path, FdSet& out) const;
+  bool contains_rec(const Node* node, const AttributeSet& lhs, AttrId rhs) const;
+  int64_t labels_rec(const Node* node) const;
+
+  int num_attrs_;
+  std::unique_ptr<Node> root_;
+  size_t node_count_ = 1;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_FDTREE_FD_TREE_H_

@@ -1,0 +1,48 @@
+#include "partition/partition_cache.h"
+
+#include <cassert>
+
+namespace dhyfd {
+
+PartitionCache::PartitionCache(const Relation& r, size_t max_entries)
+    : rel_(r), refiner_(r), max_entries_(max_entries) {}
+
+const StrippedPartition& PartitionCache::get(const AttributeSet& x) {
+  assert(!x.empty());
+  auto it = cache_.find(x);
+  if (it != cache_.end()) return it->second;
+
+  if (cache_.size() >= max_entries_) cache_.clear();
+
+  // Build along the sorted-prefix chain, reusing the longest cached prefix.
+  AttributeSet prefix;
+  const StrippedPartition* current = nullptr;
+  x.for_each([&](AttrId a) {
+    prefix.set(a);
+    auto hit = cache_.find(prefix);
+    if (hit != cache_.end()) {
+      current = &hit->second;
+      return;
+    }
+    StrippedPartition next = current == nullptr
+                                 ? BuildAttributePartition(rel_, a)
+                                 : refiner_.refine(*current, a);
+    ++built_;
+    current = &cache_.emplace(prefix, std::move(next)).first->second;
+  });
+  return *current;
+}
+
+bool PartitionCache::implies(const AttributeSet& x, AttrId a) {
+  if (x.empty()) {
+    // {} -> a holds iff column a is constant.
+    const std::vector<ValueId>& col = rel_.column(a);
+    for (RowId i = 1; i < rel_.num_rows(); ++i) {
+      if (col[i] != col[0]) return false;
+    }
+    return true;
+  }
+  return PartitionImpliesFd(rel_, get(x), a);
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,44 @@
+#ifndef DHYFD_PARTITION_PARTITION_CACHE_H_
+#define DHYFD_PARTITION_PARTITION_CACHE_H_
+
+#include <unordered_map>
+
+#include "partition/partition_ops.h"
+#include "partition/stripped_partition.h"
+
+namespace dhyfd {
+
+/// Lazily computed, cached stripped partitions keyed by attribute set.
+///
+/// pi_X is built by refining along the sorted-prefix chain of X (each
+/// prefix is cached too), so repeated lattice probes — the access pattern
+/// of DFD-style searches — share work. The cache clears itself when it
+/// exceeds `max_entries` partitions.
+class PartitionCache {
+ public:
+  explicit PartitionCache(const Relation& r, size_t max_entries = 8192);
+
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  /// pi_X; X must be non-empty. The reference is valid until the next get()
+  /// (which may evict).
+  const StrippedPartition& get(const AttributeSet& x);
+
+  /// True if X -> a holds, validated against pi_X.
+  bool implies(const AttributeSet& x, AttrId a);
+
+  int64_t partitions_built() const { return built_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  const Relation& rel_;
+  PartitionRefiner refiner_;
+  size_t max_entries_;
+  std::unordered_map<AttributeSet, StrippedPartition, AttributeSetHash> cache_;
+  int64_t built_ = 0;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_PARTITION_PARTITION_CACHE_H_

@@ -1,0 +1,88 @@
+#include "partition/partition_ops.h"
+
+#include <algorithm>
+
+namespace dhyfd {
+
+PartitionRefiner::PartitionRefiner(const Relation& r)
+    : rel_(r), slots_(static_cast<size_t>(std::max<ValueId>(r.max_domain_size(), 1))) {}
+
+void PartitionRefiner::refine_cluster(const std::vector<RowId>& cluster, AttrId a,
+                                      std::vector<std::vector<RowId>>& out) {
+  const std::vector<ValueId>& col = rel_.column(a);
+  // Algorithm 5: drop each tuple into the slot of its A-value, remembering
+  // which slots were touched so we can sweep and reset only those.
+  for (RowId row : cluster) {
+    ValueId v = col[row];
+    if (slots_[v].empty()) touched_.push_back(v);
+    slots_[v].push_back(row);
+  }
+  for (ValueId v : touched_) {
+    if (slots_[v].size() >= 2) {
+      out.emplace_back(std::move(slots_[v]));
+      slots_[v] = {};
+    } else {
+      slots_[v].clear();
+    }
+  }
+  touched_.clear();
+}
+
+StrippedPartition PartitionRefiner::refine(const StrippedPartition& p, AttrId a) {
+  StrippedPartition out;
+  out.clusters.reserve(p.clusters.size());
+  for (const auto& cluster : p.clusters) refine_cluster(cluster, a, out.clusters);
+  return out;
+}
+
+StrippedPartition PartitionRefiner::refine_all(const StrippedPartition& p,
+                                               const AttributeSet& attrs) {
+  StrippedPartition cur = p;
+  attrs.for_each([&](AttrId a) { cur = refine(cur, a); });
+  return cur;
+}
+
+StrippedPartition IntersectPartitions(const StrippedPartition& a,
+                                      const StrippedPartition& b, RowId num_rows) {
+  // Standard TANE product: probe rows of b's clusters against a's cluster
+  // ids. Rows outside a's clusters are singletons in pi_a and stay stripped.
+  std::vector<int32_t> probe(num_rows, -1);
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    for (RowId row : a.clusters[i]) probe[row] = static_cast<int32_t>(i);
+  }
+  StrippedPartition out;
+  std::vector<std::vector<RowId>> groups(a.clusters.size());
+  std::vector<int32_t> touched;
+  for (const auto& cluster : b.clusters) {
+    for (RowId row : cluster) {
+      int32_t g = probe[row];
+      if (g < 0) continue;
+      if (groups[g].empty()) touched.push_back(g);
+      groups[g].push_back(row);
+    }
+    for (int32_t g : touched) {
+      if (groups[g].size() >= 2) {
+        out.clusters.emplace_back(std::move(groups[g]));
+        groups[g] = {};
+      } else {
+        groups[g].clear();
+      }
+    }
+    touched.clear();
+  }
+  return out;
+}
+
+bool PartitionImpliesFd(const Relation& r, const StrippedPartition& lhs_partition,
+                        AttrId rhs) {
+  const std::vector<ValueId>& col = r.column(rhs);
+  for (const auto& cluster : lhs_partition.clusters) {
+    ValueId v = col[cluster.front()];
+    for (size_t i = 1; i < cluster.size(); ++i) {
+      if (col[cluster[i]] != v) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,57 @@
+#ifndef DHYFD_PARTITION_PARTITION_OPS_H_
+#define DHYFD_PARTITION_PARTITION_OPS_H_
+
+#include <vector>
+
+#include "partition/stripped_partition.h"
+
+namespace dhyfd {
+
+/// Refines stripped partitions one attribute at a time (paper Algorithm 5).
+///
+/// The refiner owns the value-indexed scratch array (`sets_array` in the
+/// paper) sized to the relation's largest active domain, plus the list of
+/// touched positions so only dirtied slots are reset between calls. Reusing
+/// one refiner across refinements is what makes dynamic partition
+/// maintenance affordable.
+class PartitionRefiner {
+ public:
+  explicit PartitionRefiner(const Relation& r);
+
+  PartitionRefiner(const PartitionRefiner&) = delete;
+  PartitionRefiner& operator=(const PartitionRefiner&) = delete;
+
+  /// Splits one equivalence class by attribute `a`, appending the resulting
+  /// classes of size >= 2 to `out`. This is the single-cluster form that
+  /// lets Algorithm 4 abort validation early.
+  void refine_cluster(const std::vector<RowId>& cluster, AttrId a,
+                      std::vector<std::vector<RowId>>& out);
+
+  /// Refines a whole stripped partition: pi_X -> pi_{XA}.
+  StrippedPartition refine(const StrippedPartition& p, AttrId a);
+
+  /// Refines by several attributes in ascending order.
+  StrippedPartition refine_all(const StrippedPartition& p, const AttributeSet& attrs);
+
+  const Relation& relation() const { return rel_; }
+
+ private:
+  const Relation& rel_;
+  // slot per ValueId; vectors keep their capacity across calls.
+  std::vector<std::vector<RowId>> slots_;
+  std::vector<ValueId> touched_;
+};
+
+/// TANE-style product pi_X * pi_Y via a row-indexed probe table. Used by the
+/// TANE baseline to build level k+1 partitions from two prefix blocks.
+StrippedPartition IntersectPartitions(const StrippedPartition& a,
+                                      const StrippedPartition& b, RowId num_rows);
+
+/// True if pi_lhs refines to the same error when the RHS attribute is added,
+/// i.e., the FD lhs -> rhs holds (TANE's validity criterion).
+bool PartitionImpliesFd(const Relation& r, const StrippedPartition& lhs_partition,
+                        AttrId rhs);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_PARTITION_PARTITION_OPS_H_

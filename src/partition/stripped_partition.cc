@@ -1,0 +1,67 @@
+#include "partition/stripped_partition.h"
+
+#include <algorithm>
+
+#include "partition/partition_ops.h"
+
+namespace dhyfd {
+
+size_t StrippedPartition::memory_bytes() const {
+  size_t bytes = sizeof(StrippedPartition) +
+                 clusters.capacity() * sizeof(std::vector<RowId>);
+  for (const auto& c : clusters) bytes += c.capacity() * sizeof(RowId);
+  return bytes;
+}
+
+void StrippedPartition::normalize() {
+  for (auto& c : clusters) std::sort(c.begin(), c.end());
+  std::sort(clusters.begin(), clusters.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a.front() < b.front();
+            });
+}
+
+std::string StrippedPartition::to_string() const {
+  std::string s = "{";
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += "[";
+    for (size_t j = 0; j < clusters[i].size(); ++j) {
+      if (j > 0) s += ",";
+      s += std::to_string(clusters[i][j]);
+    }
+    s += "]";
+  }
+  s += "}";
+  return s;
+}
+
+StrippedPartition BuildAttributePartition(const Relation& r, AttrId attr) {
+  StrippedPartition out;
+  const std::vector<ValueId>& col = r.column(attr);
+  std::vector<std::vector<RowId>> slots(r.domain_size(attr));
+  for (RowId row = 0; row < r.num_rows(); ++row) slots[col[row]].push_back(row);
+  for (auto& slot : slots) {
+    if (slot.size() >= 2) out.clusters.push_back(std::move(slot));
+  }
+  return out;
+}
+
+StrippedPartition BuildPartition(const Relation& r, const AttributeSet& x) {
+  if (x.empty()) {
+    // pi_empty is one class with every tuple (or no class if |r| < 2).
+    StrippedPartition out;
+    if (r.num_rows() >= 2) {
+      std::vector<RowId> all(r.num_rows());
+      for (RowId i = 0; i < r.num_rows(); ++i) all[i] = i;
+      out.clusters.push_back(std::move(all));
+    }
+    return out;
+  }
+  AttrId first = x.first();
+  StrippedPartition p = BuildAttributePartition(r, first);
+  PartitionRefiner refiner(r);
+  return refiner.refine_all(p, x - AttributeSet::single(first));
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,54 @@
+#ifndef DHYFD_PARTITION_STRIPPED_PARTITION_H_
+#define DHYFD_PARTITION_STRIPPED_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace dhyfd {
+
+/// A stripped partition pi_X(r): the X-equivalence classes of r with at
+/// least two tuples (singleton classes are "stripped"; paper Section III).
+struct StrippedPartition {
+  /// Equivalence classes; each holds the row ids of one class, ascending.
+  std::vector<std::vector<RowId>> clusters;
+
+  /// |pi_X|: the number of equivalence classes (cardinality).
+  int64_t size() const { return static_cast<int64_t>(clusters.size()); }
+
+  /// ||pi_X||: the total number of tuples across classes (support).
+  int64_t support() const {
+    int64_t s = 0;
+    for (const auto& c : clusters) s += static_cast<int64_t>(c.size());
+    return s;
+  }
+
+  /// TANE's error measure e(X) = ||pi_X|| - |pi_X|. X is a superkey iff 0.
+  int64_t error() const { return support() - size(); }
+
+  bool empty() const { return clusters.empty(); }
+
+  /// Approximate heap footprint in bytes; feeds the memory accounting that
+  /// backs the paper's Table II / Figure 7 measurements.
+  size_t memory_bytes() const;
+
+  /// Canonical form: sorts rows within clusters and clusters by first row.
+  /// Only used by tests to compare partitions for equality.
+  void normalize();
+
+  std::string to_string() const;
+};
+
+/// Builds pi_A(r) for a single attribute.
+StrippedPartition BuildAttributePartition(const Relation& r, AttrId attr);
+
+/// Builds pi_X(r) for an attribute set by iterated refinement. Convenience
+/// for tests, ranking, and cover checking; the discovery algorithms use
+/// PartitionRefiner / intersection directly.
+StrippedPartition BuildPartition(const Relation& r, const AttributeSet& x);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_PARTITION_STRIPPED_PARTITION_H_

@@ -1,0 +1,89 @@
+#include "ranking/redundancy.h"
+
+#include "partition/stripped_partition.h"
+
+namespace dhyfd {
+
+namespace {
+
+bool AnyLhsNull(const Relation& r, RowId row, const AttributeSet& lhs) {
+  bool any = false;
+  lhs.for_each([&](AttrId a) {
+    if (!any && r.is_null(row, a)) any = true;
+  });
+  return any;
+}
+
+}  // namespace
+
+std::vector<FdRedundancy> ComputeFdRedundancies(const Relation& r, const FdSet& cover) {
+  std::vector<FdRedundancy> out;
+  out.reserve(cover.fds.size());
+  for (const Fd& fd : cover.fds) {
+    FdRedundancy red;
+    red.fd = fd;
+    StrippedPartition pi = BuildPartition(r, fd.lhs);
+    for (const auto& cluster : pi.clusters) {
+      for (RowId row : cluster) {
+        bool lhs_null = AnyLhsNull(r, row, fd.lhs);
+        fd.rhs.for_each([&](AttrId a) {
+          ++red.with_nulls;
+          if (!r.is_null(row, a)) {
+            ++red.excluding_null_rhs;
+            if (!lhs_null) ++red.excluding_null_lhs_rhs;
+          }
+        });
+      }
+    }
+    out.push_back(red);
+  }
+  return out;
+}
+
+DatasetRedundancy ComputeDatasetRedundancy(const Relation& r, const FdSet& cover) {
+  DatasetRedundancy result;
+  result.num_values = r.num_values();
+  const int m = r.num_cols();
+  std::vector<uint8_t> marked(static_cast<size_t>(r.num_rows()) * m, 0);
+  for (const Fd& fd : cover.fds) {
+    StrippedPartition pi = BuildPartition(r, fd.lhs);
+    for (const auto& cluster : pi.clusters) {
+      for (RowId row : cluster) {
+        fd.rhs.for_each([&](AttrId a) {
+          marked[static_cast<size_t>(row) * m + a] = 1;
+        });
+      }
+    }
+  }
+  for (RowId row = 0; row < r.num_rows(); ++row) {
+    for (AttrId a = 0; a < m; ++a) {
+      if (!marked[static_cast<size_t>(row) * m + a]) continue;
+      ++result.red_plus0;
+      if (!r.is_null(row, a)) ++result.red;
+    }
+  }
+  return result;
+}
+
+FdRedundancy BruteForceFdRedundancy(const Relation& r, const Fd& fd) {
+  FdRedundancy red;
+  red.fd = fd;
+  for (RowId t = 0; t < r.num_rows(); ++t) {
+    bool has_witness = false;
+    for (RowId s = 0; s < r.num_rows() && !has_witness; ++s) {
+      if (s != t && r.agree_on(s, t, fd.lhs)) has_witness = true;
+    }
+    if (!has_witness) continue;
+    bool lhs_null = AnyLhsNull(r, t, fd.lhs);
+    fd.rhs.for_each([&](AttrId a) {
+      ++red.with_nulls;
+      if (!r.is_null(t, a)) {
+        ++red.excluding_null_rhs;
+        if (!lhs_null) ++red.excluding_null_lhs_rhs;
+      }
+    });
+  }
+  return red;
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,56 @@
+#ifndef DHYFD_RANKING_REDUNDANCY_H_
+#define DHYFD_RANKING_REDUNDANCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "relation/relation.h"
+
+namespace dhyfd {
+
+/// Redundant data-value occurrences caused by one FD (Vincent's notion,
+/// paper Section VI): an occurrence t(A) is redundant w.r.t. X -> A iff
+/// another tuple shares t's X-projection — changing t(A) alone would then
+/// violate the FD. For a valid FD that is exactly the tuples inside the
+/// clusters of pi_X, once per RHS attribute.
+struct FdRedundancy {
+  Fd fd;
+  /// #red+0: every redundant occurrence, null markers included.
+  int64_t with_nulls = 0;
+  /// #red: redundant occurrences whose own value is not a null marker.
+  int64_t excluding_null_rhs = 0;
+  /// #red-0 (Figure 11): additionally requires no null on any LHS attribute
+  /// of the witnessing tuple.
+  int64_t excluding_null_lhs_rhs = 0;
+};
+
+/// Per-FD redundancy counts for every FD of a (valid) cover.
+std::vector<FdRedundancy> ComputeFdRedundancies(const Relation& r, const FdSet& cover);
+
+/// Dataset-level redundancy (Table IV): an occurrence counts once no matter
+/// how many FDs of the cover make it redundant.
+struct DatasetRedundancy {
+  int64_t num_values = 0;  // #values = rows * cols
+  int64_t red = 0;         // #red   (occurrence itself not null)
+  int64_t red_plus0 = 0;   // #red+0 (nulls included)
+
+  double percent_red() const {
+    return num_values ? 100.0 * static_cast<double>(red) / static_cast<double>(num_values) : 0;
+  }
+  double percent_red_plus0() const {
+    return num_values
+               ? 100.0 * static_cast<double>(red_plus0) / static_cast<double>(num_values)
+               : 0;
+  }
+};
+
+DatasetRedundancy ComputeDatasetRedundancy(const Relation& r, const FdSet& cover);
+
+/// O(rows^2) reference counter for one FD; cross-checks the partition-based
+/// counters in tests.
+FdRedundancy BruteForceFdRedundancy(const Relation& r, const Fd& fd);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_RANKING_REDUNDANCY_H_

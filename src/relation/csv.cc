@@ -1,0 +1,147 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dhyfd {
+
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// trailing newline. Returns false at end of input.
+bool ParseRecord(const std::string& text, size_t& pos, const CsvOptions& opt,
+                 std::vector<std::string>& out) {
+  if (pos >= text.size()) return false;
+  out.clear();
+  std::string cell;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (in_quotes) {
+      if (c == opt.quote) {
+        if (pos + 1 < text.size() && text[pos + 1] == opt.quote) {
+          cell += opt.quote;
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        cell += c;
+        ++pos;
+      }
+      saw_any = true;
+      continue;
+    }
+    if (c == opt.quote && cell.empty()) {
+      in_quotes = true;
+      saw_any = true;
+      ++pos;
+    } else if (c == opt.separator) {
+      out.push_back(std::move(cell));
+      cell.clear();
+      saw_any = true;
+      ++pos;
+    } else if (c == '\n' || c == '\r') {
+      ++pos;
+      if (c == '\r' && pos < text.size() && text[pos] == '\n') ++pos;
+      break;
+    } else {
+      cell += c;
+      saw_any = true;
+      ++pos;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted cell");
+  if (!saw_any && out.empty()) return false;  // Blank trailing line.
+  out.push_back(std::move(cell));
+  return true;
+}
+
+bool NeedsQuoting(const std::string& cell, const CsvOptions& opt) {
+  for (char c : cell) {
+    if (c == opt.separator || c == opt.quote || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsNullToken(const std::string& cell, const CsvOptions& options) {
+  for (const std::string& tok : options.null_tokens) {
+    if (cell == tok) return true;
+  }
+  return false;
+}
+
+RawTable ParseCsvString(const std::string& text, const CsvOptions& options) {
+  RawTable table;
+  size_t pos = 0;
+  std::vector<std::string> record;
+  bool first = true;
+  while (ParseRecord(text, pos, options, record)) {
+    if (first && options.has_header) {
+      table.header = record;
+      first = false;
+      continue;
+    }
+    if (first) {
+      // Headerless input: synthesize column names from the first record.
+      for (size_t i = 0; i < record.size(); ++i) {
+        table.header.push_back("c" + std::to_string(i));
+      }
+      first = false;
+    }
+    if (record.size() != table.header.size()) {
+      throw std::runtime_error(
+          "csv: row " + std::to_string(table.rows.size() + 1) + " has " +
+          std::to_string(record.size()) + " cells, expected " +
+          std::to_string(table.header.size()));
+    }
+    table.rows.push_back(record);
+  }
+  return table;
+}
+
+RawTable ParseCsv(std::istream& in, const CsvOptions& options) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsvString(buf.str(), options);
+}
+
+RawTable ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  return ParseCsv(in, options);
+}
+
+void WriteCsv(const RawTable& table, std::ostream& out, const CsvOptions& options) {
+  auto emit_record = [&](const std::vector<std::string>& record) {
+    for (size_t i = 0; i < record.size(); ++i) {
+      if (i > 0) out << options.separator;
+      if (NeedsQuoting(record[i], options)) {
+        out << options.quote;
+        for (char c : record[i]) {
+          if (c == options.quote) out << options.quote;
+          out << c;
+        }
+        out << options.quote;
+      } else {
+        out << record[i];
+      }
+    }
+    out << '\n';
+  };
+  if (options.has_header) emit_record(table.header);
+  for (const auto& row : table.rows) emit_record(row);
+}
+
+std::string WriteCsvString(const RawTable& table, const CsvOptions& options) {
+  std::ostringstream out;
+  WriteCsv(table, out, options);
+  return out.str();
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,46 @@
+#ifndef DHYFD_RELATION_CSV_H_
+#define DHYFD_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dhyfd {
+
+/// An un-encoded table of strings, as read from a CSV file. This is the
+/// input to the DIIS encoder.
+struct RawTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  int num_cols() const { return static_cast<int>(header.size()); }
+  int num_rows() const { return static_cast<int>(rows.size()); }
+};
+
+/// CSV dialect options. The defaults match the Metanome benchmark files:
+/// comma separator, optional double-quote quoting with "" escapes.
+struct CsvOptions {
+  char separator = ',';
+  char quote = '"';
+  bool has_header = true;
+  /// Cell values treated as null markers (in addition to the empty string).
+  std::vector<std::string> null_tokens = {"", "?", "NULL", "null"};
+};
+
+/// Parses CSV text. Throws std::runtime_error on structural errors
+/// (unterminated quote, rows with inconsistent arity).
+RawTable ParseCsv(std::istream& in, const CsvOptions& options = {});
+RawTable ParseCsvString(const std::string& text, const CsvOptions& options = {});
+RawTable ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// Serializes a table back to CSV (quoting cells that need it).
+void WriteCsv(const RawTable& table, std::ostream& out,
+              const CsvOptions& options = {});
+std::string WriteCsvString(const RawTable& table, const CsvOptions& options = {});
+
+/// True if the cell is one of the configured null markers.
+bool IsNullToken(const std::string& cell, const CsvOptions& options);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_RELATION_CSV_H_

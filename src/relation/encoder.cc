@@ -1,0 +1,65 @@
+#include "relation/encoder.h"
+
+#include <unordered_map>
+
+namespace dhyfd {
+
+EncodedRelation EncodeRelation(const RawTable& table, NullSemantics semantics,
+                               const CsvOptions& options) {
+  const int cols = table.num_cols();
+  const RowId rows = table.num_rows();
+  EncodedRelation out{Relation(Schema(table.header), rows), {}};
+  out.dictionaries.resize(cols);
+
+  for (int c = 0; c < cols; ++c) {
+    std::unordered_map<std::string, ValueId> codes;
+    codes.reserve(rows);
+    std::vector<std::string>& dict = out.dictionaries[c];
+    ValueId null_code = -1;
+    for (RowId r = 0; r < rows; ++r) {
+      const std::string& cell = table.rows[r][c];
+      if (IsNullToken(cell, options)) {
+        out.relation.set_null(r, c);
+        if (semantics == NullSemantics::kNullNotEqualsNull) {
+          // Fresh code per null occurrence: never agrees with any row.
+          ValueId code = static_cast<ValueId>(dict.size());
+          dict.push_back("");
+          out.relation.set_value(r, c, code);
+        } else {
+          if (null_code < 0) {
+            null_code = static_cast<ValueId>(dict.size());
+            dict.push_back(cell);
+          }
+          out.relation.set_value(r, c, null_code);
+        }
+        continue;
+      }
+      auto [it, inserted] = codes.emplace(cell, static_cast<ValueId>(dict.size()));
+      if (inserted) dict.push_back(cell);
+      out.relation.set_value(r, c, it->second);
+    }
+    out.relation.set_domain_size(c, static_cast<ValueId>(dict.size()));
+  }
+  return out;
+}
+
+NullStats ComputeNullStats(const Relation& r) {
+  NullStats stats;
+  std::vector<uint8_t> row_incomplete(r.num_rows(), 0);
+  for (int c = 0; c < r.num_cols(); ++c) {
+    if (!r.column_has_nulls(c)) continue;
+    bool col_has = false;
+    for (RowId i = 0; i < r.num_rows(); ++i) {
+      if (r.is_null(i, c)) {
+        ++stats.null_occurrences;
+        row_incomplete[i] = 1;
+        col_has = true;
+      }
+    }
+    if (col_has) ++stats.incomplete_columns;
+  }
+  for (uint8_t f : row_incomplete) stats.incomplete_rows += f;
+  return stats;
+}
+
+}  // namespace dhyfd

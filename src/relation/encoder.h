@@ -1,0 +1,50 @@
+#ifndef DHYFD_RELATION_ENCODER_H_
+#define DHYFD_RELATION_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/csv.h"
+#include "relation/relation.h"
+
+namespace dhyfd {
+
+/// Result of DIIS encoding: the encoded relation plus, per column, the
+/// dictionary mapping ValueId back to the original string (null codes map to
+/// an empty string under kNullNotEqualsNull; under kNullEqualsNull the single
+/// null code maps to the first null token seen).
+struct EncodedRelation {
+  Relation relation;
+  std::vector<std::vector<std::string>> dictionaries;
+
+  /// Original string for a cell; convenience for reports and examples.
+  const std::string& decode(RowId row, AttrId col) const {
+    return dictionaries[col][relation.value(row, col)];
+  }
+};
+
+/// Encodes a raw string table with the paper's domain independent indexing
+/// scheme (DIIS): per column, a bijection from the active domain onto dense
+/// integer codes 0..|adom|-1.
+///
+/// Null handling follows `semantics`:
+///  * kNullEqualsNull: all null markers in a column share one code.
+///  * kNullNotEqualsNull: every null occurrence gets a fresh code, so it
+///    agrees with no other row. The null flag is preserved either way.
+EncodedRelation EncodeRelation(const RawTable& table,
+                               NullSemantics semantics = NullSemantics::kNullEqualsNull,
+                               const CsvOptions& options = {});
+
+/// Statistics about missing values (the #IR / #IC / #null columns reported
+/// alongside the paper's data sets).
+struct NullStats {
+  int64_t incomplete_rows = 0;
+  int incomplete_columns = 0;
+  int64_t null_occurrences = 0;
+};
+
+NullStats ComputeNullStats(const Relation& r);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_RELATION_ENCODER_H_

@@ -1,0 +1,97 @@
+#ifndef DHYFD_RELATION_RELATION_H_
+#define DHYFD_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/schema.h"
+#include "util/attribute_set.h"
+
+namespace dhyfd {
+
+/// Identifies a row (tuple) of a relation.
+using RowId = int32_t;
+
+/// A DIIS-compressed value: the paper's domain independent indexing scheme
+/// maps each active domain bijectively onto {0, ..., |adom|-1}. We use
+/// 0-based codes.
+using ValueId = int32_t;
+
+/// How null markers compare during FD discovery (paper Section V-B).
+enum class NullSemantics {
+  /// Missing values are treated like any other value: two nulls agree.
+  kNullEqualsNull,
+  /// Each missing value is a fresh, unique value: two nulls never agree.
+  kNullNotEqualsNull,
+};
+
+/// A DIIS-encoded relation: a column-major ValueId matrix plus a null map.
+///
+/// Under kNullNotEqualsNull each null occurrence carries a distinct code so
+/// it matches no other row, but `is_null` still reports it as missing so the
+/// ranking module can exclude null occurrences from redundancy counts.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(Schema schema, RowId num_rows);
+
+  const Schema& schema() const { return schema_; }
+  RowId num_rows() const { return num_rows_; }
+  int num_cols() const { return schema_.size(); }
+
+  ValueId value(RowId row, AttrId col) const { return columns_[col][row]; }
+  void set_value(RowId row, AttrId col, ValueId v) { columns_[col][row] = v; }
+
+  bool is_null(RowId row, AttrId col) const {
+    return !null_rows_[col].empty() && null_rows_[col][row];
+  }
+  void set_null(RowId row, AttrId col) {
+    if (null_rows_[col].empty()) null_rows_[col].assign(num_rows_, 0);
+    null_rows_[col][row] = 1;
+  }
+
+  /// True if the column contains at least one null marker.
+  bool column_has_nulls(AttrId col) const { return !null_rows_[col].empty(); }
+
+  /// Number of distinct codes in the column (the active domain size under
+  /// the encoding's null semantics). Codes are dense: 0..domain_size-1.
+  ValueId domain_size(AttrId col) const { return domain_sizes_[col]; }
+  void set_domain_size(AttrId col, ValueId n) { domain_sizes_[col] = n; }
+
+  /// Largest domain size over all columns; sizes refinement scratch arrays.
+  ValueId max_domain_size() const;
+
+  const std::vector<ValueId>& column(AttrId col) const { return columns_[col]; }
+
+  /// True if rows s and t agree on every attribute in X.
+  bool agree_on(RowId s, RowId t, const AttributeSet& x) const;
+
+  /// The agree set ag(s, t): all attributes on which rows s and t match.
+  AttributeSet agree_set(RowId s, RowId t) const;
+
+  /// Brute-force satisfaction test for X -> A; O(rows log rows). Used by
+  /// tests and the example tools, not by the discovery algorithms.
+  bool satisfies(const AttributeSet& lhs, AttrId rhs) const;
+
+  /// Copies the first `rows` rows and the first `cols` columns; used by the
+  /// row-/column-scalability experiments (Figures 7-9). Domain sizes are
+  /// recomputed densely for the fragment.
+  Relation fragment(RowId rows, int cols) const;
+
+  /// Total number of value occurrences (#values in Table IV).
+  int64_t num_values() const {
+    return static_cast<int64_t>(num_rows_) * num_cols();
+  }
+
+ private:
+  Schema schema_;
+  RowId num_rows_ = 0;
+  std::vector<std::vector<ValueId>> columns_;
+  // Per column: empty if the column has no nulls, else one flag per row.
+  std::vector<std::vector<uint8_t>> null_rows_;
+  std::vector<ValueId> domain_sizes_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_RELATION_RELATION_H_

@@ -1,0 +1,39 @@
+#ifndef DHYFD_UTIL_DEADLINE_H_
+#define DHYFD_UTIL_DEADLINE_H_
+
+#include <chrono>
+
+namespace dhyfd {
+
+/// Cooperative time limit for discovery runs, mirroring the paper's 1-hour
+/// "TL" budget in Table II. Algorithms poll expired() at loop boundaries and
+/// abandon the run (flagging stats.timed_out) when it fires. A limit of 0
+/// means no deadline.
+class Deadline {
+ public:
+  explicit Deadline(double seconds)
+      : enabled_(seconds > 0),
+        end_(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(seconds > 0 ? seconds : 0))) {}
+
+  bool expired() const {
+    if (!enabled_) return false;
+    if (expired_cache_) return true;
+    // steady_clock::now() is a ~20 ns vDSO call on Linux: cheap enough to
+    // poll unconditionally, and call sites vary wildly in how much work
+    // sits between polls (stride-caching went stale on slow call sites).
+    expired_cache_ = Clock::now() >= end_;
+    return expired_cache_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool enabled_;
+  Clock::time_point end_;
+  mutable bool expired_cache_ = false;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_UTIL_DEADLINE_H_

@@ -1,0 +1,36 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dhyfd {
+
+namespace {
+
+// Reads a "Vm...: <kB> kB" field from /proc/self/status. Returns bytes.
+size_t ReadStatusField(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t result = 0;
+  size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      long kb = 0;
+      if (std::sscanf(line + field_len, ": %ld", &kb) == 1 && kb > 0) {
+        result = static_cast<size_t>(kb) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return result;
+}
+
+}  // namespace
+
+size_t CurrentRssBytes() { return ReadStatusField("VmRSS"); }
+
+size_t PeakRssBytes() { return ReadStatusField("VmHWM"); }
+
+}  // namespace dhyfd

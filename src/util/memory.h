@@ -1,0 +1,44 @@
+#ifndef DHYFD_UTIL_MEMORY_H_
+#define DHYFD_UTIL_MEMORY_H_
+
+#include <cstddef>
+
+namespace dhyfd {
+
+/// Current resident set size of this process in bytes (Linux /proc), or 0 if
+/// unavailable. Used to report the memory columns of Table II / Figure 7.
+size_t CurrentRssBytes();
+
+/// Peak resident set size (VmHWM) in bytes, or 0 if unavailable.
+size_t PeakRssBytes();
+
+/// Tracks the memory high-water mark over a scoped region relative to the
+/// RSS at construction. Benches report `delta_peak_bytes()` as the
+/// algorithm's working memory, mirroring the paper's per-run MB figures.
+class MemoryWatermark {
+ public:
+  MemoryWatermark() : base_(CurrentRssBytes()), peak_(base_) {}
+
+  /// Samples the current RSS; call at phase boundaries inside algorithms.
+  void sample() {
+    size_t cur = CurrentRssBytes();
+    if (cur > peak_) peak_ = cur;
+  }
+
+  size_t delta_peak_bytes() {
+    sample();
+    return peak_ > base_ ? peak_ - base_ : 0;
+  }
+
+  double delta_peak_mb() {
+    return static_cast<double>(delta_peak_bytes()) / (1024.0 * 1024.0);
+  }
+
+ private:
+  size_t base_;
+  size_t peak_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_UTIL_MEMORY_H_

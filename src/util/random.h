@@ -1,0 +1,64 @@
+#ifndef DHYFD_UTIL_RANDOM_H_
+#define DHYFD_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace dhyfd {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeding + xoshiro-style mixing).
+///
+/// The synthetic data generators must be reproducible across platforms and
+/// standard-library versions, so we do not use <random> engines or
+/// distributions anywhere in the generators.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t next_u64() {
+    // splitmix64: passes BigCrush, two multiplies and three xors per draw.
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t next_below(uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi].
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Zipf-ish skewed draw in [0, n): rank r is roughly proportional to
+  /// 1/(r+1)^s with s ~ 1. Implemented by inverse-power transform, which is
+  /// close enough for workload skew and much cheaper than exact Zipf.
+  uint64_t next_zipf(uint64_t n, double skew = 1.0) {
+    double u = next_double();
+    double x = 1.0;
+    if (skew > 0) {
+      // Map uniform u through u^(skew+1) to pile mass on small ranks.
+      for (int i = 0; i < static_cast<int>(skew + 0.5); ++i) x *= u;
+      x *= u;
+    } else {
+      x = u;
+    }
+    uint64_t r = static_cast<uint64_t>(x * static_cast<double>(n));
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_UTIL_RANDOM_H_

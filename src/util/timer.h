@@ -1,0 +1,29 @@
+#ifndef DHYFD_UTIL_TIMER_H_
+#define DHYFD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dhyfd {
+
+/// Wall-clock stopwatch used by discovery statistics and the bench harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_UTIL_TIMER_H_

@@ -1,0 +1,132 @@
+#include "algo/agree_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+
+TEST(AgreeSetsTest, AllPairs) {
+  Relation r = FromValues({{0, 0}, {0, 1}, {1, 0}});
+  int64_t pairs = 0;
+  std::vector<AttributeSet> sets = ComputeAllAgreeSets(r, &pairs);
+  EXPECT_EQ(pairs, 3);
+  std::sort(sets.begin(), sets.end());
+  // Pairs: (0,1) agree on {0}; (0,2) agree on {1}; (1,2) agree on {}.
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_NE(std::find(sets.begin(), sets.end(), AttributeSet{0}), sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), AttributeSet{1}), sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), AttributeSet{}), sets.end());
+}
+
+TEST(AgreeSetsTest, DuplicateRowsExcluded) {
+  Relation r = FromValues({{0, 0}, {0, 0}});
+  std::vector<AttributeSet> sets = ComputeAllAgreeSets(r);
+  // Full agreement implies no non-FD; must not appear.
+  EXPECT_TRUE(sets.empty());
+}
+
+TEST(AgreeSetsTest, DistinctOnly) {
+  Relation r = FromValues({{0, 1}, {0, 2}, {0, 3}});
+  std::vector<AttributeSet> sets = ComputeAllAgreeSets(r);
+  // All three pairs agree exactly on column 0.
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], AttributeSet{0});
+}
+
+TEST(AgreeSetsTest, MaximalFiltersSubsets) {
+  std::vector<AttributeSet> sets = {AttributeSet{0}, AttributeSet{0, 1},
+                                    AttributeSet{2}, AttributeSet{0, 1, 3}};
+  std::vector<AttributeSet> maximal = MaximalAgreeSets(sets);
+  std::sort(maximal.begin(), maximal.end());
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_NE(std::find(maximal.begin(), maximal.end(), (AttributeSet{0, 1, 3})),
+            maximal.end());
+  EXPECT_NE(std::find(maximal.begin(), maximal.end(), AttributeSet{2}), maximal.end());
+}
+
+TEST(AgreeSetsTest, MaximalKeepsIncomparable) {
+  std::vector<AttributeSet> sets = {AttributeSet{0, 1}, AttributeSet{1, 2}};
+  EXPECT_EQ(MaximalAgreeSets(sets).size(), 2u);
+}
+
+TEST(AgreeSetsTest, SortBySizeDescending) {
+  std::vector<AttributeSet> sets = {AttributeSet{0}, AttributeSet{0, 1, 2},
+                                    AttributeSet{1, 3}};
+  SortBySizeDescending(sets);
+  EXPECT_EQ(sets[0].count(), 3);
+  EXPECT_EQ(sets[1].count(), 2);
+  EXPECT_EQ(sets[2].count(), 1);
+}
+
+TEST(AgreeSetsTest, SortIsDeterministicOnTies) {
+  std::vector<AttributeSet> a = {AttributeSet{1}, AttributeSet{0}, AttributeSet{2}};
+  std::vector<AttributeSet> b = {AttributeSet{2}, AttributeSet{1}, AttributeSet{0}};
+  SortBySizeDescending(a);
+  SortBySizeDescending(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NonRedundantNonFdsTest, TrimsPerAttribute) {
+  // Z = {0} is subsumed by Z' = {0,1} only for RHS attributes outside
+  // {0,1}; it must keep attribute 1 as RHS (the bug FDEP1 would otherwise
+  // inherit from global maximality).
+  std::vector<AttributeSet> sets = {AttributeSet{0}, AttributeSet{0, 1}};
+  std::vector<NonFd> cover = NonRedundantNonFds(sets, 3);
+  ASSERT_EQ(cover.size(), 2u);
+  // Sorted descending: {0,1} first with RHS {2}; {0} keeps RHS {1} only.
+  EXPECT_EQ(cover[0].lhs, (AttributeSet{0, 1}));
+  EXPECT_EQ(cover[0].rhs, AttributeSet{2});
+  EXPECT_EQ(cover[1].lhs, AttributeSet{0});
+  EXPECT_EQ(cover[1].rhs, AttributeSet{1});
+}
+
+TEST(NonRedundantNonFdsTest, DropsFullySubsumed) {
+  // {0} vs {0,1} over 2 attrs: {0}'s only RHS candidate 1 is inside {0,1},
+  // so nothing of {0} survives... but {0,1} over 2 attrs has empty RHS too.
+  std::vector<AttributeSet> sets = {AttributeSet{0}, AttributeSet{0, 1}};
+  std::vector<NonFd> cover = NonRedundantNonFds(sets, 2);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].lhs, AttributeSet{0});
+  EXPECT_EQ(cover[0].rhs, AttributeSet{1});
+}
+
+TEST(NonRedundantNonFdsTest, CompleteCoverProperty) {
+  // Every original (Z, A) non-FD must be dominated by a retained (Z', A)
+  // with Z subseteq Z'.
+  std::vector<AttributeSet> sets = {AttributeSet{0}, AttributeSet{1},
+                                    AttributeSet{0, 1}, AttributeSet{0, 2},
+                                    AttributeSet{1, 2, 3}};
+  const int m = 5;
+  std::vector<NonFd> cover = NonRedundantNonFds(sets, m);
+  for (const AttributeSet& z : sets) {
+    AttributeSet rhs = z.complement(m);
+    rhs.for_each([&](AttrId a) {
+      bool dominated = false;
+      for (const NonFd& nf : cover) {
+        if (z.is_subset_of(nf.lhs) && nf.rhs.test(a)) dominated = true;
+      }
+      EXPECT_TRUE(dominated) << z.to_string() << " !-> " << a;
+    });
+  }
+}
+
+TEST(NonRedundantNonFdsTest, IncomparableSetsKeepFullRhs) {
+  std::vector<AttributeSet> sets = {AttributeSet{0, 1}, AttributeSet{2, 3}};
+  std::vector<NonFd> cover = NonRedundantNonFds(sets, 4);
+  ASSERT_EQ(cover.size(), 2u);
+  for (const NonFd& nf : cover) EXPECT_EQ(nf.rhs, nf.lhs.complement(4));
+}
+
+TEST(AgreeSetsTest, EmptyAndSingleRowRelations) {
+  EXPECT_TRUE(ComputeAllAgreeSets(FromValues({})).empty());
+  EXPECT_TRUE(ComputeAllAgreeSets(FromValues({{1, 2}})).empty());
+}
+
+}  // namespace
+}  // namespace dhyfd

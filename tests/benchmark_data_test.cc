@@ -1,0 +1,108 @@
+#include "datagen/benchmark_data.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/encoder.h"
+
+namespace dhyfd {
+namespace {
+
+TEST(BenchmarkDataTest, CatalogHasAllPaperDatasets) {
+  const auto& names = BenchmarkNames();
+  EXPECT_EQ(names.size(), 22u);  // 21 from Tables II/III + china (Table IV)
+  for (const char* expected :
+       {"iris", "ncvoter", "weather", "diabetic", "flight", "fd_reduced",
+        "pdbx", "lineitem", "uniprot", "china"}) {
+    EXPECT_NE(FindBenchmark(expected), nullptr) << expected;
+  }
+  EXPECT_EQ(FindBenchmark("nope"), nullptr);
+}
+
+TEST(BenchmarkDataTest, SpecsMatchPaperColumnCounts) {
+  for (const std::string& name : BenchmarkNames()) {
+    const BenchmarkInfo* info = FindBenchmark(name);
+    ASSERT_NE(info, nullptr);
+    DatasetSpec spec = MakeBenchmarkSpec(name);
+    if (info->has_table2) {
+      EXPECT_EQ(spec.num_cols(), info->t2.cols) << name;
+    }
+    EXPECT_EQ(spec.rows, info->default_rows) << name;
+  }
+}
+
+TEST(BenchmarkDataTest, RowOverride) {
+  DatasetSpec spec = MakeBenchmarkSpec("ncvoter", 123);
+  EXPECT_EQ(spec.rows, 123);
+}
+
+TEST(BenchmarkDataTest, GeneratedTablesEncode) {
+  for (const std::string& name : BenchmarkNames()) {
+    RawTable t = GenerateBenchmark(name, 50);
+    EXPECT_EQ(t.num_rows(), 50) << name;
+    EncodedRelation e = EncodeRelation(t);
+    EXPECT_EQ(e.relation.num_rows(), 50) << name;
+    EXPECT_GT(e.relation.max_domain_size(), 0) << name;
+  }
+}
+
+TEST(BenchmarkDataTest, NcvoterHasConstantStateColumn) {
+  RawTable t = GenerateBenchmark("ncvoter", 200);
+  EncodedRelation e = EncodeRelation(t);
+  AttrId state = e.relation.schema().index_of("state");
+  ASSERT_GE(state, 0);
+  EXPECT_EQ(e.relation.domain_size(state), 1);
+}
+
+TEST(BenchmarkDataTest, NcvoterZipDeterminesCity) {
+  RawTable t = GenerateBenchmark("ncvoter", 400);
+  EncodedRelation e = EncodeRelation(t);
+  AttrId zip = e.relation.schema().index_of("zip_code");
+  AttrId city = e.relation.schema().index_of("city");
+  ASSERT_GE(zip, 0);
+  ASSERT_GE(city, 0);
+  EXPECT_TRUE(e.relation.satisfies(AttributeSet::single(zip), city));
+}
+
+TEST(BenchmarkDataTest, IncompleteDatasetsHaveNulls) {
+  for (const char* name : {"bridges", "echo", "hepatitis", "horse", "flight"}) {
+    RawTable t = GenerateBenchmark(name, 150);
+    EncodedRelation e = EncodeRelation(t);
+    NullStats s = ComputeNullStats(e.relation);
+    EXPECT_GT(s.null_occurrences, 0) << name;
+  }
+}
+
+TEST(BenchmarkDataTest, CompleteDatasetsHaveNoNulls) {
+  for (const char* name : {"iris", "balance", "chess", "letter", "fd_reduced"}) {
+    RawTable t = GenerateBenchmark(name, 150);
+    EncodedRelation e = EncodeRelation(t);
+    NullStats s = ComputeNullStats(e.relation);
+    EXPECT_EQ(s.null_occurrences, 0) << name;
+  }
+}
+
+TEST(BenchmarkDataTest, PaperFactsSpotChecks) {
+  const BenchmarkInfo* ncvoter = FindBenchmark("ncvoter");
+  ASSERT_NE(ncvoter, nullptr);
+  EXPECT_EQ(ncvoter->t2.fds, 758);
+  EXPECT_EQ(ncvoter->t3.can, 185);
+  EXPECT_EQ(ncvoter->t4.red, 2886);
+
+  const BenchmarkInfo* weather = FindBenchmark("weather");
+  ASSERT_NE(weather, nullptr);
+  EXPECT_EQ(weather->t2.tane, kTimeLimit);
+  EXPECT_DOUBLE_EQ(weather->t2.dhyfd, 49.839);
+  EXPECT_FALSE(weather->has_table4);
+
+  const BenchmarkInfo* flight = FindBenchmark("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->t2.cols, 109);
+  EXPECT_EQ(flight->t4.red_plus0, 100233);
+}
+
+TEST(BenchmarkDataTest, UnknownSpecThrows) {
+  EXPECT_THROW(MakeBenchmarkSpec("unknown"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dhyfd

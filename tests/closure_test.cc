@@ -1,0 +1,98 @@
+#include "fd/closure.h"
+
+#include <gtest/gtest.h>
+
+namespace dhyfd {
+namespace {
+
+FdSet TextbookFds() {
+  // A -> B, B -> C, CD -> E.
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0}, 1));
+  fds.add(Fd(AttributeSet{1}, 2));
+  fds.add(Fd(AttributeSet{2, 3}, 4));
+  return fds;
+}
+
+TEST(ClosureTest, TransitiveChain) {
+  ClosureEngine e(TextbookFds(), 5);
+  EXPECT_EQ(e.closure(AttributeSet{0}), (AttributeSet{0, 1, 2}));
+  EXPECT_EQ(e.closure(AttributeSet{0, 3}), (AttributeSet{0, 1, 2, 3, 4}));
+  EXPECT_EQ(e.closure(AttributeSet{3}), AttributeSet{3});
+}
+
+TEST(ClosureTest, EmptyLhsFdsFireUnconditionally) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{}, 0));    // constant column
+  fds.add(Fd(AttributeSet{0}, 1));
+  ClosureEngine e(fds, 3);
+  EXPECT_EQ(e.closure(AttributeSet{}), (AttributeSet{0, 1}));
+  EXPECT_EQ(e.closure(AttributeSet{2}), (AttributeSet{0, 1, 2}));
+}
+
+TEST(ClosureTest, Implies) {
+  ClosureEngine e(TextbookFds(), 5);
+  EXPECT_TRUE(e.implies(AttributeSet{0}, AttributeSet{2}));
+  EXPECT_TRUE(e.implies(AttributeSet{0, 3}, AttributeSet{4}));
+  EXPECT_FALSE(e.implies(AttributeSet{1}, AttributeSet{0}));
+  // Reflexivity.
+  EXPECT_TRUE(e.implies(AttributeSet{3}, AttributeSet{3}));
+}
+
+TEST(ClosureTest, SkipFdDisablesIt) {
+  ClosureEngine e(TextbookFds(), 5);
+  // Skipping B -> C (index 1) breaks the chain from A.
+  EXPECT_EQ(e.closure(AttributeSet{0}, 1), (AttributeSet{0, 1}));
+}
+
+TEST(ClosureTest, AliveMaskFiltersFds) {
+  ClosureEngine e(TextbookFds(), 5);
+  std::vector<uint8_t> alive = {1, 0, 1};
+  EXPECT_EQ(e.closure(AttributeSet{0}, -1, &alive), (AttributeSet{0, 1}));
+  alive = {1, 1, 1};
+  EXPECT_EQ(e.closure(AttributeSet{0}, -1, &alive), (AttributeSet{0, 1, 2}));
+}
+
+TEST(ClosureTest, MultiAttributeRhs) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0}, AttributeSet{1, 2, 3}));
+  ClosureEngine e(fds, 4);
+  EXPECT_EQ(e.closure(AttributeSet{0}), AttributeSet::full(4));
+}
+
+TEST(ClosureTest, OneShotHelpers) {
+  FdSet fds = TextbookFds();
+  EXPECT_EQ(Closure(fds, AttributeSet{0}, 5), (AttributeSet{0, 1, 2}));
+  EXPECT_TRUE(Implies(fds, Fd(AttributeSet{0}, 2), 5));
+  EXPECT_FALSE(Implies(fds, Fd(AttributeSet{4}, 0), 5));
+}
+
+TEST(ClosureTest, CoversEquivalent) {
+  FdSet a = TextbookFds();
+  // Equivalent cover: adds the implied A -> C explicitly.
+  FdSet b = TextbookFds();
+  b.add(Fd(AttributeSet{0}, 2));
+  EXPECT_TRUE(CoversEquivalent(a, b, 5));
+  // Dropping B -> C changes the implied set.
+  FdSet c;
+  c.add(Fd(AttributeSet{0}, 1));
+  c.add(Fd(AttributeSet{2, 3}, 4));
+  EXPECT_FALSE(CoversEquivalent(a, c, 5));
+}
+
+TEST(ClosureTest, RepeatedCallsShareEngineState) {
+  ClosureEngine e(TextbookFds(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(e.closure(AttributeSet{0}), (AttributeSet{0, 1, 2}));
+    EXPECT_EQ(e.closure(AttributeSet{3}), AttributeSet{3});
+  }
+}
+
+TEST(ClosureTest, EmptyFdSet) {
+  FdSet fds;
+  ClosureEngine e(fds, 4);
+  EXPECT_EQ(e.closure(AttributeSet{1, 2}), (AttributeSet{1, 2}));
+}
+
+}  // namespace
+}  // namespace dhyfd

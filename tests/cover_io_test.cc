@@ -1,0 +1,96 @@
+#include "fd/cover_io.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dhyfd {
+namespace {
+
+Schema ZipSchema() { return Schema({"city", "street", "zip"}); }
+
+FdSet ZipCover() {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0, 1}, 2));
+  fds.add(Fd(AttributeSet{2}, 0));
+  return fds;
+}
+
+TEST(CoverIoTest, WriteFormat) {
+  std::string text = WriteCoverString(ZipSchema(), ZipCover());
+  EXPECT_NE(text.find("# schema: city,street,zip"), std::string::npos);
+  EXPECT_NE(text.find("city, street -> zip"), std::string::npos);
+  EXPECT_NE(text.find("zip -> city"), std::string::npos);
+}
+
+TEST(CoverIoTest, RoundTrip) {
+  std::string text = WriteCoverString(ZipSchema(), ZipCover());
+  LoadedCover loaded = ReadCoverString(text);
+  EXPECT_EQ(loaded.schema.names(), ZipSchema().names());
+  ASSERT_EQ(loaded.cover.size(), 2);
+  EXPECT_EQ(loaded.cover.fds[0], ZipCover().fds[0]);
+  EXPECT_EQ(loaded.cover.fds[1], ZipCover().fds[1]);
+}
+
+TEST(CoverIoTest, EmptyLhsRoundTrip) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{}, 1));
+  std::string text = WriteCoverString(ZipSchema(), fds);
+  EXPECT_NE(text.find("{} -> street"), std::string::npos);
+  LoadedCover loaded = ReadCoverString(text);
+  ASSERT_EQ(loaded.cover.size(), 1);
+  EXPECT_TRUE(loaded.cover.fds[0].lhs.empty());
+}
+
+TEST(CoverIoTest, MultiRhsRoundTrip) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{2}, AttributeSet{0, 1}));
+  LoadedCover loaded = ReadCoverString(WriteCoverString(ZipSchema(), fds));
+  ASSERT_EQ(loaded.cover.size(), 1);
+  EXPECT_EQ(loaded.cover.fds[0].rhs, (AttributeSet{0, 1}));
+}
+
+TEST(CoverIoTest, MissingSchemaHeaderThrows) {
+  EXPECT_THROW(ReadCoverString("city -> zip\n"), std::runtime_error);
+}
+
+TEST(CoverIoTest, UnknownColumnThrows) {
+  std::string text = "# schema: a,b\nnope -> b\n";
+  EXPECT_THROW(ReadCoverString(text), std::runtime_error);
+}
+
+TEST(CoverIoTest, MissingArrowThrows) {
+  std::string text = "# schema: a,b\na b\n";
+  EXPECT_THROW(ReadCoverString(text), std::runtime_error);
+}
+
+TEST(CoverIoTest, EmptyRhsThrows) {
+  std::string text = "# schema: a,b\na -> \n";
+  EXPECT_THROW(ReadCoverString(text), std::runtime_error);
+}
+
+TEST(CoverIoTest, CommentsAndBlankLinesIgnored) {
+  std::string text =
+      "# schema: a,b\n\n# a comment\na -> b\n\n";
+  LoadedCover loaded = ReadCoverString(text);
+  EXPECT_EQ(loaded.cover.size(), 1);
+}
+
+TEST(CoverIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/cover_io_test.fds";
+  WriteCoverFile(ZipSchema(), ZipCover(), path);
+  LoadedCover loaded = ReadCoverFile(path);
+  EXPECT_EQ(loaded.cover.size(), 2);
+  EXPECT_THROW(ReadCoverFile("/nonexistent/x.fds"), std::runtime_error);
+}
+
+TEST(CoverIoTest, WhitespaceTolerant) {
+  std::string text = "# schema: a,b,c\n  a ,  b   ->   c \n";
+  LoadedCover loaded = ReadCoverString(text);
+  ASSERT_EQ(loaded.cover.size(), 1);
+  EXPECT_EQ(loaded.cover.fds[0].lhs, (AttributeSet{0, 1}));
+  EXPECT_EQ(loaded.cover.fds[0].rhs, AttributeSet{2});
+}
+
+}  // namespace
+}  // namespace dhyfd

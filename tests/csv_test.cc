@@ -1,0 +1,110 @@
+#include "relation/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dhyfd {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  RawTable t = ParseCsvString("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(t.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, HandlesQuotedCells) {
+  RawTable t = ParseCsvString("a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.rows[0][0], "hello, world");
+  EXPECT_EQ(t.rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewlineStaysInCell) {
+  RawTable t = ParseCsvString("a,b\n\"line1\nline2\",x\n");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  RawTable t = ParseCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(CsvTest, EmptyCellsPreserved) {
+  RawTable t = ParseCsvString("a,b,c\n,,\nx,,z\n");
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(t.rows[1][1], "");
+}
+
+TEST(CsvTest, HeaderlessSynthesizesNames) {
+  CsvOptions opt;
+  opt.has_header = false;
+  RawTable t = ParseCsvString("1,2\n3,4\n", opt);
+  EXPECT_EQ(t.header, (std::vector<std::string>{"c0", "c1"}));
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(CsvTest, InconsistentArityThrows) {
+  EXPECT_THROW(ParseCsvString("a,b\n1,2,3\n"), std::runtime_error);
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(ParseCsvString("a,b\n\"oops,2\n"), std::runtime_error);
+}
+
+TEST(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(ReadCsvFile("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+TEST(CsvTest, EmptyInputYieldsEmptyTable) {
+  RawTable t = ParseCsvString("");
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.num_cols(), 0);
+}
+
+TEST(CsvTest, HeaderOnly) {
+  RawTable t = ParseCsvString("a,b,c\n");
+  EXPECT_EQ(t.num_cols(), 3);
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(CsvTest, RoundTrip) {
+  RawTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"plain", "with,comma"}, {"with\"quote", "with\nnewline"}};
+  std::string text = WriteCsvString(t);
+  RawTable back = ParseCsvString(text);
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvOptions opt;
+  opt.separator = ';';
+  RawTable t = ParseCsvString("a;b\n1;2\n", opt);
+  EXPECT_EQ(t.num_cols(), 2);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(CsvTest, NullTokens) {
+  CsvOptions opt;
+  EXPECT_TRUE(IsNullToken("", opt));
+  EXPECT_TRUE(IsNullToken("?", opt));
+  EXPECT_TRUE(IsNullToken("NULL", opt));
+  EXPECT_FALSE(IsNullToken("0", opt));
+}
+
+TEST(CsvTest, ParseFromStream) {
+  std::istringstream in("a\nx\ny\n");
+  RawTable t = ParseCsv(in);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,77 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/discovery.h"
+#include "test_util.h"
+#include "util/timer.h"
+
+namespace dhyfd {
+namespace {
+
+TEST(DeadlineTest, ZeroMeansNoLimit) {
+  Deadline d(0);
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, NegativeMeansNoLimit) {
+  Deadline d(-1);
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline d(0.01);
+  Timer timer;
+  while (timer.seconds() < 0.05) {
+  }
+  EXPECT_TRUE(d.expired());
+  // Expiry is sticky.
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, FarFutureStaysOpen) {
+  Deadline d(3600);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_FALSE(d.expired());
+  }
+}
+
+class AlgorithmDeadlineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmDeadlineTest, TinyBudgetFlagsTimeout) {
+  // A relation with real FD structure so every algorithm has work to abort:
+  // derived columns plant FDs; random ones give agree-set volume.
+  Random rng(99);
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 2500; ++i) {
+    int a = static_cast<int>(rng.next_below(40));
+    int b = static_cast<int>(rng.next_below(12));
+    int e = static_cast<int>(rng.next_below(6));
+    rows.push_back({a, b, (3 * a + b) % 31, (a + 7 * b + e) % 23, e,
+                    static_cast<int>(rng.next_below(4)),
+                    static_cast<int>(rng.next_below(5)),
+                    static_cast<int>(rng.next_below(3))});
+  }
+  Relation r = testutil::FromValues(rows);
+  auto algo = MakeDiscovery(GetParam(), 1e-6);
+  DiscoveryResult res = algo->discover(r);
+  EXPECT_TRUE(res.stats.timed_out) << GetParam();
+}
+
+TEST_P(AlgorithmDeadlineTest, GenerousBudgetCompletes) {
+  Relation r = testutil::RandomRelation(7, 60, 5, 3);
+  auto algo = MakeDiscovery(GetParam(), 3600);
+  DiscoveryResult res = algo->discover(r);
+  EXPECT_FALSE(res.stats.timed_out) << GetParam();
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(res.fds.size(), expected.size()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmDeadlineTest,
+                         ::testing::ValuesIn(AllDiscoveryNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,149 @@
+#include "algo/dhyfd.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/cover.h"
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::CoverDifference;
+using testutil::FromValues;
+using testutil::HoldsBruteForce;
+using testutil::RandomRelation;
+
+TEST(DhyfdTest, MatchesBruteForceOnRandomData) {
+  for (int seed = 1; seed <= 12; ++seed) {
+    Relation r = RandomRelation(seed * 19, 40, 5, 3);
+    DiscoveryResult res = Dhyfd().discover(r);
+    FdSet expected = BruteForceDiscover(r);
+    EXPECT_EQ(CoverDifference(expected, res.fds, 5), "") << "seed=" << seed;
+    EXPECT_EQ(res.fds.size(), expected.size()) << "seed=" << seed;
+  }
+}
+
+TEST(DhyfdTest, OutputLeftReducedAndValid) {
+  Relation r = RandomRelation(7, 90, 6, 3);
+  DiscoveryResult res = Dhyfd().discover(r);
+  EXPECT_TRUE(IsLeftReduced(res.fds, 6));
+  for (const Fd& fd : res.fds.fds) {
+    EXPECT_TRUE(HoldsBruteForce(r, fd)) << fd.to_string();
+  }
+}
+
+TEST(DhyfdTest, ConstantKeyAndDerivedColumns) {
+  // col0 constant; col1 key; col2 random; col3 = f(col2).
+  Relation r = FromValues({
+      {9, 0, 0, 10}, {9, 1, 0, 10}, {9, 2, 1, 11}, {9, 3, 1, 11}, {9, 4, 2, 12}});
+  DiscoveryResult res = Dhyfd().discover(r);
+  bool constant = false, derived = false;
+  for (const Fd& fd : res.fds.fds) {
+    if (fd == Fd(AttributeSet{}, 0)) constant = true;
+    if (fd == Fd(AttributeSet{2}, 3)) derived = true;
+  }
+  EXPECT_TRUE(constant);
+  EXPECT_TRUE(derived);
+}
+
+TEST(DhyfdTest, RatioThresholdDoesNotChangeOutput) {
+  Relation r = RandomRelation(43, 120, 6, 3);
+  FdSet expected = BruteForceDiscover(r);
+  for (double ratio : {0.1, 1.0, 3.0, 100.0}) {
+    DhyfdOptions opt;
+    opt.ratio_threshold = ratio;
+    DiscoveryResult res = Dhyfd(opt).discover(r);
+    EXPECT_EQ(CoverDifference(expected, res.fds, 6), "") << "ratio=" << ratio;
+  }
+}
+
+TEST(DhyfdTest, DdmDisabledStillExact) {
+  Relation r = RandomRelation(47, 100, 5, 3);
+  DhyfdOptions opt;
+  opt.enable_ddm = false;
+  DiscoveryResult res = Dhyfd(opt).discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, res.fds, 5), "");
+  EXPECT_EQ(res.stats.ddm_updates, 0);
+}
+
+TEST(DhyfdTest, AggressiveRatioTriggersDdmUpdates) {
+  // Valid level-2 FD {0,1} -> 2 plus a level-3 FD {0,1,4} -> 3 sharing the
+  // path prefix 0 -> 1: after validating level 2 the prefix node is
+  // reusable and efficiency is positive, so an eager ratio threshold must
+  // trigger a DDM refresh.
+  Random rng(4242);
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 400; ++i) {
+    int a = static_cast<int>(rng.next_below(20));
+    int b = static_cast<int>(rng.next_below(10));
+    int e = static_cast<int>(rng.next_below(5));
+    int f = static_cast<int>(rng.next_below(3));
+    rows.push_back({a, b, (a * 3 + b) % 17, (a + 2 * b + 5 * e) % 19, e, f});
+  }
+  Relation r = testutil::FromValues(rows);
+  DhyfdOptions opt;
+  opt.ratio_threshold = 0.01;  // refresh eagerly
+  DiscoveryResult res = Dhyfd(opt).discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, res.fds, 6), "");
+  EXPECT_GE(res.stats.ddm_updates, 1);
+}
+
+TEST(DhyfdTest, TallRelation) {
+  Relation r = RandomRelation(53, 800, 4, 8);
+  DiscoveryResult res = Dhyfd().discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, res.fds, 4), "");
+}
+
+TEST(DhyfdTest, WideRelation) {
+  Relation r = RandomRelation(59, 50, 9, 2);
+  DiscoveryResult res = Dhyfd().discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, res.fds, 9), "");
+}
+
+TEST(DhyfdTest, EmptyAndTinyRelations) {
+  DiscoveryResult res0 = Dhyfd().discover(FromValues({}));
+  SUCCEED();
+  DiscoveryResult res1 = Dhyfd().discover(FromValues({{1}}));
+  EXPECT_EQ(res1.fds.size(), 1);
+  DiscoveryResult res2 = Dhyfd().discover(FromValues({{1, 1}, {2, 2}}));
+  // Column 0 <-> column 1 bijection: 0 -> 1 and 1 -> 0.
+  EXPECT_EQ(res2.fds.size(), 2);
+}
+
+TEST(DhyfdTest, DuplicateHeavyData) {
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 60; ++i) rows.push_back({i / 10, i / 10, i / 20, i % 3});
+  Relation r = testutil::FromValues(rows);
+  DiscoveryResult res = Dhyfd().discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, res.fds, 4), "");
+}
+
+TEST(DhyfdTest, StatsPopulated) {
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 200; ++i) {
+    int a = i % 20, b = (i * 7) % 10;
+    rows.push_back({a, b, (a * 3 + b) % 17, i % 4, (i * 5) % 6});
+  }
+  Relation r = testutil::FromValues(rows);
+  DiscoveryResult res = Dhyfd().discover(r);
+  EXPECT_GT(res.fds.size(), 0);
+  EXPECT_GT(res.stats.validations, 0);
+  EXPECT_GT(res.stats.sampled_non_fds, 0);
+  EXPECT_GE(res.stats.levels, 1);
+  EXPECT_GE(res.stats.seconds, 0);
+}
+
+TEST(DhyfdTest, NoFdsAtAllIsHandled) {
+  Relation r = RandomRelation(61, 200, 5, 3);
+  DiscoveryResult res = Dhyfd().discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(res.fds.size(), expected.size());
+}
+
+}  // namespace
+}  // namespace dhyfd

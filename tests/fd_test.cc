@@ -1,0 +1,84 @@
+#include "fd/fd.h"
+#include "fd/fd_set.h"
+
+#include <gtest/gtest.h>
+
+namespace dhyfd {
+namespace {
+
+TEST(FdTest, Construction) {
+  Fd fd(AttributeSet{0, 1}, 2);
+  EXPECT_EQ(fd.lhs, (AttributeSet{0, 1}));
+  EXPECT_EQ(fd.rhs, AttributeSet{2});
+  EXPECT_EQ(fd.attribute_occurrences(), 3);
+}
+
+TEST(FdTest, ToStringNumeric) {
+  Fd fd(AttributeSet{1, 5}, 3);
+  EXPECT_EQ(fd.to_string(), "{1,5} -> {3}");
+}
+
+TEST(FdTest, ToStringWithSchema) {
+  Schema s({"last_name", "zip", "city"});
+  Fd fd(AttributeSet{0, 1}, 2);
+  EXPECT_EQ(fd.to_string(s), "last_name, zip -> city");
+}
+
+TEST(FdTest, EmptyLhsRendering) {
+  Schema s({"state"});
+  Fd fd(AttributeSet{}, 0);
+  EXPECT_EQ(fd.to_string(s), "{} -> state");
+}
+
+TEST(FdSetTest, SizeMeasures) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0, 1}, 2));
+  fds.add(Fd(AttributeSet{3}, AttributeSet{4, 5}));
+  EXPECT_EQ(fds.size(), 2);
+  EXPECT_EQ(fds.attribute_occurrences(), 3 + 3);
+}
+
+TEST(FdSetTest, SingletonRhsSplit) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0}, AttributeSet{1, 2}));
+  FdSet split = fds.with_singleton_rhs();
+  ASSERT_EQ(split.size(), 2);
+  EXPECT_EQ(split.fds[0].rhs.count(), 1);
+  EXPECT_EQ(split.fds[1].rhs.count(), 1);
+  // Same total attribute occurrences distribution as paper's |Can| vs ||Can||.
+  EXPECT_EQ(split.attribute_occurrences(), 4);
+}
+
+TEST(FdSetTest, MergeSameLhs) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0}, 1));
+  fds.add(Fd(AttributeSet{0}, 2));
+  fds.add(Fd(AttributeSet{3}, 4));
+  FdSet merged = fds.with_merged_lhs();
+  ASSERT_EQ(merged.size(), 2);
+  EXPECT_EQ(merged.fds[0].rhs, (AttributeSet{1, 2}));
+  EXPECT_EQ(merged.fds[1].rhs, AttributeSet{4});
+}
+
+TEST(FdSetTest, SplitMergeRoundTrip) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0, 2}, AttributeSet{1, 3}));
+  FdSet round = fds.with_singleton_rhs().with_merged_lhs();
+  ASSERT_EQ(round.size(), 1);
+  EXPECT_EQ(round.fds[0].lhs, fds.fds[0].lhs);
+  EXPECT_EQ(round.fds[0].rhs, fds.fds[0].rhs);
+}
+
+TEST(FdSetTest, SortIsDeterministic) {
+  FdSet fds;
+  fds.add(Fd(AttributeSet{2, 3}, 0));
+  fds.add(Fd(AttributeSet{1}, 0));
+  fds.add(Fd(AttributeSet{0}, 2));
+  fds.sort();
+  EXPECT_EQ(fds.fds[0].lhs, AttributeSet{0});
+  EXPECT_EQ(fds.fds[1].lhs, AttributeSet{1});
+  EXPECT_EQ(fds.fds[2].lhs, (AttributeSet{2, 3}));
+}
+
+}  // namespace
+}  // namespace dhyfd

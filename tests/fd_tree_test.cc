@@ -1,0 +1,95 @@
+#include "fdtree/fd_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace dhyfd {
+namespace {
+
+TEST(FdTreeTest, AddAndCollect) {
+  FdTree tree(5);
+  tree.add(AttributeSet{0}, 1);
+  tree.add(AttributeSet{0, 1}, 2);
+  FdSet fds = tree.collect();
+  fds.sort();
+  ASSERT_EQ(fds.size(), 2);
+  EXPECT_EQ(fds.fds[0], Fd(AttributeSet{0}, 1));
+  EXPECT_EQ(fds.fds[1], Fd(AttributeSet{0, 1}, 2));
+}
+
+TEST(FdTreeTest, ContainsGeneralization) {
+  FdTree tree(5);
+  tree.add(AttributeSet{0, 2}, 3);
+  EXPECT_TRUE(tree.contains_generalization(AttributeSet{0, 1, 2}, 3));
+  EXPECT_TRUE(tree.contains_generalization(AttributeSet{0, 2}, 3));
+  EXPECT_FALSE(tree.contains_generalization(AttributeSet{0, 1}, 3));
+  EXPECT_FALSE(tree.contains_generalization(AttributeSet{0, 1, 2}, 4));
+}
+
+TEST(FdTreeTest, RootFdIsGeneralizationOfEverything) {
+  FdTree tree(4);
+  tree.add(AttributeSet{}, 2);
+  EXPECT_TRUE(tree.contains_generalization(AttributeSet{0, 1}, 2));
+  EXPECT_TRUE(tree.contains_generalization(AttributeSet{}, 2));
+}
+
+TEST(FdTreeTest, InductRemovesRefutedAndSpecializes) {
+  // Start with {} -> 2; non-FD {0} !-> 2 should specialize to {1} -> 2 and
+  // {3} -> 2 (attribute 0 excluded: subset of the non-FD LHS; 2 excluded:
+  // trivial).
+  FdTree tree(4);
+  tree.add(AttributeSet{}, 2);
+  tree.induct(AttributeSet{0}, 2);
+  FdSet fds = tree.collect();
+  fds.sort();
+  ASSERT_EQ(fds.size(), 2);
+  EXPECT_EQ(fds.fds[0], Fd(AttributeSet{1}, 2));
+  EXPECT_EQ(fds.fds[1], Fd(AttributeSet{3}, 2));
+}
+
+TEST(FdTreeTest, InductKeepsUnrelatedFds) {
+  FdTree tree(4);
+  tree.add(AttributeSet{0}, 1);
+  tree.add(AttributeSet{0}, 3);
+  tree.induct(AttributeSet{0, 2}, 1);  // refutes {0} -> 1 only
+  FdSet fds = tree.collect();
+  bool has_03 = false, has_01 = false;
+  for (const Fd& fd : fds.fds) {
+    if (fd == Fd(AttributeSet{0}, 3)) has_03 = true;
+    if (fd == Fd(AttributeSet{0}, 1)) has_01 = true;
+  }
+  EXPECT_TRUE(has_03);
+  EXPECT_FALSE(has_01);
+}
+
+TEST(FdTreeTest, InductIsMinimal) {
+  FdTree tree(4);
+  tree.add(AttributeSet{}, 3);
+  tree.add(AttributeSet{1}, 3);  // pre-existing specialization
+  tree.induct(AttributeSet{0}, 3);
+  FdSet fds = tree.collect();
+  // {1} -> 3 must appear once, not duplicated by the specialization step.
+  int count_13 = 0;
+  for (const Fd& fd : fds.fds) {
+    if (fd == Fd(AttributeSet{1}, 3)) ++count_13;
+  }
+  EXPECT_EQ(count_13, 1);
+}
+
+TEST(FdTreeTest, NodeCountGrowsOnAdd) {
+  FdTree tree(5);
+  size_t base = tree.node_count();
+  tree.add(AttributeSet{0, 1, 2}, 3);
+  EXPECT_EQ(tree.node_count(), base + 3);
+  tree.add(AttributeSet{0, 1}, 4);  // shares the existing path
+  EXPECT_EQ(tree.node_count(), base + 3);
+}
+
+TEST(FdTreeTest, LabelCountReflectsPropagation) {
+  FdTree tree(5);
+  tree.add(AttributeSet{0, 1, 2}, 3);
+  // Classic labeling: the label 3 sits on the root and every path node.
+  EXPECT_EQ(tree.label_count(), 4);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,168 @@
+// Deeper induction scenarios on both FD-tree flavors: chains of non-FDs,
+// interleavings, and equivalence of classic vs synergized induction
+// results. These pin down the invariants DHyFD's main loop relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/agree_sets.h"
+#include "fdtree/extended_fd_tree.h"
+#include "fdtree/fd_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace dhyfd {
+namespace {
+
+// Applies the same random non-FD stream to a classic tree (per-attribute)
+// and an extended tree (synergized); both must converge to the same FD set.
+TEST(InductionEquivalenceTest, ClassicAndSynergizedConverge) {
+  for (int seed = 1; seed <= 12; ++seed) {
+    Random rng(seed * 7919);
+    const int m = 6;
+    const AttributeSet all = AttributeSet::full(m);
+    std::vector<AttributeSet> non_fds;
+    int count = 3 + static_cast<int>(rng.next_below(12));
+    for (int i = 0; i < count; ++i) {
+      AttributeSet x;
+      for (int a = 0; a < m; ++a) {
+        if (rng.next_bool(0.45)) x.set(a);
+      }
+      if (x.count() < m) non_fds.push_back(x);
+    }
+
+    FdTree classic(m);
+    for (AttrId a = 0; a < m; ++a) classic.add(AttributeSet(), a);
+    ExtendedFdTree extended(m);
+    extended.init_root_fd(all);
+
+    for (const AttributeSet& x : non_fds) {
+      (all - x).for_each([&](AttrId a) { classic.induct(x, a); });
+      extended.induct(x, all - x);
+    }
+
+    FdSet from_classic = classic.collect();
+    FdSet from_extended = extended.collect();
+    from_classic.sort();
+    from_extended.sort();
+    ASSERT_EQ(from_classic.size(), from_extended.with_singleton_rhs().size())
+        << "seed=" << seed;
+    FdSet ext_singles = from_extended.with_singleton_rhs();
+    ext_singles.sort();
+    for (int64_t i = 0; i < from_classic.size(); ++i) {
+      EXPECT_EQ(from_classic.fds[i], ext_singles.fds[i]) << "seed=" << seed;
+    }
+  }
+}
+
+// The surviving FDs are exactly those not refuted by any processed non-FD,
+// and they are pairwise minimal.
+TEST(InductionEquivalenceTest, SurvivorsAreMinimalAndUnrefuted) {
+  Random rng(4242);
+  const int m = 7;
+  const AttributeSet all = AttributeSet::full(m);
+  std::vector<AttributeSet> non_fds;
+  for (int i = 0; i < 20; ++i) {
+    AttributeSet x;
+    for (int a = 0; a < m; ++a) {
+      if (rng.next_bool(0.5)) x.set(a);
+    }
+    if (x.count() < m) non_fds.push_back(x);
+  }
+  ExtendedFdTree tree(m);
+  tree.init_root_fd(all);
+  for (const AttributeSet& x : non_fds) tree.induct(x, all - x);
+
+  FdSet fds = tree.collect().with_singleton_rhs();
+  for (const Fd& fd : fds.fds) {
+    for (const AttributeSet& x : non_fds) {
+      bool refuted = fd.lhs.is_subset_of(x) && !x.test(fd.rhs.first());
+      EXPECT_FALSE(refuted) << fd.to_string() << " vs " << x.to_string();
+    }
+  }
+  // Pairwise minimality for equal RHS.
+  for (const Fd& a : fds.fds) {
+    for (const Fd& b : fds.fds) {
+      if (a.rhs == b.rhs && a.lhs != b.lhs) {
+        EXPECT_FALSE(a.lhs.is_subset_of(b.lhs))
+            << a.to_string() << " generalizes " << b.to_string();
+      }
+    }
+  }
+}
+
+// Order independence: applying the same non-FD set in different orders must
+// give the same final tree content.
+TEST(InductionEquivalenceTest, OrderIndependentFixpoint) {
+  Random rng(777);
+  const int m = 6;
+  const AttributeSet all = AttributeSet::full(m);
+  std::vector<AttributeSet> non_fds;
+  for (int i = 0; i < 10; ++i) {
+    AttributeSet x;
+    for (int a = 0; a < m; ++a) {
+      if (rng.next_bool(0.4)) x.set(a);
+    }
+    if (x.count() < m) non_fds.push_back(x);
+  }
+  auto run = [&](std::vector<AttributeSet> order) {
+    ExtendedFdTree tree(m);
+    tree.init_root_fd(all);
+    for (const AttributeSet& x : order) tree.induct(x, all - x);
+    FdSet fds = tree.collect().with_singleton_rhs();
+    fds.sort();
+    return fds;
+  };
+  FdSet forward = run(non_fds);
+  std::vector<AttributeSet> reversed(non_fds.rbegin(), non_fds.rend());
+  FdSet backward = run(reversed);
+  SortBySizeDescending(non_fds);
+  FdSet sorted_first = run(non_fds);
+  ASSERT_EQ(forward.size(), backward.size());
+  ASSERT_EQ(forward.size(), sorted_first.size());
+  for (int64_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward.fds[i], backward.fds[i]);
+    EXPECT_EQ(forward.fds[i], sorted_first.fds[i]);
+  }
+}
+
+// Re-applying a non-FD is a no-op (idempotence).
+TEST(InductionEquivalenceTest, Idempotent) {
+  const int m = 5;
+  const AttributeSet all = AttributeSet::full(m);
+  ExtendedFdTree tree(m);
+  tree.init_root_fd(all);
+  AttributeSet x{0, 2};
+  tree.induct(x, all - x);
+  FdSet once = tree.collect().with_singleton_rhs();
+  once.sort();
+  tree.induct(x, all - x);
+  FdSet twice = tree.collect().with_singleton_rhs();
+  twice.sort();
+  ASSERT_EQ(once.size(), twice.size());
+  for (int64_t i = 0; i < once.size(); ++i) EXPECT_EQ(once.fds[i], twice.fds[i]);
+}
+
+// Node count and FD count stay consistent through heavy churn.
+TEST(InductionEquivalenceTest, CountersStayConsistent) {
+  Random rng(31337);
+  const int m = 8;
+  const AttributeSet all = AttributeSet::full(m);
+  ExtendedFdTree tree(m);
+  tree.init_root_fd(all);
+  for (int i = 0; i < 40; ++i) {
+    AttributeSet x;
+    for (int a = 0; a < m; ++a) {
+      if (rng.next_bool(0.5)) x.set(a);
+    }
+    if (x.count() == m) continue;
+    tree.induct(x, all - x);
+    EXPECT_EQ(tree.total_fd_count(),
+              static_cast<int64_t>(tree.collect().with_singleton_rhs().size()));
+    EXPECT_GE(tree.node_count(), 1u);
+    EXPECT_LE(tree.depth(), m);
+  }
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,116 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/encoder.h"
+
+namespace dhyfd {
+namespace {
+
+DatasetSpec SimpleSpec() {
+  DatasetSpec s;
+  s.name = "t";
+  s.rows = 500;
+  s.seed = 7;
+  ColumnSpec key{.name = "k", .kind = ColumnKind::kKey};
+  ColumnSpec constant{.name = "c", .kind = ColumnKind::kConstant};
+  ColumnSpec random{.name = "r", .kind = ColumnKind::kRandom, .domain_size = 10};
+  ColumnSpec derived{.name = "d", .kind = ColumnKind::kDerived, .domain_size = 40};
+  derived.parents = {2};
+  s.columns = {key, constant, random, derived};
+  return s;
+}
+
+TEST(GeneratorTest, ShapeMatchesSpec) {
+  RawTable t = GenerateRawTable(SimpleSpec());
+  EXPECT_EQ(t.num_rows(), 500);
+  EXPECT_EQ(t.num_cols(), 4);
+  EXPECT_EQ(t.header[0], "k");
+}
+
+TEST(GeneratorTest, Deterministic) {
+  RawTable a = GenerateRawTable(SimpleSpec());
+  RawTable b = GenerateRawTable(SimpleSpec());
+  EXPECT_EQ(a.rows, b.rows);
+  DatasetSpec other = SimpleSpec();
+  other.seed = 8;
+  RawTable c = GenerateRawTable(other);
+  EXPECT_NE(a.rows, c.rows);
+}
+
+TEST(GeneratorTest, KeyColumnIsUnique) {
+  RawTable t = GenerateRawTable(SimpleSpec());
+  std::set<std::string> seen;
+  for (const auto& row : t.rows) EXPECT_TRUE(seen.insert(row[0]).second);
+}
+
+TEST(GeneratorTest, ConstantColumnIsConstant) {
+  RawTable t = GenerateRawTable(SimpleSpec());
+  for (const auto& row : t.rows) EXPECT_EQ(row[1], t.rows[0][1]);
+}
+
+TEST(GeneratorTest, DerivedColumnRespectsPlantedFd) {
+  RawTable t = GenerateRawTable(SimpleSpec());
+  EncodedRelation e = EncodeRelation(t);
+  EXPECT_TRUE(e.relation.satisfies(AttributeSet{2}, 3));
+}
+
+TEST(GeneratorTest, RandomColumnStaysInDomain) {
+  RawTable t = GenerateRawTable(SimpleSpec());
+  std::set<std::string> distinct;
+  for (const auto& row : t.rows) distinct.insert(row[2]);
+  EXPECT_LE(distinct.size(), 10u);
+  EXPECT_GE(distinct.size(), 5u);  // 500 draws over 10 values hit most
+}
+
+TEST(GeneratorTest, NullRateProducesNulls) {
+  DatasetSpec s = SimpleSpec();
+  s.columns[2].null_rate = 0.3;
+  RawTable t = GenerateRawTable(s);
+  int nulls = 0;
+  for (const auto& row : t.rows) {
+    if (row[2].empty()) ++nulls;
+  }
+  EXPECT_GT(nulls, 500 * 0.15);
+  EXPECT_LT(nulls, 500 * 0.45);
+}
+
+TEST(GeneratorTest, DuplicateRowsCopyNonKeyColumns) {
+  DatasetSpec s = SimpleSpec();
+  s.duplicate_row_rate = 0.5;
+  RawTable t = GenerateRawTable(s);
+  int dup_pairs = 0;
+  for (int i = 1; i < t.num_rows(); ++i) {
+    if (t.rows[i][2] == t.rows[i - 1][2] && t.rows[i][3] == t.rows[i - 1][3]) {
+      ++dup_pairs;
+    }
+  }
+  EXPECT_GT(dup_pairs, 100);
+}
+
+TEST(GeneratorTest, SkewConcentratesMass) {
+  DatasetSpec s;
+  s.rows = 2000;
+  s.seed = 3;
+  ColumnSpec skewed{.name = "z", .kind = ColumnKind::kRandom, .domain_size = 100};
+  skewed.skew = 2.0;
+  s.columns = {skewed};
+  RawTable t = GenerateRawTable(s);
+  int top = 0;
+  for (const auto& row : t.rows) {
+    if (row[0] == "v0") ++top;
+  }
+  EXPECT_GT(top, 2000 / 100);  // far above uniform share
+}
+
+TEST(GeneratorTest, SelfDependentDerivedThrows) {
+  DatasetSpec s;
+  s.rows = 10;
+  ColumnSpec bad{.name = "x", .kind = ColumnKind::kDerived, .domain_size = 5};
+  bad.parents = {0};
+  s.columns = {bad};
+  EXPECT_THROW(GenerateRawTable(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,103 @@
+#include "algo/hyfd.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/cover.h"
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::CoverDifference;
+using testutil::FromValues;
+using testutil::HoldsBruteForce;
+using testutil::RandomRelation;
+
+TEST(HyfdTest, MatchesBruteForceOnRandomData) {
+  for (int seed = 1; seed <= 10; ++seed) {
+    Relation r = RandomRelation(seed * 17, 40, 5, 3);
+    DiscoveryResult res = Hyfd().discover(r);
+    FdSet expected = BruteForceDiscover(r);
+    EXPECT_EQ(CoverDifference(expected, res.fds, 5), "") << "seed=" << seed;
+    EXPECT_EQ(res.fds.size(), expected.size()) << "seed=" << seed;
+  }
+}
+
+TEST(HyfdTest, OutputLeftReducedAndValid) {
+  Relation r = RandomRelation(5, 80, 6, 3);
+  DiscoveryResult res = Hyfd().discover(r);
+  EXPECT_TRUE(IsLeftReduced(res.fds, 6));
+  for (const Fd& fd : res.fds.fds) {
+    EXPECT_TRUE(HoldsBruteForce(r, fd)) << fd.to_string();
+  }
+}
+
+TEST(HyfdTest, ConstantColumn) {
+  Relation r = FromValues({{3, 0}, {3, 1}, {3, 2}});
+  DiscoveryResult res = Hyfd().discover(r);
+  ASSERT_GE(res.fds.size(), 1);
+  EXPECT_EQ(res.fds.fds[0], Fd(AttributeSet{}, 0));
+}
+
+TEST(HyfdTest, WiderRelation) {
+  Relation r = RandomRelation(23, 60, 8, 2);
+  DiscoveryResult res = Hyfd().discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, res.fds, 8), "");
+}
+
+TEST(HyfdTest, TallerRelation) {
+  Relation r = RandomRelation(29, 600, 4, 6);
+  DiscoveryResult res = Hyfd().discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, res.fds, 4), "");
+}
+
+TEST(HyfdTest, SwitchThresholdStillExact) {
+  // Extreme thresholds exercise both phases; the result must not change.
+  Relation r = RandomRelation(31, 100, 5, 3);
+  HyfdOptions always_sample;
+  always_sample.validation_switch_threshold = 0.0;  // switch on any invalid
+  HyfdOptions never_sample;
+  never_sample.validation_switch_threshold = 1.1;  // never switch back
+  DiscoveryResult a = Hyfd(always_sample).discover(r);
+  DiscoveryResult b = Hyfd(never_sample).discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(CoverDifference(expected, a.fds, 5), "");
+  EXPECT_EQ(CoverDifference(expected, b.fds, 5), "");
+}
+
+TEST(HyfdTest, EmptyAndTinyRelations) {
+  DiscoveryResult res0 = Hyfd().discover(FromValues({}));
+  SUCCEED();
+  DiscoveryResult res1 = Hyfd().discover(FromValues({{1, 2, 3}}));
+  EXPECT_EQ(res1.fds.size(), 3);
+}
+
+TEST(HyfdTest, StatsPopulated) {
+  // Planted FDs guarantee a non-empty tree, so validation levels run.
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 200; ++i) {
+    int a = i % 20, b = (i * 7) % 10;
+    rows.push_back({a, b, (a * 3 + b) % 17, i % 4, (i * 5) % 6});
+  }
+  Relation r = FromValues(rows);
+  DiscoveryResult res = Hyfd().discover(r);
+  EXPECT_GT(res.fds.size(), 0);
+  EXPECT_GT(res.stats.validations, 0);
+  EXPECT_GT(res.stats.pairs_compared, 0);
+  EXPECT_GE(res.stats.levels, 1);
+}
+
+TEST(HyfdTest, NoFdsAtAllIsHandled) {
+  // Dense random data over a tiny domain can satisfy no FD whatsoever; the
+  // algorithm must return an empty cover, not loop or crash.
+  Relation r = RandomRelation(41, 150, 5, 3);
+  DiscoveryResult res = Hyfd().discover(r);
+  FdSet expected = BruteForceDiscover(r);
+  EXPECT_EQ(res.fds.size(), expected.size());
+  EXPECT_GT(res.stats.pairs_compared, 0);  // sampling pairs counted
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,110 @@
+#include "fd/keys.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/discovery.h"
+#include "fd/closure.h"
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+FdSet TextbookCover() {
+  // R = {A,B,C,D}; A -> B, B -> C. Keys: {A, D}.
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0}, 1));
+  fds.add(Fd(AttributeSet{1}, 2));
+  return fds;
+}
+
+TEST(KeysTest, IsSuperkey) {
+  FdSet cover = TextbookCover();
+  EXPECT_TRUE(IsSuperkey(cover, AttributeSet{0, 3}, 4));
+  EXPECT_TRUE(IsSuperkey(cover, AttributeSet{0, 1, 2, 3}, 4));
+  EXPECT_FALSE(IsSuperkey(cover, AttributeSet{0}, 4));
+  EXPECT_FALSE(IsSuperkey(cover, AttributeSet{1, 3}, 4));
+}
+
+TEST(KeysTest, SingleKey) {
+  std::vector<AttributeSet> keys = FindCandidateKeys(TextbookCover(), 4);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (AttributeSet{0, 3}));
+}
+
+TEST(KeysTest, MultipleKeysViaCycle) {
+  // A -> B, B -> A: both {A} and {B} are keys of R = {A,B}.
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0}, 1));
+  fds.add(Fd(AttributeSet{1}, 0));
+  std::vector<AttributeSet> keys = FindCandidateKeys(fds, 2);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), AttributeSet{0}), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), AttributeSet{1}), keys.end());
+}
+
+TEST(KeysTest, KeysAreMinimalAndSuperkeys) {
+  Relation r = testutil::RandomRelation(21, 60, 5, 3);
+  FdSet cover = BruteForceDiscover(r);
+  std::vector<AttributeSet> keys = FindCandidateKeys(cover, 5);
+  ASSERT_FALSE(keys.empty());
+  for (const AttributeSet& key : keys) {
+    EXPECT_TRUE(IsSuperkey(cover, key, 5));
+    key.for_each([&](AttrId a) {
+      AttributeSet smaller = key;
+      smaller.reset(a);
+      EXPECT_FALSE(IsSuperkey(cover, smaller, 5)) << key.to_string();
+    });
+  }
+  // Pairwise incomparable.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = 0; j < keys.size(); ++j) {
+      if (i != j) EXPECT_FALSE(keys[i].is_subset_of(keys[j]));
+    }
+  }
+}
+
+TEST(KeysTest, EmptyCoverWholeSchemaIsKey) {
+  FdSet empty;
+  std::vector<AttributeSet> keys = FindCandidateKeys(empty, 3);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttributeSet::full(3));
+}
+
+TEST(KeysTest, ConstantColumnsLeaveKey) {
+  // {} -> A: A belongs to no key; key of R = {A,B} is {B}.
+  FdSet fds;
+  fds.add(Fd(AttributeSet{}, 0));
+  std::vector<AttributeSet> keys = FindCandidateKeys(fds, 2);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttributeSet{1});
+}
+
+TEST(KeysTest, MandatoryAttributes) {
+  FdSet cover = TextbookCover();
+  // D (3) and A (0) never appear on a RHS.
+  EXPECT_EQ(MandatoryKeyAttributes(cover, 4), (AttributeSet{0, 3}));
+}
+
+TEST(KeysTest, MaxKeysCapsSearch) {
+  // n cyclic attributes: n keys; cap at 2.
+  FdSet fds;
+  for (int i = 0; i < 6; ++i) fds.add(Fd(AttributeSet{i}, (i + 1) % 6));
+  std::vector<AttributeSet> keys = FindCandidateKeys(fds, 6, 2);
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(KeysTest, KeyColumnFoundOnData) {
+  Relation r = testutil::FromValues({{0, 5, 1}, {1, 5, 1}, {2, 6, 2}, {3, 6, 3}});
+  FdSet cover = BruteForceDiscover(r);
+  std::vector<AttributeSet> keys = FindCandidateKeys(cover, 3);
+  bool has_col0 = false;
+  for (const AttributeSet& k : keys) {
+    if (k == AttributeSet{0}) has_col0 = true;
+  }
+  EXPECT_TRUE(has_col0);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,136 @@
+#include "fd/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/discovery.h"
+#include "fd/closure.h"
+#include "fd/cover.h"
+#include "fd/keys.h"
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+FdSet ZipCover() {
+  // R = {city(0), street(1), zip(2)}: {city,street} -> zip, zip -> city.
+  // The classic BCNF-unreachable-with-preservation example.
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0, 1}, 2));
+  fds.add(Fd(AttributeSet{2}, 0));
+  return fds;
+}
+
+TEST(NormalizeTest, BcnfDetection) {
+  FdSet bcnf;
+  bcnf.add(Fd(AttributeSet{0}, 1));  // {A} -> B with A key of {A,B}
+  EXPECT_TRUE(IsBcnf(bcnf, 2));
+  EXPECT_FALSE(IsBcnf(ZipCover(), 3));
+}
+
+TEST(NormalizeTest, ThreeNfDetection) {
+  // ZipCover is in 3NF (city is prime) but not BCNF.
+  EXPECT_TRUE(Is3nf(ZipCover(), 3));
+  // A -> B with key {A,C} and B non-prime: not 3NF.
+  FdSet partial;
+  partial.add(Fd(AttributeSet{0}, 1));
+  EXPECT_FALSE(Is3nf(partial, 3));
+  EXPECT_TRUE(Is3nf(FdSet(), 3));
+}
+
+TEST(NormalizeTest, BcnfViolationsList) {
+  std::vector<Fd> violations = BcnfViolations(ZipCover(), 3);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].lhs, AttributeSet{2});  // zip -> city
+}
+
+TEST(NormalizeTest, ProjectCover) {
+  // Project A -> B, B -> C onto {A, C}: transitively A -> C.
+  FdSet fds;
+  fds.add(Fd(AttributeSet{0}, 1));
+  fds.add(Fd(AttributeSet{1}, 2));
+  FdSet projected = ProjectCover(fds, AttributeSet{0, 2}, 3);
+  ASSERT_EQ(projected.size(), 1);
+  EXPECT_EQ(projected.fds[0], Fd(AttributeSet{0}, 2));
+}
+
+TEST(NormalizeTest, BcnfDecompositionIsLosslessShaped) {
+  BcnfResult result = DecomposeBcnf(ZipCover(), 3);
+  ASSERT_GE(result.schemas.size(), 2u);
+  // Every schema must itself be in BCNF w.r.t. its projected FDs.
+  for (const SubSchema& s : result.schemas) {
+    ClosureEngine engine(s.fds, 3);
+    for (const Fd& fd : s.fds.fds) {
+      if (fd.rhs.is_subset_of(fd.lhs)) continue;
+      EXPECT_TRUE(s.attrs.is_subset_of(engine.closure(fd.lhs)))
+          << s.attrs.to_string() << " " << fd.to_string();
+    }
+  }
+  // The classic example loses {city,street} -> zip.
+  EXPECT_FALSE(result.dependencies_preserved);
+  // Union of schemas covers the original attributes.
+  AttributeSet covered;
+  for (const SubSchema& s : result.schemas) covered |= s.attrs;
+  EXPECT_EQ(covered, AttributeSet::full(3));
+}
+
+TEST(NormalizeTest, BcnfDecompositionOfBcnfSchemaIsIdentity) {
+  FdSet bcnf;
+  bcnf.add(Fd(AttributeSet{0}, AttributeSet{1, 2}));  // A key of {A,B,C}
+  BcnfResult result = DecomposeBcnf(bcnf, 3);
+  ASSERT_EQ(result.schemas.size(), 1u);
+  EXPECT_EQ(result.schemas[0].attrs, AttributeSet::full(3));
+  EXPECT_TRUE(result.dependencies_preserved);
+}
+
+TEST(NormalizeTest, Synthesize3nfPreservesDependenciesAndKey) {
+  FdSet canonical = CanonicalCover(ZipCover(), 3);
+  std::vector<SubSchema> schemas = Synthesize3nf(canonical, 3);
+  // Union of per-schema FDs implies the cover.
+  FdSet united;
+  for (const SubSchema& s : schemas) {
+    for (const Fd& fd : s.fds.fds) united.add(fd);
+  }
+  EXPECT_TRUE(CoversEquivalent(united, canonical, 3));
+  // Some schema contains a candidate key.
+  std::vector<AttributeSet> keys = FindCandidateKeys(canonical, 3);
+  bool key_contained = false;
+  for (const SubSchema& s : schemas) {
+    for (const AttributeSet& key : keys) {
+      if (key.is_subset_of(s.attrs)) key_contained = true;
+    }
+  }
+  EXPECT_TRUE(key_contained);
+}
+
+TEST(NormalizeTest, Synthesize3nfCoversAllAttributes) {
+  // Attribute 3 appears in no FD: it must land in the key schema.
+  FdSet canonical = CanonicalCover(ZipCover(), 4);
+  std::vector<SubSchema> schemas = Synthesize3nf(canonical, 4);
+  AttributeSet covered;
+  for (const SubSchema& s : schemas) covered |= s.attrs;
+  EXPECT_EQ(covered, AttributeSet::full(4));
+}
+
+TEST(NormalizeTest, SynthesisOnDiscoveredCover) {
+  Relation r = testutil::RandomRelation(33, 80, 5, 3);
+  FdSet lr = BruteForceDiscover(r);
+  FdSet canonical = CanonicalCover(lr, 5);
+  std::vector<SubSchema> schemas = Synthesize3nf(canonical, 5);
+  AttributeSet covered;
+  FdSet united;
+  for (const SubSchema& s : schemas) {
+    covered |= s.attrs;
+    for (const Fd& fd : s.fds.fds) united.add(fd);
+  }
+  EXPECT_EQ(covered, AttributeSet::full(5));
+  EXPECT_TRUE(CoversEquivalent(united, canonical, 5));
+}
+
+TEST(NormalizeTest, SubSchemaToString) {
+  Schema schema({"a", "b", "c"});
+  SubSchema s{AttributeSet{0, 2}, {}, true};
+  EXPECT_EQ(s.to_string(schema), "R(a, c) [key schema]");
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,70 @@
+#include "partition/partition_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+using testutil::RandomRelation;
+
+TEST(PartitionCacheTest, MatchesDirectBuild) {
+  Relation r = RandomRelation(3, 120, 5, 3);
+  PartitionCache cache(r);
+  for (AttributeSet x : {AttributeSet{0}, AttributeSet{1, 3}, AttributeSet{0, 2, 4}}) {
+    StrippedPartition cached = cache.get(x);
+    StrippedPartition direct = BuildPartition(r, x);
+    cached.normalize();
+    direct.normalize();
+    EXPECT_EQ(cached.to_string(), direct.to_string()) << x.to_string();
+  }
+}
+
+TEST(PartitionCacheTest, PrefixesAreReused) {
+  Relation r = RandomRelation(5, 100, 5, 3);
+  PartitionCache cache(r);
+  cache.get(AttributeSet{0, 1, 2});
+  int64_t built = cache.partitions_built();
+  // {0,1} is a prefix of {0,1,2}: already cached, nothing new to build.
+  cache.get(AttributeSet{0, 1});
+  EXPECT_EQ(cache.partitions_built(), built);
+  // {0,1,3} shares the {0,1} prefix: exactly one new refinement.
+  cache.get(AttributeSet{0, 1, 3});
+  EXPECT_EQ(cache.partitions_built(), built + 1);
+}
+
+TEST(PartitionCacheTest, ImpliesMatchesSatisfies) {
+  Relation r = RandomRelation(7, 90, 4, 3);
+  PartitionCache cache(r);
+  for (AttrId a = 0; a < 4; ++a) {
+    for (AttrId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(cache.implies(AttributeSet::single(b), a),
+                r.satisfies(AttributeSet::single(b), a))
+          << b << "->" << a;
+    }
+  }
+}
+
+TEST(PartitionCacheTest, EmptyLhsConstantCheck) {
+  Relation r = FromValues({{7, 0}, {7, 1}});
+  PartitionCache cache(r);
+  EXPECT_TRUE(cache.implies(AttributeSet(), 0));
+  EXPECT_FALSE(cache.implies(AttributeSet(), 1));
+}
+
+TEST(PartitionCacheTest, EvictionKeepsCorrectness) {
+  Relation r = RandomRelation(11, 80, 6, 3);
+  PartitionCache cache(r, /*max_entries=*/2);
+  for (int round = 0; round < 3; ++round) {
+    StrippedPartition p = cache.get(AttributeSet{1, 4});
+    StrippedPartition direct = BuildPartition(r, AttributeSet{1, 4});
+    EXPECT_EQ(p.support(), direct.support());
+    cache.get(AttributeSet{0, 2});  // force churn
+  }
+}
+
+}  // namespace
+}  // namespace dhyfd

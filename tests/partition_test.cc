@@ -1,0 +1,178 @@
+#include "partition/partition_ops.h"
+#include "partition/stripped_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+using testutil::RandomRelation;
+
+TEST(StrippedPartitionTest, SingleAttribute) {
+  Relation r = FromValues({{0}, {0}, {1}, {2}, {2}, {2}});
+  StrippedPartition p = BuildAttributePartition(r, 0);
+  p.normalize();
+  ASSERT_EQ(p.size(), 2);
+  EXPECT_EQ(p.clusters[0], (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(p.clusters[1], (std::vector<RowId>{3, 4, 5}));
+  EXPECT_EQ(p.support(), 5);
+  EXPECT_EQ(p.error(), 3);
+}
+
+TEST(StrippedPartitionTest, SingletonsAreStripped) {
+  Relation r = FromValues({{0}, {1}, {2}});
+  StrippedPartition p = BuildAttributePartition(r, 0);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.error(), 0);  // key
+}
+
+TEST(StrippedPartitionTest, EmptyLhsPartition) {
+  Relation r = FromValues({{0}, {1}, {2}});
+  StrippedPartition p = BuildPartition(r, AttributeSet());
+  ASSERT_EQ(p.size(), 1);
+  EXPECT_EQ(p.support(), 3);
+}
+
+TEST(StrippedPartitionTest, EmptyLhsOnTinyRelation) {
+  Relation r1 = FromValues({{0}});
+  EXPECT_TRUE(BuildPartition(r1, AttributeSet()).empty());
+  Relation r0 = FromValues({});
+  EXPECT_TRUE(BuildPartition(r0, AttributeSet()).empty());
+}
+
+TEST(StrippedPartitionTest, MultiAttributePartition) {
+  Relation r = FromValues({{0, 0}, {0, 0}, {0, 1}, {1, 0}, {1, 0}});
+  StrippedPartition p = BuildPartition(r, AttributeSet{0, 1});
+  p.normalize();
+  ASSERT_EQ(p.size(), 2);
+  EXPECT_EQ(p.clusters[0], (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(p.clusters[1], (std::vector<RowId>{3, 4}));
+}
+
+TEST(PartitionRefinerTest, RefineMatchesDirectBuild) {
+  Relation r = RandomRelation(7, 200, 4, 5);
+  PartitionRefiner refiner(r);
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  StrippedPartition refined = refiner.refine(p0, 2);
+  StrippedPartition direct = BuildPartition(r, AttributeSet{0, 2});
+  refined.normalize();
+  direct.normalize();
+  EXPECT_EQ(refined.to_string(), direct.to_string());
+}
+
+TEST(PartitionRefinerTest, RefineAllOrderIndependent) {
+  Relation r = RandomRelation(11, 150, 5, 4);
+  PartitionRefiner refiner(r);
+  StrippedPartition a =
+      refiner.refine_all(BuildAttributePartition(r, 0), AttributeSet{1, 3});
+  StrippedPartition b =
+      refiner.refine(refiner.refine(BuildAttributePartition(r, 0), 3), 1);
+  a.normalize();
+  b.normalize();
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(PartitionRefinerTest, RefineClusterAppendsOnlyNonSingletons) {
+  Relation r = FromValues({{0, 0}, {0, 1}, {0, 0}, {0, 2}});
+  PartitionRefiner refiner(r);
+  std::vector<std::vector<RowId>> out;
+  refiner.refine_cluster({0, 1, 2, 3}, 1, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::vector<RowId>{0, 2}));
+}
+
+TEST(PartitionRefinerTest, ScratchIsReusableAcrossCalls) {
+  Relation r = RandomRelation(13, 100, 3, 6);
+  PartitionRefiner refiner(r);
+  for (int iter = 0; iter < 3; ++iter) {
+    StrippedPartition p = refiner.refine(BuildAttributePartition(r, 0), 1);
+    StrippedPartition direct = BuildPartition(r, AttributeSet{0, 1});
+    EXPECT_EQ(p.support(), direct.support());
+    EXPECT_EQ(p.size(), direct.size());
+  }
+}
+
+TEST(IntersectPartitionsTest, MatchesRefinement) {
+  Relation r = RandomRelation(17, 300, 4, 4);
+  StrippedPartition pa = BuildPartition(r, AttributeSet{0, 1});
+  StrippedPartition pb = BuildPartition(r, AttributeSet{0, 2});
+  StrippedPartition inter = IntersectPartitions(pa, pb, r.num_rows());
+  StrippedPartition direct = BuildPartition(r, AttributeSet{0, 1, 2});
+  inter.normalize();
+  direct.normalize();
+  EXPECT_EQ(inter.to_string(), direct.to_string());
+}
+
+TEST(IntersectPartitionsTest, DisjointGivesEmpty) {
+  Relation r = FromValues({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  StrippedPartition pa = BuildAttributePartition(r, 0);
+  StrippedPartition pb = BuildAttributePartition(r, 1);
+  StrippedPartition inter = IntersectPartitions(pa, pb, r.num_rows());
+  EXPECT_TRUE(inter.empty());
+}
+
+TEST(PartitionImpliesFdTest, DetectsValidity) {
+  Relation r = FromValues({{0, 5, 1}, {0, 5, 2}, {1, 6, 1}});
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  EXPECT_TRUE(PartitionImpliesFd(r, p0, 1));   // 0 -> 1
+  EXPECT_FALSE(PartitionImpliesFd(r, p0, 2));  // 0 !-> 2
+}
+
+TEST(PartitionTest, ErrorIsMonotoneUnderRefinement) {
+  Relation r = RandomRelation(23, 400, 5, 3);
+  PartitionRefiner refiner(r);
+  StrippedPartition p = BuildAttributePartition(r, 0);
+  int64_t prev = p.error();
+  for (AttrId a = 1; a < 5; ++a) {
+    p = refiner.refine(p, a);
+    EXPECT_LE(p.error(), prev);
+    prev = p.error();
+  }
+}
+
+TEST(PartitionTest, MemoryBytesGrowsWithClusters) {
+  Relation r = RandomRelation(29, 500, 2, 3);
+  StrippedPartition p = BuildAttributePartition(r, 0);
+  EXPECT_GT(p.memory_bytes(), sizeof(StrippedPartition));
+}
+
+// Property sweep: refinement equals ground-truth grouping on many shapes.
+class PartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSweep, BuildPartitionMatchesPairwiseDefinition) {
+  int seed = GetParam();
+  Random rng(seed);
+  int rows = 20 + static_cast<int>(rng.next_below(80));
+  int cols = 2 + static_cast<int>(rng.next_below(4));
+  int domain = 2 + static_cast<int>(rng.next_below(5));
+  Relation r = RandomRelation(seed * 31 + 1, rows, cols, domain);
+  AttributeSet x;
+  for (int c = 0; c < cols; ++c) {
+    if (rng.next_bool(0.5)) x.set(c);
+  }
+  StrippedPartition p = BuildPartition(r, x);
+  // Pairwise check: two rows are in the same cluster iff they agree on x.
+  std::vector<int> cluster_of(rows, -1);
+  for (size_t ci = 0; ci < p.clusters.size(); ++ci) {
+    for (RowId row : p.clusters[ci]) cluster_of[row] = static_cast<int>(ci);
+  }
+  int64_t support = 0;
+  for (const auto& c : p.clusters) support += static_cast<int64_t>(c.size());
+  EXPECT_EQ(support, p.support());
+  for (RowId i = 0; i < rows; ++i) {
+    for (RowId j = i + 1; j < rows; ++j) {
+      bool same = cluster_of[i] >= 0 && cluster_of[i] == cluster_of[j];
+      EXPECT_EQ(same, r.agree_on(i, j, x))
+          << "rows " << i << "," << j << " x=" << x.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dhyfd

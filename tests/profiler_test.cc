@@ -1,0 +1,106 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/benchmark_data.h"
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+RawTable SmallTable() {
+  RawTable t;
+  t.header = {"state", "zip", "city", "id"};
+  for (int i = 0; i < 30; ++i) {
+    t.rows.push_back({"nc", "z" + std::to_string(i % 4),
+                      "c" + std::to_string(i % 4), std::to_string(i)});
+  }
+  return t;
+}
+
+TEST(ProfilerTest, FullPipeline) {
+  ProfileReport report = Profiler().profile(SmallTable());
+  EXPECT_EQ(report.schema.size(), 4);
+  EXPECT_GT(report.left_reduced.size(), 0);
+  EXPECT_GT(report.canonical.size(), 0);
+  EXPECT_LE(report.canonical.size(), report.left_reduced.size());
+  EXPECT_EQ(report.ranking.size(), static_cast<size_t>(report.canonical.size()));
+  EXPECT_GT(report.dataset_redundancy.red_plus0, 0);
+}
+
+TEST(ProfilerTest, FindsPlantedStructure) {
+  ProfileReport report = Profiler().profile(SmallTable());
+  AttrId state = report.schema.index_of("state");
+  bool constant_state = false, zip_city = false;
+  for (const Fd& fd : report.left_reduced.fds) {
+    if (fd.lhs.empty() && fd.rhs.test(state)) constant_state = true;
+    if (fd.lhs == AttributeSet::single(report.schema.index_of("zip")) &&
+        fd.rhs.test(report.schema.index_of("city"))) {
+      zip_city = true;
+    }
+  }
+  EXPECT_TRUE(constant_state);
+  EXPECT_TRUE(zip_city);
+}
+
+TEST(ProfilerTest, AlgorithmsInterchangeable) {
+  RawTable t = SmallTable();
+  ProfileOptions base;
+  base.compute_ranking = false;
+  ProfileReport ref = Profiler(base).profile(t);
+  for (const std::string& name : AllDiscoveryNames()) {
+    ProfileOptions opt = base;
+    opt.algorithm = name;
+    ProfileReport rep = Profiler(opt).profile(t);
+    EXPECT_EQ(rep.left_reduced.size(), ref.left_reduced.size()) << name;
+  }
+}
+
+TEST(ProfilerTest, DisablingStagesSkipsWork) {
+  ProfileOptions opt;
+  opt.compute_canonical = false;
+  opt.compute_ranking = false;
+  ProfileReport rep = Profiler(opt).profile(SmallTable());
+  EXPECT_TRUE(rep.canonical.empty());
+  EXPECT_TRUE(rep.ranking.empty());
+}
+
+TEST(ProfilerTest, RankingWithoutCanonicalUsesLeftReduced) {
+  ProfileOptions opt;
+  opt.compute_canonical = false;
+  ProfileReport rep = Profiler(opt).profile(SmallTable());
+  EXPECT_EQ(rep.ranking.size(), static_cast<size_t>(rep.left_reduced.size()));
+}
+
+TEST(ProfilerTest, NullSemanticsOption) {
+  RawTable t;
+  t.header = {"a", "b"};
+  t.rows = {{"", "x"}, {"", "x"}, {"1", "y"}};
+  ProfileOptions eq;
+  ProfileOptions neq;
+  neq.semantics = NullSemantics::kNullNotEqualsNull;
+  ProfileReport rep_eq = Profiler(eq).profile(t);
+  ProfileReport rep_neq = Profiler(neq).profile(t);
+  // Under null != null, column a becomes unique, so a -> b holds there and
+  // its LHS can shrink the cover differently; both must stay self-valid.
+  EXPECT_GT(rep_eq.left_reduced.size(), 0);
+  EXPECT_GT(rep_neq.left_reduced.size(), 0);
+}
+
+TEST(ProfilerTest, SummaryMentionsKeyFigures) {
+  ProfileReport rep = Profiler().profile(SmallTable());
+  std::string s = rep.summary();
+  EXPECT_NE(s.find("left-reduced cover"), std::string::npos);
+  EXPECT_NE(s.find("canonical cover"), std::string::npos);
+  EXPECT_NE(s.find("redundancy"), std::string::npos);
+}
+
+TEST(ProfilerTest, WorksOnGeneratedBenchmark) {
+  RawTable t = GenerateBenchmark("bridges", 108);
+  ProfileReport rep = Profiler().profile(t);
+  EXPECT_GT(rep.left_reduced.size(), 0);
+  EXPECT_LE(rep.canonical.size(), rep.left_reduced.size());
+}
+
+}  // namespace
+}  // namespace dhyfd

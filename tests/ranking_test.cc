@@ -1,0 +1,107 @@
+#include "ranking/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+
+Relation NcvoterLike() {
+  // col0: constant "state"; col1: zip; col2: city = f(zip); col3: id (key).
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 12; ++i) rows.push_back({7, i % 3, (i % 3) * 10, i});
+  return FromValues(rows);
+}
+
+TEST(RankingTest, RanksByDescendingRedundancy) {
+  Relation r = NcvoterLike();
+  FdSet cover;
+  cover.add(Fd(AttributeSet{3}, 1));  // key LHS: 0 redundancy
+  cover.add(Fd(AttributeSet{}, 0));   // constant: 12
+  cover.add(Fd(AttributeSet{1}, 2));  // zip -> city: 12
+  auto ranked = RankFds(r, cover);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_GE(RedundancyCount(ranked[0], RedundancyMode::kExcludingNullRhs),
+            RedundancyCount(ranked[1], RedundancyMode::kExcludingNullRhs));
+  EXPECT_GE(RedundancyCount(ranked[1], RedundancyMode::kExcludingNullRhs),
+            RedundancyCount(ranked[2], RedundancyMode::kExcludingNullRhs));
+  EXPECT_EQ(ranked[2].fd.lhs, AttributeSet{3});
+}
+
+TEST(RankingTest, RedundancyCountModes) {
+  FdRedundancy red;
+  red.with_nulls = 10;
+  red.excluding_null_rhs = 7;
+  red.excluding_null_lhs_rhs = 5;
+  EXPECT_EQ(RedundancyCount(red, RedundancyMode::kWithNulls), 10);
+  EXPECT_EQ(RedundancyCount(red, RedundancyMode::kExcludingNullRhs), 7);
+  EXPECT_EQ(RedundancyCount(red, RedundancyMode::kExcludingNullBoth), 5);
+}
+
+TEST(RankingTest, HistogramBucketsMatchPaperShape) {
+  std::vector<FdRedundancy> reds(5);
+  reds[0].excluding_null_rhs = 0;
+  reds[1].excluding_null_rhs = 1;    // within 2.5% of max=1000? no: 1 <= 25
+  reds[2].excluding_null_rhs = 100;  // (50,100]
+  reds[3].excluding_null_rhs = 1000;
+  reds[4].excluding_null_rhs = 600;
+  RedundancyHistogram h =
+      BuildRedundancyHistogram(reds, RedundancyMode::kExcludingNullRhs);
+  EXPECT_EQ(h.max_redundancy, 1000);
+  ASSERT_EQ(h.thresholds.size(), 10u);
+  EXPECT_EQ(h.thresholds[0], 0);
+  EXPECT_EQ(h.thresholds[1], 25);  // 2.5% of 1000
+  EXPECT_EQ(h.fd_counts[0], 1);    // exactly zero
+  EXPECT_EQ(h.fd_counts[1], 1);    // (0, 25]
+  // Total FDs preserved.
+  int64_t total = 0;
+  for (int64_t c : h.fd_counts) total += c;
+  EXPECT_EQ(total, 5);
+}
+
+TEST(RankingTest, HistogramHandlesAllZero) {
+  std::vector<FdRedundancy> reds(3);
+  RedundancyHistogram h = BuildRedundancyHistogram(reds, RedundancyMode::kWithNulls);
+  EXPECT_EQ(h.max_redundancy, 0);
+  EXPECT_EQ(h.fd_counts[0], 3);
+}
+
+TEST(RankingTest, HistogramEmptyInput) {
+  RedundancyHistogram h = BuildRedundancyHistogram({}, RedundancyMode::kWithNulls);
+  int64_t total = 0;
+  for (int64_t c : h.fd_counts) total += c;
+  EXPECT_EQ(total, 0);
+}
+
+TEST(RankingTest, LhsCandidatesForColumn) {
+  Relation r = NcvoterLike();
+  FdSet cover;
+  cover.add(Fd(AttributeSet{1}, 2));          // zip -> city
+  cover.add(Fd(AttributeSet{3}, AttributeSet{1, 2}));  // id -> zip, city
+  cover.add(Fd(AttributeSet{}, 0));           // unrelated to city
+  auto candidates = LhsCandidatesForColumn(r, cover, 2);
+  ASSERT_EQ(candidates.size(), 2u);
+  // Each candidate's FD targets exactly the requested column.
+  for (const auto& c : candidates) EXPECT_EQ(c.fd.rhs, AttributeSet{2});
+  // zip -> city causes more redundancy than the key LHS.
+  EXPECT_EQ(candidates[0].fd.lhs, AttributeSet{1});
+}
+
+TEST(RankingTest, FormatRankingListsTopN) {
+  Relation r = NcvoterLike();
+  FdSet cover;
+  cover.add(Fd(AttributeSet{}, 0));
+  cover.add(Fd(AttributeSet{1}, 2));
+  auto ranked = RankFds(r, cover);
+  std::string text = FormatRanking(r.schema(), ranked, 1);
+  EXPECT_NE(text.find("1. "), std::string::npos);
+  EXPECT_NE(text.find("more)"), std::string::npos);
+  std::string full = FormatRanking(r.schema(), ranked, 10);
+  EXPECT_EQ(full.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhyfd

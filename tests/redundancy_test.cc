@@ -1,0 +1,119 @@
+#include "ranking/redundancy.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/discovery.h"
+#include "fd/cover.h"
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+using testutil::RandomRelation;
+
+TEST(RedundancyTest, ConstantColumnMakesEveryOccurrenceRedundant) {
+  // Paper sigma_1 = {} -> state: all 1000 occurrences redundant; here 4.
+  Relation r = FromValues({{7, 0}, {7, 1}, {7, 2}, {7, 3}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{}, 0));
+  auto reds = ComputeFdRedundancies(r, cover);
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0].with_nulls, 4);
+  EXPECT_EQ(reds[0].excluding_null_rhs, 4);
+}
+
+TEST(RedundancyTest, NearKeyLhsGivesFewRedundancies) {
+  // Paper sigma_4 = voter_id -> state with one duplicated id: 2 redundant.
+  Relation r = FromValues({{131, 0}, {131, 0}, {657, 0}, {725, 0}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{0}, 1));
+  auto reds = ComputeFdRedundancies(r, cover);
+  EXPECT_EQ(reds[0].with_nulls, 2);
+}
+
+TEST(RedundancyTest, NullRhsExcluded) {
+  // Column 1 determined by column 0; one of the cluster's RHS values null.
+  Relation r = FromValues({{0, -1}, {0, -1}, {1, 5}, {1, 5}, {2, 6}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{0}, 1));
+  auto reds = ComputeFdRedundancies(r, cover);
+  EXPECT_EQ(reds[0].with_nulls, 4);
+  EXPECT_EQ(reds[0].excluding_null_rhs, 2);
+  EXPECT_EQ(reds[0].excluding_null_lhs_rhs, 2);
+}
+
+TEST(RedundancyTest, NullLhsExcludedInStrictMode) {
+  Relation r = FromValues({{-1, 5}, {-1, 5}, {1, 6}, {1, 6}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{0}, 1));
+  auto reds = ComputeFdRedundancies(r, cover);
+  EXPECT_EQ(reds[0].with_nulls, 4);
+  EXPECT_EQ(reds[0].excluding_null_rhs, 4);
+  EXPECT_EQ(reds[0].excluding_null_lhs_rhs, 2);
+}
+
+TEST(RedundancyTest, MultiRhsSumsPerAttribute) {
+  Relation r = FromValues({{0, 1, 2}, {0, 1, 2}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{0}, AttributeSet{1, 2}));
+  auto reds = ComputeFdRedundancies(r, cover);
+  EXPECT_EQ(reds[0].with_nulls, 4);  // 2 tuples x 2 RHS attrs
+}
+
+TEST(RedundancyTest, MatchesBruteForce) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Relation r = RandomRelation(seed * 7, 50, 4, 3, seed % 3 == 0 ? 0.15 : 0.0);
+    FdSet cover = BruteForceDiscover(r);
+    auto fast = ComputeFdRedundancies(r, cover);
+    ASSERT_EQ(fast.size(), cover.fds.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      FdRedundancy slow = BruteForceFdRedundancy(r, cover.fds[i]);
+      EXPECT_EQ(fast[i].with_nulls, slow.with_nulls)
+          << "seed=" << seed << " fd=" << cover.fds[i].to_string();
+      EXPECT_EQ(fast[i].excluding_null_rhs, slow.excluding_null_rhs);
+      EXPECT_EQ(fast[i].excluding_null_lhs_rhs, slow.excluding_null_lhs_rhs);
+    }
+  }
+}
+
+TEST(RedundancyTest, DatasetDedupAcrossFds) {
+  // Two FDs marking the same occurrences: dataset counts each cell once.
+  Relation r = FromValues({{0, 1, 5}, {0, 1, 5}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{0}, 2));
+  cover.add(Fd(AttributeSet{1}, 2));
+  DatasetRedundancy d = ComputeDatasetRedundancy(r, cover);
+  EXPECT_EQ(d.red_plus0, 2);  // two cells in column 2, counted once each
+  EXPECT_EQ(d.num_values, 6);
+}
+
+TEST(RedundancyTest, DatasetPercentages) {
+  Relation r = FromValues({{7, 0}, {7, 1}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{}, 0));
+  DatasetRedundancy d = ComputeDatasetRedundancy(r, cover);
+  EXPECT_EQ(d.red, 2);
+  EXPECT_NEAR(d.percent_red(), 50.0, 1e-9);
+  EXPECT_NEAR(d.percent_red_plus0(), 50.0, 1e-9);
+}
+
+TEST(RedundancyTest, KeysCauseZeroRedundancy) {
+  Relation r = FromValues({{0, 5}, {1, 5}, {2, 6}});
+  FdSet cover;
+  cover.add(Fd(AttributeSet{0}, 1));  // key LHS
+  auto reds = ComputeFdRedundancies(r, cover);
+  EXPECT_EQ(reds[0].with_nulls, 0);
+}
+
+TEST(RedundancyTest, EmptyCoverEmptyCounts) {
+  Relation r = FromValues({{0}, {1}});
+  FdSet cover;
+  EXPECT_TRUE(ComputeFdRedundancies(r, cover).empty());
+  DatasetRedundancy d = ComputeDatasetRedundancy(r, cover);
+  EXPECT_EQ(d.red, 0);
+  EXPECT_EQ(d.red_plus0, 0);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,98 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+
+TEST(RelationTest, BasicAccess) {
+  Relation r = FromValues({{1, 2, 3}, {1, 5, 3}});
+  EXPECT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(r.num_cols(), 3);
+  EXPECT_EQ(r.value(0, 0), r.value(1, 0));
+  EXPECT_NE(r.value(0, 1), r.value(1, 1));
+}
+
+TEST(RelationTest, AgreeOnAndAgreeSet) {
+  Relation r = FromValues({{1, 2, 3}, {1, 5, 3}});
+  EXPECT_TRUE(r.agree_on(0, 1, AttributeSet{0, 2}));
+  EXPECT_FALSE(r.agree_on(0, 1, AttributeSet{0, 1}));
+  EXPECT_EQ(r.agree_set(0, 1), (AttributeSet{0, 2}));
+}
+
+TEST(RelationTest, SatisfiesBruteForce) {
+  // a determines b, but b does not determine a.
+  Relation r = FromValues({{0, 10}, {0, 10}, {1, 10}, {2, 20}});
+  EXPECT_TRUE(r.satisfies(AttributeSet{0}, 1));
+  EXPECT_FALSE(r.satisfies(AttributeSet{1}, 0));
+  EXPECT_TRUE(r.satisfies(AttributeSet{0, 1}, 1));
+}
+
+TEST(RelationTest, EmptyLhsSatisfiedOnlyByConstants) {
+  Relation r = FromValues({{7, 1}, {7, 2}});
+  EXPECT_TRUE(r.satisfies(AttributeSet(), 0));
+  EXPECT_FALSE(r.satisfies(AttributeSet(), 1));
+}
+
+TEST(RelationTest, MaxDomainSize) {
+  Relation r = FromValues({{0, 0}, {1, 0}, {2, 1}});
+  EXPECT_EQ(r.domain_size(0), 3);
+  EXPECT_EQ(r.domain_size(1), 2);
+  EXPECT_EQ(r.max_domain_size(), 3);
+}
+
+TEST(RelationTest, FragmentRows) {
+  Relation r = FromValues({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  Relation f = r.fragment(2, 2);
+  EXPECT_EQ(f.num_rows(), 2);
+  EXPECT_EQ(f.num_cols(), 2);
+  EXPECT_EQ(f.domain_size(0), 2);  // densified for the fragment
+}
+
+TEST(RelationTest, FragmentColumns) {
+  Relation r = FromValues({{0, 1, 2}, {1, 2, 3}});
+  Relation f = r.fragment(2, 1);
+  EXPECT_EQ(f.num_cols(), 1);
+  EXPECT_EQ(f.schema().size(), 1);
+}
+
+TEST(RelationTest, FragmentPreservesNulls) {
+  Relation r = FromValues({{-1, 1}, {0, 2}, {1, 3}});
+  Relation f = r.fragment(2, 2);
+  EXPECT_TRUE(f.is_null(0, 0));
+  EXPECT_FALSE(f.is_null(1, 0));
+}
+
+TEST(RelationTest, FragmentClampsBounds) {
+  Relation r = FromValues({{0}, {1}});
+  Relation f = r.fragment(100, 100);
+  EXPECT_EQ(f.num_rows(), 2);
+  EXPECT_EQ(f.num_cols(), 1);
+}
+
+TEST(RelationTest, NumValues) {
+  Relation r = FromValues({{0, 0, 0}, {1, 1, 1}});
+  EXPECT_EQ(r.num_values(), 6);
+}
+
+TEST(SchemaTest, NamesAndLookup) {
+  Schema s({"x", "y", "z"});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.index_of("y"), 1);
+  EXPECT_EQ(s.index_of("missing"), -1);
+  EXPECT_EQ(s.format(AttributeSet{0, 2}), "x, z");
+}
+
+TEST(SchemaTest, Numbered) {
+  Schema s = Schema::numbered(3, "col");
+  EXPECT_EQ(s.name(0), "col0");
+  EXPECT_EQ(s.name(2), "col2");
+  EXPECT_EQ(s.all().count(), 3);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,102 @@
+#ifndef DHYFD_TESTS_TEST_UTIL_H_
+#define DHYFD_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "fd/closure.h"
+#include "fd/fd_set.h"
+#include "relation/encoder.h"
+#include "relation/relation.h"
+#include "util/random.h"
+
+namespace dhyfd {
+namespace testutil {
+
+/// Builds a relation directly from integer cell values (row-major). Values
+/// are re-encoded densely per column; negative values become null markers.
+inline Relation FromValues(const std::vector<std::vector<int>>& rows) {
+  int cols = rows.empty() ? 0 : static_cast<int>(rows[0].size());
+  Relation r(Schema::numbered(cols), static_cast<RowId>(rows.size()));
+  for (int c = 0; c < cols; ++c) {
+    std::vector<int> remap;  // value -> dense code, linear scan (tiny data)
+    std::vector<int> raw;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int v = rows[i][c];
+      if (v < 0) {
+        // Null under null = null semantics: all nulls share one value; the
+        // caller controls matching by using the same negative number.
+        r.set_null(static_cast<RowId>(i), c);
+      }
+      int code = -1;
+      for (size_t k = 0; k < raw.size(); ++k) {
+        if (raw[k] == v) {
+          code = static_cast<int>(k);
+          break;
+        }
+      }
+      if (code < 0) {
+        code = static_cast<int>(raw.size());
+        raw.push_back(v);
+      }
+      r.set_value(static_cast<RowId>(i), c, code);
+    }
+    r.set_domain_size(c, static_cast<ValueId>(raw.size()));
+  }
+  return r;
+}
+
+/// A deterministic random relation for property tests.
+inline Relation RandomRelation(uint64_t seed, int rows, int cols, int domain,
+                               double null_rate = 0) {
+  Random rng(seed);
+  std::vector<std::vector<int>> data(rows, std::vector<int>(cols));
+  for (int i = 0; i < rows; ++i) {
+    for (int c = 0; c < cols; ++c) {
+      if (null_rate > 0 && rng.next_bool(null_rate)) {
+        data[i][c] = -1;
+      } else {
+        data[i][c] = static_cast<int>(rng.next_below(domain));
+      }
+    }
+  }
+  return FromValues(data);
+}
+
+/// True if fd holds on r by brute force (checks all row pairs).
+inline bool HoldsBruteForce(const Relation& r, const Fd& fd) {
+  for (RowId i = 0; i < r.num_rows(); ++i) {
+    for (RowId j = i + 1; j < r.num_rows(); ++j) {
+      if (!r.agree_on(i, j, fd.lhs)) continue;
+      bool rhs_ok = true;
+      fd.rhs.for_each([&](AttrId a) {
+        if (r.value(i, a) != r.value(j, a)) rhs_ok = false;
+      });
+      if (!rhs_ok) return false;
+    }
+  }
+  return true;
+}
+
+/// Gtest-friendly description of a cover difference, or "" if equivalent.
+inline std::string CoverDifference(const FdSet& expected, const FdSet& actual,
+                                   int num_attrs) {
+  ClosureEngine ee(expected, num_attrs), ea(actual, num_attrs);
+  for (const Fd& fd : expected.fds) {
+    if (!ea.implies(fd.lhs, fd.rhs)) {
+      return "missing (not implied by actual): " + fd.to_string();
+    }
+  }
+  for (const Fd& fd : actual.fds) {
+    if (!ee.implies(fd.lhs, fd.rhs)) {
+      return "extra (not implied by expected): " + fd.to_string();
+    }
+  }
+  return "";
+}
+
+}  // namespace testutil
+}  // namespace dhyfd
+
+#endif  // DHYFD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/memory.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace dhyfd {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Random a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(RandomTest, ZeroSeedIsValid) {
+  Random r(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 45u);  // not stuck
+}
+
+TEST(RandomTest, NextBelowStaysInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(10), 10u);
+    int64_t v = r.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBoolRespectsProbability) {
+  Random r(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.next_bool(0.25);
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+TEST(RandomTest, ZipfSkewsTowardSmallRanks) {
+  Random r(17);
+  int low = 0, n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (r.next_zipf(100, 1.0) < 10) ++low;
+  }
+  // Uniform would put ~10% below rank 10; skew must concentrate far more.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(RandomTest, ZipfStaysInRange) {
+  Random r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_zipf(7, 2.0), 7u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  double s = t.seconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_EQ(t.millis() >= s * 1e3 * 0.5, true);
+  t.reset();
+  EXPECT_LT(t.seconds(), s + 1.0);
+}
+
+TEST(MemoryTest, RssReadable) {
+  // On Linux these must return something plausible (> 1 MB, < 1 TB).
+  size_t rss = CurrentRssBytes();
+  size_t peak = PeakRssBytes();
+  EXPECT_GT(rss, 1u << 20);
+  EXPECT_LT(rss, size_t{1} << 40);
+  EXPECT_GE(peak, rss / 2);  // peak is at least on the order of current
+}
+
+TEST(MemoryTest, WatermarkTracksGrowth) {
+  MemoryWatermark mark;
+  // Allocate ~32 MB and touch it so RSS actually grows.
+  std::vector<char> big(32u << 20, 1);
+  for (size_t i = 0; i < big.size(); i += 4096) big[i] = 2;
+  mark.sample();
+  EXPECT_GT(mark.delta_peak_mb(), 8.0);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,114 @@
+#include "algo/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+using testutil::RandomRelation;
+
+StrippedPartition WholeRelationPartition(const Relation& r) {
+  StrippedPartition p;
+  if (r.num_rows() >= 2) {
+    std::vector<RowId> rows(r.num_rows());
+    for (RowId i = 0; i < r.num_rows(); ++i) rows[i] = i;
+    p.clusters.push_back(std::move(rows));
+  }
+  return p;
+}
+
+TEST(ValidatorTest, ValidFdKeepsAllRhs) {
+  Relation r = FromValues({{0, 5}, {0, 5}, {1, 6}});
+  PartitionRefiner refiner(r);
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  ValidationOutcome v = ValidateWithPartition(r, AttributeSet{0}, AttributeSet{1}, p0,
+                                              AttributeSet{0}, refiner);
+  EXPECT_EQ(v.valid_rhs, AttributeSet{1});
+  EXPECT_TRUE(v.violations.empty());
+}
+
+TEST(ValidatorTest, InvalidFdProducesViolation) {
+  Relation r = FromValues({{0, 5}, {0, 6}});
+  PartitionRefiner refiner(r);
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  ValidationOutcome v = ValidateWithPartition(r, AttributeSet{0}, AttributeSet{1}, p0,
+                                              AttributeSet{0}, refiner);
+  EXPECT_TRUE(v.valid_rhs.empty());
+  ASSERT_EQ(v.violations.size(), 1u);
+  EXPECT_EQ(v.violations[0], AttributeSet{0});  // the pair agrees exactly on 0
+}
+
+TEST(ValidatorTest, RefinesFromSubsetPartition) {
+  // Validate {0,1} -> 2 starting from pi_{0} only.
+  Relation r = FromValues({{0, 0, 7}, {0, 0, 7}, {0, 1, 8}, {1, 0, 9}});
+  PartitionRefiner refiner(r);
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  ValidationOutcome v = ValidateWithPartition(r, AttributeSet{0, 1}, AttributeSet{2},
+                                              p0, AttributeSet{0}, refiner);
+  EXPECT_EQ(v.valid_rhs, AttributeSet{2});
+  EXPECT_GT(v.refinements, 0);
+}
+
+TEST(ValidatorTest, MultiRhsPartialValidity) {
+  // {0} -> 1 valid, {0} -> 2 invalid.
+  Relation r = FromValues({{0, 5, 1}, {0, 5, 2}, {1, 6, 3}});
+  PartitionRefiner refiner(r);
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  ValidationOutcome v = ValidateWithPartition(r, AttributeSet{0}, AttributeSet{1, 2},
+                                              p0, AttributeSet{0}, refiner);
+  EXPECT_EQ(v.valid_rhs, AttributeSet{1});
+  ASSERT_EQ(v.violations.size(), 1u);
+  // The violating pair (rows 0 and 1) agrees on {0, 1}.
+  EXPECT_EQ(v.violations[0], (AttributeSet{0, 1}));
+}
+
+TEST(ValidatorTest, ViolationsBoundedByRhsSize) {
+  Relation r = RandomRelation(3, 300, 5, 2);
+  PartitionRefiner refiner(r);
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  AttributeSet rhs = AttributeSet{1, 2, 3, 4};
+  ValidationOutcome v =
+      ValidateWithPartition(r, AttributeSet{0}, rhs, p0, AttributeSet{0}, refiner);
+  EXPECT_LE(static_cast<int>(v.violations.size()), rhs.count());
+}
+
+TEST(ValidatorTest, EmptyLhsAgainstWholeRelation) {
+  Relation r = FromValues({{7, 1}, {7, 2}, {7, 3}});
+  PartitionRefiner refiner(r);
+  StrippedPartition whole = WholeRelationPartition(r);
+  ValidationOutcome v = ValidateWithPartition(r, AttributeSet(), AttributeSet{0, 1},
+                                              whole, AttributeSet(), refiner);
+  EXPECT_EQ(v.valid_rhs, AttributeSet{0});  // column 0 constant, column 1 not
+}
+
+TEST(ValidatorTest, AgreementWithBruteForce) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Relation r = RandomRelation(seed * 7 + 1, 80, 4, 3);
+    PartitionRefiner refiner(r);
+    StrippedPartition p0 = BuildAttributePartition(r, 0);
+    AttributeSet lhs{0, 1};
+    AttributeSet rhs{2, 3};
+    ValidationOutcome v =
+        ValidateWithPartition(r, lhs, rhs, p0, AttributeSet{0}, refiner);
+    rhs.for_each([&](AttrId a) {
+      EXPECT_EQ(v.valid_rhs.test(a), r.satisfies(lhs, a))
+          << "seed=" << seed << " rhs=" << a;
+    });
+  }
+}
+
+TEST(ValidatorTest, EmptyRhsShortCircuits) {
+  Relation r = FromValues({{0}, {0}});
+  PartitionRefiner refiner(r);
+  StrippedPartition p0 = BuildAttributePartition(r, 0);
+  ValidationOutcome v = ValidateWithPartition(r, AttributeSet{0}, AttributeSet(), p0,
+                                              AttributeSet{0}, refiner);
+  EXPECT_TRUE(v.valid_rhs.empty());
+  EXPECT_EQ(v.pairs_checked, 0);
+}
+
+}  // namespace
+}  // namespace dhyfd
