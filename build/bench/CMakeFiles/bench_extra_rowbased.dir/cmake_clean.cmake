@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_rowbased.dir/bench_extra_rowbased.cc.o"
+  "CMakeFiles/bench_extra_rowbased.dir/bench_extra_rowbased.cc.o.d"
+  "bench_extra_rowbased"
+  "bench_extra_rowbased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_rowbased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ncvoter_nulls.dir/bench_fig11_ncvoter_nulls.cc.o"
+  "CMakeFiles/bench_fig11_ncvoter_nulls.dir/bench_fig11_ncvoter_nulls.cc.o.d"
+  "bench_fig11_ncvoter_nulls"
+  "bench_fig11_ncvoter_nulls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ncvoter_nulls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_null_semantics.dir/bench_null_semantics.cc.o"
+  "CMakeFiles/bench_null_semantics.dir/bench_null_semantics.cc.o.d"
+  "bench_null_semantics"
+  "bench_null_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_null_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_covers.dir/bench_table3_covers.cc.o"
+  "CMakeFiles/bench_table3_covers.dir/bench_table3_covers.cc.o.d"
+  "bench_table3_covers"
+  "bench_table3_covers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_covers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

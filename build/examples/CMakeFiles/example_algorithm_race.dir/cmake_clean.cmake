@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_algorithm_race.dir/algorithm_race.cpp.o"
+  "CMakeFiles/example_algorithm_race.dir/algorithm_race.cpp.o.d"
+  "example_algorithm_race"
+  "example_algorithm_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_algorithm_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

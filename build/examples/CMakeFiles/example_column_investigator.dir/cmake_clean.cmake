@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_column_investigator.dir/column_investigator.cpp.o"
+  "CMakeFiles/example_column_investigator.dir/column_investigator.cpp.o.d"
+  "example_column_investigator"
+  "example_column_investigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_column_investigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dirty_data_detective.dir/dirty_data_detective.cpp.o"
+  "CMakeFiles/example_dirty_data_detective.dir/dirty_data_detective.cpp.o.d"
+  "example_dirty_data_detective"
+  "example_dirty_data_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dirty_data_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

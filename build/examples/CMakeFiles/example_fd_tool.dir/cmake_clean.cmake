@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fd_tool.dir/fd_tool.cpp.o"
+  "CMakeFiles/example_fd_tool.dir/fd_tool.cpp.o.d"
+  "example_fd_tool"
+  "example_fd_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fd_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_normalization_advisor.dir/normalization_advisor.cpp.o"
+  "CMakeFiles/example_normalization_advisor.dir/normalization_advisor.cpp.o.d"
+  "example_normalization_advisor"
+  "example_normalization_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_normalization_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_null_semantics_explorer.dir/null_semantics_explorer.cpp.o"
+  "CMakeFiles/example_null_semantics_explorer.dir/null_semantics_explorer.cpp.o.d"
+  "example_null_semantics_explorer"
+  "example_null_semantics_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_null_semantics_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

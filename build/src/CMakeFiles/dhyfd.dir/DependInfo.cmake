@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/agree_sets.cc" "src/CMakeFiles/dhyfd.dir/algo/agree_sets.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/agree_sets.cc.o.d"
+  "/root/repo/src/algo/ddm.cc" "src/CMakeFiles/dhyfd.dir/algo/ddm.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/ddm.cc.o.d"
+  "/root/repo/src/algo/dfd.cc" "src/CMakeFiles/dhyfd.dir/algo/dfd.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/dfd.cc.o.d"
+  "/root/repo/src/algo/dhyfd.cc" "src/CMakeFiles/dhyfd.dir/algo/dhyfd.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/dhyfd.cc.o.d"
+  "/root/repo/src/algo/discovery.cc" "src/CMakeFiles/dhyfd.dir/algo/discovery.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/discovery.cc.o.d"
+  "/root/repo/src/algo/fdep.cc" "src/CMakeFiles/dhyfd.dir/algo/fdep.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/fdep.cc.o.d"
+  "/root/repo/src/algo/hitting_set.cc" "src/CMakeFiles/dhyfd.dir/algo/hitting_set.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/hitting_set.cc.o.d"
+  "/root/repo/src/algo/hyfd.cc" "src/CMakeFiles/dhyfd.dir/algo/hyfd.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/hyfd.cc.o.d"
+  "/root/repo/src/algo/rowbased.cc" "src/CMakeFiles/dhyfd.dir/algo/rowbased.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/rowbased.cc.o.d"
+  "/root/repo/src/algo/sampler.cc" "src/CMakeFiles/dhyfd.dir/algo/sampler.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/sampler.cc.o.d"
+  "/root/repo/src/algo/tane.cc" "src/CMakeFiles/dhyfd.dir/algo/tane.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/tane.cc.o.d"
+  "/root/repo/src/algo/validator.cc" "src/CMakeFiles/dhyfd.dir/algo/validator.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/algo/validator.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/CMakeFiles/dhyfd.dir/core/profiler.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/core/profiler.cc.o.d"
+  "/root/repo/src/datagen/benchmark_data.cc" "src/CMakeFiles/dhyfd.dir/datagen/benchmark_data.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/datagen/benchmark_data.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/CMakeFiles/dhyfd.dir/datagen/generator.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/datagen/generator.cc.o.d"
+  "/root/repo/src/fd/armstrong.cc" "src/CMakeFiles/dhyfd.dir/fd/armstrong.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/armstrong.cc.o.d"
+  "/root/repo/src/fd/closure.cc" "src/CMakeFiles/dhyfd.dir/fd/closure.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/closure.cc.o.d"
+  "/root/repo/src/fd/cover.cc" "src/CMakeFiles/dhyfd.dir/fd/cover.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/cover.cc.o.d"
+  "/root/repo/src/fd/cover_io.cc" "src/CMakeFiles/dhyfd.dir/fd/cover_io.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/cover_io.cc.o.d"
+  "/root/repo/src/fd/fd.cc" "src/CMakeFiles/dhyfd.dir/fd/fd.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/fd.cc.o.d"
+  "/root/repo/src/fd/fd_set.cc" "src/CMakeFiles/dhyfd.dir/fd/fd_set.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/fd_set.cc.o.d"
+  "/root/repo/src/fd/keys.cc" "src/CMakeFiles/dhyfd.dir/fd/keys.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/keys.cc.o.d"
+  "/root/repo/src/fd/normalize.cc" "src/CMakeFiles/dhyfd.dir/fd/normalize.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fd/normalize.cc.o.d"
+  "/root/repo/src/fdtree/extended_fd_tree.cc" "src/CMakeFiles/dhyfd.dir/fdtree/extended_fd_tree.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fdtree/extended_fd_tree.cc.o.d"
+  "/root/repo/src/fdtree/fd_tree.cc" "src/CMakeFiles/dhyfd.dir/fdtree/fd_tree.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/fdtree/fd_tree.cc.o.d"
+  "/root/repo/src/partition/partition_cache.cc" "src/CMakeFiles/dhyfd.dir/partition/partition_cache.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/partition/partition_cache.cc.o.d"
+  "/root/repo/src/partition/partition_ops.cc" "src/CMakeFiles/dhyfd.dir/partition/partition_ops.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/partition/partition_ops.cc.o.d"
+  "/root/repo/src/partition/stripped_partition.cc" "src/CMakeFiles/dhyfd.dir/partition/stripped_partition.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/partition/stripped_partition.cc.o.d"
+  "/root/repo/src/ranking/ranking.cc" "src/CMakeFiles/dhyfd.dir/ranking/ranking.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/ranking/ranking.cc.o.d"
+  "/root/repo/src/ranking/redundancy.cc" "src/CMakeFiles/dhyfd.dir/ranking/redundancy.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/ranking/redundancy.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/CMakeFiles/dhyfd.dir/relation/csv.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/relation/csv.cc.o.d"
+  "/root/repo/src/relation/encoder.cc" "src/CMakeFiles/dhyfd.dir/relation/encoder.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/relation/encoder.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/dhyfd.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/dhyfd.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/relation/schema.cc.o.d"
+  "/root/repo/src/util/memory.cc" "src/CMakeFiles/dhyfd.dir/util/memory.cc.o" "gcc" "src/CMakeFiles/dhyfd.dir/util/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

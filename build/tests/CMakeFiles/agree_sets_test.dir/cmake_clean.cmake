@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agree_sets_test.dir/agree_sets_test.cc.o"
+  "CMakeFiles/agree_sets_test.dir/agree_sets_test.cc.o.d"
+  "agree_sets_test"
+  "agree_sets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agree_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cover_io_test.dir/cover_io_test.cc.o"
+  "CMakeFiles/cover_io_test.dir/cover_io_test.cc.o.d"
+  "cover_io_test"
+  "cover_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cover_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

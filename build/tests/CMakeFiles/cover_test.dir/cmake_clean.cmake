@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cover_test.dir/cover_test.cc.o"
+  "CMakeFiles/cover_test.dir/cover_test.cc.o.d"
+  "cover_test"
+  "cover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

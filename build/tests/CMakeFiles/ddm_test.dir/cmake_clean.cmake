@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_test.dir/ddm_test.cc.o"
+  "CMakeFiles/ddm_test.dir/ddm_test.cc.o.d"
+  "ddm_test"
+  "ddm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfd_test.dir/dfd_test.cc.o"
+  "CMakeFiles/dfd_test.dir/dfd_test.cc.o.d"
+  "dfd_test"
+  "dfd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhyfd_test.dir/dhyfd_test.cc.o"
+  "CMakeFiles/dhyfd_test.dir/dhyfd_test.cc.o.d"
+  "dhyfd_test"
+  "dhyfd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhyfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_fd_tree_test.dir/extended_fd_tree_test.cc.o"
+  "CMakeFiles/extended_fd_tree_test.dir/extended_fd_tree_test.cc.o.d"
+  "extended_fd_tree_test"
+  "extended_fd_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_fd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_tree_test.dir/fd_tree_test.cc.o"
+  "CMakeFiles/fd_tree_test.dir/fd_tree_test.cc.o.d"
+  "fd_tree_test"
+  "fd_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdtree_induction_chain_test.dir/fdtree_induction_chain_test.cc.o"
+  "CMakeFiles/fdtree_induction_chain_test.dir/fdtree_induction_chain_test.cc.o.d"
+  "fdtree_induction_chain_test"
+  "fdtree_induction_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdtree_induction_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyfd_test.dir/hyfd_test.cc.o"
+  "CMakeFiles/hyfd_test.dir/hyfd_test.cc.o.d"
+  "hyfd_test"
+  "hyfd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowbased_test.dir/rowbased_test.cc.o"
+  "CMakeFiles/rowbased_test.dir/rowbased_test.cc.o.d"
+  "rowbased_test"
+  "rowbased_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowbased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
