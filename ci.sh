@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (full build + every test), then a
+# ThreadSanitizer build of the concurrency-heavy targets (thread pool and
+# profiling service) so data races and leaked threads fail the pipeline.
+#
+# Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "=== tsan: thread_pool_test + service_test under ThreadSanitizer ==="
+cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target thread_pool_test service_test
+# halt_on_error makes any race abort the run; TSan also reports threads
+# still running at exit, which covers the "zero leaked threads" check.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/service_test
+
+echo
+echo "CI OK"

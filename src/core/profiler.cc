@@ -2,13 +2,40 @@
 
 #include <sstream>
 
+#include "util/cancellation.h"
 #include "util/timer.h"
 
 namespace dhyfd {
 
+namespace {
+
+bool ThreadCancelled() {
+  const CancelToken* token = CancelScope::Current();
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace
+
+const char* ProfileStageName(ProfileStage stage) {
+  switch (stage) {
+    case ProfileStage::kEncode: return "encode";
+    case ProfileStage::kDiscover: return "discover";
+    case ProfileStage::kCanonical: return "canonical";
+    case ProfileStage::kRank: return "rank";
+  }
+  return "?";
+}
+
 ProfileReport Profiler::profile(const RawTable& table) const {
+  Timer timer;
   EncodedRelation encoded = EncodeRelation(table, options_.semantics);
-  return profile(encoded.relation);
+  double encode_seconds = timer.seconds();
+  if (options_.stage_hook) {
+    options_.stage_hook(ProfileStage::kEncode, encode_seconds);
+  }
+  ProfileReport report = profile(encoded.relation);
+  report.timings.encode_seconds = encode_seconds;
+  return report;
 }
 
 ProfileReport Profiler::profile(const Relation& relation) const {
@@ -16,23 +43,50 @@ ProfileReport Profiler::profile(const Relation& relation) const {
   report.schema = relation.schema();
   report.null_stats = ComputeNullStats(relation);
 
-  std::unique_ptr<FdDiscovery> algo = MakeDiscovery(options_.algorithm);
+  Timer timer;
+  std::unique_ptr<FdDiscovery> algo =
+      MakeDiscovery(options_.algorithm, options_.time_limit_seconds);
   report.discovery = algo->discover(relation);
   report.left_reduced = report.discovery.fds;
+  report.timings.discover_seconds = timer.seconds();
+  if (options_.stage_hook) {
+    options_.stage_hook(ProfileStage::kDiscover, report.timings.discover_seconds);
+  }
+
+  // Cancellation is polled between stages as well as inside discovery, so a
+  // cancelled job stops before paying for covers and ranking.
+  if (ThreadCancelled()) {
+    report.cancelled = true;
+    return report;
+  }
 
   if (options_.compute_canonical) {
+    timer.reset();
     report.cover_stats = ComputeCoverStats(report.left_reduced, relation.num_cols());
     report.canonical = CanonicalCover(report.left_reduced, relation.num_cols());
+    report.timings.canonical_seconds = timer.seconds();
+    if (options_.stage_hook) {
+      options_.stage_hook(ProfileStage::kCanonical,
+                          report.timings.canonical_seconds);
+    }
+    if (ThreadCancelled()) {
+      report.cancelled = true;
+      return report;
+    }
   }
 
   if (options_.compute_ranking) {
     const FdSet& cover =
         options_.compute_canonical ? report.canonical : report.left_reduced;
-    Timer timer;
+    timer.reset();
     report.ranking = RankFds(relation, cover, options_.ranking_mode);
     report.dataset_redundancy = ComputeDatasetRedundancy(relation, cover);
-    report.ranking_seconds = timer.seconds();
+    report.timings.ranking_seconds = timer.seconds();
+    if (options_.stage_hook) {
+      options_.stage_hook(ProfileStage::kRank, report.timings.ranking_seconds);
+    }
   }
+  report.cancelled = ThreadCancelled();
   return report;
 }
 
@@ -58,9 +112,13 @@ std::string ProfileReport::summary() const {
         << dataset_redundancy.red_plus0 << " ("
         << dataset_redundancy.percent_red_plus0() << "%) of "
         << dataset_redundancy.num_values << " values\n";
-    out << "ranking computed for " << ranking.size() << " FDs in "
-        << ranking_seconds << " s\n";
   }
+  out << "stage timings: encode=" << timings.encode_seconds
+      << " s  discover=" << timings.discover_seconds
+      << " s  canonical=" << timings.canonical_seconds
+      << " s  rank=" << timings.ranking_seconds
+      << " s  total=" << timings.total_seconds() << " s\n";
+  if (cancelled) out << "run cancelled before completion\n";
   return out.str();
 }
 

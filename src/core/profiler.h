@@ -1,6 +1,7 @@
 #ifndef DHYFD_CORE_PROFILER_H_
 #define DHYFD_CORE_PROFILER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,12 @@
 #include "relation/encoder.h"
 
 namespace dhyfd {
+
+/// The pipeline stages a ProfileReport times individually; passed to
+/// ProfileOptions::stage_hook as each stage completes.
+enum class ProfileStage { kEncode, kDiscover, kCanonical, kRank };
+
+const char* ProfileStageName(ProfileStage stage);
 
 /// Options for the one-call profiling pipeline.
 struct ProfileOptions {
@@ -21,6 +28,25 @@ struct ProfileOptions {
   /// Rank the (canonical) cover by data redundancy (Section VI).
   bool compute_ranking = true;
   RedundancyMode ranking_mode = RedundancyMode::kExcludingNullRhs;
+  /// Cooperative deadline for the discovery stage in seconds (0 = none),
+  /// wired into util/deadline.h exactly like the paper's TL budget.
+  double time_limit_seconds = 0;
+  /// Called on the profiling thread as each stage finishes; the service
+  /// layer uses this to feed per-stage latency histograms.
+  std::function<void(ProfileStage, double seconds)> stage_hook;
+};
+
+/// Wall-clock seconds spent in each pipeline stage. encode_seconds is only
+/// nonzero for the RawTable overload (an already-encoded Relation skips it).
+struct StageTimings {
+  double encode_seconds = 0;
+  double discover_seconds = 0;
+  double canonical_seconds = 0;
+  double ranking_seconds = 0;
+  double total_seconds() const {
+    return encode_seconds + discover_seconds + canonical_seconds +
+           ranking_seconds;
+  }
 };
 
 /// Everything the paper derives from one data set.
@@ -35,7 +61,10 @@ struct ProfileReport {
   /// Canonical-cover FDs ranked by descending redundancy.
   std::vector<FdRedundancy> ranking;
   DatasetRedundancy dataset_redundancy;
-  double ranking_seconds = 0;
+  StageTimings timings;
+  /// True if a CancelScope token fired mid-pipeline; later stages were
+  /// skipped and discovery.stats.timed_out may be set.
+  bool cancelled = false;
 
   /// Multi-line human-readable summary.
   std::string summary() const;

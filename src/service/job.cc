@@ -1,0 +1,76 @@
+#include "service/job.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace dhyfd {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsTerminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+}  // namespace
+
+JobState JobHandle::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool JobHandle::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IsTerminal(state_);
+}
+
+void JobHandle::cancel() { cancel_token_.cancel(); }
+
+void JobHandle::wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return IsTerminal(state_); });
+}
+
+bool JobHandle::wait_for(double seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return done_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [this] { return IsTerminal(state_); });
+}
+
+const ProfileReport& JobHandle::report() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return IsTerminal(state_); });
+  if (has_report_) return report_;
+  if (state_ == JobState::kFailed) {
+    throw std::runtime_error("profile job failed: " + error_);
+  }
+  throw std::runtime_error("profile job cancelled before it started");
+}
+
+std::string JobHandle::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+double JobHandle::queue_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_seconds_;
+}
+
+double JobHandle::run_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_seconds_;
+}
+
+}  // namespace dhyfd

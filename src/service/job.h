@@ -1,0 +1,98 @@
+#ifndef DHYFD_SERVICE_JOB_H_
+#define DHYFD_SERVICE_JOB_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/profiler.h"
+#include "util/cancellation.h"
+#include "util/timer.h"
+
+namespace dhyfd {
+
+/// One profiling request: which registered dataset to profile and how.
+struct ProfileJob {
+  /// Name of a dataset previously registered in the DatasetRegistry.
+  std::string dataset;
+  ProfileOptions options;
+  /// Higher-priority jobs run first; ties run in submission order.
+  int priority = 0;
+  /// Per-job cooperative time limit in seconds (0 = none). Overrides
+  /// options.time_limit_seconds when positive.
+  double time_limit_seconds = 0;
+};
+
+/// Lifecycle of a submitted job.
+enum class JobState {
+  kQueued,     // accepted, waiting for a worker
+  kRunning,    // a worker is executing the pipeline
+  kDone,       // finished; report() is valid
+  kFailed,     // threw; error() has the message
+  kCancelled,  // cancel() won: either never started, or stopped early
+};
+
+const char* JobStateName(JobState state);
+
+/// Shared state for one submitted job; returned by JobScheduler::submit().
+/// All methods are thread-safe. Holding the handle after the scheduler is
+/// destroyed is safe (shared ownership).
+class JobHandle {
+ public:
+  std::uint64_t id() const { return id_; }
+  const ProfileJob& job() const { return job_; }
+
+  JobState state() const;
+  bool finished() const;
+
+  /// Requests cooperative cancellation. A queued job is dropped before it
+  /// starts; a running job stops at its next deadline poll (inside the
+  /// discovery loops or between pipeline stages).
+  void cancel();
+
+  /// Blocks until the job reaches a terminal state.
+  void wait() const;
+  /// Like wait(), with a timeout; false if still unfinished after it.
+  bool wait_for(double seconds) const;
+
+  /// The pipeline's output; valid for kDone, and for kCancelled jobs that
+  /// were stopped mid-run (partial: stages after the cancellation point are
+  /// empty). Throws std::runtime_error for kFailed, and for kCancelled jobs
+  /// that never started. Blocks until terminal.
+  const ProfileReport& report() const;
+
+  /// Error message for kFailed jobs ("" otherwise).
+  std::string error() const;
+
+  /// Seconds spent queued before a worker picked the job up, and executing.
+  double queue_seconds() const;
+  double run_seconds() const;
+
+ private:
+  friend class JobScheduler;
+
+  JobHandle(std::uint64_t id, ProfileJob job)
+      : id_(id), job_(std::move(job)) {}
+
+  const std::uint64_t id_;
+  const ProfileJob job_;
+  CancelToken cancel_token_;
+  Timer queue_timer_;  // started at submission
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable done_cv_;
+  JobState state_ = JobState::kQueued;
+  bool has_report_ = false;
+  ProfileReport report_;
+  std::string error_;
+  double queue_seconds_ = 0;
+  double run_seconds_ = 0;
+};
+
+using JobHandlePtr = std::shared_ptr<JobHandle>;
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_SERVICE_JOB_H_

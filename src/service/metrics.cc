@@ -1,0 +1,117 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dhyfd {
+
+namespace {
+
+// Bucket upper bounds in seconds: 1e-6 .. 1e3, last bucket catches the rest.
+double BucketBound(int i) { return std::pow(10.0, i - 6); }
+
+int BucketIndex(double seconds) {
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    if (seconds <= BucketBound(i)) return i;
+  }
+  return Histogram::kNumBuckets - 1;
+}
+
+}  // namespace
+
+void Histogram::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+  ++buckets_[BucketIndex(seconds)];
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * count_));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp the bucket bound by the observed extremes so tiny samples
+      // don't report a 10x-too-wide estimate.
+      return std::clamp(BucketBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "counter " << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "gauge " << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram " << name << " count=" << h->count()
+        << " mean=" << h->mean() << "s min=" << h->min() << "s max="
+        << h->max() << "s p50=" << h->quantile(0.5) << "s p99="
+        << h->quantile(0.99) << "s\n";
+  }
+  return out.str();
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,85 @@
+#ifndef DHYFD_SERVICE_METRICS_H_
+#define DHYFD_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dhyfd {
+
+/// Monotone event count (jobs submitted, cache hits, ...). Lock-free.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, jobs running, ...). Lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency distribution in seconds: count/sum/min/max plus log-scale
+/// buckets from 1 µs to 1000 s (upper bounds 1e-6, 1e-5, ..., 1e3, +inf).
+/// Mutex-protected — profiling stages last milliseconds to minutes, so a
+/// lock per observation is noise.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 11;
+
+  void record(double seconds);
+
+  std::int64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;
+  double mean() const;
+  /// Upper-bound estimate of the q-quantile (0 <= q <= 1) from the buckets.
+  double quantile(double q) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::int64_t buckets_[kNumBuckets] = {};
+};
+
+/// Names and owns metrics for one service instance. Lookups create on first
+/// use and return stable references, so hot paths can cache `Counter&`.
+/// snapshot() renders everything as a sorted, human-readable text block —
+/// the export format every future network front-end can wrap.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// `# TYPE`-style text dump: one line per counter/gauge, a short
+  /// count/mean/min/max/p50/p99 line per histogram.
+  std::string snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_SERVICE_METRICS_H_

@@ -1,0 +1,205 @@
+#include "service/scheduler.h"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "util/cancellation.h"
+#include "util/timer.h"
+
+namespace dhyfd {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 4;
+}
+
+}  // namespace
+
+bool JobScheduler::PendingOrder::operator()(const JobHandlePtr& a,
+                                            const JobHandlePtr& b) const {
+  // priority_queue pops the "largest": higher priority wins, then lower id
+  // (earlier submission) wins.
+  if (a->job_.priority != b->job_.priority) {
+    return a->job_.priority < b->job_.priority;
+  }
+  return a->id_ > b->id_;
+}
+
+JobScheduler::JobScheduler(DatasetRegistry* datasets, MetricsRegistry* metrics,
+                           SchedulerOptions options)
+    : datasets_(datasets),
+      metrics_(metrics),
+      pool_(ResolveThreads(options.num_threads), options.max_queue) {}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+JobHandlePtr JobScheduler::submit(ProfileJob job) {
+  JobHandlePtr handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handle = JobHandlePtr(new JobHandle(next_id_++, std::move(job)));
+    if (shutdown_) {
+      std::lock_guard<std::mutex> hlock(handle->mu_);
+      handle->state_ = JobState::kFailed;
+      handle->error_ = "scheduler is shut down";
+      handle->done_cv_.notify_all();
+      return handle;
+    }
+    all_jobs_.push_back(handle);
+    pending_.push(handle);
+    metrics_->counter("jobs.submitted").inc();
+    metrics_->gauge("jobs.queued").set(static_cast<std::int64_t>(pending_.size()));
+  }
+  // One pool ticket per pending job; each ticket pops the then-best job.
+  // This may block while the pool queue is at its bound.
+  if (!pool_.submit([this] { run_one(); })) {
+    // Shutdown raced the submit: one ticket was lost, so one pending job
+    // would never be served. Reclaim everything still queued.
+    reclaim_pending();
+  }
+  return handle;
+}
+
+void JobScheduler::reclaim_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!pending_.empty()) {
+    JobHandlePtr handle = pending_.top();
+    pending_.pop();
+    std::lock_guard<std::mutex> hlock(handle->mu_);
+    if (handle->state_ == JobState::kQueued) {
+      handle->state_ = JobState::kCancelled;
+      metrics_->counter("jobs.cancelled").inc();
+      handle->done_cv_.notify_all();
+    }
+  }
+  metrics_->gauge("jobs.queued").set(0);
+}
+
+void JobScheduler::run_one() {
+  JobHandlePtr handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return;  // its job was reclaimed by shutdown()
+    handle = pending_.top();
+    pending_.pop();
+    metrics_->gauge("jobs.queued").set(static_cast<std::int64_t>(pending_.size()));
+  }
+
+  {
+    std::lock_guard<std::mutex> hlock(handle->mu_);
+    handle->queue_seconds_ = handle->queue_timer_.seconds();
+    if (handle->cancel_token_.cancelled()) {
+      handle->state_ = JobState::kCancelled;
+      metrics_->counter("jobs.cancelled").inc();
+      handle->done_cv_.notify_all();
+      return;
+    }
+    handle->state_ = JobState::kRunning;
+  }
+  metrics_->histogram("job.queue_seconds").record(handle->queue_seconds());
+  metrics_->gauge("jobs.running").add(1);
+  execute(handle);
+}
+
+void JobScheduler::execute(const JobHandlePtr& handle) {
+  ProfileOptions options = handle->job_.options;
+  if (handle->job_.time_limit_seconds > 0) {
+    options.time_limit_seconds = handle->job_.time_limit_seconds;
+  }
+  std::function<void(ProfileStage, double)> user_hook = options.stage_hook;
+  options.stage_hook = [this, &user_hook](ProfileStage stage, double seconds) {
+    metrics_
+        ->histogram(std::string("stage.") + ProfileStageName(stage) +
+                    "_seconds")
+        .record(seconds);
+    if (user_hook) user_hook(stage, seconds);
+  };
+
+  Timer run_timer;
+  ProfileReport report;
+  std::string error;
+  bool failed = false;
+  {
+    // Every Deadline constructed below (inside the discovery algorithms)
+    // now also polls this job's cancel token.
+    CancelScope scope(&handle->cancel_token_);
+    try {
+      std::shared_ptr<const Relation> relation =
+          datasets_->get(handle->job_.dataset, options.semantics);
+      report = Profiler(options).profile(*relation);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown exception";
+    }
+  }
+  double run_seconds = run_timer.seconds();
+
+  JobState final_state;
+  if (failed) {
+    final_state = JobState::kFailed;
+  } else if (handle->cancel_token_.cancelled()) {
+    final_state = JobState::kCancelled;
+  } else {
+    final_state = JobState::kDone;
+  }
+
+  // Metrics are finalized before the handle turns terminal, so a thread
+  // returning from wait()/wait_all() always sees consistent counts.
+  metrics_->histogram("job.run_seconds").record(run_seconds);
+  switch (final_state) {
+    case JobState::kDone:
+      metrics_->counter("jobs.completed").inc();
+      break;
+    case JobState::kFailed:
+      metrics_->counter("jobs.failed").inc();
+      break;
+    default:
+      metrics_->counter("jobs.cancelled").inc();
+      break;
+  }
+  metrics_->gauge("jobs.running").add(-1);
+
+  {
+    std::lock_guard<std::mutex> hlock(handle->mu_);
+    handle->state_ = final_state;
+    handle->run_seconds_ = run_seconds;
+    if (failed) {
+      handle->error_ = error;
+    } else {
+      report.cancelled = final_state == JobState::kCancelled;
+      handle->report_ = std::move(report);
+      handle->has_report_ = true;
+    }
+    handle->done_cv_.notify_all();
+  }
+}
+
+void JobScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  // Drains every queued run_one ticket, then joins the workers; all
+  // submitted jobs are terminal afterwards. Any job a lost ticket left
+  // behind is reclaimed as cancelled so no handle waits forever.
+  pool_.shutdown();
+  reclaim_pending();
+}
+
+void JobScheduler::wait_all() const {
+  std::vector<JobHandlePtr> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs = all_jobs_;
+  }
+  for (const JobHandlePtr& handle : jobs) handle->wait();
+}
+
+}  // namespace dhyfd

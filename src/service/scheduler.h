@@ -1,0 +1,89 @@
+#ifndef DHYFD_SERVICE_SCHEDULER_H_
+#define DHYFD_SERVICE_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "service/dataset_registry.h"
+#include "service/job.h"
+#include "service/metrics.h"
+#include "util/thread_pool.h"
+
+namespace dhyfd {
+
+struct SchedulerOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Bound on queued-but-not-running jobs (0 = unbounded). When full,
+  /// submit() blocks until a worker frees a slot.
+  std::size_t max_queue = 0;
+};
+
+/// The service core: accepts ProfileJobs, runs them on a ThreadPool in
+/// priority order (ties FIFO), tracks per-job state, enforces per-job time
+/// limits via util/deadline.h, supports cooperative cancellation, and
+/// reports into a MetricsRegistry:
+///
+///   counters   jobs.submitted / completed / failed / cancelled
+///   gauges     jobs.queued, jobs.running
+///   histograms job.queue_seconds, job.run_seconds, and
+///              stage.{encode,discover,canonical,rank}_seconds
+///
+/// Datasets are resolved by name through the DatasetRegistry, so concurrent
+/// jobs over the same table share one encoded relation.
+class JobScheduler {
+ public:
+  /// Neither registry is owned; both must outlive the scheduler.
+  JobScheduler(DatasetRegistry* datasets, MetricsRegistry* metrics,
+               SchedulerOptions options = {});
+
+  /// Equivalent to shutdown().
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueues a job; returns its handle immediately. Returns a kFailed
+  /// handle (never nullptr) if the scheduler is already shut down.
+  JobHandlePtr submit(ProfileJob job);
+
+  /// Stops accepting jobs, runs everything queued, joins the workers.
+  /// Idempotent. Queued jobs whose handles were cancelled are dropped.
+  void shutdown();
+
+  /// Convenience: blocks until every job submitted so far is terminal.
+  void wait_all() const;
+
+  int num_threads() const { return pool_.num_threads(); }
+  std::int64_t queued_jobs() const { return metrics_->gauge("jobs.queued").value(); }
+  std::int64_t running_jobs() const { return metrics_->gauge("jobs.running").value(); }
+
+ private:
+  struct PendingOrder {
+    bool operator()(const JobHandlePtr& a, const JobHandlePtr& b) const;
+  };
+
+  /// Pool task: pops the best pending job and runs it to a terminal state.
+  void run_one();
+  void execute(const JobHandlePtr& handle);
+  /// Marks every still-queued pending job cancelled (shutdown cleanup).
+  void reclaim_pending();
+
+  DatasetRegistry* datasets_;
+  MetricsRegistry* metrics_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::priority_queue<JobHandlePtr, std::vector<JobHandlePtr>, PendingOrder>
+      pending_;
+  std::vector<JobHandlePtr> all_jobs_;
+  std::uint64_t next_id_ = 1;
+  bool shutdown_ = false;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_SERVICE_SCHEDULER_H_

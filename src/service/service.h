@@ -1,0 +1,20 @@
+#ifndef DHYFD_SERVICE_SERVICE_H_
+#define DHYFD_SERVICE_SERVICE_H_
+
+/// Umbrella header for the embeddable profiling service:
+///
+///   MetricsRegistry metrics;
+///   DatasetRegistry datasets(&metrics);
+///   datasets.add_table("orders", std::move(raw));
+///   JobScheduler scheduler(&datasets, &metrics);
+///   auto h = scheduler.submit({.dataset = "orders",
+///                              .options = {.algorithm = "dhyfd"}});
+///   h->wait();
+///   std::cout << h->report().summary() << metrics.snapshot();
+
+#include "service/dataset_registry.h"
+#include "service/job.h"
+#include "service/metrics.h"
+#include "service/scheduler.h"
+
+#endif  // DHYFD_SERVICE_SERVICE_H_

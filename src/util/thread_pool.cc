@@ -1,0 +1,122 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dhyfd {
+
+ThreadPool::ThreadPool(int num_threads, std::size_t max_queue)
+    : max_queue_(max_queue) {
+  exception_handler_ = [this](std::exception_ptr e) {
+    default_exception_handler(e);
+  };
+  int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] {
+    return stopping_ || max_queue_ == 0 || queue_.size() < max_queue_;
+  });
+  if (stopping_) return false;
+  queue_.push_back(std::move(task));
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return false;
+  if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
+  queue_.push_back(std::move(task));
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+    to_join.swap(workers_);
+  }
+  for (std::thread& w : to_join) w.join();
+}
+
+void ThreadPool::set_exception_handler(
+    std::function<void(std::exception_ptr)> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exception_handler_ = std::move(handler);
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::int64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+std::int64_t ThreadPool::exceptions_caught() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exceptions_caught_;
+}
+
+std::string ThreadPool::first_exception_message() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_exception_message_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    std::function<void(std::exception_ptr)> handler;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Graceful shutdown: keep draining queued tasks even when stopping.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      handler = exception_handler_;
+      not_full_.notify_one();
+    }
+    try {
+      task();
+    } catch (...) {
+      handler(std::current_exception());
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++tasks_executed_;
+  }
+}
+
+void ThreadPool::default_exception_handler(std::exception_ptr e) {
+  std::string message = "unknown exception";
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    message = ex.what();
+  } catch (...) {
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++exceptions_caught_;
+  if (first_exception_message_.empty()) first_exception_message_ = message;
+}
+
+}  // namespace dhyfd

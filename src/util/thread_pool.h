@@ -1,0 +1,80 @@
+#ifndef DHYFD_UTIL_THREAD_POOL_H_
+#define DHYFD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dhyfd {
+
+/// A fixed-size worker pool with a bounded FIFO task queue and graceful
+/// shutdown. Deliberately simple — no work stealing, one mutex, two
+/// condition variables — because profiling jobs are coarse (seconds, not
+/// microseconds) and lock discipline matters more than enqueue latency.
+///
+/// Exceptions escaping a task never kill a worker: they are caught, counted,
+/// and forwarded to the exception handler (default: remember the first
+/// message, see exceptions_caught() / first_exception_message()).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1). `max_queue` bounds the
+  /// number of queued-but-not-running tasks; 0 means unbounded. When the
+  /// queue is full, submit() blocks and try_submit() refuses.
+  explicit ThreadPool(int num_threads, std::size_t max_queue = 0);
+
+  /// Equivalent to shutdown(): drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task, blocking while the queue is full. Returns false (and
+  /// drops the task) if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  /// Non-blocking enqueue; false if the queue is full or shutting down.
+  bool try_submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs everything already queued, joins the
+  /// workers. Idempotent and safe to call from multiple threads (but not
+  /// from inside a pool task).
+  void shutdown();
+
+  /// Replaces the exception handler invoked (on the worker thread) when a
+  /// task throws. Must be called before tasks that may throw are submitted.
+  void set_exception_handler(std::function<void(std::exception_ptr)> handler);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_depth() const;
+  std::int64_t tasks_executed() const;
+  std::int64_t exceptions_caught() const;
+  /// what() of the first task exception the default handler saw ("" if none).
+  std::string first_exception_message() const;
+
+ private:
+  void worker_loop();
+  void default_exception_handler(std::exception_ptr e);
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;   // workers wait: task available / stop
+  std::condition_variable not_full_;    // producers wait: queue has room
+  std::deque<std::function<void()>> queue_;
+  std::size_t max_queue_;
+  bool stopping_ = false;
+  bool joined_ = false;
+  std::int64_t tasks_executed_ = 0;
+  std::int64_t exceptions_caught_ = 0;
+  std::string first_exception_message_;
+  std::function<void(std::exception_ptr)> exception_handler_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,335 @@
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/profiler.h"
+#include "datagen/benchmark_data.h"
+#include "util/cancellation.h"
+#include "util/deadline.h"
+
+namespace dhyfd {
+namespace {
+
+RawTable DemoTable(const std::string& name = "abalone", int rows = 300) {
+  return GenerateBenchmark(name, rows);
+}
+
+std::string CoverString(const FdSet& cover) {
+  std::string out;
+  for (const Fd& fd : cover.fds) out += fd.to_string() + "\n";
+  return out;
+}
+
+TEST(DatasetRegistryTest, EncodesOncePerSemantics) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable());
+
+  auto r1 = datasets.get("t", NullSemantics::kNullEqualsNull);
+  auto r2 = datasets.get("t", NullSemantics::kNullEqualsNull);
+  EXPECT_EQ(r1.get(), r2.get());  // same cached relation
+  auto r3 = datasets.get("t", NullSemantics::kNullNotEqualsNull);
+  EXPECT_NE(r1.get(), r3.get());  // distinct per semantics
+
+  EXPECT_EQ(metrics.counter("dataset.cache_misses").value(), 2);
+  EXPECT_EQ(metrics.counter("dataset.cache_hits").value(), 1);
+}
+
+TEST(DatasetRegistryTest, UnknownNameThrows) {
+  DatasetRegistry datasets;
+  EXPECT_THROW(datasets.get("nope", NullSemantics::kNullEqualsNull),
+               std::out_of_range);
+}
+
+TEST(DatasetRegistryTest, MissingFileFailsThenRetries) {
+  DatasetRegistry datasets;
+  datasets.add_csv_file("f", "/nonexistent/path.csv");
+  EXPECT_THROW(datasets.get("f", NullSemantics::kNullEqualsNull),
+               std::exception);
+  // The failed slot was dropped: a second get re-attempts (and fails again
+  // rather than returning a poisoned cached future).
+  EXPECT_THROW(datasets.get("f", NullSemantics::kNullEqualsNull),
+               std::exception);
+}
+
+TEST(DatasetRegistryTest, ConcurrentGettersShareOneEncode) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable("ncvoter", 800));
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const Relation>> results(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&datasets, &results, i] {
+      results[i] = datasets.get("t", NullSemantics::kNullEqualsNull);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(results[0].get(), results[i].get());
+  EXPECT_EQ(metrics.counter("dataset.cache_misses").value(), 1);
+}
+
+TEST(MetricsTest, HistogramStatsAndSnapshot) {
+  MetricsRegistry metrics;
+  metrics.counter("c").inc(3);
+  metrics.gauge("g").set(7);
+  Histogram& h = metrics.histogram("h");
+  h.record(0.001);
+  h.record(0.02);
+  h.record(0.3);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_NEAR(h.sum(), 0.321, 1e-9);
+  EXPECT_NEAR(h.min(), 0.001, 1e-9);
+  EXPECT_NEAR(h.max(), 0.3, 1e-9);
+  EXPECT_GE(h.quantile(0.5), 0.001);
+  EXPECT_LE(h.quantile(0.5), 0.3);
+  std::string snap = metrics.snapshot();
+  EXPECT_NE(snap.find("counter c 3"), std::string::npos);
+  EXPECT_NE(snap.find("gauge g 7"), std::string::npos);
+  EXPECT_NE(snap.find("histogram h count=3"), std::string::npos);
+}
+
+TEST(ServiceTest, ConcurrentJobsMatchSerialProfiler) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("abalone", DemoTable("abalone", 300));
+  datasets.add_table("ncvoter", DemoTable("ncvoter", 300));
+
+  // Serial references.
+  std::vector<std::string> algos = {"dhyfd", "tane", "hyfd", "fdep"};
+  std::vector<ProfileReport> expected;
+  for (const std::string dataset : {"abalone", "ncvoter"}) {
+    auto rel = datasets.get(dataset, NullSemantics::kNullEqualsNull);
+    for (const std::string& algo : algos) {
+      ProfileOptions opt;
+      opt.algorithm = algo;
+      expected.push_back(Profiler(opt).profile(*rel));
+    }
+  }
+
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 4});
+  std::vector<JobHandlePtr> handles;
+  for (const std::string dataset : {"abalone", "ncvoter"}) {
+    for (const std::string& algo : algos) {
+      ProfileJob job;
+      job.dataset = dataset;
+      job.options.algorithm = algo;
+      handles.push_back(scheduler.submit(job));
+    }
+  }
+  scheduler.wait_all();
+
+  ASSERT_EQ(handles.size(), expected.size());
+  for (size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_EQ(handles[i]->state(), JobState::kDone) << handles[i]->error();
+    const ProfileReport& got = handles[i]->report();
+    EXPECT_EQ(CoverString(got.left_reduced), CoverString(expected[i].left_reduced));
+    EXPECT_EQ(CoverString(got.canonical), CoverString(expected[i].canonical));
+    EXPECT_EQ(got.ranking.size(), expected[i].ranking.size());
+    EXPECT_GT(got.timings.discover_seconds, 0);
+  }
+  EXPECT_EQ(metrics.counter("jobs.completed").value(), 8);
+  EXPECT_EQ(metrics.counter("jobs.submitted").value(), 8);
+  EXPECT_EQ(metrics.gauge("jobs.running").value(), 0);
+  EXPECT_GE(metrics.histogram("stage.discover_seconds").count(), 8);
+}
+
+TEST(ServiceTest, CancelQueuedJobNeverRuns) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable());
+
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 1});
+  // Occupy the single worker long enough to cancel the queued job behind it.
+  std::atomic<bool> release{false};
+  ProfileJob blocker;
+  blocker.dataset = "t";
+  blocker.options.stage_hook = [&release](ProfileStage, double) {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  JobHandlePtr first = scheduler.submit(blocker);
+
+  ProfileJob queued;
+  queued.dataset = "t";
+  JobHandlePtr second = scheduler.submit(queued);
+  second->cancel();
+  release.store(true);
+
+  scheduler.wait_all();
+  EXPECT_EQ(first->state(), JobState::kDone);
+  EXPECT_EQ(second->state(), JobState::kCancelled);
+  EXPECT_EQ(second->run_seconds(), 0);  // never picked up
+  EXPECT_THROW(second->report(), std::runtime_error);
+  EXPECT_EQ(metrics.counter("jobs.cancelled").value(), 1);
+}
+
+TEST(ServiceTest, CancelRunningJobStopsEarly) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  // Big enough that fdep's O(rows^2) pair scan takes well over a second.
+  datasets.add_table("big", DemoTable("ncvoter", 6000));
+
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 1});
+  ProfileJob job;
+  job.dataset = "big";
+  job.options.algorithm = "fdep";
+  JobHandlePtr handle = scheduler.submit(job);
+
+  // Wait for it to actually start, then cancel mid-run.
+  while (handle->state() == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  handle->cancel();
+  handle->wait();
+
+  EXPECT_EQ(handle->state(), JobState::kCancelled);
+  // Stopped early: nowhere near a full fdep run over 6000^2 row pairs.
+  EXPECT_LT(handle->run_seconds(), 30.0);
+  const ProfileReport& report = handle->report();  // partial but present
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(metrics.counter("jobs.cancelled").value(), 1);
+  EXPECT_EQ(metrics.counter("jobs.completed").value(), 0);
+}
+
+TEST(ServiceTest, PerJobTimeLimitProducesPartialResult) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("big", DemoTable("ncvoter", 6000));
+
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 1});
+  ProfileJob job;
+  job.dataset = "big";
+  job.options.algorithm = "fdep";
+  job.time_limit_seconds = 0.02;
+  JobHandlePtr handle = scheduler.submit(job);
+  handle->wait();
+
+  ASSERT_EQ(handle->state(), JobState::kDone) << handle->error();
+  EXPECT_TRUE(handle->report().discovery.stats.timed_out);
+}
+
+TEST(ServiceTest, PriorityOrderOnSingleWorker) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable());
+  // Pre-encode so job runtimes don't include the one-time encode.
+  datasets.get("t", NullSemantics::kNullEqualsNull);
+
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 1});
+  std::mutex mu;
+  std::vector<int> started;  // priorities in execution order
+  std::atomic<bool> release{false};
+
+  ProfileJob blocker;
+  blocker.dataset = "t";
+  blocker.options.stage_hook = [&release](ProfileStage, double) {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  scheduler.submit(blocker);
+
+  // Submitted low-priority first; the high-priority job must still run first
+  // once the blocker releases the lone worker.
+  for (int priority : {0, 1, 5, 3}) {
+    ProfileJob job;
+    job.dataset = "t";
+    job.priority = priority;
+    job.options.stage_hook = [&mu, &started, priority](ProfileStage stage, double) {
+      if (stage == ProfileStage::kDiscover) {
+        std::lock_guard<std::mutex> lock(mu);
+        started.push_back(priority);
+      }
+    };
+    scheduler.submit(job);
+  }
+  release.store(true);
+  scheduler.wait_all();
+
+  ASSERT_EQ(started.size(), 4u);
+  EXPECT_EQ(started, (std::vector<int>{5, 3, 1, 0}));
+}
+
+TEST(ServiceTest, BadAlgorithmAndBadDatasetFailCleanly) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable());
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 2});
+
+  ProfileJob bad_algo;
+  bad_algo.dataset = "t";
+  bad_algo.options.algorithm = "no_such_algorithm";
+  JobHandlePtr h1 = scheduler.submit(bad_algo);
+
+  ProfileJob bad_dataset;
+  bad_dataset.dataset = "no_such_dataset";
+  JobHandlePtr h2 = scheduler.submit(bad_dataset);
+
+  scheduler.wait_all();
+  EXPECT_EQ(h1->state(), JobState::kFailed);
+  EXPECT_NE(h1->error().find("no_such_algorithm"), std::string::npos);
+  EXPECT_EQ(h2->state(), JobState::kFailed);
+  EXPECT_NE(h2->error().find("no_such_dataset"), std::string::npos);
+  EXPECT_THROW(h1->report(), std::runtime_error);
+  EXPECT_EQ(metrics.counter("jobs.failed").value(), 2);
+}
+
+TEST(ServiceTest, SubmitAfterShutdownFailsFast) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable());
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 1});
+  scheduler.shutdown();
+  ProfileJob job;
+  job.dataset = "t";
+  JobHandlePtr handle = scheduler.submit(job);
+  EXPECT_EQ(handle->state(), JobState::kFailed);
+  EXPECT_NE(handle->error().find("shut down"), std::string::npos);
+}
+
+TEST(ServiceTest, ShutdownDrainsQueuedJobs) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable());
+  std::vector<JobHandlePtr> handles;
+  {
+    JobScheduler scheduler(&datasets, &metrics, {.num_threads = 2});
+    for (int i = 0; i < 12; ++i) {
+      ProfileJob job;
+      job.dataset = "t";
+      handles.push_back(scheduler.submit(job));
+    }
+  }  // destructor == shutdown: must run everything queued
+  for (const JobHandlePtr& handle : handles) {
+    EXPECT_EQ(handle->state(), JobState::kDone) << handle->error();
+  }
+  EXPECT_EQ(metrics.counter("jobs.completed").value(), 12);
+}
+
+TEST(ServiceTest, StageTimingsReportedInSummary) {
+  ProfileOptions options;
+  ProfileReport report = Profiler(options).profile(DemoTable("abalone", 200));
+  EXPECT_GT(report.timings.encode_seconds, 0);
+  EXPECT_GT(report.timings.discover_seconds, 0);
+  EXPECT_GT(report.timings.canonical_seconds, 0);
+  EXPECT_GT(report.timings.ranking_seconds, 0);
+  EXPECT_GE(report.timings.total_seconds(), report.timings.discover_seconds);
+  EXPECT_NE(report.summary().find("stage timings:"), std::string::npos);
+}
+
+TEST(ServiceTest, CancelScopeMakesDeadlineFire) {
+  CancelToken token;
+  CancelScope scope(&token);
+  Deadline unlimited(0);
+  EXPECT_FALSE(unlimited.expired());
+  token.cancel();
+  EXPECT_TRUE(unlimited.expired());
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -1,0 +1,159 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dhyfd {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.shutdown();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoadDrainsQueue) {
+  // Many short tasks still queued when shutdown starts: every one must run
+  // exactly once, and shutdown must not hang.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        count.fetch_add(1);
+      });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRefused) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+  EXPECT_FALSE(pool.try_submit([] {}));
+  EXPECT_EQ(pool.tasks_executed(), 0);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWorkers) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.submit([&count] { count.fetch_add(1); });
+  }  // ~ThreadPool must finish all 20 before returning
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, BoundedQueueTrySubmitRefusesWhenFull) {
+  ThreadPool pool(1, /*max_queue=*/2);
+  std::atomic<bool> release{false};
+  // Occupy the single worker so queued tasks pile up.
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // Wait until the worker has dequeued the blocker (queue drained to 0).
+  while (pool.queue_depth() > 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(pool.try_submit([] {}));
+  EXPECT_TRUE(pool.try_submit([] {}));
+  EXPECT_FALSE(pool.try_submit([] {}));  // queue full
+  release.store(true);
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_executed(), 3);
+}
+
+TEST(ThreadPoolTest, BoundedQueueSubmitBlocksThenProceeds) {
+  ThreadPool pool(1, /*max_queue=*/1);
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  while (pool.queue_depth() > 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pool.submit([&done] { done.fetch_add(1); });  // fills the queue
+  // This submit must block until the blocker finishes, then succeed.
+  std::thread producer([&pool, &done] {
+    EXPECT_TRUE(pool.submit([&done] { done.fetch_add(1); }));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(done.load(), 0);  // still blocked behind the busy worker
+  release.store(true);
+  producer.join();
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPoolTest, ExceptionsAreCapturedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 10);  // workers survived the throwing tasks
+  EXPECT_EQ(pool.exceptions_caught(), 10);
+  EXPECT_EQ(pool.first_exception_message(), "task boom");
+  EXPECT_EQ(pool.tasks_executed(), 20);
+}
+
+TEST(ThreadPoolTest, CustomExceptionHandlerReceivesException) {
+  ThreadPool pool(1);
+  std::atomic<int> handled{0};
+  std::string message;
+  pool.set_exception_handler([&handled, &message](std::exception_ptr e) {
+    handled.fetch_add(1);
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      message = ex.what();
+    }
+  });
+  pool.submit([] { throw std::runtime_error("custom"); });
+  pool.shutdown();
+  EXPECT_EQ(handled.load(), 1);
+  EXPECT_EQ(message, "custom");
+  EXPECT_EQ(pool.exceptions_caught(), 0);  // default handler bypassed
+}
+
+TEST(ThreadPoolTest, ManyProducersManyConsumers) {
+  ThreadPool pool(4, /*max_queue=*/8);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(pool.submit([&count] { count.fetch_add(1); }));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 400);
+}
+
+}  // namespace
+}  // namespace dhyfd
