@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + every test), then a
-# ThreadSanitizer build of the concurrency-heavy targets (thread pool and
-# profiling service) so data races and leaked threads fail the pipeline.
+# CI entry point: tier-1 verify (full build + every test), a build-only
+# compile of every bench/ harness (they are not executed in CI, but they
+# must never rot), then a ThreadSanitizer build of the concurrency-heavy
+# targets (thread pool, profiling service, live store) so data races and
+# leaked threads fail the pipeline.
 #
 # Usage: ./ci.sh [jobs]
 set -euo pipefail
@@ -15,13 +17,24 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "=== tsan: thread_pool_test + service_test under ThreadSanitizer ==="
+echo "=== bench: build-only compile of every bench/ target ==="
+BENCH_TARGETS=()
+for src in bench/bench_*.cc; do
+  BENCH_TARGETS+=("$(basename "$src" .cc)")
+done
+cmake --build build -j "$JOBS" --target "${BENCH_TARGETS[@]}"
+
+echo
+echo "=== tsan: concurrency targets under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target thread_pool_test service_test
+cmake --build build-tsan -j "$JOBS" --target \
+  thread_pool_test service_test live_store_test incr_property_test
 # halt_on_error makes any race abort the run; TSan also reports threads
 # still running at exit, which covers the "zero leaked threads" check.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/service_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/live_store_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/incr_property_test
 
 echo
 echo "CI OK"

@@ -1,0 +1,55 @@
+#include "datagen/update_stream.h"
+
+#include <utility>
+
+#include "util/random.h"
+
+namespace dhyfd {
+
+UpdateStream GenerateUpdateStream(const UpdateStreamSpec& spec) {
+  // One table covers seed + insert pool so derived/key columns stay coherent
+  // across the stream; worst case every operation is an insert.
+  DatasetSpec base = spec.base;
+  base.rows = spec.initial_rows + spec.num_batches * spec.batch_size;
+  RawTable pool = GenerateRawTable(base);
+
+  UpdateStream stream;
+  stream.initial.header = pool.header;
+  stream.initial.rows.assign(pool.rows.begin(), pool.rows.begin() + spec.initial_rows);
+
+  Random rng(spec.seed ^ 0x75d8a2f3c91e4b07ull);
+  // Mirror LiveRelation's id assignment: initial rows 0..n-1, every insert
+  // the next sequential id. `live` holds ids in insertion order so a skewed
+  // draw from the back hits recent rows.
+  std::vector<LiveRowId> live(spec.initial_rows);
+  for (int i = 0; i < spec.initial_rows; ++i) live[i] = i;
+  LiveRowId next_id = spec.initial_rows;
+  size_t next_pool_row = static_cast<size_t>(spec.initial_rows);
+
+  stream.batches.resize(spec.num_batches);
+  for (UpdateBatch& batch : stream.batches) {
+    for (int op = 0; op < spec.batch_size; ++op) {
+      bool do_delete = rng.next_bool(spec.delete_fraction);
+      if (do_delete && !live.empty()) {
+        size_t pick;
+        if (spec.delete_skew > 0) {
+          // next_zipf piles mass on small ranks; rank 0 = newest insert.
+          pick = live.size() - 1 - rng.next_zipf(live.size(), spec.delete_skew);
+        } else {
+          pick = rng.next_below(live.size());
+        }
+        batch.deletes.push_back(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      } else if (!do_delete && next_pool_row < pool.rows.size()) {
+        batch.inserts.push_back(std::move(pool.rows[next_pool_row]));
+        ++next_pool_row;
+        live.push_back(next_id++);
+      }
+      // A delete with nothing live, or an insert past the pool, is dropped.
+    }
+  }
+  return stream;
+}
+
+}  // namespace dhyfd

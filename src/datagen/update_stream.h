@@ -1,0 +1,60 @@
+#ifndef DHYFD_DATAGEN_UPDATE_STREAM_H_
+#define DHYFD_DATAGEN_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "incr/update_batch.h"
+
+namespace dhyfd {
+
+/// Shape of a synthetic update workload against a live relation.
+///
+/// The generator materializes one large table from `base` (its planted FD
+/// structure spans the whole stream, so inserts keep refuting and restoring
+/// the same dependencies), serves the first `initial_rows` as the seed table
+/// and the rest as the insert pool, and interleaves deletes against rows it
+/// knows to be live — mirroring LiveRelation's sequential id assignment.
+struct UpdateStreamSpec {
+  DatasetSpec base;
+  /// Rows in the initial table (base.rows is overridden to cover the pool).
+  int initial_rows = 500;
+  int num_batches = 20;
+  /// Insert+delete operations per batch.
+  int batch_size = 32;
+  /// Expected fraction of a batch's operations that are deletes. Deletes are
+  /// dropped (not re-rolled) when nothing is live, so early batches of a
+  /// small relation may skew toward inserts.
+  double delete_fraction = 0.3;
+  /// 0 = uniform victim choice; > 0 Zipf-skews deletes toward recently
+  /// inserted rows (hot tail), stressing insert-then-delete churn.
+  double delete_skew = 0;
+  uint64_t seed = 1;
+};
+
+struct UpdateStream {
+  RawTable initial;
+  std::vector<UpdateBatch> batches;
+
+  int64_t total_inserts() const {
+    int64_t n = 0;
+    for (const UpdateBatch& b : batches) n += static_cast<int64_t>(b.inserts.size());
+    return n;
+  }
+  int64_t total_deletes() const {
+    int64_t n = 0;
+    for (const UpdateBatch& b : batches) n += static_cast<int64_t>(b.deletes.size());
+    return n;
+  }
+};
+
+/// Deterministic in the spec contents. Every emitted delete id refers to a
+/// row that is live when its batch is applied in order (initial rows get ids
+/// 0..initial_rows-1, each insert the next sequential id), and no id is
+/// deleted twice.
+UpdateStream GenerateUpdateStream(const UpdateStreamSpec& spec);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_DATAGEN_UPDATE_STREAM_H_

@@ -1,0 +1,177 @@
+#ifndef DHYFD_INCR_LIVE_PROFILE_H_
+#define DHYFD_INCR_LIVE_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "algo/dhyfd.h"
+#include "fd/fd_set.h"
+#include "fdtree/extended_fd_tree.h"
+#include "incr/live_relation.h"
+#include "ranking/ranking.h"
+
+namespace dhyfd {
+
+struct LiveProfileOptions {
+  /// Discovery options for the initial run and churn-triggered rebuilds.
+  DhyfdOptions discovery;
+  /// DDM-style efficiency heuristic: once the incremental maintenance time
+  /// accumulated since the last full run exceeds this multiple of that run's
+  /// cost, the next batch compacts and re-discovers from scratch instead.
+  double rebuild_cost_ratio = 3.0;
+  /// A tombstone share above this also triggers compaction + rebuild.
+  double max_tombstone_fraction = 0.5;
+  /// Disable both triggers (force_rebuild() still works); the equivalence
+  /// property tests run pure-incremental with this off.
+  bool auto_rebuild = true;
+  /// Maintain per-FD redundancy ranking across batches (Section VI),
+  /// recomputing only FDs whose LHS clusters a batch actually touched.
+  bool maintain_ranking = true;
+  RedundancyMode ranking_mode = RedundancyMode::kExcludingNullRhs;
+};
+
+/// Work accounting for one applied batch; feeds the service's per-batch
+/// metrics and the bench's incremental-vs-full comparison.
+struct BatchStats {
+  int64_t rows_inserted = 0;
+  int64_t rows_deleted = 0;
+  /// Delete ids that were unknown or already dead (skipped, not an error).
+  int64_t unknown_deletes = 0;
+  int64_t pairs_compared = 0;   // new-vs-live and deleted-vs-live agree scans
+  int64_t agree_sets = 0;       // distinct violated/destroyed agree sets
+  int64_t validations = 0;      // generalization checks against the data
+  int64_t fds_added = 0;
+  int64_t fds_removed = 0;
+  int64_t fds_reranked = 0;     // dirty FDs whose redundancy was recomputed
+  bool rebuilt = false;         // batch fell back to a full DHyFD re-run
+  std::string rebuild_reason;   // "", "cost-ratio", "tombstones", "forced"
+  double seconds = 0;
+};
+
+/// What one batch did to the maintained cover: the FDs that entered and
+/// left the left-reduced cover (singleton RHSs, sorted).
+struct CoverDelta {
+  FdSet added;
+  FdSet removed;
+  BatchStats stats;
+};
+
+/// How apply() maintains the cover; kFullRerun is the baseline strategy the
+/// bench compares against (apply raw updates, then always re-discover).
+enum class ApplyMode { kIncremental, kFullRerun };
+
+/// Maintains the left-reduced FD cover of a LiveRelation across update
+/// batches without re-running discovery (EAIFD's problem setting on top of
+/// the paper's DHyFD machinery):
+///
+///  * Inserts: each new tuple's agree sets against the live tuples sharing
+///    at least one value (found via the live value groups) are the only new
+///    violations; they are inducted into the extended FD-tree
+///    (Algorithm 2), which specializes refuted FDs minimally. Tuples
+///    sharing no value refute only the root FDs {} -> A, handled by the
+///    per-column live distinct counts.
+///  * Deletes: only FDs all of whose violating pairs died can newly hold.
+///    Every destroyed pair's agree set Z bounds the candidates (new valid
+///    X -> A needs X subseteq Z, A notin Z); the per-attribute-maximal
+///    destroyed sets seed a top-down minimization that validates candidate
+///    generalizations against the live data (validator + live partitions)
+///    and inserts every newly minimal FD, pruning superseded ones.
+///  * Fallback: a DDM-style efficiency ratio compares accumulated
+///    incremental cost against the last full run and falls back to
+///    compact() + Dhyfd::discover when churn makes incremental maintenance
+///    the slower strategy.
+///
+/// Invariant (the property the tests enforce): after every batch, cover()
+/// equals the left-reduced cover a from-scratch DHyFD run finds on
+/// live_relation().snapshot().
+class LiveProfile {
+ public:
+  explicit LiveProfile(const RawTable& initial, LiveProfileOptions options = {},
+                       NullSemantics semantics = NullSemantics::kNullEqualsNull);
+
+  const LiveRelation& live_relation() const { return rel_; }
+  LiveRelation& live_relation() { return rel_; }
+
+  /// The maintained left-reduced cover (singleton RHSs, sorted).
+  const FdSet& cover() const { return cover_; }
+
+  /// Cover FDs with redundancy counts, sorted descending by the configured
+  /// mode (empty unless options.maintain_ranking).
+  const std::vector<FdRedundancy>& ranking() const;
+
+  CoverDelta apply(const UpdateBatch& batch, ApplyMode mode = ApplyMode::kIncremental);
+
+  /// Compacts and re-runs discovery now, regardless of the heuristics.
+  void force_rebuild();
+
+  int64_t batches_applied() const { return batches_applied_; }
+  int64_t rebuild_count() const { return rebuild_count_; }
+  double last_full_seconds() const { return last_full_seconds_; }
+  /// Incremental maintenance time accumulated since the last full run.
+  double incremental_seconds() const { return incremental_seconds_; }
+
+ private:
+  struct FdKeyHash {
+    size_t operator()(const Fd& fd) const {
+      return fd.lhs.hash() * 1315423911u ^ fd.rhs.hash();
+    }
+  };
+  struct FdKeyEq {
+    bool operator()(const Fd& a, const Fd& b) const { return a == b; }
+  };
+  using RedundancyMap = std::unordered_map<Fd, FdRedundancy, FdKeyHash, FdKeyEq>;
+
+  void full_discover(BatchStats* stats);
+  void rebuild_tree_from_cover();
+  void refresh_cover();
+
+  /// True if lhs -> a holds on the live rows; consults the tree first (an
+  /// existing generalization proves validity without touching data), then
+  /// validates from a live partition. Results are memoized in `cache`.
+  bool holds_on_live(const AttributeSet& lhs, AttrId a,
+                     std::unordered_map<AttributeSet, bool, AttributeSetHash>* cache,
+                     BatchStats* stats);
+
+  /// Emits every minimal valid X subseteq z with X -> a into `out` (depth-
+  /// first descent; `visited` dedupes lattice nodes across seeds).
+  void minimal_valid_subsets(
+      const AttributeSet& z, AttrId a,
+      std::unordered_map<AttributeSet, bool, AttributeSetHash>* cache,
+      std::unordered_set<AttributeSet, AttributeSetHash>* visited,
+      std::vector<AttributeSet>* out, BatchStats* stats);
+
+  /// Attributes on which `row` agrees with at least one other live row —
+  /// an FD's LHS clusters can only have changed if LHS is inside this set.
+  AttributeSet nonunique_attrs(RowId row) const;
+
+  FdRedundancy compute_live_redundancy(const Fd& fd);
+  void rerank_dirty(const std::vector<AttributeSet>& touched_profiles,
+                    const FdSet& added, const FdSet& removed, BatchStats* stats);
+  void full_rerank();
+
+  LiveProfileOptions options_;
+  LiveRelation rel_;
+  std::unique_ptr<ExtendedFdTree> tree_;
+  FdSet cover_;
+
+  RedundancyMap redundancy_;
+  mutable std::vector<FdRedundancy> ranking_;
+  mutable bool ranking_sorted_ = false;
+
+  // Partner-scan dedupe scratch: one stamp slot per internal row.
+  std::vector<uint32_t> partner_stamp_;
+  uint32_t partner_epoch_ = 0;
+
+  int64_t batches_applied_ = 0;
+  int64_t rebuild_count_ = 0;
+  double last_full_seconds_ = 0;
+  double incremental_seconds_ = 0;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_INCR_LIVE_PROFILE_H_

@@ -1,0 +1,34 @@
+#ifndef DHYFD_INCR_UPDATE_BATCH_H_
+#define DHYFD_INCR_UPDATE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhyfd {
+
+/// Stable, external identity of a tuple in a live relation. Ids are assigned
+/// sequentially in insertion order (the initial table's rows get 0..n-1) and
+/// survive churn-triggered compaction, which renumbers the *internal* RowIds.
+using LiveRowId = int64_t;
+
+/// One transactional change set against a live relation. Inserts are raw
+/// string rows (one cell per schema column, null markers as in CsvOptions);
+/// deletes name tuples by their stable LiveRowId.
+///
+/// Application order within a batch: all inserts first, then all deletes —
+/// so a batch may delete a row it inserted itself (its id is the relation's
+/// next_row_id() at the time the insert position is reached).
+struct UpdateBatch {
+  std::vector<std::vector<std::string>> inserts;
+  std::vector<LiveRowId> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+  int64_t size() const {
+    return static_cast<int64_t>(inserts.size() + deletes.size());
+  }
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_INCR_UPDATE_BATCH_H_

@@ -43,6 +43,91 @@ EncodedRelation EncodeRelation(const RawTable& table, NullSemantics semantics,
   return out;
 }
 
+DeltaEncoder::DeltaEncoder(const RawTable& table, NullSemantics semantics,
+                           const CsvOptions& options)
+    : rel_(Schema(table.header), 0),
+      semantics_(semantics),
+      options_(options),
+      dictionaries_(table.num_cols()),
+      code_of_(table.num_cols()),
+      null_code_(table.num_cols(), -1) {
+  for (const auto& row : table.rows) append(row);
+}
+
+ValueId DeltaEncoder::encode_cell(AttrId col, const std::string& cell,
+                                  bool* is_null) {
+  std::vector<std::string>& dict = dictionaries_[col];
+  if (IsNullToken(cell, options_)) {
+    *is_null = true;
+    if (semantics_ == NullSemantics::kNullNotEqualsNull) {
+      // Fresh code per null occurrence: never agrees with any row.
+      ValueId code = static_cast<ValueId>(dict.size());
+      dict.emplace_back();
+      return code;
+    }
+    if (null_code_[col] < 0) {
+      null_code_[col] = static_cast<ValueId>(dict.size());
+      dict.push_back(cell);
+    }
+    return null_code_[col];
+  }
+  *is_null = false;
+  auto [it, inserted] = code_of_[col].emplace(cell, static_cast<ValueId>(dict.size()));
+  if (inserted) dict.push_back(cell);
+  return it->second;
+}
+
+RowId DeltaEncoder::append(const std::vector<std::string>& cells) {
+  const int m = rel_.num_cols();
+  std::vector<ValueId> codes(m);
+  std::vector<uint8_t> nulls(m, 0);
+  for (int c = 0; c < m; ++c) {
+    bool is_null = false;
+    codes[c] = encode_cell(c, cells[c], &is_null);
+    nulls[c] = is_null;
+    if (static_cast<ValueId>(dictionaries_[c].size()) > rel_.domain_size(c)) {
+      rel_.set_domain_size(c, static_cast<ValueId>(dictionaries_[c].size()));
+    }
+  }
+  RowId row = rel_.append_row(codes);
+  for (int c = 0; c < m; ++c) {
+    if (nulls[c]) rel_.set_null(row, c);
+  }
+  return row;
+}
+
+void DeltaEncoder::compact(const std::vector<RowId>& keep) {
+  const int m = rel_.num_cols();
+  Relation fresh(rel_.schema(), static_cast<RowId>(keep.size()));
+  for (int c = 0; c < m; ++c) {
+    std::vector<std::string> dict;
+    std::unordered_map<std::string, ValueId> codes;
+    std::unordered_map<ValueId, ValueId> remap;
+    ValueId null_code = -1;
+    remap.reserve(keep.size());
+    for (size_t i = 0; i < keep.size(); ++i) {
+      RowId old_row = keep[i];
+      ValueId old_code = rel_.value(old_row, c);
+      auto [it, inserted] = remap.emplace(old_code, static_cast<ValueId>(dict.size()));
+      if (inserted) {
+        dict.push_back(dictionaries_[c][old_code]);
+        if (rel_.is_null(old_row, c)) {
+          if (semantics_ == NullSemantics::kNullEqualsNull) null_code = it->second;
+        } else {
+          codes.emplace(dict.back(), it->second);
+        }
+      }
+      fresh.set_value(static_cast<RowId>(i), c, it->second);
+      if (rel_.is_null(old_row, c)) fresh.set_null(static_cast<RowId>(i), c);
+    }
+    fresh.set_domain_size(c, static_cast<ValueId>(dict.size()));
+    dictionaries_[c] = std::move(dict);
+    code_of_[c] = std::move(codes);
+    null_code_[c] = null_code;
+  }
+  rel_ = std::move(fresh);
+}
+
 NullStats ComputeNullStats(const Relation& r) {
   NullStats stats;
   std::vector<uint8_t> row_incomplete(r.num_rows(), 0);

@@ -2,6 +2,7 @@
 #define DHYFD_RELATION_ENCODER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "relation/csv.h"
@@ -34,6 +35,55 @@ struct EncodedRelation {
 EncodedRelation EncodeRelation(const RawTable& table,
                                NullSemantics semantics = NullSemantics::kNullEqualsNull,
                                const CsvOptions& options = {});
+
+/// Stateful DIIS encoder for live relations: encodes an initial table like
+/// EncodeRelation, then re-encodes only the cells of appended rows. Existing
+/// codes are stable across appends; unseen values extend the per-column
+/// dictionary (the active domain grows at the top, staying dense).
+///
+/// compact() re-densifies codes onto a surviving subset of rows — the hook
+/// LiveRelation uses when churn-triggered rebuilds drop tombstoned rows, so
+/// dictionaries and refinement scratch arrays do not grow without bound.
+class DeltaEncoder {
+ public:
+  explicit DeltaEncoder(const RawTable& table,
+                        NullSemantics semantics = NullSemantics::kNullEqualsNull,
+                        const CsvOptions& options = {});
+
+  Relation& relation() { return rel_; }
+  const Relation& relation() const { return rel_; }
+  NullSemantics semantics() const { return semantics_; }
+  const std::vector<std::vector<std::string>>& dictionaries() const {
+    return dictionaries_;
+  }
+
+  /// Encodes and appends one raw row (cells.size() must match the schema).
+  /// Only the new cells are touched; returns the new row id.
+  RowId append(const std::vector<std::string>& cells);
+
+  /// Rebuilds the relation from the given rows (ascending, deduplicated),
+  /// re-densifying every column's codes to the values those rows actually
+  /// use. Row `keep[i]` of the old relation becomes row i of the new one.
+  void compact(const std::vector<RowId>& keep);
+
+  /// Original string for a cell; null cells decode to their dictionary
+  /// entry, like EncodedRelation::decode.
+  const std::string& decode(RowId row, AttrId col) const {
+    return dictionaries_[col][rel_.value(row, col)];
+  }
+
+ private:
+  ValueId encode_cell(AttrId col, const std::string& cell, bool* is_null);
+
+  Relation rel_;
+  NullSemantics semantics_;
+  CsvOptions options_;
+  std::vector<std::vector<std::string>> dictionaries_;
+  // Per column: string -> code for non-null values, plus the shared null
+  // code under kNullEqualsNull (-1 until the first null is seen).
+  std::vector<std::unordered_map<std::string, ValueId>> code_of_;
+  std::vector<ValueId> null_code_;
+};
 
 /// Statistics about missing values (the #IR / #IC / #null columns reported
 /// alongside the paper's data sets).

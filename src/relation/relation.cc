@@ -12,6 +12,17 @@ Relation::Relation(Schema schema, RowId num_rows)
       null_rows_(schema_.size()),
       domain_sizes_(schema_.size(), 0) {}
 
+RowId Relation::append_row(const std::vector<ValueId>& values) {
+  RowId id = num_rows_++;
+  for (int c = 0; c < num_cols(); ++c) {
+    columns_[c].push_back(values[c]);
+    // Columns already tracking nulls grow one non-null flag; columns without
+    // nulls stay empty (set_null sizes them lazily to num_rows_).
+    if (!null_rows_[c].empty()) null_rows_[c].push_back(0);
+  }
+  return id;
+}
+
 ValueId Relation::max_domain_size() const {
   ValueId m = 0;
   for (ValueId d : domain_sizes_) m = std::max(m, d);

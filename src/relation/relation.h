@@ -42,6 +42,12 @@ class Relation {
   ValueId value(RowId row, AttrId col) const { return columns_[col][row]; }
   void set_value(RowId row, AttrId col, ValueId v) { columns_[col][row] = v; }
 
+  /// Appends one row with the given per-column codes (values.size() must be
+  /// num_cols()); returns the new row's id. Null flags default to non-null;
+  /// call set_null afterwards. Domain sizes are NOT adjusted — the caller
+  /// (the incremental encoder) tracks code allocation.
+  RowId append_row(const std::vector<ValueId>& values);
+
   bool is_null(RowId row, AttrId col) const {
     return !null_rows_[col].empty() && null_rows_[col][row];
   }

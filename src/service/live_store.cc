@@ -1,0 +1,287 @@
+#include "service/live_store.h"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace dhyfd {
+
+// ---------------------------------------------------------------- handle
+
+UpdateJobState UpdateJobHandle::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool UpdateJobHandle::finished() const {
+  UpdateJobState s = state();
+  return s == UpdateJobState::kDone || s == UpdateJobState::kFailed;
+}
+
+void UpdateJobHandle::wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return state_ == UpdateJobState::kDone || state_ == UpdateJobState::kFailed;
+  });
+}
+
+bool UpdateJobHandle::wait_for(double seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return done_cv_.wait_for(lock, std::chrono::duration<double>(seconds), [&] {
+    return state_ == UpdateJobState::kDone || state_ == UpdateJobState::kFailed;
+  });
+}
+
+const CoverDelta& UpdateJobHandle::delta() const {
+  wait();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == UpdateJobState::kFailed) {
+    throw std::runtime_error("update job failed: " + error_);
+  }
+  return delta_;
+}
+
+std::string UpdateJobHandle::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+// ----------------------------------------------------------------- store
+
+LiveStore::LiveStore(MetricsRegistry* metrics, int num_threads)
+    : metrics_(metrics),
+      pool_(num_threads > 0
+                ? num_threads
+                : static_cast<int>(std::thread::hardware_concurrency())) {}
+
+LiveStore::~LiveStore() { shutdown(); }
+
+void LiveStore::create(const std::string& name, RawTable initial,
+                       LiveDatasetOptions options) {
+  auto entry = std::make_shared<Entry>();
+  // Initial discovery runs synchronously, outside any lock; create() is the
+  // caller's setup phase, not the hot path.
+  entry->profile = std::make_unique<LiveProfile>(initial, options.profile,
+                                                 options.semantics);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) throw std::runtime_error("LiveStore is shut down");
+    if (!datasets_.emplace(name, std::move(entry)).second) {
+      throw std::invalid_argument("live dataset already exists: " + name);
+    }
+  }
+  metrics_->gauge("incr.datasets").add(1);
+}
+
+bool LiveStore::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_.count(name) != 0;
+}
+
+std::vector<std::string> LiveStore::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, entry] : datasets_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<LiveStore::Entry> LiveStore::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+UpdateJobHandlePtr LiveStore::failed_handle(std::uint64_t id, UpdateJob job,
+                                            std::string error) {
+  UpdateJobHandlePtr h(new UpdateJobHandle(id, std::move(job.dataset),
+                                           std::move(job.batch), job.mode));
+  h->state_ = UpdateJobState::kFailed;
+  h->error_ = std::move(error);
+  return h;
+}
+
+UpdateJobHandlePtr LiveStore::submit(UpdateJob job) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_job_id_++;
+    if (shutdown_) {
+      metrics_->counter("incr.jobs_failed").inc();
+      return failed_handle(id, std::move(job), "LiveStore is shut down");
+    }
+  }
+  std::shared_ptr<Entry> entry = find(job.dataset);
+  if (!entry) {
+    metrics_->counter("incr.jobs_failed").inc();
+    std::string error = "unknown live dataset: " + job.dataset;
+    return failed_handle(id, std::move(job), std::move(error));
+  }
+
+  UpdateJobHandlePtr h(new UpdateJobHandle(id, std::move(job.dataset),
+                                           std::move(job.batch), job.mode));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++unfinished_jobs_;
+  }
+  metrics_->gauge("incr.jobs_queued").add(1);
+
+  bool claim;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->queue.push_back(h);
+    // One worker per dataset at a time: only the submitter that flips
+    // `draining` schedules a drain task; everyone else just enqueues.
+    claim = !entry->draining;
+    if (claim) entry->draining = true;
+  }
+  if (claim && !pool_.submit([this, entry] { drain(entry); })) {
+    // Pool refused (shutdown raced us); run inline so the handle terminates.
+    drain(entry);
+  }
+  return h;
+}
+
+void LiveStore::drain(const std::shared_ptr<Entry>& entry) {
+  for (;;) {
+    UpdateJobHandlePtr h;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->queue.empty()) {
+        entry->draining = false;
+        return;
+      }
+      h = std::move(entry->queue.front());
+      entry->queue.pop_front();
+    }
+    run_job(entry, h);
+  }
+}
+
+void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
+                        const UpdateJobHandlePtr& h) {
+  {
+    std::lock_guard<std::mutex> lock(h->mu_);
+    h->state_ = UpdateJobState::kRunning;
+  }
+  metrics_->gauge("incr.jobs_queued").add(-1);
+
+  CoverDelta delta;
+  std::string error;
+  {
+    std::lock_guard<std::mutex> lock(entry->profile_mu);
+    try {
+      delta = entry->profile->apply(h->batch_, h->mode_);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  }
+
+  if (error.empty()) {
+    const BatchStats& s = delta.stats;
+    metrics_->counter("incr.batches").inc();
+    metrics_->counter("incr.rows_inserted").inc(s.rows_inserted);
+    metrics_->counter("incr.rows_deleted").inc(s.rows_deleted);
+    metrics_->counter("incr.fds_added").inc(s.fds_added);
+    metrics_->counter("incr.fds_removed").inc(s.fds_removed);
+    if (s.rebuilt) metrics_->counter("incr.rebuilds").inc();
+    metrics_->histogram("incr.batch_seconds").record(s.seconds);
+
+    CoverChangeEvent event;
+    event.dataset = h->dataset_;
+    event.batch_id = h->id();
+    event.added = delta.added;
+    event.removed = delta.removed;
+    event.stats = delta.stats;
+
+    {
+      std::lock_guard<std::mutex> lock(h->mu_);
+      h->delta_ = std::move(delta);
+      h->state_ = UpdateJobState::kDone;
+    }
+    h->done_cv_.notify_all();
+    // Listeners fire after the handle commits but still on the strand, so
+    // one dataset's events arrive in batch order.
+    notify(event);
+  } else {
+    metrics_->counter("incr.jobs_failed").inc();
+    {
+      std::lock_guard<std::mutex> lock(h->mu_);
+      h->error_ = std::move(error);
+      h->state_ = UpdateJobState::kFailed;
+    }
+    h->done_cv_.notify_all();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --unfinished_jobs_;
+  }
+  idle_cv_.notify_all();
+}
+
+void LiveStore::notify(const CoverChangeEvent& event) {
+  std::vector<CoverChangeListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners.reserve(listeners_.size());
+    for (const auto& [token, fn] : listeners_) listeners.push_back(fn);
+  }
+  for (const auto& fn : listeners) fn(event);
+}
+
+CoverDelta LiveStore::apply(const std::string& name, UpdateBatch batch,
+                            ApplyMode mode) {
+  UpdateJobHandlePtr h = submit({name, std::move(batch), mode});
+  return h->delta();  // throws on failure
+}
+
+FdSet LiveStore::cover(const std::string& name) const {
+  std::shared_ptr<Entry> entry = find(name);
+  if (!entry) throw std::invalid_argument("unknown live dataset: " + name);
+  std::lock_guard<std::mutex> lock(entry->profile_mu);
+  return entry->profile->cover();
+}
+
+std::vector<FdRedundancy> LiveStore::ranking(const std::string& name) const {
+  std::shared_ptr<Entry> entry = find(name);
+  if (!entry) throw std::invalid_argument("unknown live dataset: " + name);
+  std::lock_guard<std::mutex> lock(entry->profile_mu);
+  return entry->profile->ranking();
+}
+
+RowId LiveStore::live_rows(const std::string& name) const {
+  std::shared_ptr<Entry> entry = find(name);
+  if (!entry) throw std::invalid_argument("unknown live dataset: " + name);
+  std::lock_guard<std::mutex> lock(entry->profile_mu);
+  return entry->profile->live_relation().live_rows();
+}
+
+std::uint64_t LiveStore::subscribe(CoverChangeListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t token = next_listener_id_++;
+  listeners_.emplace(token, std::move(listener));
+  return token;
+}
+
+void LiveStore::unsubscribe(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(token);
+}
+
+void LiveStore::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  // The pool drains queued strand tasks before joining, so every already-
+  // submitted batch reaches a terminal state.
+  pool_.shutdown();
+}
+
+void LiveStore::wait_all() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return unfinished_jobs_ == 0; });
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,176 @@
+#ifndef DHYFD_SERVICE_LIVE_STORE_H_
+#define DHYFD_SERVICE_LIVE_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "incr/live_profile.h"
+#include "relation/csv.h"
+#include "service/metrics.h"
+#include "util/thread_pool.h"
+
+namespace dhyfd {
+
+/// Per-dataset configuration for LiveStore::create().
+struct LiveDatasetOptions {
+  LiveProfileOptions profile;
+  NullSemantics semantics = NullSemantics::kNullEqualsNull;
+};
+
+/// One update request against a live dataset.
+struct UpdateJob {
+  std::string dataset;
+  UpdateBatch batch;
+  /// Forces a compact + full re-discovery for this batch.
+  ApplyMode mode = ApplyMode::kIncremental;
+};
+
+enum class UpdateJobState { kQueued, kRunning, kDone, kFailed };
+
+/// Shared state of one submitted update; all methods thread-safe.
+class UpdateJobHandle {
+ public:
+  std::uint64_t id() const { return id_; }
+  const std::string& dataset() const { return dataset_; }
+
+  UpdateJobState state() const;
+  bool finished() const;
+  void wait() const;
+  bool wait_for(double seconds) const;
+
+  /// The batch's cover delta; throws std::runtime_error for kFailed.
+  /// Blocks until terminal.
+  const CoverDelta& delta() const;
+  /// Error message for kFailed jobs ("" otherwise).
+  std::string error() const;
+
+ private:
+  friend class LiveStore;
+
+  UpdateJobHandle(std::uint64_t id, std::string dataset, UpdateBatch batch,
+                  ApplyMode mode)
+      : id_(id), dataset_(std::move(dataset)), batch_(std::move(batch)), mode_(mode) {}
+
+  const std::uint64_t id_;
+  const std::string dataset_;
+  UpdateBatch batch_;
+  ApplyMode mode_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable done_cv_;
+  UpdateJobState state_ = UpdateJobState::kQueued;
+  CoverDelta delta_;
+  std::string error_;
+};
+
+using UpdateJobHandlePtr = std::shared_ptr<UpdateJobHandle>;
+
+/// What one applied batch changed; delivered to subscribers after the cover
+/// is updated (outside the dataset's profile lock, in batch order).
+struct CoverChangeEvent {
+  std::string dataset;
+  std::uint64_t batch_id = 0;
+  FdSet added;
+  FdSet removed;
+  BatchStats stats;
+};
+
+using CoverChangeListener = std::function<void(const CoverChangeEvent&)>;
+
+/// Hosts named LiveProfiles and applies update batches to them on a shared
+/// thread pool. Batches for one dataset form a strand: they run strictly in
+/// submission order, one at a time, while different datasets update in
+/// parallel. Reads (cover / ranking / stats) take a per-dataset lock and
+/// return copies, so they never observe a half-applied batch.
+///
+/// Metrics: counters incr.batches, incr.rows_inserted, incr.rows_deleted,
+/// incr.fds_added, incr.fds_removed, incr.rebuilds, incr.jobs_failed;
+/// gauges incr.datasets, incr.jobs_queued; histogram incr.batch_seconds.
+class LiveStore {
+ public:
+  /// `metrics` is not owned and must outlive the store.
+  explicit LiveStore(MetricsRegistry* metrics, int num_threads = 0);
+
+  /// Equivalent to shutdown().
+  ~LiveStore();
+
+  LiveStore(const LiveStore&) = delete;
+  LiveStore& operator=(const LiveStore&) = delete;
+
+  /// Registers a dataset and runs initial discovery synchronously. Throws
+  /// std::invalid_argument if the name is taken.
+  void create(const std::string& name, RawTable initial,
+              LiveDatasetOptions options = {});
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Enqueues a batch; returns its handle immediately (kFailed handle if the
+  /// dataset is unknown or the store is shut down — never nullptr).
+  UpdateJobHandlePtr submit(UpdateJob job);
+
+  /// Synchronous convenience: submit + wait + return the delta (throws on
+  /// failure).
+  CoverDelta apply(const std::string& name, UpdateBatch batch,
+                   ApplyMode mode = ApplyMode::kIncremental);
+
+  /// Copies of the current cover / ranking / live row count; throw
+  /// std::invalid_argument for unknown datasets.
+  FdSet cover(const std::string& name) const;
+  std::vector<FdRedundancy> ranking(const std::string& name) const;
+  RowId live_rows(const std::string& name) const;
+
+  /// Registers a listener for every dataset's cover changes; returns a
+  /// token for unsubscribe(). Listeners run on worker threads, after the
+  /// batch commits, in per-dataset batch order; they must not call back
+  /// into the store's blocking operations.
+  std::uint64_t subscribe(CoverChangeListener listener);
+  void unsubscribe(std::uint64_t token);
+
+  /// Stops accepting work, drains queued batches, joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  /// Blocks until every batch submitted so far is terminal.
+  void wait_all() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;  // guards queue + draining flag
+    std::deque<UpdateJobHandlePtr> queue;
+    bool draining = false;  // a worker owns this dataset's strand
+    mutable std::mutex profile_mu;  // guards the LiveProfile itself
+    std::unique_ptr<LiveProfile> profile;
+  };
+
+  /// Worker task: drains `entry`'s queue until empty (strand execution).
+  void drain(const std::shared_ptr<Entry>& entry);
+  void run_job(const std::shared_ptr<Entry>& entry, const UpdateJobHandlePtr& h);
+  std::shared_ptr<Entry> find(const std::string& name) const;
+  static UpdateJobHandlePtr failed_handle(std::uint64_t id, UpdateJob job,
+                                          std::string error);
+  void notify(const CoverChangeEvent& event);
+
+  MetricsRegistry* metrics_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable idle_cv_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> datasets_;
+  std::unordered_map<std::uint64_t, CoverChangeListener> listeners_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t next_listener_id_ = 1;
+  std::int64_t unfinished_jobs_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_SERVICE_LIVE_STORE_H_

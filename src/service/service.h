@@ -12,8 +12,13 @@
 ///   h->wait();
 ///   std::cout << h->report().summary() << metrics.snapshot();
 
+/// Live (mutating) datasets are hosted by the LiveStore: register a table
+/// with create(), then stream UpdateBatches through submit()/apply() while
+/// cover() / ranking() serve the maintained profile between batches.
+
 #include "service/dataset_registry.h"
 #include "service/job.h"
+#include "service/live_store.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "datagen/update_stream.h"
 #include "relation/encoder.h"
 
 namespace dhyfd {
@@ -101,6 +104,105 @@ TEST(GeneratorTest, SkewConcentratesMass) {
     if (row[0] == "v0") ++top;
   }
   EXPECT_GT(top, 2000 / 100);  // far above uniform share
+}
+
+UpdateStreamSpec StreamSpec() {
+  UpdateStreamSpec s;
+  s.base = SimpleSpec();
+  s.initial_rows = 100;
+  s.num_batches = 10;
+  s.batch_size = 20;
+  s.delete_fraction = 0.4;
+  s.seed = 11;
+  return s;
+}
+
+TEST(UpdateStreamTest, ShapeMatchesSpec) {
+  UpdateStream s = GenerateUpdateStream(StreamSpec());
+  EXPECT_EQ(s.initial.num_rows(), 100);
+  EXPECT_EQ(s.initial.num_cols(), 4);
+  EXPECT_EQ(static_cast<int>(s.batches.size()), 10);
+  for (const UpdateBatch& b : s.batches) {
+    EXPECT_LE(b.size(), 20);
+    for (const auto& row : b.inserts) {
+      EXPECT_EQ(static_cast<int>(row.size()), 4);
+    }
+  }
+  EXPECT_GT(s.total_inserts(), 0);
+  EXPECT_GT(s.total_deletes(), 0);
+}
+
+TEST(UpdateStreamTest, Deterministic) {
+  UpdateStream a = GenerateUpdateStream(StreamSpec());
+  UpdateStream b = GenerateUpdateStream(StreamSpec());
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  EXPECT_EQ(a.initial.rows, b.initial.rows);
+  for (size_t i = 0; i < a.batches.size(); ++i) {
+    EXPECT_EQ(a.batches[i].inserts, b.batches[i].inserts);
+    EXPECT_EQ(a.batches[i].deletes, b.batches[i].deletes);
+  }
+  UpdateStreamSpec other = StreamSpec();
+  other.seed = 12;
+  UpdateStream c = GenerateUpdateStream(other);
+  bool differs = false;
+  for (size_t i = 0; i < a.batches.size() && !differs; ++i) {
+    differs = a.batches[i].deletes != c.batches[i].deletes;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// Replays id assignment (initial rows 0..n-1, each insert the next id) and
+// checks every delete targets a row that is live at its batch, exactly once.
+TEST(UpdateStreamTest, DeletesAreLiveAndUnique) {
+  for (double skew : {0.0, 1.5}) {
+    UpdateStreamSpec spec = StreamSpec();
+    spec.delete_skew = skew;
+    UpdateStream s = GenerateUpdateStream(spec);
+    std::set<LiveRowId> live;
+    for (int i = 0; i < spec.initial_rows; ++i) live.insert(i);
+    LiveRowId next_id = spec.initial_rows;
+    for (const UpdateBatch& b : s.batches) {
+      for (size_t k = 0; k < b.inserts.size(); ++k) live.insert(next_id++);
+      for (LiveRowId id : b.deletes) {
+        EXPECT_EQ(live.erase(id), 1u) << "dead or duplicate delete id " << id;
+      }
+    }
+  }
+}
+
+TEST(UpdateStreamTest, DeleteFractionShapesTheMix) {
+  UpdateStreamSpec spec = StreamSpec();
+  spec.delete_fraction = 0.25;
+  UpdateStream s = GenerateUpdateStream(spec);
+  int64_t ops = s.total_inserts() + s.total_deletes();
+  double frac = static_cast<double>(s.total_deletes()) / static_cast<double>(ops);
+  EXPECT_GT(frac, 0.1);
+  EXPECT_LT(frac, 0.4);
+
+  spec.delete_fraction = 0;
+  UpdateStream no_del = GenerateUpdateStream(spec);
+  EXPECT_EQ(no_del.total_deletes(), 0);
+  EXPECT_EQ(no_del.total_inserts(), 10 * 20);
+}
+
+TEST(UpdateStreamTest, SkewTargetsRecentRows) {
+  UpdateStreamSpec spec = StreamSpec();
+  spec.delete_fraction = 0.5;
+  auto mean_victim = [&](double skew) {
+    spec.delete_skew = skew;
+    UpdateStream s = GenerateUpdateStream(spec);
+    double sum = 0;
+    int64_t n = 0;
+    for (const UpdateBatch& b : s.batches) {
+      for (LiveRowId id : b.deletes) {
+        sum += static_cast<double>(id);
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  // Higher ids are younger; skewed streams should delete much younger rows.
+  EXPECT_GT(mean_victim(2.0), mean_victim(0.0) * 1.2);
 }
 
 TEST(GeneratorTest, SelfDependentDerivedThrows) {

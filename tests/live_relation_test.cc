@@ -1,0 +1,175 @@
+#include "incr/live_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/csv.h"
+#include "test_util.h"
+
+namespace dhyfd {
+namespace {
+
+RawTable SmallTable() {
+  RawTable t;
+  t.header = {"a", "b", "c"};
+  t.rows = {
+      {"x", "1", "p"},
+      {"y", "1", "q"},
+      {"x", "2", "p"},
+  };
+  return t;
+}
+
+TEST(DeltaEncoderTest, MatchesBatchEncoderOnStaticData) {
+  RawTable t = SmallTable();
+  EncodedRelation batch = EncodeRelation(t);
+  DeltaEncoder delta(t);
+  const Relation& r = delta.relation();
+  ASSERT_EQ(r.num_rows(), batch.relation.num_rows());
+  ASSERT_EQ(r.num_cols(), batch.relation.num_cols());
+  for (RowId i = 0; i < r.num_rows(); ++i) {
+    for (int c = 0; c < r.num_cols(); ++c) {
+      EXPECT_EQ(r.value(i, c), batch.relation.value(i, c));
+      EXPECT_EQ(r.is_null(i, c), batch.relation.is_null(i, c));
+    }
+  }
+  for (int c = 0; c < r.num_cols(); ++c) {
+    EXPECT_EQ(r.domain_size(c), batch.relation.domain_size(c));
+  }
+}
+
+TEST(DeltaEncoderTest, AppendReusesAndGrowsCodes) {
+  DeltaEncoder delta(SmallTable());
+  RowId r3 = delta.append({"x", "3", "q"});
+  EXPECT_EQ(r3, 3);
+  const Relation& r = delta.relation();
+  // "x" and "q" reuse existing codes; "3" grows column b's domain.
+  EXPECT_EQ(r.value(3, 0), r.value(0, 0));
+  EXPECT_EQ(r.value(3, 2), r.value(1, 2));
+  EXPECT_EQ(r.domain_size(1), 3);
+  EXPECT_EQ(delta.decode(3, 1), "3");
+}
+
+TEST(DeltaEncoderTest, NullSemanticsMatchBatchEncoder) {
+  RawTable t = SmallTable();
+  t.rows[1][1] = "";
+  for (NullSemantics sem :
+       {NullSemantics::kNullEqualsNull, NullSemantics::kNullNotEqualsNull}) {
+    DeltaEncoder delta(t, sem);
+    delta.append({"z", "", "p"});
+
+    RawTable full = t;
+    full.rows.push_back({"z", "", "p"});
+    EncodedRelation batch = EncodeRelation(full, sem);
+    const Relation& r = delta.relation();
+    EXPECT_TRUE(r.is_null(1, 1));
+    EXPECT_TRUE(r.is_null(3, 1));
+    // Two nulls agree exactly under kNullEqualsNull.
+    EXPECT_EQ(r.value(1, 1) == r.value(3, 1),
+              sem == NullSemantics::kNullEqualsNull);
+    EXPECT_EQ(r.value(1, 1) == r.value(3, 1),
+              batch.relation.value(1, 1) == batch.relation.value(3, 1));
+  }
+}
+
+TEST(LiveRelationTest, GroupsSupportsAndDistinctTrackMutations) {
+  LiveRelation rel(SmallTable());
+  EXPECT_EQ(rel.live_rows(), 3);
+  EXPECT_EQ(rel.live_distinct(0), 2);  // x, y
+  EXPECT_EQ(rel.live_distinct(1), 2);  // 1, 2
+  EXPECT_EQ(rel.group(0, rel.relation().value(0, 0)).size(), 2u);  // rows 0, 2
+  EXPECT_EQ(rel.live_attribute_support(0), 2);  // the {x} group
+
+  RowId t = rel.insert_row({"y", "2", "r"});
+  EXPECT_EQ(rel.live_rows(), 4);
+  EXPECT_EQ(rel.live_distinct(2), 3);                 // p, q, r
+  EXPECT_EQ(rel.live_attribute_support(0), 4);        // {x}, {y} both size 2
+  EXPECT_EQ(rel.group(0, rel.relation().value(t, 0)), (std::vector<RowId>{1, 3}));
+
+  rel.erase_row(1);
+  EXPECT_EQ(rel.live_rows(), 3);
+  EXPECT_FALSE(rel.is_live(1));
+  EXPECT_EQ(rel.live_attribute_support(0), 2);  // {y} collapsed to size 1
+  rel.erase_row(t);
+  EXPECT_EQ(rel.live_distinct(2), 1);  // only p remains live in c
+  EXPECT_EQ(rel.live_attribute_partition(0).clusters.size(), 1u);
+}
+
+TEST(LiveRelationTest, ExternalIdsSurviveCompaction) {
+  LiveRelation rel(SmallTable());
+  RowId t = rel.insert_row({"z", "9", "s"});
+  LiveRowId id3 = rel.id_of(t);
+  EXPECT_EQ(id3, 3);
+  rel.erase_row(0);
+  rel.erase_row(2);
+  EXPECT_GT(rel.tombstone_fraction(), 0.4);
+
+  rel.compact();
+  EXPECT_EQ(rel.storage_rows(), 2);
+  EXPECT_EQ(rel.tombstone_fraction(), 0.0);
+  // Ids 1 and 3 survive; 0 and 2 are gone.
+  EXPECT_EQ(rel.row_of(0), -1);
+  EXPECT_EQ(rel.row_of(2), -1);
+  ASSERT_GE(rel.row_of(1), 0);
+  ASSERT_GE(rel.row_of(id3), 0);
+  EXPECT_EQ(rel.decode(rel.row_of(1), 0), "y");
+  EXPECT_EQ(rel.decode(rel.row_of(id3), 0), "z");
+  // Codes are dense again after compaction.
+  for (int c = 0; c < rel.num_cols(); ++c) {
+    EXPECT_EQ(rel.relation().domain_size(c), 2);
+    EXPECT_EQ(rel.live_distinct(c), 2);
+  }
+  // The relation stays usable after compaction.
+  RowId u = rel.insert_row({"y", "9", "s"});
+  EXPECT_EQ(rel.id_of(u), 4);
+  EXPECT_EQ(rel.group(0, rel.relation().value(u, 0)).size(), 2u);
+}
+
+TEST(LiveRelationTest, SnapshotMatchesBatchEncodingOfLiveRows) {
+  LiveRelation rel(SmallTable());
+  rel.insert_row({"y", "3", "q"});
+  rel.erase_row(0);
+
+  RawTable expected;
+  expected.header = {"a", "b", "c"};
+  expected.rows = {{"y", "1", "q"}, {"x", "2", "p"}, {"y", "3", "q"}};
+  Relation want = EncodeRelation(expected).relation;
+
+  Relation got = rel.snapshot();
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  for (RowId i = 0; i < got.num_rows(); ++i) {
+    for (int c = 0; c < got.num_cols(); ++c) {
+      EXPECT_EQ(got.value(i, c), want.value(i, c));
+    }
+  }
+  for (int c = 0; c < got.num_cols(); ++c) {
+    EXPECT_EQ(got.domain_size(c), want.domain_size(c));
+  }
+}
+
+TEST(LiveRelationTest, RefinerSurvivesDomainGrowth) {
+  LiveRelation rel(SmallTable());
+  // Use the refiner, then grow a domain past its scratch capacity and use
+  // it again; the lazily re-created refiner must see the new codes.
+  StrippedPartition pi0 = rel.refiner().refine(rel.live_attribute_partition(0), 1);
+  EXPECT_EQ(pi0.clusters.size(), 0u);  // {x} splits on b into singletons
+  for (int i = 0; i < 10; ++i) {
+    rel.insert_row({"w", "v" + std::to_string(i), "p"});
+  }
+  StrippedPartition pi = rel.refiner().refine(rel.live_attribute_partition(2), 0);
+  // The live "p" group refines by column a into {0,2} and the ten new "w"s.
+  ASSERT_EQ(pi.clusters.size(), 2u);
+  EXPECT_EQ(pi.clusters[0].size() + pi.clusters[1].size(), 12u);
+}
+
+TEST(LiveRelationTest, DistinctPairWitnessesRootRefutation) {
+  LiveRelation rel(SmallTable());
+  auto [u, v] = rel.distinct_pair(1);
+  ASSERT_GE(u, 0);
+  EXPECT_NE(rel.relation().value(u, 1), rel.relation().value(v, 1));
+  rel.erase_row(2);  // b collapses to the single value "1"
+  EXPECT_EQ(rel.distinct_pair(1).first, -1);
+  EXPECT_EQ(rel.whole_live_cluster().clusters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dhyfd
