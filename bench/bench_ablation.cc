@@ -19,6 +19,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   double tl = flags.get_double("tl", 20.0);
   PrintHeader("Ablations (E12)",
               "Each block isolates one design decision the paper credits for "

@@ -10,6 +10,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   double tl = flags.get_double("tl", 20.0);
   std::vector<std::string> datasets = flags.get_list(
       "datasets", {"iris", "balance", "abalone", "breast", "bridges", "echo",

@@ -16,6 +16,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   double tl = flags.get_double("tl", 30.0);
   int64_t max_cover = flags.get_int("max_cover", 250000);
   std::vector<std::string> fragments =

@@ -13,6 +13,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   std::vector<std::string> datasets =
       flags.get_list("datasets", {"weather", "uniprot"});
   std::vector<std::string> ratio_strs = flags.get_list(

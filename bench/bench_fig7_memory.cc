@@ -31,6 +31,7 @@ void Report(const Relation& r, const char* label) {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   PrintHeader("Figure 7",
               "Memory (MB) and time (s) of HyFD vs DHyFD on weather fragments "
               "(varying rows) and diabetic fragments (varying columns). "

@@ -38,6 +38,7 @@ void Grid(const Relation& base, const std::vector<int>& row_steps,
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   double tl = flags.get_double("tl", 4.0);
   PrintHeader("Figure 8",
               "Best performer (lowest runtime) per rows x columns fragment. "

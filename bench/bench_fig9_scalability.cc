@@ -33,6 +33,7 @@ void Sweep(const Relation& frag, const char* label, double tl) {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   double tl = flags.get_double("tl", 10.0);
   PrintHeader("Figure 9",
               "Left: row scalability on weather. Right: column scalability on "

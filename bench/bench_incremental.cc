@@ -8,6 +8,7 @@
 //
 // Flags: --rows=N --ops=N --batch_sizes=1,8,64,256
 //        --delete_fractions=0,0.25,0.5 --seed=N
+//        --trace=<file> (Chrome trace JSON) --metrics=<file> (Prometheus)
 #include "bench_util.h"
 
 #include "datagen/update_stream.h"
@@ -68,6 +69,7 @@ CellResult RunCell(const UpdateStreamSpec& spec) {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   int initial_rows = flags.get_int("rows", 2000);
   int total_ops = flags.get_int("ops", 1024);
   uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 17));
@@ -108,11 +110,13 @@ int Main(int argc, char** argv) {
                   static_cast<long long>(cell.rebuilds),
                   static_cast<long long>(cell.fds_final));
       std::printf(
-          "{\"bench\":\"incremental\",\"batch_size\":%s,\"delete_fraction\":%s,"
-          "\"batches\":%d,\"incr_ms_per_batch\":%.3f,\"full_ms_per_batch\":%.3f,"
-          "\"speedup\":%.2f,\"rebuilds\":%lld,\"fds\":%lld}\n",
-          bs.c_str(), df.c_str(), cell.batches, cell.incr_ms_per_batch,
-          cell.full_ms_per_batch, speedup, static_cast<long long>(cell.rebuilds),
+          "{\"bench\":\"incremental\",%s,\"batch_size\":%s,"
+          "\"delete_fraction\":%s,\"batches\":%d,\"incr_ms_per_batch\":%.3f,"
+          "\"full_ms_per_batch\":%.3f,\"speedup\":%.2f,\"rebuilds\":%lld,"
+          "\"fds\":%lld}\n",
+          JsonStamp(spec.base.name).c_str(), bs.c_str(), df.c_str(),
+          cell.batches, cell.incr_ms_per_batch, cell.full_ms_per_batch, speedup,
+          static_cast<long long>(cell.rebuilds),
           static_cast<long long>(cell.fds_final));
       std::fflush(stdout);
     }

@@ -11,6 +11,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   double tl = flags.get_double("tl", 12.0);
   std::vector<std::string> datasets = flags.get_list(
       "datasets", {"bridges", "echo", "hepatitis", "horse", "ncvoter", "diabetic",

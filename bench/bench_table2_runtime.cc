@@ -5,6 +5,7 @@
 // Flags: --datasets=a,b,c  --rows=N (override all row counts)
 //        --tl=SECONDS (per-run time limit; default 20)
 //        --algos=tane,fdep,...
+//        --trace=<file> (Chrome trace JSON) --metrics=<file> (Prometheus)
 #include "bench_util.h"
 
 #include "util/memory.h"
@@ -14,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
   double tl = flags.get_double("tl", 15.0);
   std::vector<std::string> datasets;
   for (const std::string& name : BenchmarkNames()) {
@@ -48,13 +50,17 @@ int Main(int argc, char** argv) {
     std::map<std::string, std::string> cells;
     std::map<std::string, std::string> mem_cells;
     int64_t fd_count = -1;
+    std::string json_cells;
     for (const std::string& algo : algos) {
       DiscoveryResult res = MakeDiscovery(algo, tl)->discover(r);
       cells[algo] = FmtTime(res.stats);
-      char buf[32];
+      char buf[64];
       std::snprintf(buf, sizeof(buf), "%.1f", res.stats.memory_mb);
       mem_cells[algo] = buf;
       if (!res.stats.timed_out) fd_count = res.fds.size();
+      std::snprintf(buf, sizeof(buf), ",\"%s_seconds\":%s", algo.c_str(),
+                    res.stats.timed_out ? "null" : FmtTime(res.stats).c_str());
+      json_cells += buf;
     }
     auto cell = [&](const char* a) -> std::string {
       auto it = cells.find(a);
@@ -70,6 +76,9 @@ int Main(int argc, char** argv) {
                 cell("fdep").c_str(), cell("fdep1").c_str(), cell("fdep2").c_str(),
                 cell("hyfd").c_str(), cell("dhyfd").c_str(), memcell("hyfd").c_str(),
                 memcell("dhyfd").c_str());
+    std::printf("{\"bench\":\"table2\",%s,\"rows\":%d,\"cols\":%d,\"fds\":%lld%s}\n",
+                JsonStamp(name).c_str(), r.num_rows(), r.num_cols(),
+                static_cast<long long>(fd_count), json_cells.c_str());
     PrintRule(132);
     std::fflush(stdout);
   }

@@ -3,12 +3,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "algo/discovery.h"
 #include "datagen/benchmark_data.h"
+#include "obs/session.h"
 #include "relation/encoder.h"
 
 namespace dhyfd::bench {
@@ -65,6 +67,44 @@ class Flags {
  private:
   std::map<std::string, std::string> kv_;
 };
+
+/// Observability options from the shared --trace=<file> / --metrics=<file>
+/// flags. Typical use, first thing in a bench Main():
+///
+///   ObsSession obs(ObsOptionsFromFlags(flags));
+inline ObsSessionOptions ObsOptionsFromFlags(const Flags& flags) {
+  ObsSessionOptions options;
+  options.trace_path = flags.get_str("trace", "");
+  options.metrics_path = flags.get_str("metrics", "");
+  return options;
+}
+
+/// Git commit the binary was built from (baked in by bench/CMakeLists.txt;
+/// "unknown" when the sources were not in a git checkout at configure time).
+inline const char* BuildCommit() {
+#ifdef DHYFD_GIT_SHA
+  return DHYFD_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Current UTC time, ISO-8601 (e.g. "2026-08-06T12:34:56Z").
+inline std::string Iso8601Now() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Provenance fragment for machine-readable bench rows — splice into a JSON
+/// object: "commit":"<sha>","dataset":"<name>","timestamp":"<iso8601>".
+inline std::string JsonStamp(const std::string& dataset) {
+  return std::string("\"commit\":\"") + BuildCommit() + "\",\"dataset\":\"" +
+         dataset + "\",\"timestamp\":\"" + Iso8601Now() + "\"";
+}
 
 /// Generates and DIIS-encodes a benchmark analog.
 inline Relation LoadBenchmark(const std::string& name, int rows_override = 0,

@@ -28,13 +28,40 @@ echo
 echo "=== tsan: concurrency targets under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target \
-  thread_pool_test service_test live_store_test incr_property_test
+  thread_pool_test service_test live_store_test incr_property_test \
+  obs_test trace_propagation_test
 # halt_on_error makes any race abort the run; TSan also reports threads
 # still running at exit, which covers the "zero leaked threads" check.
+# obs_test / trace_propagation_test hammer the tracer's lock-free per-thread
+# buffers and the trace-context handoff across pool workers.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/service_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/live_store_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/incr_property_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_propagation_test
+
+echo
+echo "=== obs: --trace export produces valid Chrome trace JSON ==="
+cmake --build build -j "$JOBS" --target example_fd_service_demo
+TRACE_OUT="$(mktemp /tmp/dhyfd_trace.XXXXXX.json)"
+METRICS_OUT="$(mktemp /tmp/dhyfd_metrics.XXXXXX.prom)"
+./build/examples/example_fd_service_demo 4 600 \
+  --trace="$TRACE_OUT" --metrics="$METRICS_OUT" > /dev/null
+python3 - "$TRACE_OUT" "$METRICS_OUT" <<'EOF'
+import json, sys
+trace_path, metrics_path = sys.argv[1], sys.argv[2]
+with open(trace_path) as f:
+    doc = json.load(f)  # parse failure -> nonzero exit -> CI failure
+events = doc["traceEvents"]
+assert len(events) > 0, "trace is empty"
+ids = {e.get("args", {}).get("trace_id", 0) for e in events}
+assert any(i != 0 for i in ids), "no job carried a trace id"
+with open(metrics_path) as f:
+    assert "# TYPE dhyfd_" in f.read(), "metrics export missing TYPE lines"
+print(f"trace OK: {len(events)} events, {len(ids) - (0 in ids)} trace ids")
+EOF
+rm -f "$TRACE_OUT" "$METRICS_OUT"
 
 echo
 echo "CI OK"

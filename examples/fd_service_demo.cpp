@@ -8,7 +8,12 @@
 // metrics snapshot (per-stage latencies included).
 //
 // Usage:
-//   example_fd_service_demo [threads] [rows]
+//   example_fd_service_demo [threads] [rows] [--trace=out.json] [--metrics=out.prom]
+//
+// --trace exports a Chrome trace (open in Perfetto / chrome://tracing): each
+// job's queue-wait, run span, discovery stages, and algorithm counter series
+// grouped under its args.trace_id. --metrics writes the final Prometheus
+// snapshot.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -17,15 +22,31 @@
 #include <vector>
 
 #include "datagen/benchmark_data.h"
+#include "obs/session.h"
 #include "service/service.h"
 
 int main(int argc, char** argv) {
   using namespace dhyfd;
 
-  int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  int rows = argc > 2 ? std::atoi(argv[2]) : 1500;
+  // Positional args first, --key=value flags anywhere.
+  ObsSessionOptions obs_options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      obs_options.trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      obs_options.metrics_path = arg.substr(10);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  int threads = positional.size() > 0 ? std::atoi(positional[0].c_str()) : 4;
+  int rows = positional.size() > 1 ? std::atoi(positional[1].c_str()) : 1500;
 
   MetricsRegistry metrics;
+  obs_options.metrics = &metrics;  // export the service registry, not a private one
+  ObsSession obs(obs_options);
   DatasetRegistry datasets(&metrics);
   datasets.add_table("ncvoter", GenerateBenchmark("ncvoter", rows));
   datasets.add_table("adult", GenerateBenchmark("adult", rows));

@@ -8,20 +8,35 @@
 //
 // Usage:
 //   example_live_profiling_demo [initial_rows] [batches] [batch_size]
+//                               [--trace=out.json] [--metrics=out.prom]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "datagen/update_stream.h"
+#include "obs/session.h"
 #include "ranking/ranking.h"
 #include "service/service.h"
 
 int main(int argc, char** argv) {
   using namespace dhyfd;
 
-  int initial_rows = argc > 1 ? std::atoi(argv[1]) : 800;
-  int batches = argc > 2 ? std::atoi(argv[2]) : 12;
-  int batch_size = argc > 3 ? std::atoi(argv[3]) : 48;
+  ObsSessionOptions obs_options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      obs_options.trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      obs_options.metrics_path = arg.substr(10);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  int initial_rows = positional.size() > 0 ? std::atoi(positional[0].c_str()) : 800;
+  int batches = positional.size() > 1 ? std::atoi(positional[1].c_str()) : 12;
+  int batch_size = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 48;
 
   // A schema whose cover actually churns: one planted FD chain (region ->
   // warehouse) for stability, plus independent medium-cardinality columns
@@ -75,6 +90,8 @@ int main(int argc, char** argv) {
   }
 
   MetricsRegistry metrics;
+  obs_options.metrics = &metrics;
+  ObsSession obs(obs_options);
   LiveStore store(&metrics, 2);
   store.create("orders", stream.initial);
   Schema schema = Schema(stream.initial.header);

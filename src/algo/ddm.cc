@@ -1,5 +1,7 @@
 #include "algo/ddm.h"
 
+#include "obs/obs.h"
+
 namespace dhyfd {
 
 Ddm::Ddm(const Relation& r) : rel_(r), refiner_(r) {
@@ -75,6 +77,8 @@ int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
     }
   }
   dynamic_ = std::move(fresh);
+  ObsAdd("partition.ddm_dynamic_builds", static_cast<int64_t>(dynamic_.size()));
+  ObsAdd("partition.ddm_refinements", refinements);
   return refinements;
 }
 

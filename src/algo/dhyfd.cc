@@ -7,6 +7,8 @@
 #include "algo/sampler.h"
 #include "algo/validator.h"
 #include "fdtree/extended_fd_tree.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/memory.h"
 #include "util/timer.h"
@@ -33,8 +35,11 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   // Lines 5-6: one-off sorted-neighborhood sampling, plus validating the
   // root FD against the whole relation (partition {r}).
   NeighborhoodSampler sampler(r, ddm.static_partitions());
-  std::vector<AttributeSet> violations =
-      sampler.initial(options_.initial_sampling_windows);
+  std::vector<AttributeSet> violations;
+  {
+    TraceSpan span("discover.sampling");
+    violations = sampler.initial(options_.initial_sampling_windows);
+  }
   result.stats.sampled_non_fds = static_cast<int64_t>(violations.size());
   result.stats.pairs_compared += sampler.pairs_compared();
   {
@@ -53,13 +58,17 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   }
 
   // Lines 7-8: induct all initial non-FDs, most specific first.
-  SortBySizeDescending(violations);
-  for (const AttributeSet& x : violations) {
-    if (deadline.expired()) {
-      result.stats.timed_out = true;
-      break;
+  {
+    TraceSpan span("discover.induction");
+    SortBySizeDescending(violations);
+    for (const AttributeSet& x : violations) {
+      if (deadline.expired()) {
+        result.stats.timed_out = true;
+        break;
+      }
+      tree.induct(x, all - x);
     }
-    tree.induct(x, all - x);
+    ObsAdd("discover.inductions", static_cast<int64_t>(violations.size()));
   }
 
   // Lines 9-10.
@@ -78,42 +87,49 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
     int64_t total = 0;
     for (ExtendedFdTree::Node* n : candidates) total += n->rhs.count();
 
-    for (ExtendedFdTree::Node* node : candidates) {
-      if (deadline.expired()) {
-        result.stats.timed_out = true;
-        break;
+    {
+      TraceSpan level_span("discover.validation");
+      for (ExtendedFdTree::Node* node : candidates) {
+        if (deadline.expired()) {
+          result.stats.timed_out = true;
+          break;
+        }
+        if (!node->is_fd_node()) continue;
+        AttributeSet lhs = tree.path_of(node);
+        // Lines 15-16: a node without a dynamic partition starts from the
+        // path attribute with the smallest single-attribute support.
+        if (node->id < m) {
+          AttrId best = lhs.first();
+          lhs.for_each([&](AttrId a) {
+            if (ddm.attribute_support(a) < ddm.attribute_support(best)) best = a;
+          });
+          node->id = best;
+        }
+        // Lines 17-18: validate from the DDM's partition for this node.
+        const StrippedPartition& base = ddm.partition_for_id(node->id);
+        AttributeSet base_attrs = ddm.attrs_for_id(node->id);
+        result.stats.validations += node->rhs.count();
+        ValidationOutcome v =
+            ValidateWithPartition(r, lhs, node->rhs, base, base_attrs, ddm.refiner());
+        result.stats.pairs_compared += v.pairs_checked;
+        result.stats.refinements += v.refinements;
+        result.stats.invalidated += node->rhs.count() - v.valid_rhs.count();
+        for (AttributeSet& z : v.violations) violations.push_back(z);
       }
-      if (!node->is_fd_node()) continue;
-      AttributeSet lhs = tree.path_of(node);
-      // Lines 15-16: a node without a dynamic partition starts from the
-      // path attribute with the smallest single-attribute support.
-      if (node->id < m) {
-        AttrId best = lhs.first();
-        lhs.for_each([&](AttrId a) {
-          if (ddm.attribute_support(a) < ddm.attribute_support(best)) best = a;
-        });
-        node->id = best;
-      }
-      // Lines 17-18: validate from the DDM's partition for this node.
-      const StrippedPartition& base = ddm.partition_for_id(node->id);
-      AttributeSet base_attrs = ddm.attrs_for_id(node->id);
-      result.stats.validations += node->rhs.count();
-      ValidationOutcome v =
-          ValidateWithPartition(r, lhs, node->rhs, base, base_attrs, ddm.refiner());
-      result.stats.pairs_compared += v.pairs_checked;
-      result.stats.refinements += v.refinements;
-      result.stats.invalidated += node->rhs.count() - v.valid_rhs.count();
-      for (AttributeSet& z : v.violations) violations.push_back(z);
     }
 
     // Lines 19-20: induct this level's violations, most specific first.
-    SortBySizeDescending(violations);
-    for (const AttributeSet& x : violations) {
-      if (deadline.expired()) {
-        result.stats.timed_out = true;
-        break;
+    {
+      TraceSpan induct_span("discover.induction");
+      SortBySizeDescending(violations);
+      for (const AttributeSet& x : violations) {
+        if (deadline.expired()) {
+          result.stats.timed_out = true;
+          break;
+        }
+        tree.induct(x, all - x);
       }
-      tree.induct(x, all - x);
+      ObsAdd("discover.inductions", static_cast<int64_t>(violations.size()));
     }
 
     // Lines 21-25: efficiency-inefficiency ratio.
@@ -135,6 +151,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
     // Lines 26-27: refresh the DDM when validation is paying off.
     if (options_.enable_ddm && vl > 1 && !reusables.empty() && inefficiency > 0 &&
         efficiency / inefficiency > options_.ratio_threshold) {
+      TraceSpan span("discover.ddm_update");
       cl = vl;
       tree.set_controlled_level(cl);
       result.stats.refinements += ddm.update(reusables, tree);
@@ -151,6 +168,8 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   // Line 30.
   result.fds = tree.collect();
   result.fds.sort();
+  ObsAdd("discover.fdtree.fds", tree.total_fd_count());
+  ObsAdd("discover.levels", result.stats.levels);
   result.stats.seconds = timer.seconds();
   logical_peak = std::max(logical_peak, ddm.memory_bytes() + tree.memory_bytes());
   result.stats.memory_mb = std::max(

@@ -7,6 +7,7 @@
 #include "algo/sampler.h"
 #include "algo/validator.h"
 #include "fdtree/extended_fd_tree.h"
+#include "obs/trace.h"
 #include "partition/partition_ops.h"
 #include "util/deadline.h"
 #include "util/memory.h"
@@ -51,6 +52,7 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
   };
 
   auto sampling_phase = [&]() {
+    TraceSpan span("discover.sampling");
     for (int i = 0; i < options_.max_windows_per_phase; ++i) {
       std::vector<AttributeSet> fresh = sampler.run(sampler.window() + 1);
       result.stats.sampled_non_fds += static_cast<int64_t>(fresh.size());
@@ -85,29 +87,32 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
     std::vector<AttributeSet> violations;
     int64_t total = 0;
     int64_t invalid = 0;
-    for (ExtendedFdTree::Node* node : candidates) {
-      if (deadline.expired()) {
-        result.stats.timed_out = true;
-        break;
+    {
+      TraceSpan level_span("discover.validation");
+      for (ExtendedFdTree::Node* node : candidates) {
+        if (deadline.expired()) {
+          result.stats.timed_out = true;
+          break;
+        }
+        if (!node->is_fd_node()) continue;
+        AttributeSet lhs = tree.path_of(node);
+        AttributeSet rhs = node->rhs;
+        total += rhs.count();
+        result.stats.validations += rhs.count();
+        // HyFD always starts from a single-attribute partition: pick the
+        // path attribute whose partition has the least support.
+        AttrId pivot = lhs.first();
+        lhs.for_each([&](AttrId a) {
+          if (supports[a] < supports[pivot]) pivot = a;
+        });
+        ValidationOutcome v =
+            ValidateWithPartition(r, lhs, rhs, attr_partitions[pivot],
+                                  AttributeSet::single(pivot), refiner);
+        result.stats.pairs_compared += v.pairs_checked;
+        result.stats.refinements += v.refinements;
+        invalid += rhs.count() - v.valid_rhs.count();
+        for (AttributeSet& z : v.violations) violations.push_back(z);
       }
-      if (!node->is_fd_node()) continue;
-      AttributeSet lhs = tree.path_of(node);
-      AttributeSet rhs = node->rhs;
-      total += rhs.count();
-      result.stats.validations += rhs.count();
-      // HyFD always starts from a single-attribute partition: pick the
-      // path attribute whose partition has the least support.
-      AttrId pivot = lhs.first();
-      lhs.for_each([&](AttrId a) {
-        if (supports[a] < supports[pivot]) pivot = a;
-      });
-      ValidationOutcome v =
-          ValidateWithPartition(r, lhs, rhs, attr_partitions[pivot],
-                                AttributeSet::single(pivot), refiner);
-      result.stats.pairs_compared += v.pairs_checked;
-      result.stats.refinements += v.refinements;
-      invalid += rhs.count() - v.valid_rhs.count();
-      for (AttributeSet& z : v.violations) violations.push_back(z);
     }
     induct_sorted(std::move(violations));
     mem.sample();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace dhyfd {
 
 NeighborhoodSampler::NeighborhoodSampler(
@@ -47,6 +49,9 @@ std::vector<AttributeSet> NeighborhoodSampler::run(int window) {
       comparisons == 0 ? 0.0
                        : static_cast<double>(fresh.size()) / static_cast<double>(comparisons);
   window_ = std::max(window_, window);
+  ObsAdd("discover.sampler.rounds");
+  ObsAdd("discover.sampler.pairs", comparisons);
+  ObsAdd("discover.sampler.new_agree_sets", static_cast<int64_t>(fresh.size()));
   return fresh;
 }
 

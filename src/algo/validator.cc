@@ -1,5 +1,7 @@
 #include "algo/validator.h"
 
+#include "obs/obs.h"
+
 namespace dhyfd {
 
 ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& lhs,
@@ -10,6 +12,19 @@ ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& l
   ValidationOutcome out;
   out.valid_rhs = rhs;
   if (rhs.empty()) return out;
+  // Counters are flushed once per call (below), not per pair: the observer
+  // costs one thread-local check even when every row is visited.
+  struct CallCounters {
+    const ValidationOutcome& out;
+    const AttributeSet& rhs;
+    ~CallCounters() {
+      ObsAdd("discover.validator.calls");
+      ObsAdd("discover.validator.pairs", out.pairs_checked);
+      ObsAdd("discover.validator.refuted_fds",
+             rhs.count() - out.valid_rhs.count());
+      ObsAdd("partition.single_cluster_refinements", out.refinements);
+    }
+  } counters{out, rhs};
 
   AttributeSet missing = lhs - base_attrs;
   std::vector<AttrId> missing_attrs;

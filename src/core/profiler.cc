@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/timer.h"
 
@@ -28,7 +30,11 @@ const char* ProfileStageName(ProfileStage stage) {
 
 ProfileReport Profiler::profile(const RawTable& table) const {
   Timer timer;
-  EncodedRelation encoded = EncodeRelation(table, options_.semantics);
+  EncodedRelation encoded;
+  {
+    TraceSpan span("profile.encode");
+    encoded = EncodeRelation(table, options_.semantics);
+  }
   double encode_seconds = timer.seconds();
   if (options_.stage_hook) {
     options_.stage_hook(ProfileStage::kEncode, encode_seconds);
@@ -46,9 +52,13 @@ ProfileReport Profiler::profile(const Relation& relation) const {
   Timer timer;
   std::unique_ptr<FdDiscovery> algo =
       MakeDiscovery(options_.algorithm, options_.time_limit_seconds);
-  report.discovery = algo->discover(relation);
+  {
+    TraceSpan span("profile.discover");
+    report.discovery = algo->discover(relation);
+  }
   report.left_reduced = report.discovery.fds;
   report.timings.discover_seconds = timer.seconds();
+  ObsAdd("discover.fds", report.left_reduced.size());
   if (options_.stage_hook) {
     options_.stage_hook(ProfileStage::kDiscover, report.timings.discover_seconds);
   }
@@ -62,6 +72,7 @@ ProfileReport Profiler::profile(const Relation& relation) const {
 
   if (options_.compute_canonical) {
     timer.reset();
+    TraceSpan span("profile.canonical");
     report.cover_stats = ComputeCoverStats(report.left_reduced, relation.num_cols());
     report.canonical = CanonicalCover(report.left_reduced, relation.num_cols());
     report.timings.canonical_seconds = timer.seconds();
@@ -79,6 +90,7 @@ ProfileReport Profiler::profile(const Relation& relation) const {
     const FdSet& cover =
         options_.compute_canonical ? report.canonical : report.left_reduced;
     timer.reset();
+    TraceSpan span("profile.rank");
     report.ranking = RankFds(relation, cover, options_.ranking_mode);
     report.dataset_redundancy = ComputeDatasetRedundancy(relation, cover);
     report.timings.ranking_seconds = timer.seconds();

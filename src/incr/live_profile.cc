@@ -4,6 +4,8 @@
 
 #include "algo/agree_sets.h"
 #include "algo/validator.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace dhyfd {
@@ -155,6 +157,8 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
   }
 
   if (!reason.empty()) {
+    TraceSpan span("incr.rebuild");
+    ObsAdd("incr.rebuild_fallbacks");
     for (const auto& cells : batch.inserts) {
       rel_.insert_row(cells);
       ++stats.rows_inserted;
@@ -200,32 +204,36 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
     // --- Inserts: new violations come only from pairs touching a new row.
     // A pair sharing no value has an empty agree set and refutes only the
     // root FDs, which the live distinct counts catch below.
-    for (const auto& cells : batch.inserts) {
-      RowId t = rel_.insert_row(cells);
-      ++stats.rows_inserted;
-      scan_partners(t, &violated);
-      if (options_.maintain_ranking) touched_profiles.push_back(nonunique_attrs(t));
-    }
-    AttributeSet root = tree_->root()->rhs;
-    root.for_each([&](AttrId a) {
-      if (rel_.live_distinct(a) > 1) {
-        auto [u, v] = rel_.distinct_pair(a);
-        if (u >= 0) violated.insert(r.agree_set(u, v));
+    {
+      TraceSpan insert_span("incr.inserts");
+      for (const auto& cells : batch.inserts) {
+        RowId t = rel_.insert_row(cells);
+        ++stats.rows_inserted;
+        scan_partners(t, &violated);
+        if (options_.maintain_ranking) touched_profiles.push_back(nonunique_attrs(t));
       }
-    });
-    if (!violated.empty()) {
-      std::vector<AttributeSet> vio(violated.begin(), violated.end());
-      stats.agree_sets += static_cast<int64_t>(vio.size());
-      SortBySizeDescending(vio);
-      for (const AttributeSet& z : vio) {
-        // Skip agree sets that refute nothing by now; induct() would be a
-        // semantic no-op but still traverse the tree.
-        if (!tree_->covered_rhs(z, all - z).empty()) tree_->induct(z, all - z);
+      AttributeSet root = tree_->root()->rhs;
+      root.for_each([&](AttrId a) {
+        if (rel_.live_distinct(a) > 1) {
+          auto [u, v] = rel_.distinct_pair(a);
+          if (u >= 0) violated.insert(r.agree_set(u, v));
+        }
+      });
+      if (!violated.empty()) {
+        std::vector<AttributeSet> vio(violated.begin(), violated.end());
+        stats.agree_sets += static_cast<int64_t>(vio.size());
+        SortBySizeDescending(vio);
+        for (const AttributeSet& z : vio) {
+          // Skip agree sets that refute nothing by now; induct() would be a
+          // semantic no-op but still traverse the tree.
+          if (!tree_->covered_rhs(z, all - z).empty()) tree_->induct(z, all - z);
+        }
       }
     }
 
     // --- Deletes: record the agree set of every destroyed pair before the
     // row leaves the indexes; these bound which FDs can newly hold.
+    TraceSpan delete_span("incr.deletes");
     std::unordered_set<AttributeSet, AttributeSetHash> destroyed;
     for (LiveRowId id : batch.deletes) {
       RowId d = rel_.row_of(id);
@@ -279,6 +287,7 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
       }
     }
 
+    delete_span.finish();
     if (!new_fds.empty()) {
       // Install the newly minimal FDs and prune the specializations they
       // supersede, then rebuild the tree to match.
@@ -302,6 +311,7 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
     }
     refresh_cover();
     if (options_.maintain_ranking) {
+      TraceSpan rerank_span("incr.rerank");
       FdSet added = CoverMinus(cover_, old_cover);
       FdSet removed = CoverMinus(old_cover, cover_);
       rerank_dirty(touched_profiles, added, removed, &stats);
@@ -315,6 +325,10 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
   stats.fds_removed = delta.removed.size();
   stats.seconds = timer.seconds();
   ++batches_applied_;
+  ObsAdd("incr.pairs_compared", stats.pairs_compared);
+  ObsAdd("incr.agree_sets", stats.agree_sets);
+  ObsAdd("incr.validations", stats.validations);
+  ObsAdd("incr.fds_reranked", stats.fds_reranked);
   return delta;
 }
 

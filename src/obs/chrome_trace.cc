@@ -1,0 +1,61 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dhyfd {
+
+namespace {
+
+// Span/counter names are identifier-like literals, but escape defensively
+// so the output is always valid JSON.
+void WriteJsonString(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"dhyfd\"}}";
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    out << ",\n{\"name\":";
+    WriteJsonString(out, e.name);
+    out << ",\"cat\":\"dhyfd\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":"
+        << e.tid << ",\"ts\":" << e.ts_us;
+    if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
+    out << ",\"args\":{";
+    if (e.phase == 'C') out << "\"value\":" << e.value << ",";
+    out << "\"trace_id\":" << e.trace_id << "}}";
+  }
+  out << "\n]}\n";
+}
+
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteChromeTrace(tracer.drain(), out);
+  return out.good();
+}
+
+}  // namespace dhyfd

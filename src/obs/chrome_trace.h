@@ -1,0 +1,26 @@
+#ifndef DHYFD_OBS_CHROME_TRACE_H_
+#define DHYFD_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dhyfd {
+
+/// Writes `events` as Chrome trace-event JSON (the object form,
+/// {"traceEvents": [...]}), loadable in Perfetto / chrome://tracing.
+///
+/// Spans become "X" (complete) events, counters become "C" events whose
+/// args carry the series value; every event's args also carry its trace_id
+/// so one job's tree can be filtered out of a busy capture.
+void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& out);
+
+/// Convenience: drains `tracer` and writes the JSON to `path`. Returns
+/// false (and writes nothing) if the file cannot be opened.
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_OBS_CHROME_TRACE_H_

@@ -1,0 +1,52 @@
+#ifndef DHYFD_OBS_OBS_H_
+#define DHYFD_OBS_OBS_H_
+
+#include <cstdint>
+
+namespace dhyfd {
+
+/// Receiver for algorithm-level counters. Implementations decide where a
+/// count goes (MetricsRegistry, trace counter series, both, nowhere).
+///
+/// `name` must be a string literal — hot paths hand it over without copying.
+/// Sinks are installed per thread (ObsScope) and are not required to be
+/// thread-safe: the service layers give each job its own sink.
+class ObsSink {
+ public:
+  virtual ~ObsSink() = default;
+  virtual void add(const char* name, std::int64_t delta) = 0;
+};
+
+namespace obs_internal {
+inline thread_local ObsSink* tls_sink = nullptr;
+}  // namespace obs_internal
+
+/// The calling thread's installed sink (nullptr when observability is off).
+inline ObsSink* CurrentObsSink() { return obs_internal::tls_sink; }
+
+/// Records `delta` into the named counter series, if a sink is installed.
+/// With no sink this is one thread-local load and a branch — cheap enough
+/// for instrumented hot paths at per-call granularity.
+inline void ObsAdd(const char* name, std::int64_t delta = 1) {
+  if (ObsSink* sink = CurrentObsSink()) sink->add(name, delta);
+}
+
+/// RAII: installs `sink` as the calling thread's sink, restoring the
+/// previous one on destruction (scopes nest).
+class ObsScope {
+ public:
+  explicit ObsScope(ObsSink* sink) : prev_(obs_internal::tls_sink) {
+    obs_internal::tls_sink = sink;
+  }
+  ~ObsScope() { obs_internal::tls_sink = prev_; }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  ObsSink* prev_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_OBS_OBS_H_

@@ -1,0 +1,71 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dhyfd {
+
+namespace {
+
+/// Shortest round-trip double formatting (%.17g is exact but noisy; %g at
+/// default precision is lossy). Prometheus accepts any float syntax; we pin
+/// %.9g so the golden file is stable across libc versions.
+std::string FmtDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "dhyfd_";
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(MetricsRegistry& metrics) {
+  metrics.refresh_process_gauges();
+  std::ostringstream out;
+
+  for (const auto& [name, value] : metrics.counter_values()) {
+    std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : metrics.gauge_values()) {
+    std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, snap] : metrics.histogram_values()) {
+    std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += snap.buckets[i];
+      out << p << "_bucket{le=\"" << FmtDouble(Histogram::bucket_bound(i))
+          << "\"} " << cumulative << "\n";
+    }
+    out << p << "_sum " << FmtDouble(snap.sum) << "\n";
+    out << p << "_count " << snap.count << "\n";
+  }
+  return out.str();
+}
+
+bool WritePrometheusFile(MetricsRegistry& metrics, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << PrometheusText(metrics);
+  return out.good();
+}
+
+}  // namespace dhyfd

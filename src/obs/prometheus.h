@@ -1,0 +1,30 @@
+#ifndef DHYFD_OBS_PROMETHEUS_H_
+#define DHYFD_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "service/metrics.h"
+
+namespace dhyfd {
+
+/// Renders the registry in the Prometheus text exposition format (version
+/// 0.0.4): counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` samples plus `_sum` and `_count`.
+///
+/// Deterministic by construction: metric names are emitted in sorted order
+/// with the `dhyfd_` prefix, dots mapped to underscores, and one stable
+/// label (`le`) — the golden-file test pins the exact bytes. Refreshes the
+/// process gauges first, so RSS appears in every scrape.
+std::string PrometheusText(MetricsRegistry& metrics);
+
+/// Prometheus metric name for a dotted registry name, e.g.
+/// "job.run_seconds" -> "dhyfd_job_run_seconds".
+std::string PrometheusName(const std::string& name);
+
+/// Writes PrometheusText(metrics) to `path`; false if the file cannot be
+/// opened or written.
+bool WritePrometheusFile(MetricsRegistry& metrics, const std::string& path);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_OBS_PROMETHEUS_H_

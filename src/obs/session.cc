@@ -1,0 +1,54 @@
+#include "obs/session.h"
+
+#include <cstdio>
+
+#include "obs/chrome_trace.h"
+#include "obs/prometheus.h"
+
+namespace dhyfd {
+
+ObsSession::ObsSession(ObsSessionOptions options)
+    : options_(std::move(options)), metrics_(options_.metrics) {
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  bool active = !options_.trace_path.empty() || !options_.metrics_path.empty();
+  if (!active) return;
+  if (!options_.trace_path.empty()) Tracer::Global().start();
+  // Main-thread sink: single-threaded benches get counter series without
+  // any service layer; the scheduler/store install their own per-job sinks.
+  sink_ = std::make_unique<TelemetrySink>(metrics_);
+  scope_ = std::make_unique<ObsScope>(sink_.get());
+}
+
+ObsSession::~ObsSession() {
+  scope_.reset();
+  sink_.reset();
+  if (!options_.trace_path.empty()) Tracer::Global().stop();
+  flush();
+}
+
+void ObsSession::flush() {
+  if (!options_.trace_path.empty()) {
+    if (WriteChromeTraceFile(Tracer::Global(), options_.trace_path)) {
+      std::fprintf(stderr, "obs: wrote trace to %s (%zu events)\n",
+                   options_.trace_path.c_str(),
+                   Tracer::Global().event_count());
+    } else {
+      std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                   options_.trace_path.c_str());
+    }
+  }
+  if (!options_.metrics_path.empty()) {
+    if (WritePrometheusFile(*metrics_, options_.metrics_path)) {
+      std::fprintf(stderr, "obs: wrote metrics to %s\n",
+                   options_.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "obs: failed to write metrics to %s\n",
+                   options_.metrics_path.c_str());
+    }
+  }
+}
+
+}  // namespace dhyfd

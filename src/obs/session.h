@@ -1,0 +1,56 @@
+#ifndef DHYFD_OBS_SESSION_H_
+#define DHYFD_OBS_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/telemetry.h"
+#include "service/metrics.h"
+
+namespace dhyfd {
+
+/// One observability session for a CLI run: turns `--trace=<file>` /
+/// `--metrics=<file>` into a started tracer, a main-thread TelemetrySink,
+/// and flush-on-destruction exporters.
+///
+///   ObsSession obs({.trace_path = flags.get_str("trace", ""),
+///                   .metrics_path = flags.get_str("metrics", "")});
+///   ... run the workload ...
+///   // destructor: stop tracer, write Chrome JSON + Prometheus text
+///
+/// With both paths empty the session is inert: no tracer start, no sink, no
+/// files — the zero-cost default for untraced bench runs.
+struct ObsSessionOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  /// Registry to export; nullptr makes the session own a private one
+  /// (the single-process bench case). Must outlive the session.
+  MetricsRegistry* metrics = nullptr;
+};
+
+class ObsSession {
+ public:
+  explicit ObsSession(ObsSessionOptions options);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return !options_.trace_path.empty(); }
+  MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Writes the trace/metrics files now (also done by the destructor;
+  /// flushing twice rewrites the files with the latest state).
+  void flush();
+
+ private:
+  ObsSessionOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  std::unique_ptr<TelemetrySink> sink_;
+  std::unique_ptr<ObsScope> scope_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_OBS_SESSION_H_

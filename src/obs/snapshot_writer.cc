@@ -1,0 +1,57 @@
+#include "obs/snapshot_writer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/prometheus.h"
+
+namespace dhyfd {
+
+SnapshotWriter::SnapshotWriter(MetricsRegistry* metrics, std::string path,
+                               double interval_seconds)
+    : metrics_(metrics),
+      path_(std::move(path)),
+      interval_seconds_(std::max(interval_seconds, 0.01)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    stopping_ = true;
+    joined_ = true;
+    wake_.notify_all();
+  }
+  thread_.join();
+}
+
+std::int64_t SnapshotWriter::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_written_;
+}
+
+void SnapshotWriter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    wake_.wait_for(lock, std::chrono::duration<double>(interval_seconds_),
+                   [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    write_once();
+    lock.lock();
+  }
+  lock.unlock();
+  write_once();  // final snapshot on the way out
+}
+
+void SnapshotWriter::write_once() {
+  if (WritePrometheusFile(*metrics_, path_)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snapshots_written_;
+  }
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,24 @@
+#include "obs/telemetry.h"
+
+namespace dhyfd {
+
+void TelemetrySink::add(const char* name, std::int64_t delta) {
+  if (metrics_ != nullptr) {
+    Counter*& counter = cached_[name];
+    if (counter == nullptr) counter = &metrics_->counter(name);
+    counter->inc(delta);
+  }
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    std::int64_t total = (totals_[name] += delta);
+    TraceEvent e;
+    e.name = name;
+    e.phase = 'C';
+    e.trace_id = trace_id_;
+    e.ts_us = tracer.now_us();
+    e.value = total;
+    tracer.record(e);
+  }
+}
+
+}  // namespace dhyfd

@@ -1,0 +1,41 @@
+#ifndef DHYFD_OBS_TELEMETRY_H_
+#define DHYFD_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "service/metrics.h"
+
+namespace dhyfd {
+
+/// The standard ObsSink: mirrors every counter into a MetricsRegistry
+/// (under the same dotted name) and, when the global tracer is recording,
+/// emits a Chrome counter-series sample ('C' event) with the cumulative
+/// value seen through this sink.
+///
+/// One instance per job/thread — the cumulative map is unsynchronized by
+/// design, which keeps the recording path allocation- and lock-free apart
+/// from the registry's own counter increments.
+class TelemetrySink : public ObsSink {
+ public:
+  /// Either pointer may be null. `trace_id` tags emitted counter samples;
+  /// 0 uses the thread's current trace id at record time.
+  explicit TelemetrySink(MetricsRegistry* metrics, std::uint64_t trace_id = 0)
+      : metrics_(metrics), trace_id_(trace_id) {}
+
+  void add(const char* name, std::int64_t delta) override;
+
+ private:
+  MetricsRegistry* metrics_;
+  std::uint64_t trace_id_;
+  /// Cumulative totals keyed by the literal's address — counter names are
+  /// compile-time constants, so pointer identity is the cheap correct key.
+  std::unordered_map<const char*, std::int64_t> totals_;
+  std::unordered_map<const char*, Counter*> cached_;
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_OBS_TELEMETRY_H_

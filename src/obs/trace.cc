@@ -1,0 +1,195 @@
+#include "obs/trace.h"
+
+namespace dhyfd {
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_tid{1};
+
+thread_local std::uint32_t tls_tid = 0;
+thread_local std::uint64_t tls_trace_id = 0;
+
+// Per-thread buffer cache: re-resolved when a different tracer records on
+// this thread (tests construct private tracers; the hot path uses Global()).
+struct BufferCache {
+  const Tracer* tracer = nullptr;
+  void* buffer = nullptr;
+};
+thread_local BufferCache tls_buffer;
+
+}  // namespace
+
+std::uint32_t CurrentTraceTid() {
+  if (tls_tid == 0) tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tls_tid;
+}
+
+std::uint64_t CurrentTraceId() { return tls_trace_id; }
+
+TraceIdScope::TraceIdScope(std::uint64_t id) : prev_(tls_trace_id) {
+  tls_trace_id = id;
+}
+
+TraceIdScope::~TraceIdScope() { tls_trace_id = prev_; }
+
+/// Fixed-capacity slab of events. The writer fills slot `used` and then
+/// publishes it with a release store; readers acquire-load `used` and never
+/// look past it, so published slots are immutable and race-free.
+struct Tracer::Chunk {
+  static constexpr int kCapacity = 4096;
+  TraceEvent events[kCapacity];
+  std::atomic<int> used{0};
+  std::atomic<Chunk*> next{nullptr};
+};
+
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t tid) : tid(tid), head(new Chunk) {
+    tail = head.get();
+  }
+  ~ThreadBuffer() {
+    // Chunks past head are owned via raw `next` pointers; free the chain.
+    Chunk* c = head->next.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      Chunk* n = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = n;
+    }
+  }
+  const std::uint32_t tid;
+  std::unique_ptr<Chunk> head;
+  Chunk* tail;  // only the owning thread advances this
+};
+
+Tracer::Tracer() = default;
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // intentionally leaked: threads may
+  return *tracer;                        // record until process exit
+}
+
+void Tracer::start() {
+  bool expected = false;
+  if (epoch_set_.compare_exchange_strong(expected, true)) {
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::int64_t Tracer::now_us() const {
+  if (!epoch_set_.load(std::memory_order_acquire)) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
+  if (tls_buffer.tracer == this) {
+    return static_cast<ThreadBuffer*>(tls_buffer.buffer);
+  }
+  auto buffer = std::make_unique<ThreadBuffer>(CurrentTraceTid());
+  ThreadBuffer* raw = buffer.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(buffer));
+  }
+  tls_buffer = {this, raw};
+  return raw;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = buffer_for_this_thread();
+  Chunk* tail = buf->tail;
+  int used = tail->used.load(std::memory_order_relaxed);
+  if (used == Chunk::kCapacity) {
+    Chunk* fresh = new Chunk;
+    tail->next.store(fresh, std::memory_order_release);
+    buf->tail = fresh;
+    tail = fresh;
+    used = 0;
+  }
+  tail->events[used] = event;
+  if (tail->events[used].tid == 0) tail->events[used].tid = buf->tid;
+  if (tail->events[used].trace_id == 0) {
+    tail->events[used].trace_id = tls_trace_id;
+  }
+  tail->used.store(used + 1, std::memory_order_release);
+}
+
+void Tracer::record_span(const char* name, std::uint64_t trace_id,
+                         std::int64_t start_us, std::int64_t end_us,
+                         std::uint32_t tid_override) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.trace_id = trace_id;
+  e.ts_us = start_us;
+  e.dur_us = end_us > start_us ? end_us - start_us : 0;
+  e.tid = tid_override;
+  record(e);
+}
+
+std::vector<TraceEvent> Tracer::drain() const {
+  std::vector<const ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers.reserve(buffers_.size());
+    for (const auto& b : buffers_) buffers.push_back(b.get());
+  }
+  std::vector<TraceEvent> out;
+  for (const ThreadBuffer* buf : buffers) {
+    const Chunk* c = buf->head.get();
+    while (c != nullptr) {
+      int used = c->used.load(std::memory_order_acquire);
+      for (int i = 0; i < used; ++i) out.push_back(c->events[i]);
+      // Only follow the chain past a fully published chunk: a partially
+      // filled tail is by construction the last chunk with events.
+      if (used < Chunk::kCapacity) break;
+      c = c->next.load(std::memory_order_acquire);
+    }
+  }
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::vector<const ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) buffers.push_back(b.get());
+  }
+  std::size_t n = 0;
+  for (const ThreadBuffer* buf : buffers) {
+    const Chunk* c = buf->head.get();
+    while (c != nullptr) {
+      int used = c->used.load(std::memory_order_acquire);
+      n += static_cast<std::size_t>(used);
+      if (used < Chunk::kCapacity) break;
+      c = c->next.load(std::memory_order_acquire);
+    }
+  }
+  return n;
+}
+
+void TraceSpan::begin(const char* name) {
+  name_ = name;
+  start_us_ = Tracer::Global().now_us();
+  active_ = true;
+}
+
+void TraceSpan::end() {
+  Tracer& tracer = Tracer::Global();
+  // record() re-checks the enabled flag, so a span still open when tracing
+  // stops is dropped — fine for the session-oriented start/flush lifecycle.
+  TraceEvent e;
+  e.name = name_;
+  e.phase = 'X';
+  e.ts_us = start_us_;
+  e.dur_us = tracer.now_us() - start_us_;
+  tracer.record(e);
+}
+
+}  // namespace dhyfd

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace dhyfd {
 
 PartitionCache::PartitionCache(const Relation& r, size_t max_entries)
@@ -10,7 +12,11 @@ PartitionCache::PartitionCache(const Relation& r, size_t max_entries)
 const StrippedPartition& PartitionCache::get(const AttributeSet& x) {
   assert(!x.empty());
   auto it = cache_.find(x);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    ObsAdd("partition.cache_hits");
+    return it->second;
+  }
+  ObsAdd("partition.cache_misses");
 
   if (cache_.size() >= max_entries_) cache_.clear();
 
@@ -21,6 +27,7 @@ const StrippedPartition& PartitionCache::get(const AttributeSet& x) {
     prefix.set(a);
     auto hit = cache_.find(prefix);
     if (hit != cache_.end()) {
+      ObsAdd("partition.prefix_cache_hits");
       current = &hit->second;
       return;
     }

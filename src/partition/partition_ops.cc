@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace dhyfd {
 
 PartitionRefiner::PartitionRefiner(const Relation& r)
@@ -44,6 +46,7 @@ StrippedPartition PartitionRefiner::refine_all(const StrippedPartition& p,
 
 StrippedPartition IntersectPartitions(const StrippedPartition& a,
                                       const StrippedPartition& b, RowId num_rows) {
+  ObsAdd("partition.intersections");
   // Standard TANE product: probe rows of b's clusters against a's cluster
   // ids. Rows outside a's clusters are singletons in pi_a and stay stripped.
   std::vector<int32_t> probe(num_rows, -1);

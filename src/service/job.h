@@ -70,6 +70,11 @@ class JobHandle {
   double queue_seconds() const;
   double run_seconds() const;
 
+  /// Trace id grouping this job's spans/counters when tracing was enabled at
+  /// submission (0 otherwise). Filter on args.trace_id in the exported trace
+  /// to see one job's queue-wait, run, and discovery stages as one tree.
+  std::uint64_t trace_id() const { return trace_id_; }
+
  private:
   friend class JobScheduler;
 
@@ -80,6 +85,10 @@ class JobHandle {
   const ProfileJob job_;
   CancelToken cancel_token_;
   Timer queue_timer_;  // started at submission
+  // Set once by JobScheduler::submit() before the handle is shared; read-only
+  // afterwards, so no lock is needed.
+  std::uint64_t trace_id_ = 0;
+  std::int64_t submit_ts_us_ = 0;
 
   mutable std::mutex mu_;
   mutable std::condition_variable done_cv_;

@@ -4,6 +4,10 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
 namespace dhyfd {
 
 // ---------------------------------------------------------------- handle
@@ -120,6 +124,11 @@ UpdateJobHandlePtr LiveStore::submit(UpdateJob job) {
 
   UpdateJobHandlePtr h(new UpdateJobHandle(id, std::move(job.dataset),
                                            std::move(job.batch), job.mode));
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    h->trace_id_ = tracer.next_trace_id();
+    h->submit_ts_us_ = tracer.now_us();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++unfinished_jobs_;
@@ -166,9 +175,25 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
   }
   metrics_->gauge("incr.jobs_queued").add(-1);
 
+  Tracer& tracer = Tracer::Global();
+  if (h->trace_id_ != 0 && tracer.enabled()) {
+    // Synthetic per-job lane; see JobScheduler::run_one for why queue-wait
+    // spans cannot live on a worker's real lane.
+    std::uint32_t lane =
+        900000u + static_cast<std::uint32_t>(h->trace_id_ % 100000);
+    tracer.record_span("incr.queue_wait", h->trace_id_, h->submit_ts_us_,
+                       tracer.now_us(), lane);
+  }
+
   CoverDelta delta;
   std::string error;
   {
+    // The strand worker runs under the batch's trace id with a per-batch
+    // sink, so incr.* counters and spans group under this update's tree.
+    TraceIdScope trace_scope(h->trace_id_);
+    TelemetrySink sink(metrics_, h->trace_id_);
+    ObsScope obs_scope(&sink);
+    TraceSpan batch_span("incr.batch");
     std::lock_guard<std::mutex> lock(entry->profile_mu);
     try {
       delta = entry->profile->apply(h->batch_, h->mode_);

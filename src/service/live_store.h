@@ -51,6 +51,10 @@ class UpdateJobHandle {
   /// Error message for kFailed jobs ("" otherwise).
   std::string error() const;
 
+  /// Trace id grouping this batch's spans/counters when tracing was enabled
+  /// at submission (0 otherwise).
+  std::uint64_t trace_id() const { return trace_id_; }
+
  private:
   friend class LiveStore;
 
@@ -62,6 +66,10 @@ class UpdateJobHandle {
   const std::string dataset_;
   UpdateBatch batch_;
   ApplyMode mode_;
+  // Set once by LiveStore::submit() before the handle is shared; read-only
+  // afterwards.
+  std::uint64_t trace_id_ = 0;
+  std::int64_t submit_ts_us_ = 0;
 
   mutable std::mutex mu_;
   mutable std::condition_variable done_cv_;

@@ -2,23 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
+
+#include "util/memory.h"
 
 namespace dhyfd {
 
 namespace {
 
-// Bucket upper bounds in seconds: 1e-6 .. 1e3, last bucket catches the rest.
-double BucketBound(int i) { return std::pow(10.0, i - 6); }
-
 int BucketIndex(double seconds) {
   for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
-    if (seconds <= BucketBound(i)) return i;
+    if (seconds <= Histogram::bucket_bound(i)) return i;
   }
   return Histogram::kNumBuckets - 1;
 }
 
 }  // namespace
+
+// Bucket upper bounds in seconds: 1e-6 .. 1e3, last bucket catches the rest.
+double Histogram::bucket_bound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, i - 6);
+}
 
 void Histogram::record(double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -62,17 +68,35 @@ double Histogram::quantile(double q) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; only interior quantiles need the
+  // bucket estimate. This also covers the single-observation histogram
+  // (min == max) and keeps q=0 from reading an arbitrary first bucket.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * count_));
+  if (rank < 1) rank = 1;
   std::int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
       // Clamp the bucket bound by the observed extremes so tiny samples
-      // don't report a 10x-too-wide estimate.
-      return std::clamp(BucketBound(i), min_, max_);
+      // don't report a 10x-too-wide estimate (and so the +inf bucket
+      // degrades to max rather than infinity).
+      return std::clamp(bucket_bound(i), min_, max_);
     }
   }
   return max_;
+}
+
+Histogram::Snapshot Histogram::snapshot_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  std::copy(std::begin(buckets_), std::end(buckets_), std::begin(s.buckets));
+  return s;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -96,7 +120,36 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
-std::string MetricsRegistry::snapshot() const {
+void MetricsRegistry::refresh_process_gauges() {
+  gauge("process.rss_bytes").set(static_cast<std::int64_t>(CurrentRssBytes()));
+  gauge("process.peak_rss_bytes")
+      .set(static_cast<std::int64_t>(PeakRssBytes()));
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g->value());
+  return out;
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::histogram_values()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h->snapshot_state());
+  return out;
+}
+
+std::string MetricsRegistry::snapshot() {
+  refresh_process_gauges();
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {

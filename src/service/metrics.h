@@ -40,6 +40,20 @@ class Histogram {
  public:
   static constexpr int kNumBuckets = 11;
 
+  /// Inclusive upper bound of bucket `i` in seconds (1e-6 for i=0, ...,
+  /// 1e3 for i=9); the last bucket (i = kNumBuckets-1) is +infinity. An
+  /// observation lands in the first bucket with `seconds <= bound`.
+  static double bucket_bound(int i);
+
+  /// Consistent copy of a histogram's state, for exporters and tests.
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::int64_t buckets[kNumBuckets] = {};
+  };
+
   void record(double seconds);
 
   std::int64_t count() const;
@@ -47,8 +61,12 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;
   double mean() const;
-  /// Upper-bound estimate of the q-quantile (0 <= q <= 1) from the buckets.
+  /// Upper-bound estimate of the q-quantile from the buckets, clamped to
+  /// the observed [min, max]. Out-of-range q is clamped to [0, 1]; q=0
+  /// returns min, q=1 returns max, and an empty histogram returns 0.
   double quantile(double q) const;
+
+  Snapshot snapshot_state() const;
 
  private:
   mutable std::mutex mu_;
@@ -70,8 +88,20 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
 
   /// `# TYPE`-style text dump: one line per counter/gauge, a short
-  /// count/mean/min/max/p50/p99 line per histogram.
-  std::string snapshot() const;
+  /// count/mean/min/max/p50/p99 line per histogram. Deterministic: metric
+  /// names are sorted, and process gauges are refreshed first.
+  std::string snapshot();
+
+  /// Updates the process-level gauges (process.rss_bytes and
+  /// process.peak_rss_bytes from /proc). Called by snapshot() and the
+  /// Prometheus exporter so memory shows up in every export.
+  void refresh_process_gauges();
+
+  /// Sorted name -> value copies, for exporters. Histogram snapshots are
+  /// taken one histogram at a time; each is internally consistent.
+  std::map<std::string, std::int64_t> counter_values() const;
+  std::map<std::string, std::int64_t> gauge_values() const;
+  std::map<std::string, Histogram::Snapshot> histogram_values() const;
 
  private:
   mutable std::mutex mu_;

@@ -4,6 +4,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/timer.h"
 
@@ -42,6 +45,11 @@ JobHandlePtr JobScheduler::submit(ProfileJob job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     handle = JobHandlePtr(new JobHandle(next_id_++, std::move(job)));
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      handle->trace_id_ = tracer.next_trace_id();
+      handle->submit_ts_us_ = tracer.now_us();
+    }
     if (shutdown_) {
       std::lock_guard<std::mutex> hlock(handle->mu_);
       handle->state_ = JobState::kFailed;
@@ -89,6 +97,7 @@ void JobScheduler::run_one() {
     metrics_->gauge("jobs.queued").set(static_cast<std::int64_t>(pending_.size()));
   }
 
+  bool cancelled_in_queue = false;
   {
     std::lock_guard<std::mutex> hlock(handle->mu_);
     handle->queue_seconds_ = handle->queue_timer_.seconds();
@@ -96,10 +105,26 @@ void JobScheduler::run_one() {
       handle->state_ = JobState::kCancelled;
       metrics_->counter("jobs.cancelled").inc();
       handle->done_cv_.notify_all();
-      return;
+      cancelled_in_queue = true;
+    } else {
+      handle->state_ = JobState::kRunning;
     }
-    handle->state_ = JobState::kRunning;
   }
+  Tracer& tracer = Tracer::Global();
+  if (handle->trace_id_ != 0 && tracer.enabled()) {
+    // Queue-wait spans started on the submitter and ended on the worker, so
+    // each gets its own synthetic lane: drawn on a real worker lane they
+    // would overlap that worker's previous job and render as bogus nesting.
+    std::uint32_t lane =
+        900000u + static_cast<std::uint32_t>(handle->trace_id_ % 100000);
+    tracer.record_span("svc.queue_wait", handle->trace_id_,
+                       handle->submit_ts_us_, tracer.now_us(), lane);
+    if (cancelled_in_queue) {
+      tracer.record(TraceEvent{"svc.job.cancelled", 'i', handle->trace_id_,
+                               tracer.now_us(), 0, 0, 0});
+    }
+  }
+  if (cancelled_in_queue) return;
   metrics_->histogram("job.queue_seconds").record(handle->queue_seconds());
   metrics_->gauge("jobs.running").add(1);
   execute(handle);
@@ -124,8 +149,14 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
   std::string error;
   bool failed = false;
   {
-    // Every Deadline constructed below (inside the discovery algorithms)
-    // now also polls this job's cancel token.
+    // The worker runs under the job's trace id, with a per-job sink feeding
+    // algorithm counters into the metrics registry and the trace. Every
+    // Deadline constructed below (inside the discovery algorithms) also
+    // polls this job's cancel token.
+    TraceIdScope trace_scope(handle->trace_id_);
+    TelemetrySink sink(metrics_, handle->trace_id_);
+    ObsScope obs_scope(&sink);
+    TraceSpan run_span("svc.job.run");
     CancelScope scope(&handle->cancel_token_);
     try {
       std::shared_ptr<const Relation> relation =
@@ -148,6 +179,12 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
     final_state = JobState::kCancelled;
   } else {
     final_state = JobState::kDone;
+  }
+  Tracer& tracer = Tracer::Global();
+  if (handle->trace_id_ != 0 && tracer.enabled() &&
+      final_state == JobState::kCancelled) {
+    tracer.record(TraceEvent{"svc.job.cancelled", 'i', handle->trace_id_,
+                             tracer.now_us(), 0, 0, 0});
   }
 
   // Metrics are finalized before the handle turns terminal, so a thread

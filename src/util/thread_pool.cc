@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dhyfd {
+
+namespace {
+
+/// Trace-context propagation: a task submitted from a traced context (a
+/// job's worker fanning out, a traced main thread) runs under the same
+/// trace id on whichever worker picks it up. Free when no context is set.
+std::function<void()> CaptureTraceContext(std::function<void()> task) {
+  std::uint64_t trace_id = CurrentTraceId();
+  if (trace_id == 0) return task;
+  return [trace_id, task = std::move(task)] {
+    TraceIdScope scope(trace_id);
+    task();
+  };
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads, std::size_t max_queue)
     : max_queue_(max_queue) {
@@ -25,7 +43,7 @@ bool ThreadPool::submit(std::function<void()> task) {
     return stopping_ || max_queue_ == 0 || queue_.size() < max_queue_;
   });
   if (stopping_) return false;
-  queue_.push_back(std::move(task));
+  queue_.push_back(CaptureTraceContext(std::move(task)));
   not_empty_.notify_one();
   return true;
 }
@@ -34,7 +52,7 @@ bool ThreadPool::try_submit(std::function<void()> task) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return false;
   if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
-  queue_.push_back(std::move(task));
+  queue_.push_back(CaptureTraceContext(std::move(task)));
   not_empty_.notify_one();
   return true;
 }

@@ -1,0 +1,190 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/prometheus.h"
+
+namespace dhyfd {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0);
+  // The quantile of nothing is 0 for every q, including the clamped ends.
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(1.0), 0);
+  EXPECT_EQ(h.quantile(-3.0), 0);
+  EXPECT_EQ(h.quantile(7.0), 0);
+}
+
+TEST(HistogramTest, SingleObservationEveryQuantileIsThatValue) {
+  Histogram h;
+  h.record(0.005);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.005);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.005);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.005);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.005);
+}
+
+TEST(HistogramTest, QuantileEndpointsAreMinAndMax) {
+  Histogram h;
+  h.record(0.002);
+  h.record(0.04);
+  h.record(3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.002);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+  // Out-of-range q clamps to the endpoints instead of reading junk.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.002);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 3.5);
+}
+
+TEST(HistogramTest, QuantileIsClampedToObservedRange) {
+  // All mass in one bucket whose upper bound (0.01) exceeds the observed
+  // max: the bucket-walk estimate must clamp to max, never exceed it.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(0.002);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.002);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.002);
+}
+
+TEST(HistogramTest, QuantileIsMonotoneInQ) {
+  Histogram h;
+  std::vector<double> values = {1e-5, 3e-4, 2e-3, 0.04, 0.04, 0.9, 12.0, 500.0};
+  for (double v : values) h.record(v);
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(HistogramTest, BucketBoundsAreLogScaleWithInfiniteLast) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(3), 1e-3);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(9), 1e3);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_bound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(HistogramTest, BucketUpperBoundsAreInclusive) {
+  // An observation exactly on a bound belongs to that bucket (`le`
+  // semantics, matching the Prometheus exposition this feeds).
+  Histogram h;
+  h.record(1e-6);   // == bound of bucket 0
+  h.record(1e-3);   // == bound of bucket 3
+  h.record(2e-3);   // first bound above it is 1e-2 -> bucket 4
+  h.record(5000.0); // beyond the largest finite bound -> overflow bucket
+  Histogram::Snapshot snap = h.snapshot_state();
+  EXPECT_EQ(snap.buckets[0], 1);
+  EXPECT_EQ(snap.buckets[3], 1);
+  EXPECT_EQ(snap.buckets[4], 1);
+  EXPECT_EQ(snap.buckets[Histogram::kNumBuckets - 1], 1);
+  EXPECT_EQ(snap.count, 4);
+}
+
+TEST(MetricsRegistryTest, ProcessGaugesRefreshFromProc) {
+  MetricsRegistry metrics;
+  metrics.refresh_process_gauges();
+  EXPECT_GT(metrics.gauge("process.peak_rss_bytes").value(), 0);
+  EXPECT_GT(metrics.gauge("process.rss_bytes").value(), 0);
+  // Peak can never be below the current level.
+  EXPECT_GE(metrics.gauge("process.peak_rss_bytes").value(),
+            metrics.gauge("process.rss_bytes").value());
+  // snapshot() refreshes them too, so every text export carries memory.
+  EXPECT_NE(metrics.snapshot().find("process.peak_rss_bytes"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SortedValueAccessorsAreDeterministic) {
+  MetricsRegistry metrics;
+  metrics.counter("b.second").inc(2);
+  metrics.counter("a.first").inc(1);
+  metrics.gauge("z.level").set(-4);
+  auto counters = metrics.counter_values();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.begin()->first, "a.first");
+  EXPECT_EQ(counters.begin()->second, 1);
+  EXPECT_EQ(metrics.gauge_values().at("z.level"), -4);
+}
+
+TEST(PrometheusTest, NameMangling) {
+  EXPECT_EQ(PrometheusName("job.run_seconds"), "dhyfd_job_run_seconds");
+  EXPECT_EQ(PrometheusName("discover.sampler.rounds"),
+            "dhyfd_discover_sampler_rounds");
+}
+
+// Golden test pinning the Prometheus text exposition format: sorted names,
+// `# TYPE` headers, cumulative le-buckets with +Inf, _sum/_count tails.
+// Process gauges carry machine-dependent values, so their lines are
+// filtered out of the comparison and asserted separately above.
+TEST(PrometheusTest, GoldenTextExposition) {
+  MetricsRegistry metrics;
+  metrics.counter("discover.fds").inc(42);
+  metrics.gauge("jobs.running").set(3);
+  metrics.histogram("job.run_seconds").record(0.5);
+  metrics.histogram("job.run_seconds").record(2.0);
+
+  std::string text = PrometheusText(metrics);
+  std::string filtered;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("dhyfd_process_") != std::string::npos) continue;
+    filtered += line + "\n";
+  }
+
+  const std::string golden =
+      "# TYPE dhyfd_discover_fds counter\n"
+      "dhyfd_discover_fds 42\n"
+      "# TYPE dhyfd_jobs_running gauge\n"
+      "dhyfd_jobs_running 3\n"
+      "# TYPE dhyfd_job_run_seconds histogram\n"
+      "dhyfd_job_run_seconds_bucket{le=\"1e-06\"} 0\n"
+      "dhyfd_job_run_seconds_bucket{le=\"1e-05\"} 0\n"
+      "dhyfd_job_run_seconds_bucket{le=\"0.0001\"} 0\n"
+      "dhyfd_job_run_seconds_bucket{le=\"0.001\"} 0\n"
+      "dhyfd_job_run_seconds_bucket{le=\"0.01\"} 0\n"
+      "dhyfd_job_run_seconds_bucket{le=\"0.1\"} 0\n"
+      "dhyfd_job_run_seconds_bucket{le=\"1\"} 1\n"
+      "dhyfd_job_run_seconds_bucket{le=\"10\"} 2\n"
+      "dhyfd_job_run_seconds_bucket{le=\"100\"} 2\n"
+      "dhyfd_job_run_seconds_bucket{le=\"1000\"} 2\n"
+      "dhyfd_job_run_seconds_bucket{le=\"+Inf\"} 2\n"
+      "dhyfd_job_run_seconds_sum 2.5\n"
+      "dhyfd_job_run_seconds_count 2\n";
+  EXPECT_EQ(filtered, golden);
+}
+
+TEST(PrometheusTest, RepeatedExportsAreIdentical) {
+  MetricsRegistry metrics;
+  metrics.counter("x").inc(1);
+  metrics.histogram("h").record(0.1);
+  std::string a = PrometheusText(metrics);
+  std::string b = PrometheusText(metrics);
+  // Strip the process gauges (RSS can move between calls); the rest must
+  // be byte-identical — the determinism the golden file depends on.
+  auto strip = [](const std::string& text) {
+    std::string out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("dhyfd_process_") != std::string::npos) continue;
+      out += line + "\n";
+    }
+    return out;
+  };
+  EXPECT_EQ(strip(a), strip(b));
+}
+
+}  // namespace
+}  // namespace dhyfd
