@@ -3,6 +3,8 @@
 // synergized induction, attribute closure, and agree-set extraction.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "algo/agree_sets.h"
 #include "algo/discovery.h"
 #include "datagen/benchmark_data.h"
@@ -12,6 +14,7 @@
 #include "partition/partition_ops.h"
 #include "relation/encoder.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace dhyfd {
 namespace {
@@ -48,6 +51,37 @@ void BM_RefinePartition(benchmark::State& state) {
 }
 BENCHMARK(BM_RefinePartition)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_RefineInplace(benchmark::State& state) {
+  // The double-buffered steady-state path: a fresh copy is refined in place
+  // each iteration, so the refiner's arena capacity is reused throughout.
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 4, 64, 2);
+  PartitionRefiner refiner(r);
+  StrippedPartition base = BuildAttributePartition(r, 0);
+  StrippedPartition p;
+  for (auto _ : state) {
+    p = base;
+    refiner.refine_inplace(p, 1);
+    benchmark::DoNotOptimize(p.error());
+  }
+  state.SetItemsProcessed(state.iterations() * base.support());
+}
+BENCHMARK(BM_RefineInplace)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RefineSingleCluster(benchmark::State& state) {
+  // Algorithm 4's validator primitive: split one big class by an attribute.
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 4, 64, 2);
+  PartitionRefiner refiner(r);
+  StrippedPartition whole = StrippedPartition::whole(r.num_rows());
+  StrippedPartition out;
+  for (auto _ : state) {
+    out.clear();
+    refiner.refine_cluster(whole.cluster(0), 1, out);
+    benchmark::DoNotOptimize(out.support());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RefineSingleCluster)->Arg(1000)->Arg(10000)->Arg(100000);
+
 void BM_IntersectPartitions(benchmark::State& state) {
   Relation r = MakeRelation(static_cast<int>(state.range(0)), 4, 64, 3);
   StrippedPartition a = BuildAttributePartition(r, 0);
@@ -58,6 +92,21 @@ void BM_IntersectPartitions(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * r.num_rows());
 }
 BENCHMARK(BM_IntersectPartitions)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IntersectPersistent(benchmark::State& state) {
+  // TANE's steady-state path: the probe table and output arena persist.
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 4, 64, 3);
+  StrippedPartition a = BuildAttributePartition(r, 0);
+  StrippedPartition b = BuildAttributePartition(r, 1);
+  PartitionIntersector intersector(r.num_rows());
+  StrippedPartition out;
+  for (auto _ : state) {
+    intersector.intersect(a, b, out);
+    benchmark::DoNotOptimize(out.error());
+  }
+  state.SetItemsProcessed(state.iterations() * r.num_rows());
+}
+BENCHMARK(BM_IntersectPersistent)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_AgreeSets(benchmark::State& state) {
   Relation r = MakeRelation(static_cast<int>(state.range(0)), 10, 8, 4);
@@ -146,7 +195,62 @@ void BM_EndToEndDhyfdNcvoter(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndDhyfdNcvoter)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+// Stamped JSON rows for the partition kernels, so the refine/intersect
+// trajectory is tracked across commits alongside the google-benchmark
+// human-readable output. One row per kernel x row-count.
+void EmitPartitionKernelJson() {
+  constexpr int kRows[] = {10000, 100000};
+  constexpr int kReps = 20;
+  for (int rows : kRows) {
+    Relation r = MakeRelation(rows, 4, 64, 2);
+    PartitionRefiner refiner(r);
+    PartitionIntersector intersector(r.num_rows());
+    StrippedPartition base = BuildAttributePartition(r, 0);
+    StrippedPartition pb = BuildAttributePartition(r, 1);
+    StrippedPartition scratch;
+
+    auto time_ns = [](auto&& fn) {
+      Timer t;
+      for (int i = 0; i < kReps; ++i) fn();
+      return t.seconds() * 1e9 / kReps;
+    };
+    double build_ns = time_ns([&] {
+      benchmark::DoNotOptimize(BuildAttributePartition(r, 0));
+    });
+    double refine_cluster_ns = time_ns([&] {
+      StrippedPartition whole = StrippedPartition::whole(r.num_rows());
+      scratch.clear();
+      refiner.refine_cluster(whole.cluster(0), 1, scratch);
+      benchmark::DoNotOptimize(scratch.support());
+    });
+    double refine_ns = time_ns([&] {
+      StrippedPartition p = base;
+      refiner.refine_inplace(p, 1);
+      benchmark::DoNotOptimize(p.error());
+    });
+    double intersect_ns = time_ns([&] {
+      intersector.intersect(base, pb, scratch);
+      benchmark::DoNotOptimize(scratch.error());
+    });
+    std::printf(
+        "{\"bench\":\"micro_partition\",%s,\"rows\":%d,"
+        "\"attr_build_ns\":%.0f,\"refine_cluster_ns\":%.0f,"
+        "\"refine_ns\":%.0f,\"intersect_ns\":%.0f,"
+        "\"partition_bytes\":%zu}\n",
+        bench::JsonStamp("synthetic-u64").c_str(), rows, build_ns,
+        refine_cluster_ns, refine_ns, intersect_ns, base.memory_bytes());
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 }  // namespace dhyfd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dhyfd::EmitPartitionKernelJson();
+  return 0;
+}

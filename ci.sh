@@ -42,6 +42,18 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_propagation_test
 
 echo
+echo "=== asan: partition arena indexing under AddressSanitizer ==="
+# The CSR partition substrate is raw cursor arithmetic into a shared arena;
+# out-of-bounds writes there are exactly what ASan catches. The TSan jobs
+# above stay as-is — these kernels are single-threaded.
+cmake -B build-asan -S . -DDHYFD_SANITIZE=address
+cmake --build build-asan -j "$JOBS" --target \
+  partition_test partition_cache_test partition_intersect_test
+./build-asan/tests/partition_test
+./build-asan/tests/partition_cache_test
+./build-asan/tests/partition_intersect_test
+
+echo
 echo "=== obs: --trace export produces valid Chrome trace JSON ==="
 cmake --build build -j "$JOBS" --target example_fd_service_demo
 TRACE_OUT="$(mktemp /tmp/dhyfd_trace.XXXXXX.json)"

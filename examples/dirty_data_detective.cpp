@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     // The witnesses: the clusters of pi_LHS with >= 2 tuples.
     StrippedPartition pi = BuildPartition(r, it->fd.lhs);
     int cluster_shown = 0;
-    for (const auto& cluster : pi.clusters) {
+    for (dhyfd::ClusterView cluster : pi.clusters()) {
       if (cluster_shown >= 2) break;
       std::printf("    rows sharing this LHS value:\n");
       for (size_t i = 0; i < cluster.size() && i < 3; ++i) {

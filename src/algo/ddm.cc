@@ -62,7 +62,7 @@ int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
     AttributeSet todo = path - start_attrs;
     todo.for_each([&](AttrId b) {
       refinements += entry.partition.size();
-      entry.partition = refiner_.refine(entry.partition, b);
+      refiner_.refine_inplace(entry.partition, b);
     });
     int new_id = m + static_cast<int>(fresh.size());
     fresh.push_back(std::move(entry));

@@ -43,12 +43,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   result.stats.sampled_non_fds = static_cast<int64_t>(violations.size());
   result.stats.pairs_compared += sampler.pairs_compared();
   {
-    StrippedPartition whole;
-    if (r.num_rows() >= 2) {
-      std::vector<RowId> rows(r.num_rows());
-      for (RowId i = 0; i < r.num_rows(); ++i) rows[i] = i;
-      whole.clusters.push_back(std::move(rows));
-    }
+    StrippedPartition whole = StrippedPartition::whole(r.num_rows());
     result.stats.validations += tree.root()->rhs.count();
     ValidationOutcome v = ValidateWithPartition(r, AttributeSet(), tree.root()->rhs,
                                                 whole, AttributeSet(), ddm.refiner());

@@ -64,12 +64,7 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
   // Initial sampling phase, then validate the root FD {} -> R directly.
   sampling_phase();
   {
-    StrippedPartition whole;
-    if (r.num_rows() >= 2) {
-      std::vector<RowId> rows(r.num_rows());
-      for (RowId i = 0; i < r.num_rows(); ++i) rows[i] = i;
-      whole.clusters.push_back(std::move(rows));
-    }
+    StrippedPartition whole = StrippedPartition::whole(r.num_rows());
     result.stats.validations += tree.root()->rhs.count();
     ValidationOutcome v = ValidateWithPartition(r, AttributeSet(), tree.root()->rhs,
                                                 whole, AttributeSet(), refiner);

@@ -10,10 +10,11 @@ NeighborhoodSampler::NeighborhoodSampler(
     const Relation& r, const std::vector<StrippedPartition>& attr_partitions)
     : rel_(r) {
   const int m = r.num_cols();
-  sorted_clusters_.resize(m);
+  sorted_.resize(m);
   for (AttrId a = 0; a < m; ++a) {
-    sorted_clusters_[a] = attr_partitions[a].clusters;
-    for (auto& cluster : sorted_clusters_[a]) {
+    sorted_[a] = attr_partitions[a];
+    for (size_t ci = 0; ci < static_cast<size_t>(sorted_[a].size()); ++ci) {
+      std::span<RowId> cluster = sorted_[a].mutable_cluster(ci);
       // Sort by the remaining attributes, wrapping around from a+1, so the
       // neighborhood ordering differs per attribute and covers more pairs.
       std::sort(cluster.begin(), cluster.end(), [&](RowId x, RowId y) {
@@ -33,7 +34,7 @@ std::vector<AttributeSet> NeighborhoodSampler::run(int window) {
   int64_t comparisons = 0;
   const int m = rel_.num_cols();
   for (AttrId a = 0; a < m; ++a) {
-    for (const auto& cluster : sorted_clusters_[a]) {
+    for (ClusterView cluster : sorted_[a].clusters()) {
       if (static_cast<int>(cluster.size()) <= window) continue;
       for (size_t i = 0; i + window < cluster.size(); ++i) {
         RowId s = cluster[i], t = cluster[i + window];

@@ -42,9 +42,9 @@ class NeighborhoodSampler {
 
  private:
   const Relation& rel_;
-  // Per attribute: that attribute's clusters with rows in sorted-
-  // neighborhood order.
-  std::vector<std::vector<std::vector<RowId>>> sorted_clusters_;
+  // Per attribute: a CSR copy of that attribute's partition with rows in
+  // sorted-neighborhood order (reordered in place via mutable_cluster).
+  std::vector<StrippedPartition> sorted_;
   std::unordered_set<AttributeSet, AttributeSetHash> seen_;
   int64_t pairs_compared_ = 0;
   double last_efficiency_ = 0;

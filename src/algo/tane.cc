@@ -69,6 +69,10 @@ DiscoveryResult Tane::discover(const Relation& r) {
   const int64_t empty_error = r.num_rows() > 0 ? r.num_rows() - 1 : 0;
   const AttributeSet all = AttributeSet::full(m);
 
+  // One intersector for the whole run: its probe table and output arenas
+  // persist across every level-(k+1) product.
+  PartitionIntersector intersector(r.num_rows());
+
   // Level 0 state: C+({}) = R, e({}) = |r| - 1.
   Level level;
   LevelIndex index;
@@ -211,7 +215,7 @@ DiscoveryResult Tane::discover(const Relation& r) {
           LevelEntry e;
           e.attrs = xy;
           e.cplus = cplus;
-          e.partition = IntersectPartitions(a.partition, b.partition, r.num_rows());
+          intersector.intersect(a.partition, b.partition, e.partition);
           e.error = e.partition.error();
           result.stats.refinements += a.partition.size();
           next_index.emplace(xy, static_cast<int>(next.size()));

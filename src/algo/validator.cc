@@ -30,21 +30,25 @@ ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& l
   std::vector<AttrId> missing_attrs;
   missing.for_each([&](AttrId a) { missing_attrs.push_back(a); });
 
-  std::vector<std::vector<RowId>> pi, next;
-  for (const auto& s : base.clusters) {
+  // Two CSR scratch arenas ping-pong per refinement step; their capacity is
+  // reused across every class of `base`, so the whole call allocates only
+  // while the arenas first grow.
+  StrippedPartition pi, next;
+  for (ClusterView s : base.clusters()) {
     // Algorithm 4 steps 5-8: refine only this class, one attribute at a time.
     pi.clear();
-    pi.push_back(s);
+    pi.add_cluster(s);
     for (AttrId a : missing_attrs) {
       next.clear();
-      for (const auto& cluster : pi) {
-        refiner.refine_cluster(cluster, a, next);
+      const size_t n = static_cast<size_t>(pi.size());
+      for (size_t i = 0; i < n; ++i) {
+        refiner.refine_cluster(pi.cluster(i), a, next);
         ++out.refinements;
       }
       pi.swap(next);
       if (pi.empty()) break;
     }
-    for (const auto& cluster : pi) {
+    for (ClusterView cluster : pi.clusters()) {
       RowId t0 = cluster[0];
       for (size_t i = 1; i < cluster.size(); ++i) {
         RowId ti = cluster[i];

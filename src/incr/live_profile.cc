@@ -356,17 +356,15 @@ FdRedundancy LiveProfile::compute_live_redundancy(const Fd& fd) {
                                    fd.lhs - AttributeSet::single(best));
   }
   const Relation& r = rel_.relation();
-  for (const auto& cluster : pi.clusters) {
-    for (RowId row : cluster) {
-      bool lhs_null = AnyLhsNull(r, row, fd.lhs);
-      fd.rhs.for_each([&](AttrId a) {
-        ++red.with_nulls;
-        if (!r.is_null(row, a)) {
-          ++red.excluding_null_rhs;
-          if (!lhs_null) ++red.excluding_null_lhs_rhs;
-        }
-      });
-    }
+  for (RowId row : pi.row_arena()) {
+    bool lhs_null = AnyLhsNull(r, row, fd.lhs);
+    fd.rhs.for_each([&](AttrId a) {
+      ++red.with_nulls;
+      if (!r.is_null(row, a)) {
+        ++red.excluding_null_rhs;
+        if (!lhs_null) ++red.excluding_null_lhs_rhs;
+      }
+    });
   }
   return red;
 }

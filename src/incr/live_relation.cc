@@ -89,8 +89,16 @@ const std::vector<RowId>& LiveRelation::group(AttrId a, ValueId v) const {
 
 StrippedPartition LiveRelation::live_attribute_partition(AttrId a) const {
   StrippedPartition pi;
+  size_t rows = 0, classes = 0;
   for (const auto& g : groups_[a]) {
-    if (g.size() >= 2) pi.clusters.push_back(g);
+    if (g.size() >= 2) {
+      rows += g.size();
+      ++classes;
+    }
+  }
+  pi.reserve(rows, classes);
+  for (const auto& g : groups_[a]) {
+    if (g.size() >= 2) pi.add_cluster(ClusterView(g.data(), g.size()));
   }
   return pi;
 }
@@ -111,12 +119,11 @@ std::pair<RowId, RowId> LiveRelation::distinct_pair(AttrId a) const {
 StrippedPartition LiveRelation::whole_live_cluster() const {
   StrippedPartition pi;
   if (live_rows_ < 2) return pi;
-  std::vector<RowId> rows;
-  rows.reserve(live_rows_);
+  pi.reserve(static_cast<size_t>(live_rows_), 1);
   for (RowId row = 0; row < storage_rows(); ++row) {
-    if (is_live(row)) rows.push_back(row);
+    if (is_live(row)) pi.append_row(row);
   }
-  pi.clusters.push_back(std::move(rows));
+  pi.commit_cluster();
   return pi;
 }
 

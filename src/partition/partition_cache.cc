@@ -6,19 +6,40 @@
 
 namespace dhyfd {
 
-PartitionCache::PartitionCache(const Relation& r, size_t max_entries)
-    : rel_(r), refiner_(r), max_entries_(max_entries) {}
+PartitionCache::PartitionCache(const Relation& r, size_t max_entries,
+                               size_t max_bytes)
+    : rel_(r), refiner_(r), max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+void PartitionCache::touch(Entry& e) {
+  lru_.splice(lru_.begin(), lru_, e.lru_it);
+}
+
+void PartitionCache::evict_until_fits() {
+  while (!lru_.empty() &&
+         (cache_.size() >= max_entries_ || bytes_ > max_bytes_)) {
+    auto it = cache_.find(lru_.back());
+    assert(it != cache_.end());
+    bytes_ -= it->second.bytes;
+    cache_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+    ObsAdd("partition.cache_evictions");
+  }
+}
 
 const StrippedPartition& PartitionCache::get(const AttributeSet& x) {
   assert(!x.empty());
   auto it = cache_.find(x);
   if (it != cache_.end()) {
     ObsAdd("partition.cache_hits");
-    return it->second;
+    touch(it->second);
+    return it->second.partition;
   }
   ObsAdd("partition.cache_misses");
 
-  if (cache_.size() >= max_entries_) cache_.clear();
+  // Make room up front: references produced below stay valid until the
+  // next get(), so eviction must not run while the chain is being built.
+  evict_until_fits();
 
   // Build along the sorted-prefix chain, reusing the longest cached prefix.
   AttributeSet prefix;
@@ -28,14 +49,21 @@ const StrippedPartition& PartitionCache::get(const AttributeSet& x) {
     auto hit = cache_.find(prefix);
     if (hit != cache_.end()) {
       ObsAdd("partition.prefix_cache_hits");
-      current = &hit->second;
+      touch(hit->second);
+      current = &hit->second.partition;
       return;
     }
     StrippedPartition next = current == nullptr
                                  ? BuildAttributePartition(rel_, a)
                                  : refiner_.refine(*current, a);
     ++built_;
-    current = &cache_.emplace(prefix, std::move(next)).first->second;
+    Entry entry;
+    entry.partition = std::move(next);
+    entry.bytes = entry.partition.memory_bytes();
+    lru_.push_front(prefix);
+    entry.lru_it = lru_.begin();
+    bytes_ += entry.bytes;
+    current = &cache_.emplace(prefix, std::move(entry)).first->second.partition;
   });
   return *current;
 }

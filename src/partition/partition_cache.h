@@ -1,6 +1,8 @@
 #ifndef DHYFD_PARTITION_PARTITION_CACHE_H_
 #define DHYFD_PARTITION_PARTITION_CACHE_H_
 
+#include <cstddef>
+#include <list>
 #include <unordered_map>
 
 #include "partition/partition_ops.h"
@@ -12,11 +14,18 @@ namespace dhyfd {
 ///
 /// pi_X is built by refining along the sorted-prefix chain of X (each
 /// prefix is cached too), so repeated lattice probes — the access pattern
-/// of DFD-style searches — share work. The cache clears itself when it
-/// exceeds `max_entries` partitions.
+/// of DFD-style searches — share work. Entries are tracked LRU with
+/// byte-accurate accounting (the CSR arena footprint of every resident
+/// partition); get() evicts the least recently used partitions until the
+/// cache fits both the entry and byte budgets.
 class PartitionCache {
  public:
-  explicit PartitionCache(const Relation& r, size_t max_entries = 8192);
+  /// Default byte budget: enough for dense lattice sweeps on the bench
+  /// datasets, small enough to bound service-side memory per job.
+  static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;
+
+  explicit PartitionCache(const Relation& r, size_t max_entries = 8192,
+                          size_t max_bytes = kDefaultMaxBytes);
 
   PartitionCache(const PartitionCache&) = delete;
   PartitionCache& operator=(const PartitionCache&) = delete;
@@ -29,14 +38,33 @@ class PartitionCache {
   bool implies(const AttributeSet& x, AttrId a);
 
   int64_t partitions_built() const { return built_; }
+  int64_t evictions() const { return evictions_; }
   size_t size() const { return cache_.size(); }
 
+  /// Bytes held by the resident partitions (their exact arena footprint).
+  size_t memory_bytes() const { return bytes_; }
+  size_t max_bytes() const { return max_bytes_; }
+
  private:
+  struct Entry {
+    StrippedPartition partition;
+    std::list<AttributeSet>::iterator lru_it;
+    size_t bytes = 0;
+  };
+
+  void touch(Entry& e);
+  void evict_until_fits();
+
   const Relation& rel_;
   PartitionRefiner refiner_;
   size_t max_entries_;
-  std::unordered_map<AttributeSet, StrippedPartition, AttributeSetHash> cache_;
+  size_t max_bytes_;
+  std::unordered_map<AttributeSet, Entry, AttributeSetHash> cache_;
+  // Front = most recently used.
+  std::list<AttributeSet> lru_;
+  size_t bytes_ = 0;
   int64_t built_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace dhyfd

@@ -6,80 +6,167 @@
 
 namespace dhyfd {
 
-PartitionRefiner::PartitionRefiner(const Relation& r)
-    : rel_(r), slots_(static_cast<size_t>(std::max<ValueId>(r.max_domain_size(), 1))) {}
+namespace {
+// Marks a scratch cursor whose value-class was stripped (size < 2).
+constexpr uint32_t kStripped = UINT32_MAX;
+}  // namespace
 
-void PartitionRefiner::refine_cluster(const std::vector<RowId>& cluster, AttrId a,
-                                      std::vector<std::vector<RowId>>& out) {
+PartitionRefiner::PartitionRefiner(const Relation& r)
+    : rel_(r),
+      counts_(static_cast<size_t>(std::max<ValueId>(r.max_domain_size(), 1)), 0) {}
+
+void PartitionRefiner::refine_cluster(ClusterView cluster, AttrId a,
+                                      StrippedPartition& out) {
   const std::vector<ValueId>& col = rel_.column(a);
-  // Algorithm 5: drop each tuple into the slot of its A-value, remembering
-  // which slots were touched so we can sweep and reset only those.
+  // Algorithm 5, flattened: count each A-value's occurrences in the class,
+  // lay the surviving sub-classes out contiguously in the output arena,
+  // then place each row at its sub-class cursor. Two passes, no per-class
+  // vectors; only touched counters are reset afterwards.
   for (RowId row : cluster) {
     ValueId v = col[row];
-    if (slots_[v].empty()) touched_.push_back(v);
-    slots_[v].push_back(row);
+    if (counts_[v] == 0) touched_.push_back(v);
+    ++counts_[v];
   }
+  uint32_t cursor = static_cast<uint32_t>(out.rows_.size());
+  size_t kept = 0;
   for (ValueId v : touched_) {
-    if (slots_[v].size() >= 2) {
-      out.emplace_back(std::move(slots_[v]));
-      slots_[v] = {};
-    } else {
-      slots_[v].clear();
+    if (counts_[v] >= 2) kept += counts_[v];
+  }
+  if (kept > 0) {
+    out.rows_.resize(out.rows_.size() + kept);
+    if (out.offsets_.empty()) out.offsets_.push_back(0);
+    for (ValueId v : touched_) {
+      if (counts_[v] >= 2) {
+        uint32_t begin = cursor;
+        cursor += counts_[v];
+        counts_[v] = begin;
+        out.offsets_.push_back(cursor);
+      } else {
+        counts_[v] = kStripped;
+      }
+    }
+    for (RowId row : cluster) {
+      uint32_t& cur = counts_[col[row]];
+      if (cur != kStripped) out.rows_[cur++] = row;
     }
   }
+  for (ValueId v : touched_) counts_[v] = 0;
   touched_.clear();
+}
+
+void PartitionRefiner::refine_into(const StrippedPartition& p, AttrId a,
+                                   StrippedPartition& out) {
+  size_t cap_before = out.rows_.capacity();
+  out.clear();
+  out.reserve(static_cast<size_t>(p.support()), static_cast<size_t>(p.size()));
+  const size_t n = static_cast<size_t>(p.size());
+  for (size_t i = 0; i < n; ++i) refine_cluster(p.cluster(i), a, out);
+  if (out.rows_.capacity() == cap_before) {
+    ObsAdd("partition.arena_reuses");
+  } else {
+    ObsAdd("partition.arena_growths");
+  }
+}
+
+void PartitionRefiner::refine_inplace(StrippedPartition& p, AttrId a) {
+  refine_into(p, a, buffer_);
+  p.swap(buffer_);
 }
 
 StrippedPartition PartitionRefiner::refine(const StrippedPartition& p, AttrId a) {
   StrippedPartition out;
-  out.clusters.reserve(p.clusters.size());
-  for (const auto& cluster : p.clusters) refine_cluster(cluster, a, out.clusters);
+  refine_into(p, a, out);
   return out;
 }
 
 StrippedPartition PartitionRefiner::refine_all(const StrippedPartition& p,
                                                const AttributeSet& attrs) {
   StrippedPartition cur = p;
-  attrs.for_each([&](AttrId a) { cur = refine(cur, a); });
+  attrs.for_each([&](AttrId a) { refine_inplace(cur, a); });
   return cur;
+}
+
+PartitionIntersector::PartitionIntersector(RowId num_rows)
+    : probe_(static_cast<size_t>(std::max<RowId>(num_rows, 0)), 0),
+      stamp_(static_cast<size_t>(std::max<RowId>(num_rows, 0)), 0) {}
+
+void PartitionIntersector::intersect(const StrippedPartition& a,
+                                     const StrippedPartition& b,
+                                     StrippedPartition& out) {
+  ObsAdd("partition.intersections");
+  size_t cap_before = out.rows_.capacity();
+  out.clear();
+  if (++epoch_ == 0) {
+    // Stamp wrap-around: invalidate everything once per 2^32 calls.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  // Standard TANE product: probe rows of b's classes against a's class ids.
+  // Rows outside a's classes are singletons in pi_a and stay stripped.
+  const size_t na = static_cast<size_t>(a.size());
+  if (counts_.size() < na) counts_.resize(na, 0);
+  for (size_t i = 0; i < na; ++i) {
+    for (RowId row : a.cluster(i)) {
+      probe_[row] = static_cast<uint32_t>(i);
+      stamp_[row] = epoch_;
+    }
+  }
+  const size_t nb = static_cast<size_t>(b.size());
+  for (size_t j = 0; j < nb; ++j) {
+    ClusterView cluster = b.cluster(j);
+    // Same two-pass counting split as the refiner, keyed by a-class id.
+    for (RowId row : cluster) {
+      if (stamp_[row] != epoch_) continue;
+      uint32_t g = probe_[row];
+      if (counts_[g] == 0) touched_.push_back(g);
+      ++counts_[g];
+    }
+    uint32_t cursor = static_cast<uint32_t>(out.rows_.size());
+    size_t kept = 0;
+    for (uint32_t g : touched_) {
+      if (counts_[g] >= 2) kept += counts_[g];
+    }
+    if (kept > 0) {
+      out.rows_.resize(out.rows_.size() + kept);
+      if (out.offsets_.empty()) out.offsets_.push_back(0);
+      for (uint32_t g : touched_) {
+        if (counts_[g] >= 2) {
+          uint32_t begin = cursor;
+          cursor += counts_[g];
+          counts_[g] = begin;
+          out.offsets_.push_back(cursor);
+        } else {
+          counts_[g] = kStripped;
+        }
+      }
+      for (RowId row : cluster) {
+        if (stamp_[row] != epoch_) continue;
+        uint32_t& cur = counts_[probe_[row]];
+        if (cur != kStripped) out.rows_[cur++] = row;
+      }
+    }
+    for (uint32_t g : touched_) counts_[g] = 0;
+    touched_.clear();
+  }
+  if (out.rows_.capacity() == cap_before) {
+    ObsAdd("partition.arena_reuses");
+  } else {
+    ObsAdd("partition.arena_growths");
+  }
 }
 
 StrippedPartition IntersectPartitions(const StrippedPartition& a,
                                       const StrippedPartition& b, RowId num_rows) {
-  ObsAdd("partition.intersections");
-  // Standard TANE product: probe rows of b's clusters against a's cluster
-  // ids. Rows outside a's clusters are singletons in pi_a and stay stripped.
-  std::vector<int32_t> probe(num_rows, -1);
-  for (size_t i = 0; i < a.clusters.size(); ++i) {
-    for (RowId row : a.clusters[i]) probe[row] = static_cast<int32_t>(i);
-  }
+  PartitionIntersector intersector(num_rows);
   StrippedPartition out;
-  std::vector<std::vector<RowId>> groups(a.clusters.size());
-  std::vector<int32_t> touched;
-  for (const auto& cluster : b.clusters) {
-    for (RowId row : cluster) {
-      int32_t g = probe[row];
-      if (g < 0) continue;
-      if (groups[g].empty()) touched.push_back(g);
-      groups[g].push_back(row);
-    }
-    for (int32_t g : touched) {
-      if (groups[g].size() >= 2) {
-        out.clusters.emplace_back(std::move(groups[g]));
-        groups[g] = {};
-      } else {
-        groups[g].clear();
-      }
-    }
-    touched.clear();
-  }
+  intersector.intersect(a, b, out);
   return out;
 }
 
 bool PartitionImpliesFd(const Relation& r, const StrippedPartition& lhs_partition,
                         AttrId rhs) {
   const std::vector<ValueId>& col = r.column(rhs);
-  for (const auto& cluster : lhs_partition.clusters) {
+  for (ClusterView cluster : lhs_partition.clusters()) {
     ValueId v = col[cluster.front()];
     for (size_t i = 1; i < cluster.size(); ++i) {
       if (col[cluster[i]] != v) return false;

@@ -1,6 +1,7 @@
 #ifndef DHYFD_PARTITION_PARTITION_OPS_H_
 #define DHYFD_PARTITION_PARTITION_OPS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "partition/stripped_partition.h"
@@ -9,9 +10,11 @@ namespace dhyfd {
 
 /// Refines stripped partitions one attribute at a time (paper Algorithm 5).
 ///
-/// The refiner owns the value-indexed scratch array (`sets_array` in the
+/// The refiner owns the value-indexed scratch counters (`sets_array` in the
 /// paper) sized to the relation's largest active domain, plus the list of
-/// touched positions so only dirtied slots are reset between calls. Reusing
+/// touched values so only dirtied slots are reset between calls, plus a
+/// reusable double-buffer arena so a refinement chain pi_X -> pi_XA -> ...
+/// allocates nothing once the arenas reach steady-state capacity. Reusing
 /// one refiner across refinements is what makes dynamic partition
 /// maintenance affordable.
 class PartitionRefiner {
@@ -23,9 +26,16 @@ class PartitionRefiner {
 
   /// Splits one equivalence class by attribute `a`, appending the resulting
   /// classes of size >= 2 to `out`. This is the single-cluster form that
-  /// lets Algorithm 4 abort validation early.
-  void refine_cluster(const std::vector<RowId>& cluster, AttrId a,
-                      std::vector<std::vector<RowId>>& out);
+  /// lets Algorithm 4 abort validation early. `cluster` must not alias
+  /// `out`'s arena (pass views over a different partition).
+  void refine_cluster(ClusterView cluster, AttrId a, StrippedPartition& out);
+
+  /// Refines a whole stripped partition into `out` (cleared first; its
+  /// arena capacity is reused). `out` must not alias `p`.
+  void refine_into(const StrippedPartition& p, AttrId a, StrippedPartition& out);
+
+  /// Refines pi_X -> pi_{XA} in place via the internal double buffer.
+  void refine_inplace(StrippedPartition& p, AttrId a);
 
   /// Refines a whole stripped partition: pi_X -> pi_{XA}.
   StrippedPartition refine(const StrippedPartition& p, AttrId a);
@@ -37,13 +47,42 @@ class PartitionRefiner {
 
  private:
   const Relation& rel_;
-  // slot per ValueId; vectors keep their capacity across calls.
-  std::vector<std::vector<RowId>> slots_;
+  // Per-ValueId occurrence counter, then write cursor, for the two-pass
+  // counting split; only `touched_` entries are live between passes.
+  std::vector<uint32_t> counts_;
   std::vector<ValueId> touched_;
+  // Double buffer backing refine_inplace / refine_all.
+  StrippedPartition buffer_;
 };
 
-/// TANE-style product pi_X * pi_Y via a row-indexed probe table. Used by the
-/// TANE baseline to build level k+1 partitions from two prefix blocks.
+/// TANE-style product pi_X * pi_Y via a row-indexed probe table (paper's
+/// STRIPPED_PRODUCT). The probe table and per-class counters persist across
+/// calls — epoch-stamped, so no O(|r|) reset between intersections — which
+/// is what makes TANE's level construction allocation-free in steady state.
+class PartitionIntersector {
+ public:
+  explicit PartitionIntersector(RowId num_rows);
+
+  PartitionIntersector(const PartitionIntersector&) = delete;
+  PartitionIntersector& operator=(const PartitionIntersector&) = delete;
+
+  /// out = a * b. `out` is cleared first and its arena capacity reused; it
+  /// must alias neither input.
+  void intersect(const StrippedPartition& a, const StrippedPartition& b,
+                 StrippedPartition& out);
+
+ private:
+  // probe_[row] = index of row's class in `a`, valid iff stamp_[row] == epoch_.
+  std::vector<uint32_t> probe_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  // Per-a-class counter / write cursor within one b-class (touched-reset).
+  std::vector<uint32_t> counts_;
+  std::vector<uint32_t> touched_;
+};
+
+/// One-shot product; convenience for tests and callers without a persistent
+/// intersector.
 StrippedPartition IntersectPartitions(const StrippedPartition& a,
                                       const StrippedPartition& b, RowId num_rows);
 

@@ -1,34 +1,50 @@
 #include "partition/stripped_partition.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "partition/partition_ops.h"
 
 namespace dhyfd {
 
-size_t StrippedPartition::memory_bytes() const {
-  size_t bytes = sizeof(StrippedPartition) +
-                 clusters.capacity() * sizeof(std::vector<RowId>);
-  for (const auto& c : clusters) bytes += c.capacity() * sizeof(RowId);
-  return bytes;
+StrippedPartition StrippedPartition::whole(RowId num_rows) {
+  StrippedPartition out;
+  if (num_rows >= 2) {
+    out.rows_.resize(static_cast<size_t>(num_rows));
+    std::iota(out.rows_.begin(), out.rows_.end(), RowId{0});
+    out.offsets_ = {0, static_cast<uint32_t>(num_rows)};
+  }
+  return out;
 }
 
 void StrippedPartition::normalize() {
-  for (auto& c : clusters) std::sort(c.begin(), c.end());
-  std::sort(clusters.begin(), clusters.end(),
-            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
-              return a.front() < b.front();
-            });
+  const size_t n = static_cast<size_t>(size());
+  for (size_t i = 0; i < n; ++i) {
+    std::span<RowId> c = mutable_cluster(i);
+    std::sort(c.begin(), c.end());
+  }
+  // Reorder whole classes by first row: permute via a scratch arena.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return cluster(a).front() < cluster(b).front();
+  });
+  StrippedPartition sorted;
+  sorted.reserve(rows_.size(), n);
+  for (size_t i : order) sorted.add_cluster(cluster(i));
+  swap(sorted);
 }
 
 std::string StrippedPartition::to_string() const {
   std::string s = "{";
-  for (size_t i = 0; i < clusters.size(); ++i) {
+  const size_t n = static_cast<size_t>(size());
+  for (size_t i = 0; i < n; ++i) {
     if (i > 0) s += ", ";
     s += "[";
-    for (size_t j = 0; j < clusters[i].size(); ++j) {
+    ClusterView c = cluster(i);
+    for (size_t j = 0; j < c.size(); ++j) {
       if (j > 0) s += ",";
-      s += std::to_string(clusters[i][j]);
+      s += std::to_string(c[j]);
     }
     s += "]";
   }
@@ -37,27 +53,49 @@ std::string StrippedPartition::to_string() const {
 }
 
 StrippedPartition BuildAttributePartition(const Relation& r, AttrId attr) {
-  StrippedPartition out;
+  // Counting sort into the arena: count per value, lay out the classes of
+  // size >= 2 contiguously, then place each row at its class cursor. Two
+  // linear column scans, zero per-class allocations.
   const std::vector<ValueId>& col = r.column(attr);
-  std::vector<std::vector<RowId>> slots(r.domain_size(attr));
-  for (RowId row = 0; row < r.num_rows(); ++row) slots[col[row]].push_back(row);
-  for (auto& slot : slots) {
-    if (slot.size() >= 2) out.clusters.push_back(std::move(slot));
+  const size_t domain = static_cast<size_t>(std::max<ValueId>(r.domain_size(attr), 0));
+  std::vector<uint32_t> counts(domain, 0);
+  for (RowId row = 0; row < r.num_rows(); ++row) ++counts[col[row]];
+
+  StrippedPartition out;
+  size_t kept_rows = 0, kept_classes = 0;
+  for (uint32_t c : counts) {
+    if (c >= 2) {
+      kept_rows += c;
+      ++kept_classes;
+    }
+  }
+  if (kept_classes == 0) return out;
+  out.rows_.resize(kept_rows);
+  out.offsets_.reserve(kept_classes + 1);
+  out.offsets_.push_back(0);
+  // Repurpose counts[v] as the write cursor of v's class; stripped
+  // singleton values get a sentinel and are skipped during placement.
+  constexpr uint32_t kStripped = UINT32_MAX;
+  uint32_t cursor = 0;
+  for (size_t v = 0; v < domain; ++v) {
+    if (counts[v] >= 2) {
+      uint32_t begin = cursor;
+      cursor += counts[v];
+      counts[v] = begin;
+      out.offsets_.push_back(cursor);
+    } else {
+      counts[v] = kStripped;
+    }
+  }
+  for (RowId row = 0; row < r.num_rows(); ++row) {
+    uint32_t& cur = counts[col[row]];
+    if (cur != kStripped) out.rows_[cur++] = row;
   }
   return out;
 }
 
 StrippedPartition BuildPartition(const Relation& r, const AttributeSet& x) {
-  if (x.empty()) {
-    // pi_empty is one class with every tuple (or no class if |r| < 2).
-    StrippedPartition out;
-    if (r.num_rows() >= 2) {
-      std::vector<RowId> all(r.num_rows());
-      for (RowId i = 0; i < r.num_rows(); ++i) all[i] = i;
-      out.clusters.push_back(std::move(all));
-    }
-    return out;
-  }
+  if (x.empty()) return StrippedPartition::whole(r.num_rows());
   AttrId first = x.first();
   StrippedPartition p = BuildAttributePartition(r, first);
   PartitionRefiner refiner(r);

@@ -23,17 +23,17 @@ std::vector<FdRedundancy> ComputeFdRedundancies(const Relation& r, const FdSet& 
     FdRedundancy red;
     red.fd = fd;
     StrippedPartition pi = BuildPartition(r, fd.lhs);
-    for (const auto& cluster : pi.clusters) {
-      for (RowId row : cluster) {
-        bool lhs_null = AnyLhsNull(r, row, fd.lhs);
-        fd.rhs.for_each([&](AttrId a) {
-          ++red.with_nulls;
-          if (!r.is_null(row, a)) {
-            ++red.excluding_null_rhs;
-            if (!lhs_null) ++red.excluding_null_lhs_rhs;
-          }
-        });
-      }
+    // The redundant rows are exactly the arena rows — the class bounds are
+    // irrelevant here, so scan the CSR arena flat.
+    for (RowId row : pi.row_arena()) {
+      bool lhs_null = AnyLhsNull(r, row, fd.lhs);
+      fd.rhs.for_each([&](AttrId a) {
+        ++red.with_nulls;
+        if (!r.is_null(row, a)) {
+          ++red.excluding_null_rhs;
+          if (!lhs_null) ++red.excluding_null_lhs_rhs;
+        }
+      });
     }
     out.push_back(red);
   }
@@ -47,12 +47,10 @@ DatasetRedundancy ComputeDatasetRedundancy(const Relation& r, const FdSet& cover
   std::vector<uint8_t> marked(static_cast<size_t>(r.num_rows()) * m, 0);
   for (const Fd& fd : cover.fds) {
     StrippedPartition pi = BuildPartition(r, fd.lhs);
-    for (const auto& cluster : pi.clusters) {
-      for (RowId row : cluster) {
-        fd.rhs.for_each([&](AttrId a) {
-          marked[static_cast<size_t>(row) * m + a] = 1;
-        });
-      }
+    for (RowId row : pi.row_arena()) {
+      fd.rhs.for_each([&](AttrId a) {
+        marked[static_cast<size_t>(row) * m + a] = 1;
+      });
     }
   }
   for (RowId row = 0; row < r.num_rows(); ++row) {

@@ -91,7 +91,7 @@ TEST(LiveRelationTest, GroupsSupportsAndDistinctTrackMutations) {
   EXPECT_EQ(rel.live_attribute_support(0), 2);  // {y} collapsed to size 1
   rel.erase_row(t);
   EXPECT_EQ(rel.live_distinct(2), 1);  // only p remains live in c
-  EXPECT_EQ(rel.live_attribute_partition(0).clusters.size(), 1u);
+  EXPECT_EQ(rel.live_attribute_partition(0).size(), 1);
 }
 
 TEST(LiveRelationTest, ExternalIdsSurviveCompaction) {
@@ -151,14 +151,14 @@ TEST(LiveRelationTest, RefinerSurvivesDomainGrowth) {
   // Use the refiner, then grow a domain past its scratch capacity and use
   // it again; the lazily re-created refiner must see the new codes.
   StrippedPartition pi0 = rel.refiner().refine(rel.live_attribute_partition(0), 1);
-  EXPECT_EQ(pi0.clusters.size(), 0u);  // {x} splits on b into singletons
+  EXPECT_EQ(pi0.size(), 0);  // {x} splits on b into singletons
   for (int i = 0; i < 10; ++i) {
     rel.insert_row({"w", "v" + std::to_string(i), "p"});
   }
   StrippedPartition pi = rel.refiner().refine(rel.live_attribute_partition(2), 0);
   // The live "p" group refines by column a into {0,2} and the ten new "w"s.
-  ASSERT_EQ(pi.clusters.size(), 2u);
-  EXPECT_EQ(pi.clusters[0].size() + pi.clusters[1].size(), 12u);
+  ASSERT_EQ(pi.size(), 2);
+  EXPECT_EQ(pi.cluster(0).size() + pi.cluster(1).size(), 12u);
 }
 
 TEST(LiveRelationTest, DistinctPairWitnessesRootRefutation) {
@@ -168,7 +168,7 @@ TEST(LiveRelationTest, DistinctPairWitnessesRootRefutation) {
   EXPECT_NE(rel.relation().value(u, 1), rel.relation().value(v, 1));
   rel.erase_row(2);  // b collapses to the single value "1"
   EXPECT_EQ(rel.distinct_pair(1).first, -1);
-  EXPECT_EQ(rel.whole_live_cluster().clusters.size(), 1u);
+  EXPECT_EQ(rel.whole_live_cluster().size(), 1);
 }
 
 }  // namespace

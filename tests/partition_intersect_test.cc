@@ -1,0 +1,165 @@
+// Edge-case and property tests for the CSR IntersectPartitions /
+// PartitionIntersector against a legacy nested-vector reference
+// implementation of TANE's stripped product.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "partition/partition_ops.h"
+#include "partition/stripped_partition.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::FromValues;
+using testutil::RandomRelation;
+
+/// The pre-CSR reference: vector-of-vectors probe-table product, kept here
+/// verbatim (modulo types) as the semantic oracle for the flat kernel.
+std::vector<std::vector<RowId>> ReferenceIntersect(
+    const std::vector<std::vector<RowId>>& a,
+    const std::vector<std::vector<RowId>>& b, RowId num_rows) {
+  std::vector<int32_t> probe(num_rows, -1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (RowId row : a[i]) probe[row] = static_cast<int32_t>(i);
+  }
+  std::vector<std::vector<RowId>> out;
+  std::vector<std::vector<RowId>> groups(a.size());
+  std::vector<int32_t> touched;
+  for (const auto& cluster : b) {
+    for (RowId row : cluster) {
+      int32_t g = probe[row];
+      if (g < 0) continue;
+      if (groups[g].empty()) touched.push_back(g);
+      groups[g].push_back(row);
+    }
+    for (int32_t g : touched) {
+      if (groups[g].size() >= 2) {
+        out.emplace_back(std::move(groups[g]));
+        groups[g] = {};
+      } else {
+        groups[g].clear();
+      }
+    }
+    touched.clear();
+  }
+  return out;
+}
+
+std::vector<std::vector<RowId>> ToNested(const StrippedPartition& p) {
+  std::vector<std::vector<RowId>> out;
+  for (ClusterView c : p.clusters()) out.emplace_back(c.begin(), c.end());
+  return out;
+}
+
+std::string NestedToString(std::vector<std::vector<RowId>> clusters) {
+  for (auto& c : clusters) std::sort(c.begin(), c.end());
+  std::sort(clusters.begin(), clusters.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a.front() < b.front();
+            });
+  std::string s = "{";
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += "[";
+    for (size_t j = 0; j < clusters[i].size(); ++j) {
+      if (j > 0) s += ",";
+      s += std::to_string(clusters[i][j]);
+    }
+    s += "]";
+  }
+  return s + "}";
+}
+
+TEST(IntersectEdgeCasesTest, EmptyPartitions) {
+  Relation r = FromValues({{0, 0}, {1, 1}, {2, 2}});  // both columns are keys
+  StrippedPartition empty_a = BuildAttributePartition(r, 0);
+  StrippedPartition empty_b = BuildAttributePartition(r, 1);
+  ASSERT_TRUE(empty_a.empty());
+  // empty * empty, empty * non-empty, non-empty * empty.
+  StrippedPartition whole = StrippedPartition::whole(r.num_rows());
+  EXPECT_TRUE(IntersectPartitions(empty_a, empty_b, r.num_rows()).empty());
+  EXPECT_TRUE(IntersectPartitions(empty_a, whole, r.num_rows()).empty());
+  EXPECT_TRUE(IntersectPartitions(whole, empty_b, r.num_rows()).empty());
+  EXPECT_EQ(IntersectPartitions(empty_a, whole, r.num_rows()).error(), 0);
+}
+
+TEST(IntersectEdgeCasesTest, AllSingletonResultIsFullyStripped) {
+  // pi_0 and pi_1 each have one big class, but no row pair agrees on both:
+  // the product consists solely of singletons and must come out empty.
+  Relation r = FromValues({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  StrippedPartition pa = BuildAttributePartition(r, 0);
+  StrippedPartition pb = BuildAttributePartition(r, 1);
+  ASSERT_EQ(pa.size(), 2);
+  ASSERT_EQ(pb.size(), 2);
+  StrippedPartition inter = IntersectPartitions(pa, pb, r.num_rows());
+  EXPECT_TRUE(inter.empty());
+  EXPECT_EQ(inter.size(), 0);
+  EXPECT_EQ(inter.support(), 0);
+  EXPECT_EQ(inter.memory_bytes(), sizeof(StrippedPartition));
+}
+
+TEST(IntersectEdgeCasesTest, IdenticalInputsAreIdempotent) {
+  Relation r = RandomRelation(41, 200, 3, 4);
+  StrippedPartition p = BuildPartition(r, AttributeSet{0, 1});
+  StrippedPartition self = IntersectPartitions(p, p, r.num_rows());
+  self.normalize();
+  StrippedPartition want = p;
+  want.normalize();
+  EXPECT_EQ(self.to_string(), want.to_string());
+  EXPECT_EQ(self.support(), p.support());
+  EXPECT_EQ(self.size(), p.size());
+}
+
+TEST(IntersectPersistentTest, ReusedIntersectorMatchesOneShot) {
+  // The epoch-stamped probe table must give identical results across many
+  // reuses, including after results that leave stale probe entries behind.
+  Relation r = RandomRelation(43, 300, 5, 4);
+  PartitionIntersector intersector(r.num_rows());
+  StrippedPartition out;
+  for (AttrId a = 0; a < 4; ++a) {
+    StrippedPartition pa = BuildAttributePartition(r, a);
+    StrippedPartition pb = BuildAttributePartition(r, a + 1);
+    intersector.intersect(pa, pb, out);
+    StrippedPartition oneshot = IntersectPartitions(pa, pb, r.num_rows());
+    out.normalize();
+    oneshot.normalize();
+    EXPECT_EQ(out.to_string(), oneshot.to_string()) << "a=" << static_cast<int>(a);
+  }
+}
+
+// Property: CSR intersection ≡ the legacy nested-vector reference on random
+// relations, across shapes, and the product equals direct construction.
+class IntersectSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntersectSweep, MatchesLegacyReferenceAndDirectBuild) {
+  int seed = GetParam();
+  Random rng(seed);
+  int rows = 30 + static_cast<int>(rng.next_below(170));
+  int cols = 3 + static_cast<int>(rng.next_below(3));
+  int domain = 2 + static_cast<int>(rng.next_below(6));
+  Relation r = RandomRelation(seed * 17 + 3, rows, cols, domain);
+  AttrId a1 = static_cast<AttrId>(rng.next_below(cols));
+  AttrId a2 = static_cast<AttrId>(rng.next_below(cols));
+  StrippedPartition pa = BuildAttributePartition(r, a1);
+  StrippedPartition pb = BuildAttributePartition(r, a2);
+
+  StrippedPartition csr = IntersectPartitions(pa, pb, r.num_rows());
+  std::vector<std::vector<RowId>> ref =
+      ReferenceIntersect(ToNested(pa), ToNested(pb), r.num_rows());
+  EXPECT_EQ(NestedToString(ToNested(csr)), NestedToString(ref));
+
+  StrippedPartition direct = BuildPartition(r, AttributeSet{a1, a2});
+  csr.normalize();
+  direct.normalize();
+  EXPECT_EQ(csr.to_string(), direct.to_string())
+      << "a1=" << static_cast<int>(a1) << " a2=" << static_cast<int>(a2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectSweep, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace dhyfd

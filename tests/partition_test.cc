@@ -17,8 +17,8 @@ TEST(StrippedPartitionTest, SingleAttribute) {
   StrippedPartition p = BuildAttributePartition(r, 0);
   p.normalize();
   ASSERT_EQ(p.size(), 2);
-  EXPECT_EQ(p.clusters[0], (std::vector<RowId>{0, 1}));
-  EXPECT_EQ(p.clusters[1], (std::vector<RowId>{3, 4, 5}));
+  EXPECT_EQ(testutil::ClusterRows(p, 0), (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(testutil::ClusterRows(p, 1), (std::vector<RowId>{3, 4, 5}));
   EXPECT_EQ(p.support(), 5);
   EXPECT_EQ(p.error(), 3);
 }
@@ -49,8 +49,8 @@ TEST(StrippedPartitionTest, MultiAttributePartition) {
   StrippedPartition p = BuildPartition(r, AttributeSet{0, 1});
   p.normalize();
   ASSERT_EQ(p.size(), 2);
-  EXPECT_EQ(p.clusters[0], (std::vector<RowId>{0, 1}));
-  EXPECT_EQ(p.clusters[1], (std::vector<RowId>{3, 4}));
+  EXPECT_EQ(testutil::ClusterRows(p, 0), (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(testutil::ClusterRows(p, 1), (std::vector<RowId>{3, 4}));
 }
 
 TEST(PartitionRefinerTest, RefineMatchesDirectBuild) {
@@ -79,10 +79,11 @@ TEST(PartitionRefinerTest, RefineAllOrderIndependent) {
 TEST(PartitionRefinerTest, RefineClusterAppendsOnlyNonSingletons) {
   Relation r = FromValues({{0, 0}, {0, 1}, {0, 0}, {0, 2}});
   PartitionRefiner refiner(r);
-  std::vector<std::vector<RowId>> out;
-  refiner.refine_cluster({0, 1, 2, 3}, 1, out);
-  ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], (std::vector<RowId>{0, 2}));
+  StrippedPartition out;
+  const std::vector<RowId> cluster = {0, 1, 2, 3};
+  refiner.refine_cluster(ClusterView(cluster.data(), cluster.size()), 1, out);
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_EQ(testutil::ClusterRows(out, 0), (std::vector<RowId>{0, 2}));
 }
 
 TEST(PartitionRefinerTest, ScratchIsReusableAcrossCalls) {
@@ -157,12 +158,18 @@ TEST_P(PartitionSweep, BuildPartitionMatchesPairwiseDefinition) {
   StrippedPartition p = BuildPartition(r, x);
   // Pairwise check: two rows are in the same cluster iff they agree on x.
   std::vector<int> cluster_of(rows, -1);
-  for (size_t ci = 0; ci < p.clusters.size(); ++ci) {
-    for (RowId row : p.clusters[ci]) cluster_of[row] = static_cast<int>(ci);
+  for (size_t ci = 0; ci < static_cast<size_t>(p.size()); ++ci) {
+    for (RowId row : p.cluster(ci)) cluster_of[row] = static_cast<int>(ci);
   }
+  // The cached O(1) support/size must equal the per-cluster sums.
   int64_t support = 0;
-  for (const auto& c : p.clusters) support += static_cast<int64_t>(c.size());
+  int64_t classes = 0;
+  for (ClusterView c : p.clusters()) {
+    support += static_cast<int64_t>(c.size());
+    ++classes;
+  }
   EXPECT_EQ(support, p.support());
+  EXPECT_EQ(classes, p.size());
   for (RowId i = 0; i < rows; ++i) {
     for (RowId j = i + 1; j < rows; ++j) {
       bool same = cluster_of[i] >= 0 && cluster_of[i] == cluster_of[j];

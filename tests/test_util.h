@@ -7,12 +7,19 @@
 
 #include "fd/closure.h"
 #include "fd/fd_set.h"
+#include "partition/stripped_partition.h"
 #include "relation/encoder.h"
 #include "relation/relation.h"
 #include "util/random.h"
 
 namespace dhyfd {
 namespace testutil {
+
+/// Copies one CSR cluster out into a vector for gtest comparisons.
+inline std::vector<RowId> ClusterRows(const StrippedPartition& p, size_t i) {
+  ClusterView c = p.cluster(i);
+  return std::vector<RowId>(c.begin(), c.end());
+}
 
 /// Builds a relation directly from integer cell values (row-major). Values
 /// are re-encoded densely per column; negative values become null markers.

@@ -11,13 +11,7 @@ using testutil::FromValues;
 using testutil::RandomRelation;
 
 StrippedPartition WholeRelationPartition(const Relation& r) {
-  StrippedPartition p;
-  if (r.num_rows() >= 2) {
-    std::vector<RowId> rows(r.num_rows());
-    for (RowId i = 0; i < r.num_rows(); ++i) rows[i] = i;
-    p.clusters.push_back(std::move(rows));
-  }
-  return p;
+  return StrippedPartition::whole(r.num_rows());
 }
 
 TEST(ValidatorTest, ValidFdKeepsAllRhs) {
