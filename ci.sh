@@ -1,18 +1,40 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + every test), a build-only
-# compile of every bench/ harness (they are not executed in CI, but they
-# must never rot), then a ThreadSanitizer build of the concurrency-heavy
-# targets (thread pool, profiling service, live store) so data races and
-# leaked threads fail the pipeline.
+# CI entry point. Legs, in order:
+#   1. invariant lint    — tools/check_invariants.py self-test + tree sweep
+#   2. tier-1            — full -Werror build + every ctest
+#   3. bench             — build-only compile of every bench/ harness
+#   4. tsan              — concurrency tests under ThreadSanitizer
+#   5. asan              — partition-arena tests under AddressSanitizer
+#   6. ubsan             — bit-twiddling kernels under UBSan (non-recoverable)
+#   7. thread-safety     — Clang Thread Safety Analysis as errors over src/,
+#                          plus a seeded mis-annotation that must FAIL to
+#                          compile (skipped with a notice when clang++ is not
+#                          installed; the annotations compile to nothing off
+#                          Clang, so the tree itself is unaffected)
+#   8. obs               — --trace export produces valid Chrome trace JSON
+#   9. tidy (opt-in)     — ./ci.sh --tidy runs clang-tidy over src/ via the
+#                          compile database (needs clang-tidy installed)
 #
-# Usage: ./ci.sh [jobs]
+# Usage: ./ci.sh [jobs] [--tidy]
 set -euo pipefail
 cd "$(dirname "$0")"
 
-JOBS="${1:-$(nproc)}"
+JOBS="$(nproc)"
+RUN_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --tidy) RUN_TIDY=1 ;;
+    *) JOBS="$arg" ;;
+  esac
+done
 
-echo "=== tier-1: configure + build + ctest ==="
-cmake -B build -S .
+echo "=== invariant lint: rule self-test + repo sweep ==="
+python3 tools/check_invariants.py --self-test
+python3 tools/check_invariants.py --root .
+
+echo
+echo "=== tier-1: configure + build (-Werror) + ctest ==="
+cmake -B build -S . -DDHYFD_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
@@ -26,7 +48,7 @@ cmake --build build -j "$JOBS" --target "${BENCH_TARGETS[@]}"
 
 echo
 echo "=== tsan: concurrency targets under ThreadSanitizer ==="
-cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread
+cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread -DDHYFD_WERROR=ON
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test service_test live_store_test incr_property_test \
   obs_test trace_propagation_test
@@ -46,12 +68,49 @@ echo "=== asan: partition arena indexing under AddressSanitizer ==="
 # The CSR partition substrate is raw cursor arithmetic into a shared arena;
 # out-of-bounds writes there are exactly what ASan catches. The TSan jobs
 # above stay as-is — these kernels are single-threaded.
-cmake -B build-asan -S . -DDHYFD_SANITIZE=address
+cmake -B build-asan -S . -DDHYFD_SANITIZE=address -DDHYFD_WERROR=ON
 cmake --build build-asan -j "$JOBS" --target \
   partition_test partition_cache_test partition_intersect_test
 ./build-asan/tests/partition_test
 ./build-asan/tests/partition_cache_test
 ./build-asan/tests/partition_intersect_test
+
+echo
+echo "=== ubsan: bit-twiddling kernels under UBSan (no recovery) ==="
+# attribute_set's word masks, the CSR stripped-partition cursor sentinels,
+# and the ranking math are where shifts/overflow/bad casts would hide;
+# -fno-sanitize-recover=all turns the first hit into a nonzero exit.
+cmake -B build-ubsan -S . -DDHYFD_SANITIZE=undefined -DDHYFD_WERROR=ON
+cmake --build build-ubsan -j "$JOBS" --target \
+  attribute_set_test partition_test partition_intersect_test \
+  closure_test ranking_test
+./build-ubsan/tests/attribute_set_test
+./build-ubsan/tests/partition_test
+./build-ubsan/tests/partition_intersect_test
+./build-ubsan/tests/closure_test
+./build-ubsan/tests/ranking_test
+
+echo
+echo "=== thread-safety: Clang TSA over src/ (-Werror=thread-safety) ==="
+if command -v clang++ > /dev/null 2>&1; then
+  cmake -B build-threadsafety -S . \
+    -DCMAKE_CXX_COMPILER=clang++ -DDHYFD_THREAD_SAFETY=ON
+  # The dhyfd library holds every annotated class; building it runs the
+  # analysis over all mutex-holding TUs.
+  cmake --build build-threadsafety -j "$JOBS" --target dhyfd
+  # Negative control: a seeded mis-annotation must FAIL to compile, proving
+  # the gate bites. tools/thread_safety_smoke.cc documents each planted bug.
+  if clang++ -fsyntax-only -std=c++20 -Isrc \
+       -Wthread-safety -Werror=thread-safety \
+       tools/thread_safety_smoke.cc 2> /dev/null; then
+    echo "FATAL: thread_safety_smoke.cc compiled — the TSA gate is inert" >&2
+    exit 1
+  fi
+  echo "thread-safety OK (clean build + smoke mis-annotation rejected)"
+else
+  echo "SKIPPED: clang++ not installed; the annotations compile to nothing"
+  echo "on this toolchain. Install clang to run the proof leg locally."
+fi
 
 echo
 echo "=== obs: --trace export produces valid Chrome trace JSON ==="
@@ -74,6 +133,19 @@ with open(metrics_path) as f:
 print(f"trace OK: {len(events)} events, {len(ids) - (0 in ids)} trace ids")
 EOF
 rm -f "$TRACE_OUT" "$METRICS_OUT"
+
+if [[ "$RUN_TIDY" == 1 ]]; then
+  echo
+  echo "=== tidy: clang-tidy over src/ via the compile database ==="
+  if command -v clang-tidy > /dev/null 2>&1; then
+    # The tier-1 configure above exported build/compile_commands.json.
+    mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+    clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+    echo "tidy OK"
+  else
+    echo "SKIPPED: clang-tidy not installed."
+  fi
+fi
 
 echo
 echo "CI OK"

@@ -102,7 +102,7 @@ int CmdRank(int argc, char** argv) {
   return 0;
 }
 
-int CmdKeys(int argc, char** argv) {
+int CmdKeys(int /*argc*/, char** argv) {
   RawTable table = ReadCsvFile(argv[2]);
   EncodedRelation enc = EncodeRelation(table);
   DiscoveryResult res = MakeDiscovery("dhyfd")->discover(enc.relation);

@@ -111,8 +111,11 @@ class LiveRelation {
   void register_row(RowId row);
 
   DeltaEncoder encoder_;
-  // Per column, per code: ascending live rows with that code.
-  std::vector<std::vector<std::vector<RowId>>> groups_;
+  // Per column, per code: ascending live rows with that code. Not partition
+  // data (those are CSR StrippedPartitions); this is the mutable insert/
+  // delete index, where per-group splice cost dominates and a flat arena
+  // would force whole-column rewrites per batch.
+  std::vector<std::vector<std::vector<RowId>>> groups_;  // lint-allow: nested-rowid
   std::vector<int64_t> supports_;
   std::vector<int64_t> distinct_;
   std::vector<uint8_t> live_;

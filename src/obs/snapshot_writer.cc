@@ -19,7 +19,7 @@ SnapshotWriter::~SnapshotWriter() { stop(); }
 
 void SnapshotWriter::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (joined_) return;
     stopping_ = true;
     joined_ = true;
@@ -29,27 +29,33 @@ void SnapshotWriter::stop() {
 }
 
 std::int64_t SnapshotWriter::snapshots_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return snapshots_written_;
 }
 
 void SnapshotWriter::loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stopping_) {
-    wake_.wait_for(lock, std::chrono::duration<double>(interval_seconds_),
-                   [this] { return stopping_; });
-    if (stopping_) break;
-    lock.unlock();
-    write_once();
-    lock.lock();
+  for (;;) {
+    bool stop_requested;
+    {
+      MutexLock lock(&mu_);
+      auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(interval_seconds_));
+      while (!stopping_) {
+        if (wake_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+      stop_requested = stopping_;
+    }
+    if (stop_requested) break;
+    write_once();  // file I/O runs outside the lock
   }
-  lock.unlock();
   write_once();  // final snapshot on the way out
 }
 
 void SnapshotWriter::write_once() {
   if (WritePrometheusFile(*metrics_, path_)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++snapshots_written_;
   }
 }

@@ -1,13 +1,13 @@
 #ifndef DHYFD_OBS_SNAPSHOT_WRITER_H_
 #define DHYFD_OBS_SNAPSHOT_WRITER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "service/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dhyfd {
 
@@ -27,23 +27,23 @@ class SnapshotWriter {
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
   /// Joins the background thread after a final write. Idempotent.
-  void stop();
+  void stop() DHYFD_EXCLUDES(mu_);
 
-  std::int64_t snapshots_written() const;
+  std::int64_t snapshots_written() const DHYFD_EXCLUDES(mu_);
 
  private:
-  void loop();
-  void write_once();
+  void loop() DHYFD_EXCLUDES(mu_);
+  void write_once() DHYFD_EXCLUDES(mu_);
 
   MetricsRegistry* metrics_;
   const std::string path_;
   const double interval_seconds_;
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
-  bool joined_ = false;
-  std::int64_t snapshots_written_ = 0;
+  mutable Mutex mu_;
+  CondVar wake_;
+  bool stopping_ DHYFD_GUARDED_BY(mu_) = false;
+  bool joined_ DHYFD_GUARDED_BY(mu_) = false;
+  std::int64_t snapshots_written_ DHYFD_GUARDED_BY(mu_) = 0;
   std::thread thread_;
 };
 

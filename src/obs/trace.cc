@@ -93,7 +93,7 @@ Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
   auto buffer = std::make_unique<ThreadBuffer>(CurrentTraceTid());
   ThreadBuffer* raw = buffer.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     buffers_.push_back(std::move(buffer));
   }
   tls_buffer = {this, raw};
@@ -136,7 +136,7 @@ void Tracer::record_span(const char* name, std::uint64_t trace_id,
 std::vector<TraceEvent> Tracer::drain() const {
   std::vector<const ThreadBuffer*> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     buffers.reserve(buffers_.size());
     for (const auto& b : buffers_) buffers.push_back(b.get());
   }
@@ -158,7 +158,7 @@ std::vector<TraceEvent> Tracer::drain() const {
 std::size_t Tracer::event_count() const {
   std::vector<const ThreadBuffer*> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& b : buffers_) buffers.push_back(b.get());
   }
   std::size_t n = 0;

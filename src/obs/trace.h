@@ -5,8 +5,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dhyfd {
 
@@ -81,24 +83,26 @@ class Tracer {
   /// Snapshot of every published event, across all threads, in recording
   /// order per thread. Safe to call while other threads record; events
   /// published after the snapshot began may be missed.
-  std::vector<TraceEvent> drain() const;
+  std::vector<TraceEvent> drain() const DHYFD_EXCLUDES(mu_);
 
   /// Published events across all threads (cheap sum; for tests/telemetry).
-  std::size_t event_count() const;
+  std::size_t event_count() const DHYFD_EXCLUDES(mu_);
 
  private:
   struct Chunk;
   struct ThreadBuffer;
 
-  ThreadBuffer* buffer_for_this_thread();
+  ThreadBuffer* buffer_for_this_thread() DHYFD_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_trace_id_{1};
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> epoch_set_{false};
 
-  mutable std::mutex mu_;  // guards buffers_ registration only
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // guards buffers_ registration only
+  // Registration is guarded; the buffers themselves are published via the
+  // chunks' release/acquire protocol, not the mutex.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ DHYFD_GUARDED_BY(mu_);
 };
 
 /// Stable small integer id for the calling thread (1, 2, ...), used as the

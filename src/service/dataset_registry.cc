@@ -10,7 +10,7 @@ namespace dhyfd {
 void DatasetRegistry::add_table(const std::string& name, RawTable table) {
   auto entry = std::make_shared<Entry>();
   entry->table = std::make_shared<const RawTable>(std::move(table));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_[name] = std::move(entry);
 }
 
@@ -20,7 +20,7 @@ void DatasetRegistry::add_csv_file(const std::string& name,
   auto entry = std::make_shared<Entry>();
   entry->path = path;
   entry->csv_options = std::move(options);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_[name] = std::move(entry);
 }
 
@@ -31,7 +31,7 @@ std::shared_ptr<const Relation> DatasetRegistry::get(const std::string& name,
   std::promise<std::shared_ptr<const Relation>> promise;
   bool encoder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {
       throw std::out_of_range("DatasetRegistry: unknown dataset: " + name);
@@ -72,7 +72,7 @@ std::shared_ptr<const Relation> DatasetRegistry::get(const std::string& name,
       // Drop the failed slot so a later get() can retry (e.g. the CSV file
       // appears after a transient read failure). Waiters already holding
       // the future still see this exception.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto slot = entry->encoded.find(semantics);
       if (slot != entry->encoded.end()) entry->encoded.erase(slot);
     }
@@ -82,12 +82,12 @@ std::shared_ptr<const Relation> DatasetRegistry::get(const std::string& name,
 }
 
 bool DatasetRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.count(name) > 0;
 }
 
 std::vector<std::string> DatasetRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
@@ -95,12 +95,12 @@ std::vector<std::string> DatasetRegistry::names() const {
 }
 
 void DatasetRegistry::erase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.erase(name);
 }
 
 void DatasetRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
 }
 

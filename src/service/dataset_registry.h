@@ -4,13 +4,14 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "relation/csv.h"
 #include "relation/encoder.h"
 #include "service/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dhyfd {
 
@@ -33,24 +34,25 @@ class DatasetRegistry {
 
   /// Registers an in-memory raw table under `name` (replacing any previous
   /// registration and dropping its cached encodings).
-  void add_table(const std::string& name, RawTable table);
+  void add_table(const std::string& name, RawTable table) DHYFD_EXCLUDES(mu_);
 
   /// Registers a CSV file; it is read lazily on the first get().
   void add_csv_file(const std::string& name, const std::string& path,
-                    CsvOptions options = {});
+                    CsvOptions options = {}) DHYFD_EXCLUDES(mu_);
 
   /// The encoded relation for `name` under `semantics`, encoding on first
   /// use. Throws std::out_of_range for unknown names; file-read or encode
   /// errors propagate to every waiting caller and are retried on the next
   /// get(). The returned pointer stays valid after erase()/clear().
   std::shared_ptr<const Relation> get(const std::string& name,
-                                      NullSemantics semantics);
+                                      NullSemantics semantics)
+      DHYFD_EXCLUDES(mu_);
 
-  bool contains(const std::string& name) const;
-  std::vector<std::string> names() const;
+  bool contains(const std::string& name) const DHYFD_EXCLUDES(mu_);
+  std::vector<std::string> names() const DHYFD_EXCLUDES(mu_);
 
-  void erase(const std::string& name);
-  void clear();
+  void erase(const std::string& name) DHYFD_EXCLUDES(mu_);
+  void clear() DHYFD_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -59,13 +61,15 @@ class DatasetRegistry {
     std::string path;
     CsvOptions csv_options;
     // Cached encodings, one slot per NullSemantics value; a slot holds a
-    // shared future so concurrent first-getters encode once.
+    // shared future so concurrent first-getters encode once. Guarded by the
+    // registry's mu_ (entries are only mutated through it); the encode
+    // itself runs outside the lock on the shared future.
     std::map<NullSemantics, std::shared_future<std::shared_ptr<const Relation>>>
         encoded;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_ DHYFD_GUARDED_BY(mu_);
   MetricsRegistry* metrics_;
 };
 

@@ -16,41 +16,46 @@ const char* JobStateName(JobState state) {
   return "?";
 }
 
-namespace {
-
-bool IsTerminal(JobState s) {
-  return s == JobState::kDone || s == JobState::kFailed ||
-         s == JobState::kCancelled;
+bool JobHandle::finished_locked() const {
+  return state_ == JobState::kDone || state_ == JobState::kFailed ||
+         state_ == JobState::kCancelled;
 }
 
-}  // namespace
-
 JobState JobHandle::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return state_;
 }
 
 bool JobHandle::finished() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return IsTerminal(state_);
+  MutexLock lock(&mu_);
+  return finished_locked();
 }
 
 void JobHandle::cancel() { cancel_token_.cancel(); }
 
 void JobHandle::wait() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return IsTerminal(state_); });
+  MutexLock lock(&mu_);
+  while (!finished_locked()) done_cv_.wait(lock);
 }
 
 bool JobHandle::wait_for(double seconds) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return done_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
-                           [this] { return IsTerminal(state_); });
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+  MutexLock lock(&mu_);
+  while (!finished_locked()) {
+    if (done_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return finished_locked();
+    }
+  }
+  return true;
 }
 
 const ProfileReport& JobHandle::report() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return IsTerminal(state_); });
+  MutexLock lock(&mu_);
+  while (!finished_locked()) done_cv_.wait(lock);
+  // Terminal state is sticky and report_ is never written again, so the
+  // reference stays valid after the lock is dropped.
   if (has_report_) return report_;
   if (state_ == JobState::kFailed) {
     throw std::runtime_error("profile job failed: " + error_);
@@ -59,17 +64,17 @@ const ProfileReport& JobHandle::report() const {
 }
 
 std::string JobHandle::error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return error_;
 }
 
 double JobHandle::queue_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_seconds_;
 }
 
 double JobHandle::run_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return run_seconds_;
 }
 

@@ -1,14 +1,14 @@
 #ifndef DHYFD_SERVICE_JOB_H_
 #define DHYFD_SERVICE_JOB_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/profiler.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace dhyfd {
@@ -44,8 +44,8 @@ class JobHandle {
   std::uint64_t id() const { return id_; }
   const ProfileJob& job() const { return job_; }
 
-  JobState state() const;
-  bool finished() const;
+  JobState state() const DHYFD_EXCLUDES(mu_);
+  bool finished() const DHYFD_EXCLUDES(mu_);
 
   /// Requests cooperative cancellation. A queued job is dropped before it
   /// starts; a running job stops at its next deadline poll (inside the
@@ -53,22 +53,22 @@ class JobHandle {
   void cancel();
 
   /// Blocks until the job reaches a terminal state.
-  void wait() const;
+  void wait() const DHYFD_EXCLUDES(mu_);
   /// Like wait(), with a timeout; false if still unfinished after it.
-  bool wait_for(double seconds) const;
+  bool wait_for(double seconds) const DHYFD_EXCLUDES(mu_);
 
   /// The pipeline's output; valid for kDone, and for kCancelled jobs that
   /// were stopped mid-run (partial: stages after the cancellation point are
   /// empty). Throws std::runtime_error for kFailed, and for kCancelled jobs
   /// that never started. Blocks until terminal.
-  const ProfileReport& report() const;
+  const ProfileReport& report() const DHYFD_EXCLUDES(mu_);
 
   /// Error message for kFailed jobs ("" otherwise).
-  std::string error() const;
+  std::string error() const DHYFD_EXCLUDES(mu_);
 
   /// Seconds spent queued before a worker picked the job up, and executing.
-  double queue_seconds() const;
-  double run_seconds() const;
+  double queue_seconds() const DHYFD_EXCLUDES(mu_);
+  double run_seconds() const DHYFD_EXCLUDES(mu_);
 
   /// Trace id grouping this job's spans/counters when tracing was enabled at
   /// submission (0 otherwise). Filter on args.trace_id in the exported trace
@@ -81,6 +81,9 @@ class JobHandle {
   JobHandle(std::uint64_t id, ProfileJob job)
       : id_(id), job_(std::move(job)) {}
 
+  /// True for kDone / kFailed / kCancelled.
+  bool finished_locked() const DHYFD_REQUIRES(mu_);
+
   const std::uint64_t id_;
   const ProfileJob job_;
   CancelToken cancel_token_;
@@ -90,14 +93,14 @@ class JobHandle {
   std::uint64_t trace_id_ = 0;
   std::int64_t submit_ts_us_ = 0;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable done_cv_;
-  JobState state_ = JobState::kQueued;
-  bool has_report_ = false;
-  ProfileReport report_;
-  std::string error_;
-  double queue_seconds_ = 0;
-  double run_seconds_ = 0;
+  mutable Mutex mu_;
+  mutable CondVar done_cv_;
+  JobState state_ DHYFD_GUARDED_BY(mu_) = JobState::kQueued;
+  bool has_report_ DHYFD_GUARDED_BY(mu_) = false;
+  ProfileReport report_ DHYFD_GUARDED_BY(mu_);
+  std::string error_ DHYFD_GUARDED_BY(mu_);
+  double queue_seconds_ DHYFD_GUARDED_BY(mu_) = 0;
+  double run_seconds_ DHYFD_GUARDED_BY(mu_) = 0;
 };
 
 using JobHandlePtr = std::shared_ptr<JobHandle>;

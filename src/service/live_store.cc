@@ -13,40 +13,46 @@ namespace dhyfd {
 // ---------------------------------------------------------------- handle
 
 UpdateJobState UpdateJobHandle::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return state_;
 }
 
 bool UpdateJobHandle::finished() const {
-  UpdateJobState s = state();
-  return s == UpdateJobState::kDone || s == UpdateJobState::kFailed;
+  MutexLock lock(&mu_);
+  return terminal_locked();
 }
 
 void UpdateJobHandle::wait() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return state_ == UpdateJobState::kDone || state_ == UpdateJobState::kFailed;
-  });
+  MutexLock lock(&mu_);
+  while (!terminal_locked()) done_cv_.wait(lock);
 }
 
 bool UpdateJobHandle::wait_for(double seconds) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return done_cv_.wait_for(lock, std::chrono::duration<double>(seconds), [&] {
-    return state_ == UpdateJobState::kDone || state_ == UpdateJobState::kFailed;
-  });
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+  MutexLock lock(&mu_);
+  while (!terminal_locked()) {
+    if (done_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return terminal_locked();
+    }
+  }
+  return true;
 }
 
 const CoverDelta& UpdateJobHandle::delta() const {
-  wait();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
+  while (!terminal_locked()) done_cv_.wait(lock);
   if (state_ == UpdateJobState::kFailed) {
     throw std::runtime_error("update job failed: " + error_);
   }
+  // Terminal state is sticky and delta_ is never written again, so the
+  // reference stays valid after the lock is dropped.
   return delta_;
 }
 
 std::string UpdateJobHandle::error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return error_;
 }
 
@@ -68,7 +74,7 @@ void LiveStore::create(const std::string& name, RawTable initial,
   entry->profile = std::make_unique<LiveProfile>(initial, options.profile,
                                                  options.semantics);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) throw std::runtime_error("LiveStore is shut down");
     if (!datasets_.emplace(name, std::move(entry)).second) {
       throw std::invalid_argument("live dataset already exists: " + name);
@@ -78,12 +84,12 @@ void LiveStore::create(const std::string& name, RawTable initial,
 }
 
 bool LiveStore::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return datasets_.count(name) != 0;
 }
 
 std::vector<std::string> LiveStore::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(datasets_.size());
   for (const auto& [name, entry] : datasets_) out.push_back(name);
@@ -91,7 +97,7 @@ std::vector<std::string> LiveStore::names() const {
 }
 
 std::shared_ptr<LiveStore::Entry> LiveStore::find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second;
 }
@@ -100,6 +106,9 @@ UpdateJobHandlePtr LiveStore::failed_handle(std::uint64_t id, UpdateJob job,
                                             std::string error) {
   UpdateJobHandlePtr h(new UpdateJobHandle(id, std::move(job.dataset),
                                            std::move(job.batch), job.mode));
+  // The handle has not escaped yet, but taking its lock keeps the write
+  // provable instead of "safe by publication order".
+  MutexLock lock(&h->mu_);
   h->state_ = UpdateJobState::kFailed;
   h->error_ = std::move(error);
   return h;
@@ -108,7 +117,7 @@ UpdateJobHandlePtr LiveStore::failed_handle(std::uint64_t id, UpdateJob job,
 UpdateJobHandlePtr LiveStore::submit(UpdateJob job) {
   std::uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     id = next_job_id_++;
     if (shutdown_) {
       metrics_->counter("incr.jobs_failed").inc();
@@ -130,14 +139,14 @@ UpdateJobHandlePtr LiveStore::submit(UpdateJob job) {
     h->submit_ts_us_ = tracer.now_us();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++unfinished_jobs_;
   }
   metrics_->gauge("incr.jobs_queued").add(1);
 
   bool claim;
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(&entry->mu);
     entry->queue.push_back(h);
     // One worker per dataset at a time: only the submitter that flips
     // `draining` schedules a drain task; everyone else just enqueues.
@@ -155,7 +164,7 @@ void LiveStore::drain(const std::shared_ptr<Entry>& entry) {
   for (;;) {
     UpdateJobHandlePtr h;
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
+      MutexLock lock(&entry->mu);
       if (entry->queue.empty()) {
         entry->draining = false;
         return;
@@ -170,7 +179,7 @@ void LiveStore::drain(const std::shared_ptr<Entry>& entry) {
 void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
                         const UpdateJobHandlePtr& h) {
   {
-    std::lock_guard<std::mutex> lock(h->mu_);
+    MutexLock lock(&h->mu_);
     h->state_ = UpdateJobState::kRunning;
   }
   metrics_->gauge("incr.jobs_queued").add(-1);
@@ -194,7 +203,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     TelemetrySink sink(metrics_, h->trace_id_);
     ObsScope obs_scope(&sink);
     TraceSpan batch_span("incr.batch");
-    std::lock_guard<std::mutex> lock(entry->profile_mu);
+    MutexLock lock(&entry->profile_mu);
     try {
       delta = entry->profile->apply(h->batch_, h->mode_);
     } catch (const std::exception& e) {
@@ -220,7 +229,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     event.stats = delta.stats;
 
     {
-      std::lock_guard<std::mutex> lock(h->mu_);
+      MutexLock lock(&h->mu_);
       h->delta_ = std::move(delta);
       h->state_ = UpdateJobState::kDone;
     }
@@ -231,7 +240,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
   } else {
     metrics_->counter("incr.jobs_failed").inc();
     {
-      std::lock_guard<std::mutex> lock(h->mu_);
+      MutexLock lock(&h->mu_);
       h->error_ = std::move(error);
       h->state_ = UpdateJobState::kFailed;
     }
@@ -239,7 +248,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --unfinished_jobs_;
   }
   idle_cv_.notify_all();
@@ -248,7 +257,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
 void LiveStore::notify(const CoverChangeEvent& event) {
   std::vector<CoverChangeListener> listeners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     listeners.reserve(listeners_.size());
     for (const auto& [token, fn] : listeners_) listeners.push_back(fn);
   }
@@ -264,39 +273,39 @@ CoverDelta LiveStore::apply(const std::string& name, UpdateBatch batch,
 FdSet LiveStore::cover(const std::string& name) const {
   std::shared_ptr<Entry> entry = find(name);
   if (!entry) throw std::invalid_argument("unknown live dataset: " + name);
-  std::lock_guard<std::mutex> lock(entry->profile_mu);
+  MutexLock lock(&entry->profile_mu);
   return entry->profile->cover();
 }
 
 std::vector<FdRedundancy> LiveStore::ranking(const std::string& name) const {
   std::shared_ptr<Entry> entry = find(name);
   if (!entry) throw std::invalid_argument("unknown live dataset: " + name);
-  std::lock_guard<std::mutex> lock(entry->profile_mu);
+  MutexLock lock(&entry->profile_mu);
   return entry->profile->ranking();
 }
 
 RowId LiveStore::live_rows(const std::string& name) const {
   std::shared_ptr<Entry> entry = find(name);
   if (!entry) throw std::invalid_argument("unknown live dataset: " + name);
-  std::lock_guard<std::mutex> lock(entry->profile_mu);
+  MutexLock lock(&entry->profile_mu);
   return entry->profile->live_relation().live_rows();
 }
 
 std::uint64_t LiveStore::subscribe(CoverChangeListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::uint64_t token = next_listener_id_++;
   listeners_.emplace(token, std::move(listener));
   return token;
 }
 
 void LiveStore::unsubscribe(std::uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   listeners_.erase(token);
 }
 
 void LiveStore::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   // The pool drains queued strand tasks before joining, so every already-
@@ -305,8 +314,8 @@ void LiveStore::shutdown() {
 }
 
 void LiveStore::wait_all() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return unfinished_jobs_ == 0; });
+  MutexLock lock(&mu_);
+  while (unfinished_jobs_ != 0) idle_cv_.wait(lock);
 }
 
 }  // namespace dhyfd

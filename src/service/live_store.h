@@ -1,12 +1,10 @@
 #ifndef DHYFD_SERVICE_LIVE_STORE_H_
 #define DHYFD_SERVICE_LIVE_STORE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +12,8 @@
 #include "incr/live_profile.h"
 #include "relation/csv.h"
 #include "service/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dhyfd {
@@ -40,16 +40,16 @@ class UpdateJobHandle {
   std::uint64_t id() const { return id_; }
   const std::string& dataset() const { return dataset_; }
 
-  UpdateJobState state() const;
-  bool finished() const;
-  void wait() const;
-  bool wait_for(double seconds) const;
+  UpdateJobState state() const DHYFD_EXCLUDES(mu_);
+  bool finished() const DHYFD_EXCLUDES(mu_);
+  void wait() const DHYFD_EXCLUDES(mu_);
+  bool wait_for(double seconds) const DHYFD_EXCLUDES(mu_);
 
   /// The batch's cover delta; throws std::runtime_error for kFailed.
   /// Blocks until terminal.
-  const CoverDelta& delta() const;
+  const CoverDelta& delta() const DHYFD_EXCLUDES(mu_);
   /// Error message for kFailed jobs ("" otherwise).
-  std::string error() const;
+  std::string error() const DHYFD_EXCLUDES(mu_);
 
   /// Trace id grouping this batch's spans/counters when tracing was enabled
   /// at submission (0 otherwise).
@@ -62,6 +62,11 @@ class UpdateJobHandle {
                   ApplyMode mode)
       : id_(id), dataset_(std::move(dataset)), batch_(std::move(batch)), mode_(mode) {}
 
+  /// True for kDone / kFailed.
+  bool terminal_locked() const DHYFD_REQUIRES(mu_) {
+    return state_ == UpdateJobState::kDone || state_ == UpdateJobState::kFailed;
+  }
+
   const std::uint64_t id_;
   const std::string dataset_;
   UpdateBatch batch_;
@@ -71,11 +76,11 @@ class UpdateJobHandle {
   std::uint64_t trace_id_ = 0;
   std::int64_t submit_ts_us_ = 0;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable done_cv_;
-  UpdateJobState state_ = UpdateJobState::kQueued;
-  CoverDelta delta_;
-  std::string error_;
+  mutable Mutex mu_;
+  mutable CondVar done_cv_;
+  UpdateJobState state_ DHYFD_GUARDED_BY(mu_) = UpdateJobState::kQueued;
+  CoverDelta delta_ DHYFD_GUARDED_BY(mu_);
+  std::string error_ DHYFD_GUARDED_BY(mu_);
 };
 
 using UpdateJobHandlePtr = std::shared_ptr<UpdateJobHandle>;
@@ -115,14 +120,14 @@ class LiveStore {
   /// Registers a dataset and runs initial discovery synchronously. Throws
   /// std::invalid_argument if the name is taken.
   void create(const std::string& name, RawTable initial,
-              LiveDatasetOptions options = {});
+              LiveDatasetOptions options = {}) DHYFD_EXCLUDES(mu_);
 
-  bool contains(const std::string& name) const;
-  std::vector<std::string> names() const;
+  bool contains(const std::string& name) const DHYFD_EXCLUDES(mu_);
+  std::vector<std::string> names() const DHYFD_EXCLUDES(mu_);
 
   /// Enqueues a batch; returns its handle immediately (kFailed handle if the
   /// dataset is unknown or the store is shut down — never nullptr).
-  UpdateJobHandlePtr submit(UpdateJob job);
+  UpdateJobHandlePtr submit(UpdateJob job) DHYFD_EXCLUDES(mu_);
 
   /// Synchronous convenience: submit + wait + return the delta (throws on
   /// failure).
@@ -131,52 +136,59 @@ class LiveStore {
 
   /// Copies of the current cover / ranking / live row count; throw
   /// std::invalid_argument for unknown datasets.
-  FdSet cover(const std::string& name) const;
-  std::vector<FdRedundancy> ranking(const std::string& name) const;
-  RowId live_rows(const std::string& name) const;
+  FdSet cover(const std::string& name) const DHYFD_EXCLUDES(mu_);
+  std::vector<FdRedundancy> ranking(const std::string& name) const
+      DHYFD_EXCLUDES(mu_);
+  RowId live_rows(const std::string& name) const DHYFD_EXCLUDES(mu_);
 
   /// Registers a listener for every dataset's cover changes; returns a
   /// token for unsubscribe(). Listeners run on worker threads, after the
   /// batch commits, in per-dataset batch order; they must not call back
   /// into the store's blocking operations.
-  std::uint64_t subscribe(CoverChangeListener listener);
-  void unsubscribe(std::uint64_t token);
+  std::uint64_t subscribe(CoverChangeListener listener) DHYFD_EXCLUDES(mu_);
+  void unsubscribe(std::uint64_t token) DHYFD_EXCLUDES(mu_);
 
   /// Stops accepting work, drains queued batches, joins the workers.
   /// Idempotent.
-  void shutdown();
+  void shutdown() DHYFD_EXCLUDES(mu_);
 
   /// Blocks until every batch submitted so far is terminal.
-  void wait_all() const;
+  void wait_all() const DHYFD_EXCLUDES(mu_);
 
  private:
   struct Entry {
-    std::mutex mu;  // guards queue + draining flag
-    std::deque<UpdateJobHandlePtr> queue;
-    bool draining = false;  // a worker owns this dataset's strand
-    mutable std::mutex profile_mu;  // guards the LiveProfile itself
-    std::unique_ptr<LiveProfile> profile;
+    Mutex mu;  // guards queue + draining flag
+    std::deque<UpdateJobHandlePtr> queue DHYFD_GUARDED_BY(mu);
+    bool draining DHYFD_GUARDED_BY(mu) = false;  // a worker owns this strand
+    mutable Mutex profile_mu;  // guards the LiveProfile itself
+    // The pointer is set once by create() before the entry is published;
+    // the pointee is what profile_mu protects.
+    std::unique_ptr<LiveProfile> profile DHYFD_PT_GUARDED_BY(profile_mu);
   };
 
   /// Worker task: drains `entry`'s queue until empty (strand execution).
-  void drain(const std::shared_ptr<Entry>& entry);
-  void run_job(const std::shared_ptr<Entry>& entry, const UpdateJobHandlePtr& h);
-  std::shared_ptr<Entry> find(const std::string& name) const;
+  void drain(const std::shared_ptr<Entry>& entry) DHYFD_EXCLUDES(mu_);
+  void run_job(const std::shared_ptr<Entry>& entry, const UpdateJobHandlePtr& h)
+      DHYFD_EXCLUDES(mu_);
+  std::shared_ptr<Entry> find(const std::string& name) const
+      DHYFD_EXCLUDES(mu_);
   static UpdateJobHandlePtr failed_handle(std::uint64_t id, UpdateJob job,
                                           std::string error);
-  void notify(const CoverChangeEvent& event);
+  void notify(const CoverChangeEvent& event) DHYFD_EXCLUDES(mu_);
 
   MetricsRegistry* metrics_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable idle_cv_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> datasets_;
-  std::unordered_map<std::uint64_t, CoverChangeListener> listeners_;
-  std::uint64_t next_job_id_ = 1;
-  std::uint64_t next_listener_id_ = 1;
-  std::int64_t unfinished_jobs_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  mutable CondVar idle_cv_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> datasets_
+      DHYFD_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, CoverChangeListener> listeners_
+      DHYFD_GUARDED_BY(mu_);
+  std::uint64_t next_job_id_ DHYFD_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_listener_id_ DHYFD_GUARDED_BY(mu_) = 1;
+  std::int64_t unfinished_jobs_ DHYFD_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DHYFD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dhyfd

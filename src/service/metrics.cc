@@ -26,8 +26,35 @@ double Histogram::bucket_bound(int i) {
   return std::pow(10.0, i - 6);
 }
 
+double Histogram::Snapshot::mean() const {
+  return count == 0 ? 0 : sum / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; only interior quantiles need the
+  // bucket estimate. This also covers the single-observation histogram
+  // (min == max) and keeps q=0 from reading an arbitrary first bucket.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * count));
+  if (rank < 1) rank = 1;
+  std::int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Clamp the bucket bound by the observed extremes so tiny samples
+      // don't report a 10x-too-wide estimate (and so the +inf bucket
+      // degrades to max rather than infinity).
+      return std::clamp(bucket_bound(i), min, max);
+    }
+  }
+  return max;
+}
+
 void Histogram::record(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (count_ == 0) {
     min_ = max_ = seconds;
   } else {
@@ -40,56 +67,33 @@ void Histogram::record(double seconds) {
 }
 
 std::int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_;
 }
 
-double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
-}
+double Histogram::mean() const { return snapshot_state().mean(); }
 
 double Histogram::quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  // The extremes are tracked exactly; only interior quantiles need the
-  // bucket estimate. This also covers the single-observation histogram
-  // (min == max) and keeps q=0 from reading an arbitrary first bucket.
-  if (q <= 0.0) return min_;
-  if (q >= 1.0) return max_;
-  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * count_));
-  if (rank < 1) rank = 1;
-  std::int64_t seen = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= rank) {
-      // Clamp the bucket bound by the observed extremes so tiny samples
-      // don't report a 10x-too-wide estimate (and so the +inf bucket
-      // degrades to max rather than infinity).
-      return std::clamp(bucket_bound(i), min_, max_);
-    }
-  }
-  return max_;
+  return snapshot_state().quantile(q);
 }
 
 Histogram::Snapshot Histogram::snapshot_state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Snapshot s;
   s.count = count_;
   s.sum = sum_;
@@ -100,21 +104,21 @@ Histogram::Snapshot Histogram::snapshot_state() const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
@@ -127,14 +131,14 @@ void MetricsRegistry::refresh_process_gauges() {
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::counter_values() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c->value());
   return out;
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::gauge_values() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, g] : gauges_) out.emplace(name, g->value());
   return out;
@@ -142,7 +146,7 @@ std::map<std::string, std::int64_t> MetricsRegistry::gauge_values() const {
 
 std::map<std::string, Histogram::Snapshot> MetricsRegistry::histogram_values()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, Histogram::Snapshot> out;
   for (const auto& [name, h] : histograms_) out.emplace(name, h->snapshot_state());
   return out;
@@ -150,7 +154,7 @@ std::map<std::string, Histogram::Snapshot> MetricsRegistry::histogram_values()
 
 std::string MetricsRegistry::snapshot() {
   refresh_process_gauges();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
     out << "counter " << name << " " << c->value() << "\n";
@@ -159,10 +163,13 @@ std::string MetricsRegistry::snapshot() {
     out << "gauge " << name << " " << g->value() << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    out << "histogram " << name << " count=" << h->count()
-        << " mean=" << h->mean() << "s min=" << h->min() << "s max="
-        << h->max() << "s p50=" << h->quantile(0.5) << "s p99="
-        << h->quantile(0.99) << "s\n";
+    // One snapshot per histogram: count/mean/min/max/p50/p99 all describe
+    // the same instant (six separate locked reads used to race recorders).
+    Histogram::Snapshot s = h->snapshot_state();
+    out << "histogram " << name << " count=" << s.count
+        << " mean=" << s.mean() << "s min=" << s.min << "s max="
+        << s.max << "s p50=" << s.quantile(0.5) << "s p99="
+        << s.quantile(0.99) << "s\n";
   }
   return out.str();
 }

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dhyfd {
 
@@ -46,35 +48,42 @@ class Histogram {
   static double bucket_bound(int i);
 
   /// Consistent copy of a histogram's state, for exporters and tests.
+  /// All derived statistics (mean, quantiles) are computable from one
+  /// Snapshot, so exporters take the histogram lock exactly once and every
+  /// printed figure describes the same instant.
   struct Snapshot {
     std::int64_t count = 0;
     double sum = 0;
     double min = 0;
     double max = 0;
     std::int64_t buckets[kNumBuckets] = {};
+
+    double mean() const;
+    /// Upper-bound estimate of the q-quantile from the buckets, clamped to
+    /// the observed [min, max]. Out-of-range q is clamped to [0, 1]; q=0
+    /// returns min, q=1 returns max, and an empty histogram returns 0.
+    double quantile(double q) const;
   };
 
-  void record(double seconds);
+  void record(double seconds) DHYFD_EXCLUDES(mu_);
 
-  std::int64_t count() const;
-  double sum() const;
-  double min() const;  // 0 when empty
-  double max() const;
-  double mean() const;
-  /// Upper-bound estimate of the q-quantile from the buckets, clamped to
-  /// the observed [min, max]. Out-of-range q is clamped to [0, 1]; q=0
-  /// returns min, q=1 returns max, and an empty histogram returns 0.
-  double quantile(double q) const;
+  std::int64_t count() const DHYFD_EXCLUDES(mu_);
+  double sum() const DHYFD_EXCLUDES(mu_);
+  double min() const DHYFD_EXCLUDES(mu_);  // 0 when empty
+  double max() const DHYFD_EXCLUDES(mu_);
+  double mean() const DHYFD_EXCLUDES(mu_);
+  /// Snapshot::quantile over the current state.
+  double quantile(double q) const DHYFD_EXCLUDES(mu_);
 
-  Snapshot snapshot_state() const;
+  Snapshot snapshot_state() const DHYFD_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::int64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  std::int64_t buckets_[kNumBuckets] = {};
+  mutable Mutex mu_;
+  std::int64_t count_ DHYFD_GUARDED_BY(mu_) = 0;
+  double sum_ DHYFD_GUARDED_BY(mu_) = 0;
+  double min_ DHYFD_GUARDED_BY(mu_) = 0;
+  double max_ DHYFD_GUARDED_BY(mu_) = 0;
+  std::int64_t buckets_[kNumBuckets] DHYFD_GUARDED_BY(mu_) = {};
 };
 
 /// Names and owns metrics for one service instance. Lookups create on first
@@ -83,31 +92,36 @@ class Histogram {
 /// the export format every future network front-end can wrap.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) DHYFD_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) DHYFD_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) DHYFD_EXCLUDES(mu_);
 
   /// `# TYPE`-style text dump: one line per counter/gauge, a short
   /// count/mean/min/max/p50/p99 line per histogram. Deterministic: metric
   /// names are sorted, and process gauges are refreshed first.
-  std::string snapshot();
+  std::string snapshot() DHYFD_EXCLUDES(mu_);
 
   /// Updates the process-level gauges (process.rss_bytes and
   /// process.peak_rss_bytes from /proc). Called by snapshot() and the
   /// Prometheus exporter so memory shows up in every export.
-  void refresh_process_gauges();
+  void refresh_process_gauges() DHYFD_EXCLUDES(mu_);
 
   /// Sorted name -> value copies, for exporters. Histogram snapshots are
   /// taken one histogram at a time; each is internally consistent.
-  std::map<std::string, std::int64_t> counter_values() const;
-  std::map<std::string, std::int64_t> gauge_values() const;
-  std::map<std::string, Histogram::Snapshot> histogram_values() const;
+  std::map<std::string, std::int64_t> counter_values() const
+      DHYFD_EXCLUDES(mu_);
+  std::map<std::string, std::int64_t> gauge_values() const
+      DHYFD_EXCLUDES(mu_);
+  std::map<std::string, Histogram::Snapshot> histogram_values() const
+      DHYFD_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DHYFD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DHYFD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DHYFD_GUARDED_BY(mu_);
 };
 
 }  // namespace dhyfd

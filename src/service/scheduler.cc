@@ -43,7 +43,7 @@ JobScheduler::~JobScheduler() { shutdown(); }
 JobHandlePtr JobScheduler::submit(ProfileJob job) {
   JobHandlePtr handle;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     handle = JobHandlePtr(new JobHandle(next_id_++, std::move(job)));
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) {
@@ -51,7 +51,7 @@ JobHandlePtr JobScheduler::submit(ProfileJob job) {
       handle->submit_ts_us_ = tracer.now_us();
     }
     if (shutdown_) {
-      std::lock_guard<std::mutex> hlock(handle->mu_);
+      MutexLock hlock(&handle->mu_);
       handle->state_ = JobState::kFailed;
       handle->error_ = "scheduler is shut down";
       handle->done_cv_.notify_all();
@@ -73,11 +73,11 @@ JobHandlePtr JobScheduler::submit(ProfileJob job) {
 }
 
 void JobScheduler::reclaim_pending() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (!pending_.empty()) {
     JobHandlePtr handle = pending_.top();
     pending_.pop();
-    std::lock_guard<std::mutex> hlock(handle->mu_);
+    MutexLock hlock(&handle->mu_);
     if (handle->state_ == JobState::kQueued) {
       handle->state_ = JobState::kCancelled;
       metrics_->counter("jobs.cancelled").inc();
@@ -90,7 +90,7 @@ void JobScheduler::reclaim_pending() {
 void JobScheduler::run_one() {
   JobHandlePtr handle;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (pending_.empty()) return;  // its job was reclaimed by shutdown()
     handle = pending_.top();
     pending_.pop();
@@ -99,7 +99,7 @@ void JobScheduler::run_one() {
 
   bool cancelled_in_queue = false;
   {
-    std::lock_guard<std::mutex> hlock(handle->mu_);
+    MutexLock hlock(&handle->mu_);
     handle->queue_seconds_ = handle->queue_timer_.seconds();
     if (handle->cancel_token_.cancelled()) {
       handle->state_ = JobState::kCancelled;
@@ -204,7 +204,7 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
   metrics_->gauge("jobs.running").add(-1);
 
   {
-    std::lock_guard<std::mutex> hlock(handle->mu_);
+    MutexLock hlock(&handle->mu_);
     handle->state_ = final_state;
     handle->run_seconds_ = run_seconds;
     if (failed) {
@@ -220,7 +220,7 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
 
 void JobScheduler::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   // Drains every queued run_one ticket, then joins the workers; all
@@ -233,7 +233,7 @@ void JobScheduler::shutdown() {
 void JobScheduler::wait_all() const {
   std::vector<JobHandlePtr> jobs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     jobs = all_jobs_;
   }
   for (const JobHandlePtr& handle : jobs) handle->wait();

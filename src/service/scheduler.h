@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "service/dataset_registry.h"
 #include "service/job.h"
 #include "service/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dhyfd {
@@ -48,14 +49,14 @@ class JobScheduler {
 
   /// Enqueues a job; returns its handle immediately. Returns a kFailed
   /// handle (never nullptr) if the scheduler is already shut down.
-  JobHandlePtr submit(ProfileJob job);
+  JobHandlePtr submit(ProfileJob job) DHYFD_EXCLUDES(mu_);
 
   /// Stops accepting jobs, runs everything queued, joins the workers.
   /// Idempotent. Queued jobs whose handles were cancelled are dropped.
-  void shutdown();
+  void shutdown() DHYFD_EXCLUDES(mu_);
 
   /// Convenience: blocks until every job submitted so far is terminal.
-  void wait_all() const;
+  void wait_all() const DHYFD_EXCLUDES(mu_);
 
   int num_threads() const { return pool_.num_threads(); }
   std::int64_t queued_jobs() const { return metrics_->gauge("jobs.queued").value(); }
@@ -67,21 +68,21 @@ class JobScheduler {
   };
 
   /// Pool task: pops the best pending job and runs it to a terminal state.
-  void run_one();
-  void execute(const JobHandlePtr& handle);
+  void run_one() DHYFD_EXCLUDES(mu_);
+  void execute(const JobHandlePtr& handle) DHYFD_EXCLUDES(mu_);
   /// Marks every still-queued pending job cancelled (shutdown cleanup).
-  void reclaim_pending();
+  void reclaim_pending() DHYFD_EXCLUDES(mu_);
 
   DatasetRegistry* datasets_;
   MetricsRegistry* metrics_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::priority_queue<JobHandlePtr, std::vector<JobHandlePtr>, PendingOrder>
-      pending_;
-  std::vector<JobHandlePtr> all_jobs_;
-  std::uint64_t next_id_ = 1;
-  bool shutdown_ = false;
+      pending_ DHYFD_GUARDED_BY(mu_);
+  std::vector<JobHandlePtr> all_jobs_ DHYFD_GUARDED_BY(mu_);
+  std::uint64_t next_id_ DHYFD_GUARDED_BY(mu_) = 1;
+  bool shutdown_ DHYFD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dhyfd

@@ -1,0 +1,67 @@
+#ifndef DHYFD_UTIL_THREAD_ANNOTATIONS_H_
+#define DHYFD_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (Abseil-style), compiled to
+/// nothing on other compilers. Together with the `Mutex` / `MutexLock` /
+/// `CondVar` shims in util/mutex.h they make the repo's lock discipline a
+/// compile-time proof: `cmake -DDHYFD_THREAD_SAFETY=ON` (Clang only) turns
+/// every violation into an error via `-Werror=thread-safety`.
+///
+/// Conventions (see DESIGN.md "Static analysis & lock discipline"):
+///   - every mutex-guarded member carries DHYFD_GUARDED_BY(mu_);
+///   - a private helper that expects the lock held is named `FooLocked()`
+///     and carries DHYFD_REQUIRES(mu_);
+///   - public entry points that take the lock themselves carry
+///     DHYFD_EXCLUDES(mu_) when calling them with the lock held would
+///     self-deadlock.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DHYFD_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DHYFD_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (our Mutex shim).
+#define DHYFD_CAPABILITY(x) DHYFD_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define DHYFD_LOCKABLE DHYFD_CAPABILITY("mutex")
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define DHYFD_SCOPED_LOCKABLE DHYFD_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data members: may only be read/written with the given mutex held.
+#define DHYFD_GUARDED_BY(x) DHYFD_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+/// Pointer members: the pointee (not the pointer) is guarded.
+#define DHYFD_PT_GUARDED_BY(x) DHYFD_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Functions: the caller must hold the given mutex(es) — the `FooLocked()`
+/// contract.
+#define DHYFD_REQUIRES(...) \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+/// Functions: the caller must NOT hold the given mutex(es) (they acquire it
+/// themselves; calling with it held would self-deadlock).
+#define DHYFD_EXCLUDES(...) \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Lock-management functions on the capability itself.
+#define DHYFD_ACQUIRE(...) \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define DHYFD_RELEASE(...) \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define DHYFD_TRY_ACQUIRE(...) \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Asserts (at analysis time) that the capability is held — for the rare
+/// spot where the analysis cannot see the acquisition.
+#define DHYFD_ASSERT_CAPABILITY(x) \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The documented escape hatch. Every use must carry a comment saying why
+/// the analysis cannot prove the access (e.g. publication via atomics).
+#define DHYFD_NO_THREAD_SAFETY_ANALYSIS \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Function returns a reference to the given capability (lock accessors).
+#define DHYFD_RETURN_CAPABILITY(x) \
+  DHYFD_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#endif  // DHYFD_UTIL_THREAD_ANNOTATIONS_H_

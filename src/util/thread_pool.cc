@@ -37,36 +37,36 @@ ThreadPool::ThreadPool(int num_threads, std::size_t max_queue)
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-bool ThreadPool::submit(std::function<void()> task) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [this] {
-    return stopping_ || max_queue_ == 0 || queue_.size() < max_queue_;
-  });
-  if (stopping_) return false;
+void ThreadPool::enqueue_locked(std::function<void()> task) {
   queue_.push_back(CaptureTraceContext(std::move(task)));
   not_empty_.notify_one();
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
+  MutexLock lock(&mu_);
+  while (!stopping_ && max_queue_ != 0 && queue_.size() >= max_queue_) {
+    not_full_.wait(lock);
+  }
+  if (stopping_) return false;
+  enqueue_locked(std::move(task));
   return true;
 }
 
 bool ThreadPool::try_submit(std::function<void()> task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stopping_) return false;
   if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
-  queue_.push_back(CaptureTraceContext(std::move(task)));
-  not_empty_.notify_one();
+  enqueue_locked(std::move(task));
   return true;
 }
 
 void ThreadPool::shutdown() {
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
-  }
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
     if (joined_) return;
     joined_ = true;
     to_join.swap(workers_);
@@ -74,29 +74,34 @@ void ThreadPool::shutdown() {
   for (std::thread& w : to_join) w.join();
 }
 
+int ThreadPool::num_threads() const {
+  MutexLock lock(&mu_);
+  return static_cast<int>(workers_.size());
+}
+
 void ThreadPool::set_exception_handler(
     std::function<void(std::exception_ptr)> handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   exception_handler_ = std::move(handler);
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 std::int64_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tasks_executed_;
 }
 
 std::int64_t ThreadPool::exceptions_caught() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return exceptions_caught_;
 }
 
 std::string ThreadPool::first_exception_message() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return first_exception_message_;
 }
 
@@ -105,8 +110,8 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     std::function<void(std::exception_ptr)> handler;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) not_empty_.wait(lock);
       // Graceful shutdown: keep draining queued tasks even when stopping.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -119,7 +124,7 @@ void ThreadPool::worker_loop() {
     } catch (...) {
       handler(std::current_exception());
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++tasks_executed_;
   }
 }
@@ -132,9 +137,10 @@ void ThreadPool::default_exception_handler(std::exception_ptr e) {
     message = ex.what();
   } catch (...) {
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++exceptions_caught_;
   if (first_exception_message_.empty()) first_exception_message_ = message;
 }
 
 }  // namespace dhyfd
+

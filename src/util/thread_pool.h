@@ -1,15 +1,16 @@
 #ifndef DHYFD_UTIL_THREAD_POOL_H_
 #define DHYFD_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dhyfd {
 
@@ -36,43 +37,50 @@ class ThreadPool {
 
   /// Enqueues a task, blocking while the queue is full. Returns false (and
   /// drops the task) if the pool is shutting down.
-  bool submit(std::function<void()> task);
+  bool submit(std::function<void()> task) DHYFD_EXCLUDES(mu_);
 
   /// Non-blocking enqueue; false if the queue is full or shutting down.
-  bool try_submit(std::function<void()> task);
+  bool try_submit(std::function<void()> task) DHYFD_EXCLUDES(mu_);
 
   /// Stops accepting tasks, runs everything already queued, joins the
   /// workers. Idempotent and safe to call from multiple threads (but not
   /// from inside a pool task).
-  void shutdown();
+  void shutdown() DHYFD_EXCLUDES(mu_);
 
   /// Replaces the exception handler invoked (on the worker thread) when a
   /// task throws. Must be called before tasks that may throw are submitted.
-  void set_exception_handler(std::function<void(std::exception_ptr)> handler);
+  void set_exception_handler(std::function<void(std::exception_ptr)> handler)
+      DHYFD_EXCLUDES(mu_);
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
-  std::size_t queue_depth() const;
-  std::int64_t tasks_executed() const;
-  std::int64_t exceptions_caught() const;
+  int num_threads() const DHYFD_EXCLUDES(mu_);
+  std::size_t queue_depth() const DHYFD_EXCLUDES(mu_);
+  std::int64_t tasks_executed() const DHYFD_EXCLUDES(mu_);
+  std::int64_t exceptions_caught() const DHYFD_EXCLUDES(mu_);
   /// what() of the first task exception the default handler saw ("" if none).
-  std::string first_exception_message() const;
+  std::string first_exception_message() const DHYFD_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
-  void default_exception_handler(std::exception_ptr e);
+  void worker_loop() DHYFD_EXCLUDES(mu_);
+  void default_exception_handler(std::exception_ptr e) DHYFD_EXCLUDES(mu_);
+  /// Shared tail of submit()/try_submit(): wraps the task with the caller's
+  /// trace context and enqueues it.
+  void enqueue_locked(std::function<void()> task) DHYFD_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;   // workers wait: task available / stop
-  std::condition_variable not_full_;    // producers wait: queue has room
-  std::deque<std::function<void()>> queue_;
-  std::size_t max_queue_;
-  bool stopping_ = false;
-  bool joined_ = false;
-  std::int64_t tasks_executed_ = 0;
-  std::int64_t exceptions_caught_ = 0;
-  std::string first_exception_message_;
-  std::function<void(std::exception_ptr)> exception_handler_;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar not_empty_;  // workers wait: task available / stop
+  CondVar not_full_;   // producers wait: queue has room
+  std::deque<std::function<void()>> queue_ DHYFD_GUARDED_BY(mu_);
+  const std::size_t max_queue_;
+  bool stopping_ DHYFD_GUARDED_BY(mu_) = false;
+  bool joined_ DHYFD_GUARDED_BY(mu_) = false;
+  std::int64_t tasks_executed_ DHYFD_GUARDED_BY(mu_) = 0;
+  std::int64_t exceptions_caught_ DHYFD_GUARDED_BY(mu_) = 0;
+  std::string first_exception_message_ DHYFD_GUARDED_BY(mu_);
+  std::function<void(std::exception_ptr)> exception_handler_
+      DHYFD_GUARDED_BY(mu_);
+  // Filled by the constructor (before any concurrency; TSA exempts
+  // constructors) and swapped out by the single shutdown() winner.
+  std::vector<std::thread> workers_ DHYFD_GUARDED_BY(mu_);
 };
 
 }  // namespace dhyfd

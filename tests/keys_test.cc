@@ -60,7 +60,9 @@ TEST(KeysTest, KeysAreMinimalAndSuperkeys) {
   // Pairwise incomparable.
   for (size_t i = 0; i < keys.size(); ++i) {
     for (size_t j = 0; j < keys.size(); ++j) {
-      if (i != j) EXPECT_FALSE(keys[i].is_subset_of(keys[j]));
+      if (i != j) {
+        EXPECT_FALSE(keys[i].is_subset_of(keys[j]));
+      }
     }
   }
 }

@@ -72,7 +72,7 @@ TEST(RandomTest, ZipfStaysInRange) {
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
   double s = t.seconds();
   EXPECT_GT(s, 0.0);
   EXPECT_EQ(t.millis() >= s * 1e3 * 0.5, true);

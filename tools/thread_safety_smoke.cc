@@ -1,0 +1,43 @@
+// Deliberately broken lock discipline. This TU is NOT part of any build
+// target: ci.sh compiles it with -Werror=thread-safety and requires the
+// compile to FAIL, proving the thread-safety gate actually bites (a silently
+// ineffective analysis would otherwise pass every build forever).
+//
+// If this file ever compiles under Clang with -Wthread-safety, the gate is
+// broken — fix the gate, not this file.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace dhyfd {
+
+class SmokeCounter {
+ public:
+  void increment_unlocked() {
+    ++value_;  // BUG: guarded write without holding mu_
+  }
+
+  int read_while_pretending() DHYFD_REQUIRES(mu_) { return value_; }
+
+  int call_requires_without_lock() {
+    return read_while_pretending();  // BUG: REQUIRES(mu_) callee, no lock
+  }
+
+  void double_trouble() {
+    mu_.lock();
+    mu_.lock();  // BUG: acquiring a capability already held
+    mu_.unlock();
+  }
+
+ private:
+  Mutex mu_;
+  int value_ DHYFD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dhyfd
+
+int main() {
+  dhyfd::SmokeCounter c;
+  c.increment_unlocked();
+  return 0;
+}
