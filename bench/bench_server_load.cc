@@ -1,0 +1,271 @@
+// Load harness for the src/net/ profiling server: an in-process server on a
+// loopback port, driven by hundreds of concurrent BlockingClients, reporting
+// end-to-end request latency quantiles (p50/p95/p99), throughput, and the
+// admission-control picture (quota / in-flight / busy rejections) as both a
+// human table and stamped JSON rows. Fold the JSON rows into the committed
+// trajectory file with:
+//
+//   build/bench/bench_server_load | python3 tools/bench_distill.py
+//
+// Flags:
+//   --clients=N        concurrent client connections (default 200)
+//   --requests=N       requests per client (default 50)
+//   --mode=query|discover|mixed   request mix (default query)
+//   --dataset=NAME --rows=N       benchmark analog served (abalone, 500)
+//   --subscribers=N    streaming side-channel consumers (default 8)
+//   --batches=N        update batches pushed through the stream (default 10)
+//   --quota_rate=R --quota_burst=B --max_inflight=N --max_pending=N
+//                      admission knobs (defaults: quota off, 64, 512)
+//   --trace=FILE --metrics=FILE   standard obs session outputs
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "relation/csv.h"
+#include "service/live_store.h"
+#include "service/scheduler.h"
+
+namespace dhyfd::bench {
+namespace {
+
+using net::BlockingClient;
+using net::ErrCode;
+using net::ProfilingServer;
+using net::RpcError;
+using net::ServerOptions;
+using net::StreamEvent;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ClientStats {
+  std::vector<double> latencies;  // seconds, successful requests only
+  long long ok = 0;
+  long long quota_rejects = 0;
+  long long inflight_rejects = 0;
+  long long busy_rejects = 0;
+  long long errors = 0;
+};
+
+double Quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double idx = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ObsSession obs(ObsOptionsFromFlags(flags));
+
+  const int clients = flags.get_int("clients", 200);
+  const int requests = flags.get_int("requests", 50);
+  const std::string mode = flags.get_str("mode", "query");
+  const std::string dataset = flags.get_str("dataset", "abalone");
+  const int rows = flags.get_int("rows", 500);
+  const int subscribers = flags.get_int("subscribers", 8);
+  const int batches = flags.get_int("batches", 10);
+
+  PrintHeader("server_load",
+              "End-to-end RPC latency and admission control under concurrent "
+              "load: one in-process server, --clients blocking clients each "
+              "issuing --requests requests, plus --subscribers streaming "
+              "consumers fed --batches live update batches.");
+
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  SchedulerOptions sched;
+  sched.max_pending = static_cast<std::size_t>(flags.get_int("max_pending", 512));
+  JobScheduler scheduler(&datasets, &metrics, sched);
+  LiveStore live(&metrics);
+
+  ServerOptions options;
+  options.max_connections = clients + subscribers + 16;
+  options.max_inflight = static_cast<std::uint32_t>(flags.get_int("max_inflight", 64));
+  options.quota_rate = flags.get_double("quota_rate", 0);
+  options.quota_burst = flags.get_double("quota_burst", 0);
+  ProfilingServer server(&scheduler, &live, &datasets, &metrics, options);
+  server.start();
+  std::printf("server on 127.0.0.1:%u  clients=%d requests=%d mode=%s "
+              "dataset=%s rows=%d\n\n",
+              server.port(), clients, requests, mode.c_str(), dataset.c_str(),
+              rows);
+
+  // Seed the dataset through the front door, like any client would.
+  {
+    BlockingClient seed("127.0.0.1", server.port(), "seed");
+    RawTable table = GenerateBenchmark(dataset, rows);
+    seed.register_dataset(dataset, WriteCsvString(table), /*live=*/true);
+    seed.goodbye();
+  }
+
+  // ---- streaming side channel: subscribers + an updater ------------------
+  std::atomic<bool> stream_stop{false};
+  std::atomic<long long> events_delivered{0};
+  std::vector<std::thread> stream_threads;
+  stream_threads.reserve(static_cast<std::size_t>(subscribers) + 1);
+  for (int s = 0; s < subscribers; ++s) {
+    stream_threads.emplace_back([&, s] {
+      try {
+        BlockingClient sub("127.0.0.1", server.port(),
+                           "sub-" + std::to_string(s));
+        std::uint64_t sub_id = sub.subscribe(dataset, 32);
+        StreamEvent ev;
+        while (!stream_stop.load()) {
+          if (!sub.poll_event(&ev, 0.1)) continue;
+          if (ev.kind == StreamEvent::Kind::kCoverUpdate) {
+            events_delivered.fetch_add(1);
+            sub.grant_credits(sub_id, 1);
+          } else if (ev.kind == StreamEvent::Kind::kStreamEnd) {
+            break;
+          }
+        }
+      } catch (const std::exception&) {
+        // A dropped subscriber is part of the picture, not a bench failure.
+      }
+    });
+  }
+  stream_threads.emplace_back([&] {
+    try {
+      BlockingClient updater("127.0.0.1", server.port(), "updater");
+      RawTable extra = GenerateBenchmark(dataset, rows + batches * 5);
+      for (int b = 0; b < batches && !stream_stop.load(); ++b) {
+        net::ApplyUpdateMsg update;
+        update.dataset = dataset;
+        for (int i = rows + b * 5; i < rows + (b + 1) * 5; ++i) {
+          update.inserts.push_back(extra.rows[i]);
+        }
+        updater.apply_update(update);
+      }
+      updater.goodbye();
+    } catch (const std::exception&) {
+    }
+  });
+
+  // ---- request load ------------------------------------------------------
+  std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  double wall_start = NowSeconds();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientStats& my = stats[static_cast<std::size_t>(c)];
+      try {
+        BlockingClient client("127.0.0.1", server.port(),
+                              "load-" + std::to_string(c));
+        for (int i = 0; i < requests; ++i) {
+          bool discover = mode == "discover" || (mode == "mixed" && i % 10 == 0);
+          double t0 = NowSeconds();
+          try {
+            if (discover) {
+              net::SubmitDiscoveryMsg submit;
+              submit.dataset = dataset;
+              submit.top_k = 5;
+              client.submit_discovery(submit);
+            } else {
+              client.query_cover(dataset, 5);
+            }
+            my.latencies.push_back(NowSeconds() - t0);
+            ++my.ok;
+          } catch (const RpcError& e) {
+            switch (e.code()) {
+              case ErrCode::kQuotaExceeded: ++my.quota_rejects; break;
+              case ErrCode::kTooManyInFlight: ++my.inflight_rejects; break;
+              case ErrCode::kServerBusy: ++my.busy_rejects; break;
+              default: ++my.errors; break;
+            }
+          }
+        }
+        client.goodbye();
+      } catch (const std::exception&) {
+        ++my.errors;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall = NowSeconds() - wall_start;
+
+  stream_stop.store(true);
+  for (std::thread& t : stream_threads) t.join();
+
+  // ---- aggregate ---------------------------------------------------------
+  std::vector<double> all;
+  ClientStats total;
+  for (const ClientStats& s : stats) {
+    all.insert(all.end(), s.latencies.begin(), s.latencies.end());
+    total.ok += s.ok;
+    total.quota_rejects += s.quota_rejects;
+    total.inflight_rejects += s.inflight_rejects;
+    total.busy_rejects += s.busy_rejects;
+    total.errors += s.errors;
+  }
+  std::sort(all.begin(), all.end());
+  double p50 = Quantile(all, 0.50) * 1e3;
+  double p95 = Quantile(all, 0.95) * 1e3;
+  double p99 = Quantile(all, 0.99) * 1e3;
+  double pmax = all.empty() ? 0 : all.back() * 1e3;
+  double rps = wall > 0 ? static_cast<double>(total.ok) / wall : 0;
+  long long rejected =
+      total.quota_rejects + total.inflight_rejects + total.busy_rejects;
+
+  std::printf("%-22s %12s\n", "metric", "value");
+  PrintRule(36);
+  std::printf("%-22s %12lld\n", "requests ok", total.ok);
+  std::printf("%-22s %12lld\n", "rejected (saturation)", rejected);
+  std::printf("%-22s %12lld\n", "  quota", total.quota_rejects);
+  std::printf("%-22s %12lld\n", "  inflight", total.inflight_rejects);
+  std::printf("%-22s %12lld\n", "  busy", total.busy_rejects);
+  std::printf("%-22s %12lld\n", "transport errors", total.errors);
+  std::printf("%-22s %12.1f\n", "throughput (req/s)", rps);
+  std::printf("%-22s %12.3f\n", "p50 latency (ms)", p50);
+  std::printf("%-22s %12.3f\n", "p95 latency (ms)", p95);
+  std::printf("%-22s %12.3f\n", "p99 latency (ms)", p99);
+  std::printf("%-22s %12.3f\n", "max latency (ms)", pmax);
+  std::printf("%-22s %12.2f\n", "wall seconds", wall);
+  std::printf("%-22s %12lld\n", "stream events seen",
+              events_delivered.load());
+  std::printf("%-22s %12lld\n", "slow-consumer drops",
+              static_cast<long long>(
+                  metrics.counter("net.slow_consumer_disconnects").value()));
+  std::printf("%-22s %12lld\n", "frames rx (server)",
+              static_cast<long long>(metrics.counter("net.frames_rx").value()));
+  PrintRule(36);
+
+  std::printf(
+      "{\"bench\":\"server_load\",%s,\"mode\":\"%s\",\"clients\":%d,"
+      "\"requests_per_client\":%d,\"ok\":%lld,\"rejected\":%lld,"
+      "\"quota_rejects\":%lld,\"inflight_rejects\":%lld,\"busy_rejects\":%lld,"
+      "\"errors\":%lld,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,"
+      "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,\"wall_s\":%.2f,"
+      "\"stream_events\":%lld,\"slow_consumer_drops\":%lld}\n",
+      JsonStamp(dataset).c_str(), mode.c_str(), clients, requests, total.ok,
+      rejected, total.quota_rejects, total.inflight_rejects,
+      total.busy_rejects, total.errors, rps, p50, p95, p99, pmax, wall,
+      events_delivered.load(),
+      static_cast<long long>(
+          metrics.counter("net.slow_consumer_disconnects").value()));
+  std::fflush(stdout);
+
+  server.shutdown();
+  live.shutdown();
+  scheduler.shutdown();
+  return total.errors > clients / 10 ? 1 : 0;  // tolerate stragglers
+}
+
+}  // namespace
+}  // namespace dhyfd::bench
+
+int main(int argc, char** argv) { return dhyfd::bench::Main(argc, argv); }

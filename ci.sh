@@ -3,8 +3,10 @@
 #   1. invariant lint    — tools/check_invariants.py self-test + tree sweep
 #   2. tier-1            — full -Werror build + every ctest
 #   3. bench             — build-only compile of every bench/ harness
-#   4. tsan              — concurrency tests under ThreadSanitizer
-#   5. asan              — partition-arena tests under AddressSanitizer
+#   4. tsan              — concurrency tests under ThreadSanitizer, including
+#                          the net server round-trip + backpressure suite
+#   5. asan              — partition-arena tests plus the wire-framing
+#                          negative/fuzz-ish suite under AddressSanitizer
 #   6. ubsan             — bit-twiddling kernels under UBSan (non-recoverable)
 #   7. thread-safety     — Clang Thread Safety Analysis as errors over src/,
 #                          plus a seeded mis-annotation that must FAIL to
@@ -51,7 +53,7 @@ echo "=== tsan: concurrency targets under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread -DDHYFD_WERROR=ON
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test service_test live_store_test incr_property_test \
-  obs_test trace_propagation_test
+  obs_test trace_propagation_test net_credit_test net_server_test
 # halt_on_error makes any race abort the run; TSan also reports threads
 # still running at exit, which covers the "zero leaked threads" check.
 # obs_test / trace_propagation_test hammer the tracer's lock-free per-thread
@@ -62,6 +64,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/live_store_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/incr_property_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_propagation_test
+# net_server_test exercises full client/server round-trips, concurrent
+# clients, credit-window backpressure, and graceful drain — the event loop,
+# the ops pool, and the scheduler completion sweep all overlap here.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_credit_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_server_test
 
 echo
 echo "=== asan: partition arena indexing under AddressSanitizer ==="
@@ -70,10 +77,14 @@ echo "=== asan: partition arena indexing under AddressSanitizer ==="
 # above stay as-is — these kernels are single-threaded.
 cmake -B build-asan -S . -DDHYFD_SANITIZE=address -DDHYFD_WERROR=ON
 cmake --build build-asan -j "$JOBS" --target \
-  partition_test partition_cache_test partition_intersect_test
+  partition_test partition_cache_test partition_intersect_test net_wire_test
 ./build-asan/tests/partition_test
 ./build-asan/tests/partition_cache_test
 ./build-asan/tests/partition_intersect_test
+# net_wire_test feeds the frame decoder truncated frames, hostile length
+# prefixes, and random byte soup — exactly the inputs where a missing bounds
+# check would read past a buffer, which is ASan's home turf.
+./build-asan/tests/net_wire_test
 
 echo
 echo "=== ubsan: bit-twiddling kernels under UBSan (no recovery) ==="

@@ -1,0 +1,80 @@
+#ifndef DHYFD_NET_ADMISSION_H_
+#define DHYFD_NET_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dhyfd::net {
+
+/// Per-client request-rate quota: a token bucket holding at most `burst`
+/// tokens, refilled at `rate` tokens/second. Time is injected by the caller
+/// (seconds on any monotone clock), which keeps the policy deterministic
+/// and directly testable — the server feeds it its loop clock.
+class TokenBucket {
+ public:
+  /// rate <= 0 disables the quota (try_take always succeeds).
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst) {}
+
+  /// Takes one token if available at time `now`; false = quota exhausted.
+  bool try_take(double now) {
+    if (rate_ <= 0) return true;
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens(double now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(double now) {
+    if (last_ < 0) {
+      last_ = now;
+      return;
+    }
+    double dt = now - last_;
+    if (dt <= 0) return;
+    tokens_ += dt * rate_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ = now;
+  }
+
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  double last_ = -1;
+};
+
+/// Per-client max-in-flight window: bounds requests accepted but not yet
+/// answered. Combined with the JobScheduler's max_pending bound this gives
+/// admission control two independent backstops — per client and global.
+class InflightWindow {
+ public:
+  /// max == 0 disables the window.
+  explicit InflightWindow(std::uint32_t max) : max_(max) {}
+
+  bool try_acquire() {
+    if (max_ != 0 && inflight_ >= max_) return false;
+    ++inflight_;
+    return true;
+  }
+
+  void release() {
+    if (inflight_ > 0) --inflight_;
+  }
+
+  std::uint32_t inflight() const { return inflight_; }
+  std::uint32_t max() const { return max_; }
+
+ private:
+  const std::uint32_t max_;
+  std::uint32_t inflight_ = 0;
+};
+
+}  // namespace dhyfd::net
+
+#endif  // DHYFD_NET_ADMISSION_H_

@@ -1,0 +1,240 @@
+#include "net/client.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dhyfd::net {
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port,
+                               const std::string& client_name,
+                               double timeout_seconds) {
+  sock_ = ConnectTcp(host, port);
+  sock_.set_tcp_nodelay(true);
+  sock_.set_recv_timeout(timeout_seconds);
+  HelloMsg hello;
+  hello.client_name = client_name;
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeMsgFrame(MsgType::kHello, id, hello));
+  Frame reply = wait_response(id, MsgType::kHelloOk);
+  WireReader r(reply.payload);
+  limits_ = HelloOkMsg::decode(r);
+}
+
+RegisterOkMsg BlockingClient::register_dataset(const std::string& name,
+                                               const std::string& csv_text,
+                                               bool live,
+                                               std::uint8_t semantics) {
+  RegisterDatasetMsg msg;
+  msg.name = name;
+  msg.csv_text = csv_text;
+  msg.live = live;
+  msg.semantics = semantics;
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeMsgFrame(MsgType::kRegisterDataset, id, msg));
+  Frame reply = wait_response(id, MsgType::kRegisterOk);
+  WireReader r(reply.payload);
+  return RegisterOkMsg::decode(r);
+}
+
+DiscoveryResultMsg BlockingClient::submit_discovery(
+    const SubmitDiscoveryMsg& request) {
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeMsgFrame(MsgType::kSubmitDiscovery, id, request));
+  Frame reply = wait_response(id, MsgType::kDiscoveryResult);
+  WireReader r(reply.payload);
+  return DiscoveryResultMsg::decode(r);
+}
+
+CoverResultMsg BlockingClient::query_cover(const std::string& dataset,
+                                           std::uint32_t top_k) {
+  QueryCoverMsg msg;
+  msg.dataset = dataset;
+  msg.top_k = top_k;
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeMsgFrame(MsgType::kQueryCover, id, msg));
+  Frame reply = wait_response(id, MsgType::kCoverResult);
+  WireReader r(reply.payload);
+  return CoverResultMsg::decode(r);
+}
+
+UpdateOkMsg BlockingClient::apply_update(const ApplyUpdateMsg& request) {
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeMsgFrame(MsgType::kApplyUpdate, id, request));
+  Frame reply = wait_response(id, MsgType::kUpdateOk);
+  WireReader r(reply.payload);
+  return UpdateOkMsg::decode(r);
+}
+
+void BlockingClient::ping() {
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeEmptyFrame(MsgType::kPing, id));
+  wait_response(id, MsgType::kPong);
+}
+
+void BlockingClient::goodbye() {
+  if (!sock_.valid()) return;
+  sock_.write_all(EncodeEmptyFrame(MsgType::kGoodbye, next_request_id()));
+  sock_.close();
+}
+
+std::uint64_t BlockingClient::subscribe(const std::string& dataset,
+                                        std::uint32_t initial_credits,
+                                        std::uint32_t* granted) {
+  SubscribeMsg msg;
+  msg.dataset = dataset;
+  msg.initial_credits = initial_credits;
+  // The subscribe request id doubles as the subscription id: every
+  // kCoverUpdate / kStreamEnd for this stream carries it.
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeMsgFrame(MsgType::kSubscribe, id, msg));
+  Frame reply = wait_response(id, MsgType::kSubscribeOk);
+  WireReader r(reply.payload);
+  SubscribeOkMsg ok = SubscribeOkMsg::decode(r);
+  if (granted != nullptr) *granted = ok.granted_credits;
+  return id;
+}
+
+void BlockingClient::grant_credits(std::uint64_t sub_id,
+                                   std::uint32_t credits) {
+  CreditMsg msg;
+  msg.credits = credits;
+  sock_.write_all(EncodeMsgFrame(MsgType::kCredit, sub_id, msg));
+}
+
+void BlockingClient::unsubscribe(std::uint64_t sub_id) {
+  sock_.write_all(EncodeEmptyFrame(MsgType::kUnsubscribe, sub_id));
+}
+
+bool BlockingClient::poll_event(StreamEvent* out, double timeout_seconds) {
+  if (!events_.empty()) {
+    *out = std::move(events_.front());
+    events_.pop_front();
+    return true;
+  }
+  // One bounded read: SO_RCVTIMEO turns "nothing arrived" into a timeout
+  // error from read_exact, which poll_event reports as false.
+  sock_.set_recv_timeout(timeout_seconds);
+  Frame frame;
+  bool got;
+  try {
+    got = read_one(&frame);
+  } catch (const std::runtime_error& e) {
+    if (std::string(e.what()).find("timed out") != std::string::npos) {
+      return false;
+    }
+    throw;
+  }
+  if (!got) throw std::runtime_error("connection closed by server");
+  if (!is_stream_type(frame.type)) {
+    throw std::runtime_error("unexpected non-stream frame while polling");
+  }
+  StreamEvent ev;
+  WireReader r(frame.payload);
+  switch (frame.type) {
+    case MsgType::kCoverUpdate:
+      ev.kind = StreamEvent::Kind::kCoverUpdate;
+      ev.sub_id = frame.request_id;
+      ev.update = CoverUpdateMsg::decode(r);
+      break;
+    case MsgType::kStreamEnd:
+      ev.kind = StreamEvent::Kind::kStreamEnd;
+      ev.sub_id = frame.request_id;
+      ev.end = StreamEndMsg::decode(r);
+      break;
+    default:
+      ev.kind = StreamEvent::Kind::kHeartbeat;
+      ev.heartbeat = HeartbeatMsg::decode(r);
+      break;
+  }
+  *out = std::move(ev);
+  return true;
+}
+
+void BlockingClient::send_bytes(const void* data, std::size_t len) {
+  sock_.write_all(static_cast<const std::uint8_t*>(data), len);
+}
+
+void BlockingClient::send_frame(MsgType type, std::uint64_t request_id,
+                                const std::vector<std::uint8_t>& payload) {
+  sock_.write_all(EncodeFrame(type, request_id, payload));
+}
+
+bool BlockingClient::read_frame(Frame* out) { return read_one(out); }
+
+bool BlockingClient::read_one(Frame* out) {
+  std::uint8_t len_bytes[kLengthPrefixBytes];
+  if (!sock_.read_exact(len_bytes, sizeof len_bytes)) return false;
+  std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                      static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+                      static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+                      static_cast<std::uint32_t>(len_bytes[3]) << 24;
+  if (len < kFrameHeaderBytes || len > kDefaultMaxFrameLen) {
+    throw std::runtime_error("invalid frame length from server");
+  }
+  std::vector<std::uint8_t> body(len);
+  if (!sock_.read_exact(body.data(), body.size())) {
+    throw std::runtime_error("connection closed mid-frame");
+  }
+  out->type = static_cast<MsgType>(body[0]);
+  if (!IsKnownMsgType(body[0])) {
+    throw std::runtime_error("unknown message type from server");
+  }
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<std::uint64_t>(body[1 + i]) << (8 * i);
+  }
+  out->request_id = id;
+  out->payload.assign(body.begin() + kFrameHeaderBytes, body.end());
+  return true;
+}
+
+Frame BlockingClient::wait_response(std::uint64_t request_id,
+                                    MsgType expected) {
+  Frame frame;
+  for (;;) {
+    if (!read_one(&frame)) {
+      sock_.close();
+      throw std::runtime_error("connection closed by server");
+    }
+    if (is_stream_type(frame.type)) {
+      // Subscription traffic interleaves freely with responses; stash it
+      // for poll_event() instead of dropping it on the floor.
+      StreamEvent ev;
+      WireReader r(frame.payload);
+      switch (frame.type) {
+        case MsgType::kCoverUpdate:
+          ev.kind = StreamEvent::Kind::kCoverUpdate;
+          ev.sub_id = frame.request_id;
+          ev.update = CoverUpdateMsg::decode(r);
+          break;
+        case MsgType::kStreamEnd:
+          ev.kind = StreamEvent::Kind::kStreamEnd;
+          ev.sub_id = frame.request_id;
+          ev.end = StreamEndMsg::decode(r);
+          break;
+        default:
+          ev.kind = StreamEvent::Kind::kHeartbeat;
+          ev.heartbeat = HeartbeatMsg::decode(r);
+          break;
+      }
+      events_.push_back(std::move(ev));
+      continue;
+    }
+    if (frame.request_id != request_id) {
+      // A response to someone else's id on a single-threaded client is a
+      // server bug or a protocol violation; either way, bail out.
+      throw std::runtime_error("response for unexpected request id");
+    }
+    if (frame.type == MsgType::kError) {
+      WireReader r(frame.payload);
+      ErrorMsg err = ErrorMsg::decode(r);
+      throw RpcError(err.code, err.message);
+    }
+    if (frame.type != expected) {
+      throw std::runtime_error("unexpected response type");
+    }
+    return frame;
+  }
+}
+
+}  // namespace dhyfd::net

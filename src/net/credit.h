@@ -1,0 +1,97 @@
+#ifndef DHYFD_NET_CREDIT_H_
+#define DHYFD_NET_CREDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace dhyfd::net {
+
+/// Credit-based flow control for one subscription (the ACK window; see
+/// DESIGN.md "Credit/ACK window state machine"). The server may only put a
+/// stream event on the wire while the subscription holds credit; each sent
+/// event consumes one credit and the client grants more with kCredit
+/// frames. Events arriving while the window is empty are buffered up to
+/// `max_buffered`; one more is the slow-consumer verdict — the caller must
+/// end the stream, because an unbounded buffer would let one stalled
+/// subscriber hold every other client's memory hostage.
+///
+/// The state machine, per event E and grant g:
+///
+///   OPEN    (credits > 0)             -- push(E) --> send E, credits-1
+///   STALLED (credits == 0, buf <= max)-- push(E) --> buffer E
+///                                     -- grant(g) --> flush min(g, |buf|)
+///   DEAD    (buffer would overflow)   -- push(E) --> kOverflow, stream ends
+///
+/// Instances are owned by one connection and driven from the server's loop
+/// thread only; no locking here.
+class CreditWindow {
+ public:
+  enum class Push {
+    kSend,      // credit held: the event should go on the wire now
+    kBuffered,  // window empty: event queued until the next grant
+    kOverflow,  // buffer full too: slow consumer, stream must end
+  };
+
+  /// `initial` credits, clamped to `credit_max`; `max_buffered` bounds the
+  /// no-credit queue (0 = no buffering: the first no-credit event is
+  /// already an overflow).
+  CreditWindow(std::uint32_t initial, std::uint32_t credit_max,
+               std::size_t max_buffered)
+      : credit_max_(credit_max == 0 ? 1 : credit_max),
+        max_buffered_(max_buffered),
+        credits_(initial > credit_max_ ? credit_max_ : initial) {}
+
+  /// Offers one encoded event to the window.
+  Push push(std::vector<std::uint8_t> frame) {
+    if (credits_ > 0) {
+      --credits_;
+      ++sent_;
+      return Push::kSend;
+    }
+    if (buffer_.size() >= max_buffered_) {
+      ++overflowed_;
+      return Push::kOverflow;
+    }
+    buffer_.push_back(std::move(frame));
+    if (buffer_.size() > peak_buffered_) peak_buffered_ = buffer_.size();
+    return Push::kBuffered;
+  }
+
+  /// Grants `n` credits (clamped so credits never exceed credit_max) and
+  /// returns the buffered frames that can be sent now, oldest first; each
+  /// returned frame consumed one of the new credits.
+  std::vector<std::vector<std::uint8_t>> grant(std::uint32_t n) {
+    std::uint64_t total = std::uint64_t{credits_} + n;
+    credits_ = total > credit_max_ ? credit_max_ : static_cast<std::uint32_t>(total);
+    std::vector<std::vector<std::uint8_t>> out;
+    while (credits_ > 0 && !buffer_.empty()) {
+      out.push_back(std::move(buffer_.front()));
+      buffer_.pop_front();
+      --credits_;
+      ++sent_;
+    }
+    return out;
+  }
+
+  std::uint32_t credits() const { return credits_; }
+  std::size_t buffered() const { return buffer_.size(); }
+  std::size_t peak_buffered() const { return peak_buffered_; }
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t overflowed() const { return overflowed_; }
+  bool stalled() const { return credits_ == 0; }
+
+ private:
+  const std::uint32_t credit_max_;
+  const std::size_t max_buffered_;
+  std::uint32_t credits_;
+  std::deque<std::vector<std::uint8_t>> buffer_;
+  std::size_t peak_buffered_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t overflowed_ = 0;
+};
+
+}  // namespace dhyfd::net
+
+#endif  // DHYFD_NET_CREDIT_H_

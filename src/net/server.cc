@@ -1,0 +1,793 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/profiler.h"
+#include "net/messages.h"
+#include "obs/trace.h"
+#include "ranking/ranking.h"
+#include "relation/csv.h"
+
+namespace dhyfd::net {
+
+namespace {
+
+constexpr int kOpsThreads = 2;
+
+NullSemantics SemanticsFromWire(std::uint8_t v) {
+  return v == 0 ? NullSemantics::kNullEqualsNull
+                : NullSemantics::kNullNotEqualsNull;
+}
+
+std::vector<RankedFdMsg> TopRanked(const std::vector<FdRedundancy>& ranking,
+                                   std::uint32_t top_k) {
+  std::vector<RankedFdMsg> out;
+  std::uint32_t n = std::min<std::uint32_t>(
+      top_k, static_cast<std::uint32_t>(ranking.size()));
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back({ranking[i].fd.to_string(),
+                   static_cast<double>(RedundancyCount(
+                       ranking[i], RedundancyMode::kExcludingNullRhs))});
+  }
+  return out;
+}
+
+std::vector<std::string> FdStrings(const FdSet& fds) {
+  std::vector<std::string> out;
+  out.reserve(fds.fds.size());
+  for (const Fd& fd : fds.fds) out.push_back(fd.to_string());
+  return out;
+}
+
+}  // namespace
+
+ProfilingServer::ProfilingServer(JobScheduler* scheduler, LiveStore* live,
+                                 DatasetRegistry* datasets,
+                                 MetricsRegistry* metrics,
+                                 ServerOptions options)
+    : scheduler_(scheduler),
+      live_(live),
+      datasets_(datasets),
+      metrics_(metrics),
+      options_(std::move(options)),
+      ops_pool_(kOpsThreads),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+ProfilingServer::~ProfilingServer() { shutdown(); }
+
+double ProfilingServer::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void ProfilingServer::start() {
+  listener_ = ListenTcp(options_.host, options_.port, options_.accept_backlog,
+                        &port_);
+  listener_.set_nonblocking(true);
+  // Cover-change events are produced on LiveStore worker threads; they are
+  // queued under mu_ and the loop is woken to fan them out to subscribers.
+  live_listener_token_ = live_->subscribe([this](const CoverChangeEvent& ev) {
+    {
+      MutexLock lock(&mu_);
+      if (stop_requested_) return;
+      events_.push_back(ev);
+    }
+    wake_.wake();
+  });
+  {
+    MutexLock lock(&mu_);
+    started_ = true;
+  }
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void ProfilingServer::shutdown() {
+  bool was_started;
+  {
+    MutexLock lock(&mu_);
+    if (stop_requested_) {
+      was_started = false;  // another thread owns the join
+    } else {
+      stop_requested_ = true;
+      was_started = started_;
+    }
+  }
+  wake_.wake();
+  if (was_started && loop_thread_.joinable()) loop_thread_.join();
+  if (live_listener_token_ != 0) {
+    live_->unsubscribe(live_listener_token_);
+    live_listener_token_ = 0;
+  }
+  ops_pool_.shutdown();
+}
+
+// ---------------------------------------------------------------- event loop
+
+void ProfilingServer::loop() {
+  Poller poller;
+  for (;;) {
+    // Pick the drain state up first so this tick already refuses new work.
+    bool stop;
+    {
+      MutexLock lock(&mu_);
+      stop = stop_requested_;
+    }
+    if (stop && !draining_) {
+      draining_ = true;
+      drain_deadline_ = now() + options_.drain_seconds;
+      listener_.close();
+      for (auto& [id, conn] : conns_) {
+        // Subscribers get a terminal frame; everyone then drains and closes.
+        std::vector<std::uint64_t> subs;
+        for (const auto& [sub_id, sub] : conn->subs) subs.push_back(sub_id);
+        for (std::uint64_t sub_id : subs) {
+          end_subscription(*conn, sub_id, StreamEndReason::kServerShutdown,
+                           "server shutting down");
+        }
+        conn->closing = true;
+      }
+    }
+    if (draining_ && drain_finished()) break;
+
+    poller.clear();
+    if (listener_.valid()) poller.watch(listener_.fd(), true, false);
+    poller.watch(wake_.read_fd(), true, false);
+    for (const auto& [id, conn] : conns_) {
+      bool want_write = conn->out_pos < conn->out.size();
+      poller.watch(conn->sock.fd(), true, want_write);
+    }
+    // Job/update completion has no callback — the loop sweeps the handles.
+    // Tighten the tick while any are pending so responses stay prompt.
+    int timeout_ms =
+        (!pending_jobs_.empty() || !pending_updates_.empty()) ? 2 : 50;
+    if (draining_) timeout_ms = 2;
+    std::vector<PollEvent> ready = poller.wait(timeout_ms);
+
+    for (const PollEvent& ev : ready) {
+      if (listener_.valid() && ev.fd == listener_.fd()) {
+        if (ev.readable) accept_new();
+        continue;
+      }
+      if (ev.fd == wake_.read_fd()) {
+        wake_.drain();
+        continue;
+      }
+      // Find the connection (ids are stable; fd reuse cannot alias because
+      // a dropped connection leaves conns_ in the same tick).
+      Connection* conn = nullptr;
+      std::uint64_t conn_id = 0;
+      for (auto& [id, c] : conns_) {
+        if (c->sock.fd() == ev.fd) {
+          conn = c.get();
+          conn_id = id;
+          break;
+        }
+      }
+      if (conn == nullptr) continue;
+      if (ev.error) {
+        drop_connection(conn_id, "poll error");
+        continue;
+      }
+      if (ev.readable) handle_readable(*conn);
+      // handle_readable may have dropped the connection.
+      if (conns_.find(conn_id) == conns_.end()) continue;
+      if (ev.writable) flush_writes(*conn);
+      if (conns_.find(conn_id) == conns_.end()) continue;
+      if (conn->closing && conn->out_pos >= conn->out.size()) {
+        drop_connection(conn_id, "flushed and closing");
+      }
+    }
+
+    sweep_pending();
+    flush_completions();
+    {
+      std::vector<CoverChangeEvent> events;
+      {
+        MutexLock lock(&mu_);
+        events.swap(events_);
+      }
+      if (!events.empty()) deliver_events(std::move(events));
+    }
+    heartbeat_and_idle();
+
+    // Closing connections whose buffers drained during this tick.
+    std::vector<std::uint64_t> done;
+    for (const auto& [id, conn] : conns_) {
+      if (conn->closing && conn->out_pos >= conn->out.size()) done.push_back(id);
+    }
+    for (std::uint64_t id : done) drop_connection(id, "flushed and closing");
+  }
+
+  // Hard stop: anything still open closes now.
+  std::vector<std::uint64_t> remaining;
+  for (const auto& [id, conn] : conns_) remaining.push_back(id);
+  for (std::uint64_t id : remaining) drop_connection(id, "server stopped");
+  pending_jobs_.clear();
+  pending_updates_.clear();
+}
+
+bool ProfilingServer::drain_finished() {
+  if (now() >= drain_deadline_) return true;
+  if (!pending_jobs_.empty() || !pending_updates_.empty()) return false;
+  {
+    MutexLock lock(&mu_);
+    if (!completions_.empty() || !events_.empty()) return false;
+  }
+  for (const auto& [id, conn] : conns_) {
+    if (conn->out_pos < conn->out.size()) return false;
+  }
+  return true;
+}
+
+void ProfilingServer::accept_new() {
+  for (;;) {
+    Socket sock = AcceptOn(listener_);
+    if (!sock.valid()) return;
+    if (static_cast<int>(conns_.size()) >= options_.max_connections ||
+        draining_) {
+      // Admission control, layer 1: over capacity the connection is closed
+      // immediately — the client sees EOF instead of an unbounded queue.
+      metrics_->counter("net.conns_rejected").inc();
+      continue;
+    }
+    sock.set_nonblocking(true);
+    sock.set_tcp_nodelay(true);
+    auto conn = std::make_unique<Connection>(
+        options_.max_frame_len, options_.quota_rate, options_.quota_burst,
+        options_.max_inflight);
+    conn->id = next_conn_id_++;
+    conn->sock = std::move(sock);
+    conn->last_recv = conn->last_send = now();
+    metrics_->counter("net.conns_accepted").inc();
+    metrics_->gauge("net.connections").add(1);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void ProfilingServer::handle_readable(Connection& c) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    IoResult r = c.sock.read_some(buf, sizeof buf);
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status == IoStatus::kClosed || r.status == IoStatus::kError) {
+      drop_connection(c.id, "peer closed");
+      return;
+    }
+    metrics_->counter("net.bytes_rx").inc(static_cast<std::int64_t>(r.bytes));
+    c.decoder.feed(buf, r.bytes);
+    c.last_recv = now();
+    if (r.bytes < sizeof buf) break;
+  }
+  Frame frame;
+  for (;;) {
+    try {
+      if (!c.decoder.next(&frame)) break;
+    } catch (const WireError&) {
+      // Corrupt framing: there is no resynchronization point inside a byte
+      // stream, so the only safe answer is to drop the connection.
+      metrics_->counter("net.protocol_errors").inc();
+      drop_connection(c.id, "protocol error");
+      return;
+    }
+    metrics_->counter("net.frames_rx").inc();
+    std::uint64_t conn_id = c.id;
+    dispatch(c, frame);
+    if (conns_.find(conn_id) == conns_.end()) return;  // dispatch dropped it
+  }
+}
+
+void ProfilingServer::dispatch(Connection& c, const Frame& frame) {
+  TraceSpan span("net.request");
+  if (c.closing) return;  // goodbye already seen; ignore the tail
+  if (!c.got_hello && frame.type != MsgType::kHello) {
+    metrics_->counter("net.protocol_errors").inc();
+    drop_connection(c.id, "first frame was not hello");
+    return;
+  }
+  try {
+    switch (frame.type) {
+      case MsgType::kHello: {
+        WireReader r(frame.payload);
+        HelloMsg hello = HelloMsg::decode(r);
+        if (hello.protocol_version != kProtocolVersion) {
+          send_error(c, frame.request_id, ErrCode::kUnsupportedVersion,
+                     "server speaks protocol version " +
+                         std::to_string(kProtocolVersion));
+          c.closing = true;
+          return;
+        }
+        c.got_hello = true;
+        HelloOkMsg ok;
+        ok.max_inflight = options_.max_inflight;
+        ok.credit_max = options_.credit_max;
+        ok.heartbeat_seconds = options_.heartbeat_seconds;
+        send_frame(c, EncodeMsgFrame(MsgType::kHelloOk, frame.request_id, ok));
+        return;
+      }
+      case MsgType::kPing:
+        send_frame(c, EncodeEmptyFrame(MsgType::kPong, frame.request_id));
+        return;
+      case MsgType::kGoodbye:
+        c.closing = true;
+        return;
+      case MsgType::kCredit:
+        handle_credit(c, frame);
+        return;
+      case MsgType::kUnsubscribe:
+        handle_unsubscribe(c, frame);
+        return;
+      default:
+        break;
+    }
+
+    // Everything below is a real request: quota-charged, and refused
+    // outright while draining.
+    if (draining_) {
+      send_error(c, frame.request_id, ErrCode::kShuttingDown,
+                 "server is draining");
+      return;
+    }
+    metrics_->counter("net.requests").inc();
+    if (!c.bucket.try_take(now())) {
+      metrics_->counter("net.quota_rejects").inc();
+      send_error(c, frame.request_id, ErrCode::kQuotaExceeded,
+                 "request quota exhausted; slow down");
+      return;
+    }
+    switch (frame.type) {
+      case MsgType::kSubmitDiscovery:
+        handle_submit_discovery(c, frame);
+        return;
+      case MsgType::kRegisterDataset:
+        handle_register(c, frame);
+        return;
+      case MsgType::kQueryCover:
+        handle_query_cover(c, frame);
+        return;
+      case MsgType::kApplyUpdate:
+        handle_apply_update(c, frame);
+        return;
+      case MsgType::kSubscribe:
+        handle_subscribe(c, frame);
+        return;
+      default:
+        // A known type that is not a client request (server->client codes).
+        metrics_->counter("net.protocol_errors").inc();
+        drop_connection(c.id, "unexpected message direction");
+        return;
+    }
+  } catch (const WireError&) {
+    // The frame header parsed but its payload did not match the schema.
+    metrics_->counter("net.protocol_errors").inc();
+    drop_connection(c.id, "malformed payload");
+  }
+}
+
+void ProfilingServer::handle_submit_discovery(Connection& c,
+                                              const Frame& frame) {
+  WireReader r(frame.payload);
+  SubmitDiscoveryMsg msg = SubmitDiscoveryMsg::decode(r);
+  if (!c.inflight.try_acquire()) {
+    metrics_->counter("net.inflight_rejects").inc();
+    send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
+               "in-flight window full (" + std::to_string(c.inflight.max()) +
+                   ")");
+    return;
+  }
+  ProfileJob job;
+  job.dataset = msg.dataset;
+  job.options.algorithm = msg.algorithm;
+  job.options.semantics = SemanticsFromWire(msg.semantics);
+  job.priority = msg.priority;
+  // The request deadline becomes the job's cooperative time limit: the
+  // discovery loops poll it via util/deadline.h and stop past-due work
+  // instead of burning a worker on an answer nobody is waiting for.
+  job.time_limit_seconds = msg.deadline_ms / 1000.0;
+  JobHandlePtr handle = scheduler_->submit(std::move(job));
+  if (handle->rejected()) {
+    c.inflight.release();
+    metrics_->counter("net.busy_rejects").inc();
+    send_error(c, frame.request_id, ErrCode::kServerBusy, handle->error());
+    return;
+  }
+  pending_jobs_.push_back(
+      {c.id, frame.request_id, msg.top_k, now(), std::move(handle)});
+}
+
+void ProfilingServer::handle_register(Connection& c, const Frame& frame) {
+  WireReader r(frame.payload);
+  auto msg = std::make_shared<RegisterDatasetMsg>(
+      RegisterDatasetMsg::decode(r));
+  if (!c.inflight.try_acquire()) {
+    metrics_->counter("net.inflight_rejects").inc();
+    send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
+               "in-flight window full");
+    return;
+  }
+  // CSV parsing and (for live datasets) the synchronous initial discovery
+  // are far too slow for the event loop; they run on the ops pool and come
+  // back through the completion queue.
+  std::uint64_t conn_id = c.id;
+  std::uint64_t request_id = frame.request_id;
+  double started = now();
+  bool submitted = ops_pool_.submit([this, conn_id, request_id, started, msg] {
+    std::vector<std::uint8_t> reply;
+    try {
+      RawTable table = ParseCsvString(msg->csv_text);
+      RegisterOkMsg ok;
+      ok.rows = static_cast<std::uint32_t>(table.num_rows());
+      ok.cols = static_cast<std::uint32_t>(table.num_cols());
+      datasets_->add_table(msg->name, table);
+      if (msg->live && !live_->contains(msg->name)) {
+        LiveDatasetOptions opts;
+        opts.semantics = SemanticsFromWire(msg->semantics);
+        live_->create(msg->name, std::move(table), opts);
+      }
+      reply = EncodeMsgFrame(MsgType::kRegisterOk, request_id, ok);
+    } catch (const std::exception& e) {
+      ErrorMsg err{ErrCode::kBadRequest, e.what()};
+      reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+    }
+    {
+      MutexLock lock(&mu_);
+      completions_.push_back({conn_id, std::move(reply), started, true});
+    }
+    wake_.wake();
+  });
+  if (!submitted) {
+    c.inflight.release();
+    send_error(c, frame.request_id, ErrCode::kShuttingDown,
+               "server is shutting down");
+  }
+}
+
+void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame) {
+  WireReader r(frame.payload);
+  auto msg = std::make_shared<QueryCoverMsg>(QueryCoverMsg::decode(r));
+  if (!c.inflight.try_acquire()) {
+    metrics_->counter("net.inflight_rejects").inc();
+    send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
+               "in-flight window full");
+    return;
+  }
+  // The ranking snapshot takes the dataset's profile lock, which a running
+  // update batch may hold for a while — off the loop thread it goes.
+  std::uint64_t conn_id = c.id;
+  std::uint64_t request_id = frame.request_id;
+  double started = now();
+  bool submitted = ops_pool_.submit([this, conn_id, request_id, started, msg] {
+    std::vector<std::uint8_t> reply;
+    try {
+      if (!live_->contains(msg->dataset)) {
+        ErrorMsg err{ErrCode::kUnknownDataset,
+                     "no live dataset named '" + msg->dataset + "'"};
+        reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+      } else {
+        std::vector<FdRedundancy> ranking = live_->ranking(msg->dataset);
+        CoverResultMsg ok;
+        ok.total = static_cast<std::uint32_t>(ranking.size());
+        ok.top = TopRanked(
+            ranking, msg->top_k == 0
+                         ? static_cast<std::uint32_t>(ranking.size())
+                         : msg->top_k);
+        reply = EncodeMsgFrame(MsgType::kCoverResult, request_id, ok);
+      }
+    } catch (const std::exception& e) {
+      ErrorMsg err{ErrCode::kInternal, e.what()};
+      reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+    }
+    {
+      MutexLock lock(&mu_);
+      completions_.push_back({conn_id, std::move(reply), started, true});
+    }
+    wake_.wake();
+  });
+  if (!submitted) {
+    c.inflight.release();
+    send_error(c, frame.request_id, ErrCode::kShuttingDown,
+               "server is shutting down");
+  }
+}
+
+void ProfilingServer::handle_apply_update(Connection& c, const Frame& frame) {
+  WireReader r(frame.payload);
+  ApplyUpdateMsg msg = ApplyUpdateMsg::decode(r);
+  if (!c.inflight.try_acquire()) {
+    metrics_->counter("net.inflight_rejects").inc();
+    send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
+               "in-flight window full");
+    return;
+  }
+  UpdateJob job;
+  job.dataset = msg.dataset;
+  job.batch.inserts = std::move(msg.inserts);
+  job.batch.deletes.assign(msg.deletes.begin(), msg.deletes.end());
+  UpdateJobHandlePtr handle = live_->submit(std::move(job));
+  pending_updates_.push_back({c.id, frame.request_id, now(), std::move(handle)});
+}
+
+void ProfilingServer::handle_subscribe(Connection& c, const Frame& frame) {
+  WireReader r(frame.payload);
+  SubscribeMsg msg = SubscribeMsg::decode(r);
+  if (!msg.dataset.empty() && !live_->contains(msg.dataset)) {
+    send_error(c, frame.request_id, ErrCode::kUnknownDataset,
+               "no live dataset named '" + msg.dataset + "'");
+    return;
+  }
+  if (c.subs.count(frame.request_id) != 0) {
+    send_error(c, frame.request_id, ErrCode::kBadRequest,
+               "subscription id already in use");
+    return;
+  }
+  Subscription sub{msg.dataset,
+                   CreditWindow(msg.initial_credits, options_.credit_max,
+                                options_.max_buffered_events)};
+  SubscribeOkMsg ok;
+  ok.granted_credits = sub.window.credits();
+  c.subs.emplace(frame.request_id, std::move(sub));
+  metrics_->gauge("net.subscriptions").add(1);
+  send_frame(c, EncodeMsgFrame(MsgType::kSubscribeOk, frame.request_id, ok));
+}
+
+void ProfilingServer::handle_credit(Connection& c, const Frame& frame) {
+  WireReader r(frame.payload);
+  CreditMsg msg = CreditMsg::decode(r);
+  auto it = c.subs.find(frame.request_id);
+  // Credits for an already-ended stream are not an error: the StreamEnd
+  // may still be in flight toward the client.
+  if (it == c.subs.end()) return;
+  for (std::vector<std::uint8_t>& buffered :
+       it->second.window.grant(msg.credits)) {
+    metrics_->counter("net.stream_events").inc();
+    send_frame(c, std::move(buffered));
+  }
+}
+
+void ProfilingServer::handle_unsubscribe(Connection& c, const Frame& frame) {
+  end_subscription(c, frame.request_id, StreamEndReason::kUnsubscribed, "");
+}
+
+void ProfilingServer::end_subscription(Connection& c, std::uint64_t sub_id,
+                                       StreamEndReason reason,
+                                       const std::string& detail) {
+  auto it = c.subs.find(sub_id);
+  if (it == c.subs.end()) return;
+  c.subs.erase(it);
+  metrics_->gauge("net.subscriptions").add(-1);
+  StreamEndMsg end{reason, detail};
+  send_frame(c, EncodeMsgFrame(MsgType::kStreamEnd, sub_id, end));
+}
+
+void ProfilingServer::sweep_pending() {
+  for (std::size_t i = 0; i < pending_jobs_.size();) {
+    if (!pending_jobs_[i].handle->finished()) {
+      ++i;
+      continue;
+    }
+    PendingJob job = std::move(pending_jobs_[i]);
+    pending_jobs_[i] = std::move(pending_jobs_.back());
+    pending_jobs_.pop_back();
+    finish_job(job);
+  }
+  for (std::size_t i = 0; i < pending_updates_.size();) {
+    if (!pending_updates_[i].handle->finished()) {
+      ++i;
+      continue;
+    }
+    PendingUpdate update = std::move(pending_updates_[i]);
+    pending_updates_[i] = std::move(pending_updates_.back());
+    pending_updates_.pop_back();
+    finish_update(update);
+  }
+}
+
+void ProfilingServer::finish_job(const PendingJob& job) {
+  auto it = conns_.find(job.conn_id);
+  if (it == conns_.end()) return;  // requester is gone; drop the answer
+  Connection& c = *it->second;
+  c.inflight.release();
+  metrics_->histogram("net.request_seconds").record(now() - job.started);
+  JobState state = job.handle->state();
+  if (state == JobState::kFailed) {
+    send_error(c, job.request_id, ErrCode::kInternal, job.handle->error());
+    return;
+  }
+  DiscoveryResultMsg msg;
+  msg.state = JobStateName(state);
+  msg.queue_seconds = job.handle->queue_seconds();
+  msg.run_seconds = job.handle->run_seconds();
+  try {
+    const ProfileReport& report = job.handle->report();
+    msg.cover_size = static_cast<std::uint32_t>(report.left_reduced.size());
+    msg.canonical_size = static_cast<std::uint32_t>(report.canonical.size());
+    msg.top = TopRanked(report.ranking, job.top_k);
+    // A cancelled or deadline-expired run still finishes with a (partial)
+    // report; on the wire that distinction is the state string.
+    if (report.cancelled) {
+      msg.state = "cancelled";
+    } else if (report.discovery.stats.timed_out) {
+      msg.state = "deadline_expired";
+    }
+  } catch (const std::exception&) {
+    // Cancelled before it started: no report, counts stay zero.
+  }
+  send_frame(c, EncodeMsgFrame(MsgType::kDiscoveryResult, job.request_id, msg));
+}
+
+void ProfilingServer::finish_update(const PendingUpdate& update) {
+  auto it = conns_.find(update.conn_id);
+  if (it == conns_.end()) return;
+  Connection& c = *it->second;
+  c.inflight.release();
+  metrics_->histogram("net.request_seconds").record(now() - update.started);
+  if (update.handle->state() == UpdateJobState::kFailed) {
+    std::string error = update.handle->error();
+    ErrCode code = error.find("unknown live dataset") != std::string::npos
+                       ? ErrCode::kUnknownDataset
+                       : ErrCode::kInternal;
+    send_error(c, update.request_id, code, error);
+    return;
+  }
+  const CoverDelta& delta = update.handle->delta();
+  UpdateOkMsg msg;
+  msg.fds_added = static_cast<std::uint32_t>(delta.added.size());
+  msg.fds_removed = static_cast<std::uint32_t>(delta.removed.size());
+  msg.rebuilt = delta.stats.rebuilt;
+  msg.seconds = delta.stats.seconds;
+  send_frame(c, EncodeMsgFrame(MsgType::kUpdateOk, update.request_id, msg));
+}
+
+void ProfilingServer::deliver_events(std::vector<CoverChangeEvent> events) {
+  for (const CoverChangeEvent& ev : events) {
+    std::vector<std::string> added = FdStrings(ev.added);
+    std::vector<std::string> removed = FdStrings(ev.removed);
+    // Collect (conn, sub) pairs first: a slow-consumer verdict drops the
+    // connection, which would invalidate iterators mid-walk.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> targets;
+    for (const auto& [conn_id, conn] : conns_) {
+      for (const auto& [sub_id, sub] : conn->subs) {
+        if (sub.dataset.empty() || sub.dataset == ev.dataset) {
+          targets.emplace_back(conn_id, sub_id);
+        }
+      }
+    }
+    for (const auto& [conn_id, sub_id] : targets) {
+      auto cit = conns_.find(conn_id);
+      if (cit == conns_.end()) continue;
+      Connection& c = *cit->second;
+      auto sit = c.subs.find(sub_id);
+      if (sit == c.subs.end()) continue;
+      CoverUpdateMsg msg;
+      msg.dataset = ev.dataset;
+      msg.batch_id = ev.batch_id;
+      msg.added = added;
+      msg.removed = removed;
+      // Advisory: the credit count after this event if it ships now; for a
+      // buffered event the window is already empty, which is what 0 says.
+      msg.credits_left =
+          sit->second.window.credits() > 0 ? sit->second.window.credits() - 1 : 0;
+      std::vector<std::uint8_t> frame =
+          EncodeMsgFrame(MsgType::kCoverUpdate, sub_id, msg);
+      // push() only keeps the frame when it buffers, so hand it a copy and
+      // ship the original ourselves on kSend.
+      switch (sit->second.window.push(frame)) {
+        case CreditWindow::Push::kSend:
+          metrics_->counter("net.stream_events").inc();
+          send_frame(c, std::move(frame));
+          break;
+        case CreditWindow::Push::kBuffered:
+          metrics_->counter("net.stream_buffered").inc();
+          break;
+        case CreditWindow::Push::kOverflow: {
+          // Credit window and buffer both exhausted: the consumer is not
+          // keeping up. End its stream and drop the connection so it can
+          // never stall the other subscribers.
+          metrics_->counter("net.slow_consumer_disconnects").inc();
+          end_subscription(c, sub_id, StreamEndReason::kSlowConsumer,
+                           "credit window and event buffer exhausted");
+          c.closing = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void ProfilingServer::flush_completions() {
+  std::vector<Completion> completions;
+  {
+    MutexLock lock(&mu_);
+    completions.swap(completions_);
+  }
+  for (Completion& done : completions) {
+    auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;
+    Connection& c = *it->second;
+    if (done.release_inflight) c.inflight.release();
+    if (done.started >= 0) {
+      metrics_->histogram("net.request_seconds").record(now() - done.started);
+    }
+    send_frame(c, std::move(done.frame));
+  }
+}
+
+void ProfilingServer::heartbeat_and_idle() {
+  double t = now();
+  std::vector<std::uint64_t> idle;
+  for (auto& [id, conn] : conns_) {
+    if (options_.idle_timeout_seconds > 0 && !conn->closing &&
+        t - conn->last_recv > options_.idle_timeout_seconds) {
+      idle.push_back(id);
+      continue;
+    }
+    // Heartbeats keep streaming connections verifiably alive (and NATs
+    // open) while the cover happens not to change.
+    if (options_.heartbeat_seconds > 0 && !conn->subs.empty() &&
+        !conn->closing && t - conn->last_send >= options_.heartbeat_seconds) {
+      HeartbeatMsg hb;
+      hb.server_time_us = static_cast<std::uint64_t>(t * 1e6);
+      metrics_->counter("net.heartbeats").inc();
+      send_frame(*conn, EncodeMsgFrame(MsgType::kHeartbeat, 0, hb));
+    }
+  }
+  for (std::uint64_t id : idle) {
+    metrics_->counter("net.idle_disconnects").inc();
+    drop_connection(id, "idle timeout");
+  }
+}
+
+void ProfilingServer::send_frame(Connection& c, std::vector<std::uint8_t> frame) {
+  metrics_->counter("net.frames_tx").inc();
+  metrics_->counter("net.bytes_tx").inc(static_cast<std::int64_t>(frame.size()));
+  c.out.insert(c.out.end(), frame.begin(), frame.end());
+  c.last_send = now();
+  flush_writes(c);
+}
+
+void ProfilingServer::send_error(Connection& c, std::uint64_t request_id,
+                                 ErrCode code, const std::string& message) {
+  ErrorMsg err{code, message};
+  send_frame(c, EncodeMsgFrame(MsgType::kError, request_id, err));
+}
+
+void ProfilingServer::flush_writes(Connection& c) {
+  while (c.out_pos < c.out.size()) {
+    IoResult r = c.sock.write_some(c.out.data() + c.out_pos,
+                                   c.out.size() - c.out_pos);
+    if (r.status == IoStatus::kOk) {
+      c.out_pos += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) break;
+    drop_connection(c.id, "write failed");
+    return;
+  }
+  if (c.out_pos == c.out.size()) {
+    c.out.clear();
+    c.out_pos = 0;
+    return;
+  }
+  if (c.out.size() - c.out_pos > options_.max_write_buffer_bytes) {
+    // TCP-level slow consumer: the peer stopped reading. Same verdict as a
+    // credit overflow — drop before the buffer eats the server.
+    metrics_->counter("net.slow_consumer_disconnects").inc();
+    drop_connection(c.id, "write buffer overflow");
+  }
+}
+
+void ProfilingServer::drop_connection(std::uint64_t conn_id, const char*) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  metrics_->gauge("net.subscriptions")
+      .add(-static_cast<std::int64_t>(it->second->subs.size()));
+  metrics_->counter("net.conns_closed").inc();
+  metrics_->gauge("net.connections").add(-1);
+  conns_.erase(it);
+  // Pending jobs for this connection stay in the sweep lists; their answers
+  // are dropped when they complete (finish_* finds no connection).
+}
+
+}  // namespace dhyfd::net

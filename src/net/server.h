@@ -1,0 +1,238 @@
+#ifndef DHYFD_NET_SERVER_H_
+#define DHYFD_NET_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/credit.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/live_store.h"
+#include "service/metrics.h"
+#include "service/scheduler.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace dhyfd::net {
+
+/// Tuning knobs for one ProfilingServer. The defaults are sized for the
+/// load bench (hundreds of concurrent clients); tests shrink the windows
+/// and timeouts to force every rejection path deterministically.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one with port() after
+  /// start().
+  std::uint16_t port = 0;
+  int accept_backlog = 128;
+
+  // -- admission control ----------------------------------------------------
+  /// Connections beyond this are accepted and immediately closed (the
+  /// kernel backlog stays bounded, the client sees a clean EOF).
+  int max_connections = 256;
+  /// Per-connection window of accepted-but-unanswered requests; the
+  /// (max_connections + 1)-th concurrent request gets kTooManyInFlight.
+  /// 0 disables.
+  std::uint32_t max_inflight = 16;
+  /// Per-connection request quota: token bucket, requests/second + burst.
+  /// rate 0 disables.
+  double quota_rate = 200;
+  double quota_burst = 400;
+
+  // -- framing --------------------------------------------------------------
+  std::uint32_t max_frame_len = kDefaultMaxFrameLen;
+  /// A connection whose outbound buffer exceeds this is dropped as a slow
+  /// consumer regardless of credits — TCP backpressure must never translate
+  /// into unbounded server memory.
+  std::size_t max_write_buffer_bytes = 4u << 20;
+
+  // -- streaming ------------------------------------------------------------
+  /// Most credits a subscription may hold at once (grants clamp here).
+  std::uint32_t credit_max = 1024;
+  /// Stream events buffered per subscription while it holds no credit; one
+  /// more ends the stream with kSlowConsumer and drops the connection.
+  std::size_t max_buffered_events = 64;
+  /// Heartbeat cadence on connections with live subscriptions (0 = off).
+  double heartbeat_seconds = 5;
+  /// Drop connections that sent nothing for this long (0 = never).
+  double idle_timeout_seconds = 0;
+
+  // -- lifecycle ------------------------------------------------------------
+  /// Graceful-drain budget: shutdown() stops accepting, answers in-flight
+  /// work and flushes buffers for up to this long before closing hard.
+  double drain_seconds = 5;
+};
+
+/// The networked front end of the profiling service: a poll(2) event loop
+/// on one background thread, speaking the length-prefixed RPC protocol of
+/// wire.h/messages.h over TCP, bridging into the in-process service layer:
+///
+///   kSubmitDiscovery -> JobScheduler (deadline_ms -> cooperative deadline)
+///   kRegisterDataset -> DatasetRegistry (+ LiveStore::create when live)
+///   kQueryCover      -> LiveStore ranking snapshot
+///   kApplyUpdate     -> LiveStore strand submit
+///   kSubscribe       -> LiveStore cover-change listener, credit-windowed
+///
+/// Robustness posture (DESIGN.md "Network service"):
+///   * bounded everything — accept backlog, connection count, per-client
+///     in-flight windows and rate quotas, scheduler max_pending backstop,
+///     per-subscription event buffers, per-connection write buffers;
+///   * protocol errors drop the connection, they are never parsed around;
+///   * slow consumers are disconnected (credit overflow or write-buffer
+///     overflow), so one stalled client cannot starve the rest;
+///   * shutdown() drains: StreamEnd to subscribers, in-flight answers
+///     flushed, then sockets close.
+///
+/// Observability: net.* counters/gauges/histograms into the shared
+/// MetricsRegistry (so they ride the existing Prometheus exposition) and
+/// net.request spans into the global tracer.
+class ProfilingServer {
+ public:
+  /// None of the service objects are owned; all must outlive the server.
+  ProfilingServer(JobScheduler* scheduler, LiveStore* live,
+                  DatasetRegistry* datasets, MetricsRegistry* metrics,
+                  ServerOptions options = {});
+
+  /// Equivalent to shutdown().
+  ~ProfilingServer();
+
+  ProfilingServer(const ProfilingServer&) = delete;
+  ProfilingServer& operator=(const ProfilingServer&) = delete;
+
+  /// Binds the listen socket (throws std::runtime_error on failure) and
+  /// starts the event-loop thread.
+  void start();
+
+  /// The bound port; valid after start().
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful drain then stop; idempotent, callable from any thread.
+  void shutdown();
+
+  /// Live connection count (mirrors the net.connections gauge).
+  std::int64_t connections() const {
+    return metrics_->gauge("net.connections").value();
+  }
+
+ private:
+  struct Subscription {
+    std::string dataset;  // "" follows every live dataset
+    CreditWindow window;
+  };
+
+  /// Per-connection state; owned and touched by the loop thread only.
+  struct Connection {
+    std::uint64_t id = 0;
+    Socket sock;
+    FrameDecoder decoder;
+    TokenBucket bucket;
+    InflightWindow inflight;
+    std::map<std::uint64_t, Subscription> subs;  // key: subscribe request id
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+    double last_recv = 0;
+    double last_send = 0;
+    bool got_hello = false;
+    /// Flush the outbound buffer, then close (goodbye / stream-end paths).
+    bool closing = false;
+
+    Connection(std::uint32_t max_frame_len, double quota_rate,
+               double quota_burst, std::uint32_t max_inflight)
+        : decoder(max_frame_len),
+          bucket(quota_rate, quota_burst),
+          inflight(max_inflight) {}
+  };
+
+  /// An RPC whose answer comes from a service-layer handle the loop sweeps.
+  struct PendingJob {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::uint32_t top_k = 0;
+    double started = 0;
+    JobHandlePtr handle;
+  };
+  struct PendingUpdate {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    double started = 0;
+    UpdateJobHandlePtr handle;
+  };
+  /// A frame produced off-loop (ops pool / LiveStore workers) for a
+  /// connection, delivered through the completion queue + wake pipe.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::vector<std::uint8_t> frame;
+    double started = 0;   // request start time; <0 = not a request answer
+    bool release_inflight = false;
+  };
+
+  void loop();
+  double now() const;
+
+  // Loop-side handlers (loop thread only).
+  void accept_new();
+  void handle_readable(Connection& c);
+  void dispatch(Connection& c, const Frame& frame);
+  void handle_submit_discovery(Connection& c, const Frame& frame);
+  void handle_register(Connection& c, const Frame& frame);
+  void handle_query_cover(Connection& c, const Frame& frame);
+  void handle_apply_update(Connection& c, const Frame& frame);
+  void handle_subscribe(Connection& c, const Frame& frame);
+  void handle_credit(Connection& c, const Frame& frame);
+  void handle_unsubscribe(Connection& c, const Frame& frame);
+  void sweep_pending();
+  void deliver_events(std::vector<CoverChangeEvent> events);
+  void flush_completions();
+  void heartbeat_and_idle();
+  void send_frame(Connection& c, std::vector<std::uint8_t> frame);
+  void send_error(Connection& c, std::uint64_t request_id, ErrCode code,
+                  const std::string& message);
+  void end_subscription(Connection& c, std::uint64_t sub_id,
+                        StreamEndReason reason, const std::string& detail);
+  void drop_connection(std::uint64_t conn_id, const char* why);
+  void flush_writes(Connection& c);
+  bool drain_finished();
+  void finish_job(const PendingJob& job);
+  void finish_update(const PendingUpdate& update);
+
+  JobScheduler* scheduler_;
+  LiveStore* live_;
+  DatasetRegistry* datasets_;
+  MetricsRegistry* metrics_;
+  const ServerOptions options_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  WakePipe wake_;
+  /// Blocking service calls (CSV parse/encode, initial live discovery,
+  /// ranking snapshots) run here so the event loop never waits on them.
+  ThreadPool ops_pool_;
+  std::thread loop_thread_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t live_listener_token_ = 0;
+
+  // Loop-thread-only state (no locks: single owner).
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  std::vector<PendingJob> pending_jobs_;
+  std::vector<PendingUpdate> pending_updates_;
+  bool draining_ = false;
+  double drain_deadline_ = 0;
+
+  // Cross-thread state.
+  mutable Mutex mu_;
+  bool stop_requested_ DHYFD_GUARDED_BY(mu_) = false;
+  bool started_ DHYFD_GUARDED_BY(mu_) = false;
+  std::vector<Completion> completions_ DHYFD_GUARDED_BY(mu_);
+  std::vector<CoverChangeEvent> events_ DHYFD_GUARDED_BY(mu_);
+};
+
+}  // namespace dhyfd::net
+
+#endif  // DHYFD_NET_SERVER_H_

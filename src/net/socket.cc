@@ -1,0 +1,236 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dhyfd::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::set_nonblocking(bool on) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) ThrowErrno("fcntl(F_GETFL)");
+  if (on) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd_, F_SETFL, flags) < 0) ThrowErrno("fcntl(F_SETFL)");
+}
+
+void Socket::set_tcp_nodelay(bool on) {
+  int v = on ? 1 : 0;
+  // Best-effort: fails harmlessly on non-TCP fds (e.g. the wake pipe).
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof v);
+}
+
+IoResult Socket::read_some(std::uint8_t* buf, std::size_t len) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kClosed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {IoStatus::kWouldBlock, 0};
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult Socket::write_some(const std::uint8_t* buf, std::size_t len) {
+  for (;;) {
+    ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {IoStatus::kWouldBlock, 0};
+    return {IoStatus::kError, 0};
+  }
+}
+
+bool Socket::read_exact(std::uint8_t* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd_, buf + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw std::runtime_error("connection closed mid-message");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("socket read timed out");
+    }
+    ThrowErrno("recv");
+  }
+  return true;
+}
+
+void Socket::write_all(const std::uint8_t* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd_, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    ThrowErrno("send");
+  }
+}
+
+void Socket::set_recv_timeout(double seconds) {
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) < 0) {
+    ThrowErrno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+Socket ListenTcp(const std::string& host, std::uint16_t port, int backlog,
+                 std::uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  Socket s(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ThrowErrno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) ThrowErrno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t alen = sizeof actual;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &alen) < 0) {
+      ThrowErrno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return s;
+}
+
+Socket AcceptOn(Socket& listener) {
+  for (;;) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Socket();  // EAGAIN or a transient error: nothing to accept
+  }
+}
+
+Socket ConnectTcp(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  Socket s(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad connect address: " + host);
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      return s;
+    }
+    if (errno == EINTR) continue;
+    ThrowErrno("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) ThrowErrno("pipe");
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  read_end_.set_nonblocking(true);
+  write_end_.set_nonblocking(true);
+}
+
+void WakePipe::wake() {
+  std::uint8_t b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] ssize_t n = ::write(write_end_.fd(), &b, 1);
+}
+
+void WakePipe::drain() {
+  std::uint8_t buf[256];
+  while (::read(read_end_.fd(), buf, sizeof buf) > 0) {
+  }
+}
+
+void Poller::watch(int fd, bool want_read, bool want_write) {
+  fds_.push_back({fd, want_read, want_write});
+}
+
+std::vector<PollEvent> Poller::wait(int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const Interest& in : fds_) {
+    struct pollfd p{};
+    p.fd = in.fd;
+    p.events = static_cast<short>((in.read ? POLLIN : 0) | (in.write ? POLLOUT : 0));
+    pfds.push_back(p);
+  }
+  int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  std::vector<PollEvent> out;
+  if (n <= 0) return out;  // timeout or EINTR
+  for (const struct pollfd& p : pfds) {
+    if (p.revents == 0) continue;
+    PollEvent e;
+    e.fd = p.fd;
+    e.readable = (p.revents & POLLIN) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace dhyfd::net

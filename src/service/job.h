@@ -66,6 +66,11 @@ class JobHandle {
   /// Error message for kFailed jobs ("" otherwise).
   std::string error() const DHYFD_EXCLUDES(mu_);
 
+  /// True for jobs the scheduler refused at admission because its
+  /// max_pending bound was full (always kFailed; see SchedulerOptions).
+  /// Lets callers distinguish "retry later" from a genuine failure.
+  bool rejected() const { return rejected_; }
+
   /// Seconds spent queued before a worker picked the job up, and executing.
   double queue_seconds() const DHYFD_EXCLUDES(mu_);
   double run_seconds() const DHYFD_EXCLUDES(mu_);
@@ -92,6 +97,7 @@ class JobHandle {
   // afterwards, so no lock is needed.
   std::uint64_t trace_id_ = 0;
   std::int64_t submit_ts_us_ = 0;
+  bool rejected_ = false;
 
   mutable Mutex mu_;
   mutable CondVar done_cv_;

@@ -36,6 +36,7 @@ JobScheduler::JobScheduler(DatasetRegistry* datasets, MetricsRegistry* metrics,
                            SchedulerOptions options)
     : datasets_(datasets),
       metrics_(metrics),
+      max_pending_(options.max_pending),
       pool_(ResolveThreads(options.num_threads), options.max_queue) {}
 
 JobScheduler::~JobScheduler() { shutdown(); }
@@ -54,6 +55,18 @@ JobHandlePtr JobScheduler::submit(ProfileJob job) {
       MutexLock hlock(&handle->mu_);
       handle->state_ = JobState::kFailed;
       handle->error_ = "scheduler is shut down";
+      handle->done_cv_.notify_all();
+      return handle;
+    }
+    if (max_pending_ > 0 && pending_.size() >= max_pending_) {
+      // Admission backstop: refuse instead of queueing without bound (or
+      // blocking the caller, which may be a server's event loop).
+      handle->rejected_ = true;
+      metrics_->counter("jobs.rejected").inc();
+      MutexLock hlock(&handle->mu_);
+      handle->state_ = JobState::kFailed;
+      handle->error_ = "job queue full (" + std::to_string(pending_.size()) +
+                       " pending)";
       handle->done_cv_.notify_all();
       return handle;
     }

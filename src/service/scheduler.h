@@ -21,6 +21,11 @@ struct SchedulerOptions {
   /// Bound on queued-but-not-running jobs (0 = unbounded). When full,
   /// submit() blocks until a worker frees a slot.
   std::size_t max_queue = 0;
+  /// Hard admission bound on pending (queued-but-not-running) jobs
+  /// (0 = unbounded). Unlike max_queue, hitting this limit never blocks:
+  /// submit() returns a kFailed handle with rejected() set, so a network
+  /// front end can answer "server busy" instead of stalling its event loop.
+  std::size_t max_pending = 0;
 };
 
 /// The service core: accepts ProfileJobs, runs them on a ThreadPool in
@@ -28,7 +33,7 @@ struct SchedulerOptions {
 /// limits via util/deadline.h, supports cooperative cancellation, and
 /// reports into a MetricsRegistry:
 ///
-///   counters   jobs.submitted / completed / failed / cancelled
+///   counters   jobs.submitted / completed / failed / cancelled / rejected
 ///   gauges     jobs.queued, jobs.running
 ///   histograms job.queue_seconds, job.run_seconds, and
 ///              stage.{encode,discover,canonical,rank}_seconds
@@ -48,7 +53,8 @@ class JobScheduler {
   JobScheduler& operator=(const JobScheduler&) = delete;
 
   /// Enqueues a job; returns its handle immediately. Returns a kFailed
-  /// handle (never nullptr) if the scheduler is already shut down.
+  /// handle (never nullptr) if the scheduler is already shut down, or — with
+  /// rejected() set — if options.max_pending jobs are already waiting.
   JobHandlePtr submit(ProfileJob job) DHYFD_EXCLUDES(mu_);
 
   /// Stops accepting jobs, runs everything queued, joins the workers.
@@ -75,6 +81,7 @@ class JobScheduler {
 
   DatasetRegistry* datasets_;
   MetricsRegistry* metrics_;
+  const std::size_t max_pending_;
   ThreadPool pool_;
 
   mutable Mutex mu_;

@@ -1,0 +1,140 @@
+#include "net/admission.h"
+#include "net/credit.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dhyfd::net {
+namespace {
+
+std::vector<std::uint8_t> Ev(std::uint8_t tag) { return {tag}; }
+
+TEST(CreditWindowTest, SendsWhileCreditsHeldThenBuffers) {
+  CreditWindow w(/*initial=*/2, /*credit_max=*/8, /*max_buffered=*/2);
+  EXPECT_EQ(w.credits(), 2u);
+  EXPECT_EQ(w.push(Ev(1)), CreditWindow::Push::kSend);
+  EXPECT_EQ(w.push(Ev(2)), CreditWindow::Push::kSend);
+  EXPECT_EQ(w.credits(), 0u);
+  EXPECT_TRUE(w.stalled());
+  EXPECT_EQ(w.push(Ev(3)), CreditWindow::Push::kBuffered);
+  EXPECT_EQ(w.push(Ev(4)), CreditWindow::Push::kBuffered);
+  EXPECT_EQ(w.buffered(), 2u);
+  // Buffer full: the next event is the slow-consumer verdict.
+  EXPECT_EQ(w.push(Ev(5)), CreditWindow::Push::kOverflow);
+  EXPECT_EQ(w.overflowed(), 1u);
+}
+
+TEST(CreditWindowTest, GrantFlushesBufferedOldestFirst) {
+  CreditWindow w(0, 8, 4);
+  EXPECT_EQ(w.push(Ev(10)), CreditWindow::Push::kBuffered);
+  EXPECT_EQ(w.push(Ev(11)), CreditWindow::Push::kBuffered);
+  EXPECT_EQ(w.push(Ev(12)), CreditWindow::Push::kBuffered);
+
+  // Grant 2: the two oldest flush, each consuming one credit.
+  std::vector<std::vector<std::uint8_t>> out = w.grant(2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0][0], 10);
+  EXPECT_EQ(out[1][0], 11);
+  EXPECT_EQ(w.credits(), 0u);
+  EXPECT_EQ(w.buffered(), 1u);
+
+  // Grant more than needed: the last one flushes and a credit remains.
+  out = w.grant(2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], 12);
+  EXPECT_EQ(w.credits(), 1u);
+  EXPECT_EQ(w.sent(), 3u);
+}
+
+TEST(CreditWindowTest, GrantsClampAtCreditMax) {
+  CreditWindow w(0, 4, 0);
+  w.grant(1000);
+  EXPECT_EQ(w.credits(), 4u);
+  // Clamp also applies to the initial grant.
+  CreditWindow w2(1000, 4, 0);
+  EXPECT_EQ(w2.credits(), 4u);
+}
+
+TEST(CreditWindowTest, GrantOverflowProofNearUint32Max) {
+  CreditWindow w(0, 0xffffffffu, 0);
+  w.grant(0xffffffffu);
+  w.grant(0xffffffffu);  // would wrap if summed in 32 bits
+  EXPECT_EQ(w.credits(), 0xffffffffu);
+}
+
+TEST(CreditWindowTest, ZeroBufferingMeansFirstStallIsOverflow) {
+  CreditWindow w(1, 4, 0);
+  EXPECT_EQ(w.push(Ev(1)), CreditWindow::Push::kSend);
+  EXPECT_EQ(w.push(Ev(2)), CreditWindow::Push::kOverflow);
+}
+
+TEST(CreditWindowTest, PeakBufferedTracksHighWater) {
+  CreditWindow w(0, 8, 8);
+  for (int i = 0; i < 5; ++i) w.push(Ev(static_cast<std::uint8_t>(i)));
+  w.grant(5);
+  w.push(Ev(9));
+  EXPECT_EQ(w.peak_buffered(), 5u);
+}
+
+TEST(TokenBucketTest, BurstThenRefill) {
+  TokenBucket b(/*rate=*/10, /*burst=*/3);
+  double t = 100.0;
+  EXPECT_TRUE(b.try_take(t));
+  EXPECT_TRUE(b.try_take(t));
+  EXPECT_TRUE(b.try_take(t));
+  EXPECT_FALSE(b.try_take(t)) << "burst exhausted";
+  // 0.15 s at 10 tokens/s refills 1.5 tokens: one take fits, two do not.
+  t += 0.15;
+  EXPECT_TRUE(b.try_take(t));
+  EXPECT_FALSE(b.try_take(t));
+}
+
+TEST(TokenBucketTest, RefillNeverExceedsBurst) {
+  TokenBucket b(10, 2);
+  double t = 0.0;
+  EXPECT_TRUE(b.try_take(t));
+  t += 1000;  // an hour of idling refills to burst, not rate*dt
+  EXPECT_TRUE(b.try_take(t));
+  EXPECT_TRUE(b.try_take(t));
+  EXPECT_FALSE(b.try_take(t));
+}
+
+TEST(TokenBucketTest, NonMonotoneClockIsHarmless) {
+  TokenBucket b(10, 1);
+  EXPECT_TRUE(b.try_take(50.0));
+  EXPECT_FALSE(b.try_take(40.0));  // clock went backwards: no refill, no throw
+  EXPECT_TRUE(b.try_take(50.2));
+}
+
+TEST(TokenBucketTest, ZeroRateDisablesQuota) {
+  TokenBucket b(0, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.try_take(1.0));
+}
+
+TEST(InflightWindowTest, BoundsAndReleases) {
+  InflightWindow w(2);
+  EXPECT_TRUE(w.try_acquire());
+  EXPECT_TRUE(w.try_acquire());
+  EXPECT_FALSE(w.try_acquire());
+  EXPECT_EQ(w.inflight(), 2u);
+  w.release();
+  EXPECT_TRUE(w.try_acquire());
+  EXPECT_EQ(w.max(), 2u);
+}
+
+TEST(InflightWindowTest, ZeroMaxDisables) {
+  InflightWindow w(0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(w.try_acquire());
+}
+
+TEST(InflightWindowTest, ExtraReleaseDoesNotUnderflow) {
+  InflightWindow w(1);
+  w.release();
+  EXPECT_EQ(w.inflight(), 0u);
+  EXPECT_TRUE(w.try_acquire());
+  EXPECT_FALSE(w.try_acquire());
+}
+
+}  // namespace
+}  // namespace dhyfd::net

@@ -215,6 +215,54 @@ TEST(ServiceTest, PerJobTimeLimitProducesPartialResult) {
   EXPECT_TRUE(handle->report().discovery.stats.timed_out);
 }
 
+TEST(ServiceTest, MaxPendingRejectsInsteadOfBlocking) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("t", DemoTable());
+
+  JobScheduler scheduler(&datasets, &metrics,
+                         {.num_threads = 1, .max_pending = 2});
+  // Occupy the single worker so submissions pile up as pending.
+  std::atomic<bool> release{false};
+  ProfileJob blocker;
+  blocker.dataset = "t";
+  blocker.options.stage_hook = [&release](ProfileStage, double) {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  JobHandlePtr running = scheduler.submit(blocker);
+  while (running->state() == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ProfileJob job;
+  job.dataset = "t";
+  JobHandlePtr q1 = scheduler.submit(job);
+  JobHandlePtr q2 = scheduler.submit(job);
+  EXPECT_FALSE(q1->rejected());
+  EXPECT_FALSE(q2->rejected());
+
+  // Third pending submission hits the bound: immediately kFailed with
+  // rejected() set, no blocking, no handle left un-terminal.
+  JobHandlePtr refused = scheduler.submit(job);
+  EXPECT_TRUE(refused->rejected());
+  EXPECT_EQ(refused->state(), JobState::kFailed);
+  EXPECT_NE(refused->error().find("queue full"), std::string::npos);
+  EXPECT_THROW(refused->report(), std::runtime_error);
+  EXPECT_EQ(metrics.counter("jobs.rejected").value(), 1);
+
+  release.store(true);
+  scheduler.wait_all();
+  // The accepted jobs were untouched by the rejection.
+  EXPECT_EQ(q1->state(), JobState::kDone);
+  EXPECT_EQ(q2->state(), JobState::kDone);
+  EXPECT_EQ(metrics.counter("jobs.completed").value(), 3);
+  // Capacity freed: new submissions are accepted again.
+  JobHandlePtr after = scheduler.submit(job);
+  EXPECT_FALSE(after->rejected());
+  after->wait();
+  EXPECT_EQ(after->state(), JobState::kDone);
+}
+
 TEST(ServiceTest, PriorityOrderOnSingleWorker) {
   MetricsRegistry metrics;
   DatasetRegistry datasets(&metrics);

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fold stamped bench JSON rows into trajectory files at the repo root.
+
+Every bench binary prints, next to its human-readable table, one or more
+single-line JSON objects of the shape
+
+    {"bench":"server_load","commit":"<sha>","timestamp":"<iso8601>",...}
+
+This script scans its input (stdin, or files given as arguments) for such
+lines and appends them to ``BENCH_<bench>.json`` at the repo root — one
+file per bench name, each holding the full history of runs so performance
+can be tracked across commits:
+
+    {"bench": "server_load", "rows": [ {...}, {...} ]}
+
+Rows are kept in input order, appended after whatever the file already
+holds; exact duplicates (same commit, timestamp, and payload) are skipped
+so re-piping the same output is idempotent. Non-JSON lines and JSON lines
+without a "bench" key are ignored, so piping a bench's entire stdout is
+fine:
+
+    build/bench/bench_server_load --clients=200 | python3 tools/bench_distill.py
+
+Use --root to write somewhere other than the repo root (tests do), and
+--dry-run to see what would change without touching any file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def extract_rows(lines):
+    """Yield (bench_name, row_dict) for every stamped JSON row in `lines`."""
+    for line in lines:
+        line = line.strip()
+        if not line.startswith("{") or '"bench"' not in line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict) and isinstance(row.get("bench"), str):
+            yield row["bench"], row
+
+
+def load_trajectory(path: pathlib.Path, bench: str) -> dict:
+    if path.exists():
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or not isinstance(data.get("rows"), list):
+            raise SystemExit(f"{path}: not a trajectory file (expected "
+                             '{"bench": ..., "rows": [...]})')
+        return data
+    return {"bench": bench, "rows": []}
+
+
+def fold(rows_by_bench: dict, root: pathlib.Path, dry_run: bool) -> int:
+    """Merge new rows into their trajectory files; return rows added."""
+    added = 0
+    for bench, rows in sorted(rows_by_bench.items()):
+        path = root / f"BENCH_{bench}.json"
+        data = load_trajectory(path, bench)
+        seen = {json.dumps(r, sort_keys=True) for r in data["rows"]}
+        fresh = []
+        for row in rows:
+            key = json.dumps(row, sort_keys=True)
+            if key in seen:
+                continue
+            seen.add(key)
+            fresh.append(row)
+        if not fresh:
+            print(f"{path.name}: no new rows ({len(data['rows'])} on file)")
+            continue
+        data["rows"].extend(fresh)
+        added += len(fresh)
+        if dry_run:
+            print(f"{path.name}: would add {len(fresh)} row(s) "
+                  f"-> {len(data['rows'])} total")
+            continue
+        path.write_text(json.dumps(data, indent=1, sort_keys=False) + "\n")
+        print(f"{path.name}: +{len(fresh)} row(s) -> {len(data['rows'])} total")
+    return added
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fold stamped bench JSON rows into BENCH_<name>.json")
+    parser.add_argument("inputs", nargs="*",
+                        help="files holding bench output (default: stdin)")
+    parser.add_argument("--root", type=pathlib.Path, default=REPO_ROOT,
+                        help="directory for BENCH_*.json (default: repo root)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would change, write nothing")
+    args = parser.parse_args(argv)
+
+    lines = []
+    if args.inputs:
+        for name in args.inputs:
+            lines.extend(pathlib.Path(name).read_text().splitlines())
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    rows_by_bench: dict = {}
+    for bench, row in extract_rows(lines):
+        rows_by_bench.setdefault(bench, []).append(row)
+
+    if not rows_by_bench:
+        print("no stamped bench rows found in input", file=sys.stderr)
+        return 1
+    fold(rows_by_bench, args.root, args.dry_run)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,14 @@ Rules (suppress one occurrence with `// lint-allow: <rule>` on the line):
   nondeterminism   no rand()/srand()/std::random_device/std::mt19937 outside
                    src/util/random.h — reproducibility across platforms is a
                    hard requirement for the datagen and sampling layers.
+  obs-prefix       obs counter/gauge/histogram/span name literals in src/net/
+                   carry the net. prefix, so the subsystem's telemetry stays
+                   greppable and dashboard-stable.
+  naked-socket     no raw socket syscalls (socket/bind/listen/accept/connect/
+                   recv*/send*/poll/epoll_*/setsockopt/...) outside src/net/ —
+                   net/socket.h is the one place fd lifecycle and EINTR/EAGAIN
+                   edge cases are handled; everything else speaks
+                   Socket/Poller.
 
 Usage:
   check_invariants.py [--root DIR]   lint the tree (exit 1 on findings)
@@ -216,12 +224,51 @@ def check_nondeterminism(path, text):
                   "reproduce across platforms")
 
 
+NET_DIR = "src/net/"
+
+
+def check_net_obs_prefix(path, text):
+    if not path.replace(os.sep, "/").startswith(NET_DIR):
+        return []
+    return line_findings(
+        path, text, "obs-prefix", OBS_CALL_RE,
+        lambda m: f'obs name "{m.group(1)}" in src/net/ must start with '
+                  '"net." so the subsystem\'s telemetry stays greppable',
+        exempt=lambda m: m.group(1).startswith("net."))
+
+
+# A bare or global-namespace call to a socket-layer syscall. The optional
+# prefix group distinguishes `::connect(` (a violation) from `std::bind(`
+# or `resolver::connect(` (library / member-style calls, exempt); the
+# lookbehind drops `obj.send(` / `ptr->recv(` member calls. `shutdown` is
+# deliberately absent: it is a ubiquitous method name, and no socket can
+# exist to shut down unless one of the listed calls appeared first.
+NAKED_SOCKET_RE = re.compile(
+    r"(?<![\w.>])((?:::)?|(?:\w+::)+)"
+    r"(socket|bind|listen|accept4?|connect|recvfrom|recvmsg|recv|sendto|"
+    r"sendmsg|send|setsockopt|getsockopt|getsockname|getpeername|inet_pton|"
+    r"inet_ntop|poll|ppoll|epoll_create1?|epoll_ctl|epoll_wait)\s*\(")
+
+
+def check_naked_socket(path, text):
+    if path.replace(os.sep, "/").startswith(NET_DIR):
+        return []
+    return line_findings(
+        path, text, "naked-socket", NAKED_SOCKET_RE,
+        lambda m: f"naked socket syscall '{m.group(2)}' outside src/net/; "
+                  "use the Socket/Poller wrappers from net/socket.h, which "
+                  "own the fd lifecycle and the EINTR/EAGAIN edge cases",
+        exempt=lambda m: m.group(1) not in ("", "::"))
+
+
 ALL_CHECKS = [
     check_nested_rowid,
     check_obs_naming,
     check_naked_mutex,
     check_header_guard,
     check_nondeterminism,
+    check_net_obs_prefix,
+    check_naked_socket,
 ]
 
 # ------------------------------------------------------------------- driver
@@ -236,6 +283,8 @@ SCOPES = {
     check_naked_mutex: ["src"],
     check_header_guard: ["src", "bench", "tests", "examples"],
     check_nondeterminism: ["src", "bench", "examples"],
+    check_net_obs_prefix: ["src"],
+    check_naked_socket: ["src", "bench", "examples"],
 }
 
 SOURCE_EXTS = (".h", ".cc", ".cpp")
@@ -334,6 +383,42 @@ FIXTURES = [
      "// splitmix64, no std::random_device anywhere\n", 0),
     (check_nondeterminism, "src/datagen/operand.cc",
      "int operand(int a);\nint brand(int b);\n", 0),
+    # obs-prefix: names in src/net/ must start with "net."; files elsewhere
+    # are out of scope for this rule (obs-naming still applies to them).
+    (check_net_obs_prefix, "src/net/bad.cc",
+     'metrics_->counter("conns.accepted").inc();\n', 1),
+    (check_net_obs_prefix, "src/net/bad2.cc",
+     'TraceSpan span("svc.request");\n', 1),
+    (check_net_obs_prefix, "src/net/good.cc",
+     'metrics_->counter("net.frames_rx").inc();\n'
+     'metrics_->gauge("net.connections").add(1);\n'
+     'TraceSpan span("net.request");\n', 0),
+    (check_net_obs_prefix, "src/service/other.cc",
+     'metrics_->counter("jobs.submitted").inc();\n', 0),
+    (check_net_obs_prefix, "src/net/allowed.cc",
+     'counter("legacy.name")  // lint-allow: obs-prefix\n', 0),
+    # naked-socket: fires on bare and ::-qualified syscalls outside src/net/,
+    # passes on member calls, std::bind, and anything inside src/net/.
+    (check_naked_socket, "src/service/bad.cc",
+     "int fd = socket(AF_INET, SOCK_STREAM, 0);\n", 1),
+    (check_naked_socket, "src/service/bad2.cc",
+     "::connect(fd, addr, len);\nrecv(fd, buf, n, 0);\n", 2),
+    (check_naked_socket, "src/service/bad3.cc",
+     "setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);\n"
+     "poll(fds, n, timeout);\n", 2),
+    (check_naked_socket, "src/service/good.cc",
+     "Socket s = ConnectTcp(host, port);\n"
+     "auto f = std::bind(&T::run, this);\n"
+     "client.send_frame(type, id, payload);\n"
+     "sock.connect_timeout();\nobj->sendto_queue(x);\n", 0),
+    (check_naked_socket, "src/net/socket.cc",
+     "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n", 0),
+    (check_naked_socket, "src/service/member.cc",
+     "pool_.shutdown();\nbus.send(msg);\nself->poll(1);\n", 0),
+    (check_naked_socket, "src/service/comment.cc",
+     "// recv(fd, ...) in a comment is fine\n", 0),
+    (check_naked_socket, "src/service/allowed.cc",
+     "poll(fds, n, t);  // lint-allow: naked-socket\n", 0),
 ]
 
 
