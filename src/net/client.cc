@@ -7,7 +7,8 @@ namespace dhyfd::net {
 
 BlockingClient::BlockingClient(const std::string& host, std::uint16_t port,
                                const std::string& client_name,
-                               double timeout_seconds) {
+                               double timeout_seconds)
+    : timeout_seconds_(timeout_seconds) {
   sock_ = ConnectTcp(host, port);
   sock_.set_tcp_nodelay(true);
   sock_.set_recv_timeout(timeout_seconds);
@@ -112,8 +113,23 @@ bool BlockingClient::poll_event(StreamEvent* out, double timeout_seconds) {
     return true;
   }
   // One bounded read: SO_RCVTIMEO turns "nothing arrived" into a timeout
-  // error from read_exact, which poll_event reports as false.
-  sock_.set_recv_timeout(timeout_seconds);
+  // error from read_exact, which poll_event reports as false. The narrowed
+  // timeout is restored on every exit path — success, timeout, or throw —
+  // so later blocking RPCs keep the constructor-configured bound. A zero
+  // SO_RCVTIMEO would mean "block forever", the opposite of a 0-second
+  // poll, hence the 1ms floor.
+  struct RestoreRecvTimeout {
+    Socket* sock;
+    double seconds;
+    ~RestoreRecvTimeout() {
+      try {
+        if (sock->valid()) sock->set_recv_timeout(seconds);
+      } catch (...) {
+        // Unwinding already; the socket is unusable anyway.
+      }
+    }
+  } restore{&sock_, timeout_seconds_};
+  sock_.set_recv_timeout(timeout_seconds < 0.001 ? 0.001 : timeout_seconds);
   Frame frame;
   bool got;
   try {

@@ -112,6 +112,9 @@ class BlockingClient {
 
   Socket sock_;
   HelloOkMsg limits_;
+  /// Constructor-configured recv timeout; poll_event() temporarily narrows
+  /// SO_RCVTIMEO to its own bound and must restore this one afterwards.
+  double timeout_seconds_;
   std::uint64_t next_request_id_ = 1;
   std::deque<StreamEvent> events_;
 };

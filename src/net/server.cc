@@ -69,34 +69,34 @@ void ProfilingServer::start() {
   listener_.set_nonblocking(true);
   // Cover-change events are produced on LiveStore worker threads; they are
   // queued under mu_ and the loop is woken to fan them out to subscribers.
-  live_listener_token_ = live_->subscribe([this](const CoverChangeEvent& ev) {
-    {
-      MutexLock lock(&mu_);
-      if (stop_requested_) return;
-      events_.push_back(ev);
-    }
-    wake_.wake();
-  });
   {
-    MutexLock lock(&mu_);
-    started_ = true;
+    MutexLock lock(&shutdown_mu_);
+    live_listener_token_ = live_->subscribe([this](const CoverChangeEvent& ev) {
+      {
+        MutexLock lock(&mu_);
+        if (stop_requested_) return;
+        events_.push_back(ev);
+      }
+      wake_.wake();
+    });
   }
   loop_thread_ = std::thread([this] { loop(); });
 }
 
 void ProfilingServer::shutdown() {
-  bool was_started;
   {
     MutexLock lock(&mu_);
-    if (stop_requested_) {
-      was_started = false;  // another thread owns the join
-    } else {
-      stop_requested_ = true;
-      was_started = started_;
-    }
+    stop_requested_ = true;
   }
   wake_.wake();
-  if (was_started && loop_thread_.joinable()) loop_thread_.join();
+  // Exactly one caller runs the teardown; everyone else blocks on the
+  // mutex until it finished, then sees shutdown_done_ and returns. No
+  // caller can return while the loop thread is still draining, and the
+  // listener token is only touched under the same lock.
+  MutexLock teardown(&shutdown_mu_);
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  if (loop_thread_.joinable()) loop_thread_.join();
   if (live_listener_token_ != 0) {
     live_->unsubscribe(live_listener_token_);
     live_listener_token_ = 0;
@@ -136,6 +136,7 @@ void ProfilingServer::loop() {
     if (listener_.valid()) poller.watch(listener_.fd(), true, false);
     poller.watch(wake_.read_fd(), true, false);
     for (const auto& [id, conn] : conns_) {
+      if (conn->dead) continue;  // reaped at the end of this tick
       bool want_write = conn->out_pos < conn->out.size();
       poller.watch(conn->sock.fd(), true, want_write);
     }
@@ -166,16 +167,17 @@ void ProfilingServer::loop() {
           break;
         }
       }
-      if (conn == nullptr) continue;
+      if (conn == nullptr || conn->dead) continue;
       if (ev.error) {
         drop_connection(conn_id, "poll error");
         continue;
       }
       if (ev.readable) handle_readable(*conn);
-      // handle_readable may have dropped the connection.
-      if (conns_.find(conn_id) == conns_.end()) continue;
+      // handle_readable may have dropped (read error) or killed (write
+      // error) the connection.
+      if (conns_.find(conn_id) == conns_.end() || conn->dead) continue;
       if (ev.writable) flush_writes(*conn);
-      if (conns_.find(conn_id) == conns_.end()) continue;
+      if (conns_.find(conn_id) == conns_.end() || conn->dead) continue;
       if (conn->closing && conn->out_pos >= conn->out.size()) {
         drop_connection(conn_id, "flushed and closing");
       }
@@ -192,13 +194,7 @@ void ProfilingServer::loop() {
       if (!events.empty()) deliver_events(std::move(events));
     }
     heartbeat_and_idle();
-
-    // Closing connections whose buffers drained during this tick.
-    std::vector<std::uint64_t> done;
-    for (const auto& [id, conn] : conns_) {
-      if (conn->closing && conn->out_pos >= conn->out.size()) done.push_back(id);
-    }
-    for (std::uint64_t id : done) drop_connection(id, "flushed and closing");
+    reap_connections();
   }
 
   // Hard stop: anything still open closes now.
@@ -276,6 +272,7 @@ void ProfilingServer::handle_readable(Connection& c) {
     std::uint64_t conn_id = c.id;
     dispatch(c, frame);
     if (conns_.find(conn_id) == conns_.end()) return;  // dispatch dropped it
+    if (c.dead) return;  // a reply hit a reset socket; ignore the rest
   }
 }
 
@@ -740,6 +737,7 @@ void ProfilingServer::heartbeat_and_idle() {
 }
 
 void ProfilingServer::send_frame(Connection& c, std::vector<std::uint8_t> frame) {
+  if (c.dead) return;  // socket already failed; the frame has no ride home
   metrics_->counter("net.frames_tx").inc();
   metrics_->counter("net.bytes_tx").inc(static_cast<std::int64_t>(frame.size()));
   c.out.insert(c.out.end(), frame.begin(), frame.end());
@@ -754,6 +752,7 @@ void ProfilingServer::send_error(Connection& c, std::uint64_t request_id,
 }
 
 void ProfilingServer::flush_writes(Connection& c) {
+  if (c.dead) return;
   while (c.out_pos < c.out.size()) {
     IoResult r = c.sock.write_some(c.out.data() + c.out_pos,
                                    c.out.size() - c.out_pos);
@@ -762,7 +761,12 @@ void ProfilingServer::flush_writes(Connection& c) {
       continue;
     }
     if (r.status == IoStatus::kWouldBlock) break;
-    drop_connection(c.id, "write failed");
+    // A peer reset mid-send (ECONNRESET/EPIPE) must NOT erase the
+    // Connection here: writes happen deep inside dispatch, the heartbeat
+    // sweep, and event fan-out, all of which still hold the reference or
+    // are range-iterating conns_. Mark it; reap_connections() erases it at
+    // the safe point at the end of the tick.
+    mark_dead(c);
     return;
   }
   if (c.out_pos == c.out.size()) {
@@ -772,10 +776,33 @@ void ProfilingServer::flush_writes(Connection& c) {
   }
   if (c.out.size() - c.out_pos > options_.max_write_buffer_bytes) {
     // TCP-level slow consumer: the peer stopped reading. Same verdict as a
-    // credit overflow — drop before the buffer eats the server.
+    // credit overflow — kill it before the buffer eats the server.
     metrics_->counter("net.slow_consumer_disconnects").inc();
-    drop_connection(c.id, "write buffer overflow");
+    mark_dead(c);
   }
+}
+
+void ProfilingServer::mark_dead(Connection& c) {
+  if (c.dead) return;
+  c.dead = true;
+  c.closing = true;
+  // Nothing can be written anymore; drop the buffer now so a draining
+  // shutdown never waits on bytes that have no way out.
+  c.out.clear();
+  c.out_pos = 0;
+}
+
+void ProfilingServer::reap_connections() {
+  // The single place dead or fully-drained closing connections are erased:
+  // once per tick, with no conns_ iteration active and no Connection
+  // reference live on the stack.
+  std::vector<std::uint64_t> done;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->dead || (conn->closing && conn->out_pos >= conn->out.size())) {
+      done.push_back(id);
+    }
+  }
+  for (std::uint64_t id : done) drop_connection(id, "dead or flushed");
 }
 
 void ProfilingServer::drop_connection(std::uint64_t conn_id, const char*) {

@@ -37,7 +37,7 @@ struct ServerOptions {
   /// kernel backlog stays bounded, the client sees a clean EOF).
   int max_connections = 256;
   /// Per-connection window of accepted-but-unanswered requests; the
-  /// (max_connections + 1)-th concurrent request gets kTooManyInFlight.
+  /// (max_inflight + 1)-th concurrent request gets kTooManyInFlight.
   /// 0 disables.
   std::uint32_t max_inflight = 16;
   /// Per-connection request quota: token bucket, requests/second + burst.
@@ -141,6 +141,13 @@ class ProfilingServer {
     bool got_hello = false;
     /// Flush the outbound buffer, then close (goodbye / stream-end paths).
     bool closing = false;
+    /// The socket failed mid-write (peer reset, buffer overflow). The
+    /// Connection must NOT be erased from conns_ at the point of failure:
+    /// writes happen deep inside call chains (dispatch, heartbeat sweeps,
+    /// event fan-out) whose callers still hold the reference or are
+    /// range-iterating conns_. Dead connections are reaped at one safe
+    /// point per loop tick instead.
+    bool dead = false;
 
     Connection(std::uint32_t max_frame_len, double quota_rate,
                double quota_burst, std::uint32_t max_inflight)
@@ -196,6 +203,8 @@ class ProfilingServer {
   void end_subscription(Connection& c, std::uint64_t sub_id,
                         StreamEndReason reason, const std::string& detail);
   void drop_connection(std::uint64_t conn_id, const char* why);
+  void mark_dead(Connection& c);
+  void reap_connections();
   void flush_writes(Connection& c);
   bool drain_finished();
   void finish_job(const PendingJob& job);
@@ -215,7 +224,6 @@ class ProfilingServer {
   ThreadPool ops_pool_;
   std::thread loop_thread_;
   std::chrono::steady_clock::time_point epoch_;
-  std::uint64_t live_listener_token_ = 0;
 
   // Loop-thread-only state (no locks: single owner).
   std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
@@ -228,9 +236,16 @@ class ProfilingServer {
   // Cross-thread state.
   mutable Mutex mu_;
   bool stop_requested_ DHYFD_GUARDED_BY(mu_) = false;
-  bool started_ DHYFD_GUARDED_BY(mu_) = false;
   std::vector<Completion> completions_ DHYFD_GUARDED_BY(mu_);
   std::vector<CoverChangeEvent> events_ DHYFD_GUARDED_BY(mu_);
+
+  /// Serializes the shutdown body: exactly one caller joins the loop thread
+  /// and tears down (unsubscribe, ops pool); concurrent or repeat callers
+  /// block here until that teardown finished, so shutdown() never returns
+  /// while the loop thread is still draining.
+  Mutex shutdown_mu_;
+  bool shutdown_done_ DHYFD_GUARDED_BY(shutdown_mu_) = false;
+  std::uint64_t live_listener_token_ DHYFD_GUARDED_BY(shutdown_mu_) = 0;
 };
 
 }  // namespace dhyfd::net

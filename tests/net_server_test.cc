@@ -450,6 +450,135 @@ TEST(NetServerTest, SlowConsumerIsDisconnectedWithoutStallingOthers) {
   fast.ping();
 }
 
+TEST(NetServerTest, PeerResetMidStreamDoesNotHarmOtherClients) {
+  ServerOptions options;
+  options.heartbeat_seconds = 0.05;  // constant writes to streaming conns
+  Stack stack(options);
+  BlockingClient writer = stack.connect("writer");
+  writer.register_dataset("aba", DemoCsv(), /*live=*/true);
+
+  BlockingClient fast = stack.connect("fast");
+  std::uint64_t fast_id = fast.subscribe("aba", 64);
+
+  RawTable extra = GenerateBenchmark("abalone", 240);
+  int batch = 0;
+  auto push_batch = [&] {
+    ApplyUpdateMsg update;
+    update.dataset = "aba";
+    for (int i = 120 + batch * 10; i < 130 + batch * 10; ++i) {
+      update.inserts.push_back(extra.rows[i]);
+    }
+    writer.apply_update(update);
+    ++batch;
+  };
+
+  // Rounds of: subscribe, receive stream traffic, vanish without goodbye.
+  // Closing with unread data pending sends RST, so the server's next
+  // heartbeat or fan-out write to that socket fails mid-send. Before the
+  // deferred-death fix, that write error freed the Connection while
+  // iterating callers still held it (use-after-free); now it is marked
+  // dead and reaped at the end of the tick.
+  for (int round = 0; round < 5; ++round) {
+    auto doomed = std::make_unique<BlockingClient>(
+        "127.0.0.1", stack.server->port(), "doomed", /*timeout_seconds=*/5);
+    doomed->subscribe("aba", 8);
+    push_batch();
+    doomed.reset();  // frames still unread: this close resets the socket
+    push_batch();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+
+  // The surviving subscriber saw every batch and the server still talks.
+  int fast_updates = 0;
+  StreamEvent ev;
+  for (int i = 0; i < 200 && fast_updates < batch; ++i) {
+    if (!fast.poll_event(&ev, 0.2)) continue;
+    if (ev.kind == StreamEvent::Kind::kCoverUpdate) {
+      EXPECT_EQ(ev.sub_id, fast_id);
+      ++fast_updates;
+      fast.grant_credits(fast_id, 1);
+    }
+  }
+  EXPECT_EQ(fast_updates, batch);
+  writer.ping();
+  fast.ping();
+  EXPECT_GE(stack.metrics.counter("net.conns_closed").value(), 5);
+}
+
+TEST(NetServerTest, PollEventRestoresRpcTimeout) {
+  SchedulerOptions sched;
+  sched.num_threads = 1;
+  Stack stack({}, sched);
+  BlockingClient client = stack.connect();
+  client.register_dataset("aba", DemoCsv(), /*live=*/false);
+
+  // A zero-timeout poll must return promptly: SO_RCVTIMEO of 0 means "wait
+  // forever", so poll_event has to clamp it up, not pass it through.
+  StreamEvent ev;
+  auto poll_start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.poll_event(&ev, 0.0));
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          poll_start)
+                .count(),
+            5.0);
+
+  // Narrow the socket timeout via a short poll...
+  EXPECT_FALSE(client.poll_event(&ev, 0.05));
+
+  // ...then hold the single worker hostage for much longer than that poll
+  // bound. The next RPC's answer cannot arrive until the release; it must
+  // still succeed because poll_event restored the constructor's timeout.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  bool entered = false;
+  ProfileJob blocker;
+  blocker.dataset = "aba";
+  blocker.options.stage_hook = [&](ProfileStage, double) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  };
+  JobHandlePtr running = stack.scheduler->submit(blocker);
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return entered; });
+  }
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    std::unique_lock<std::mutex> lock(gate_mu);
+    release = true;
+    gate_cv.notify_all();
+  });
+  SubmitDiscoveryMsg submit;
+  submit.dataset = "aba";
+  DiscoveryResultMsg result = client.submit_discovery(submit);
+  EXPECT_FALSE(result.state.empty());
+  releaser.join();
+  running->wait();
+}
+
+TEST(NetServerTest, ConcurrentShutdownCallsAreSerialized) {
+  Stack stack;
+  BlockingClient writer = stack.connect("writer");
+  writer.register_dataset("aba", DemoCsv(), /*live=*/true);
+  BlockingClient sub = stack.connect("subscriber");
+  sub.subscribe("aba", 8);
+
+  // Every caller must block until the one real teardown finished — no
+  // caller may return while the loop thread is still draining (a second
+  // caller used to skip the join and shut the ops pool under the live
+  // loop).
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&] { stack.server->shutdown(); });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(stack.server->connections(), 0);
+  stack.server->shutdown();  // still idempotent after the fact
+}
+
 TEST(NetServerTest, GracefulShutdownEndsStreamsAndDrains) {
   Stack stack;
   BlockingClient writer = stack.connect("writer");
