@@ -5,8 +5,9 @@
 #   3. bench             — build-only compile of every bench/ harness
 #   4. tsan              — concurrency tests under ThreadSanitizer, including
 #                          the net server round-trip + backpressure suite
-#   5. asan              — partition-arena tests plus the wire-framing
-#                          negative/fuzz-ish suite under AddressSanitizer
+#   5. asan              — partition-arena tests, the wire-framing
+#                          negative/fuzz-ish suite (incl. the query payload
+#                          negatives), and the query lattice under ASan
 #   6. ubsan             — bit-twiddling kernels under UBSan (non-recoverable)
 #   7. thread-safety     — Clang Thread Safety Analysis as errors over src/,
 #                          plus a seeded mis-annotation that must FAIL to
@@ -77,14 +78,20 @@ echo "=== asan: partition arena indexing under AddressSanitizer ==="
 # above stay as-is — these kernels are single-threaded.
 cmake -B build-asan -S . -DDHYFD_SANITIZE=address -DDHYFD_WERROR=ON
 cmake --build build-asan -j "$JOBS" --target \
-  partition_test partition_cache_test partition_intersect_test net_wire_test
+  partition_test partition_cache_test partition_intersect_test \
+  net_wire_test query_test
 ./build-asan/tests/partition_test
 ./build-asan/tests/partition_cache_test
 ./build-asan/tests/partition_intersect_test
 # net_wire_test feeds the frame decoder truncated frames, hostile length
 # prefixes, and random byte soup — exactly the inputs where a missing bounds
-# check would read past a buffer, which is ASan's home turf.
+# check would read past a buffer, which is ASan's home turf. The query
+# payload negatives (truncated SubmitQuery specs, hostile column counts,
+# absurd k/epsilon) ride in the same binary.
 ./build-asan/tests/net_wire_test
+# query_test drives the top-k lattice and the g3 removal counter, both of
+# which walk the shared CSR arena with raw cursors.
+./build-asan/tests/query_test
 
 echo
 echo "=== ubsan: bit-twiddling kernels under UBSan (no recovery) ==="
@@ -94,12 +101,15 @@ echo "=== ubsan: bit-twiddling kernels under UBSan (no recovery) ==="
 cmake -B build-ubsan -S . -DDHYFD_SANITIZE=undefined -DDHYFD_WERROR=ON
 cmake --build build-ubsan -j "$JOBS" --target \
   attribute_set_test partition_test partition_intersect_test \
-  closure_test ranking_test
+  closure_test ranking_test query_topk_property_test
 ./build-ubsan/tests/attribute_set_test
 ./build-ubsan/tests/partition_test
 ./build-ubsan/tests/partition_intersect_test
 ./build-ubsan/tests/closure_test
 ./build-ubsan/tests/ranking_test
+# The top-k oracle sweep exercises the score accumulation and the removal
+# budget floor() edge where an overflow or bad cast would skew the rank.
+./build-ubsan/tests/query_topk_property_test
 
 echo
 echo "=== thread-safety: Clang TSA over src/ (-Werror=thread-safety) ==="

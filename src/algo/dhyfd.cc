@@ -32,11 +32,18 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   tree.init_root_fd(all);
   tree.set_controlled_level(1);
 
+  // Approximate mode: exact pair-based evidence is unsound (a violating
+  // pair refutes an exact FD, not one allowed `budget` removals), so the
+  // sampling phase is skipped and refuted candidates are specialized
+  // wholesale through the tree instead of via sampled agree sets.
+  const int64_t budget = ApproxRemovalBudget(options_.epsilon, r.num_rows());
+  const bool approx = budget > 0;
+
   // Lines 5-6: one-off sorted-neighborhood sampling, plus validating the
   // root FD against the whole relation (partition {r}).
   NeighborhoodSampler sampler(r, ddm.static_partitions());
   std::vector<AttributeSet> violations;
-  {
+  if (!approx) {
     TraceSpan span("discover.sampling");
     violations = sampler.initial(options_.initial_sampling_windows);
   }
@@ -45,10 +52,18 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   {
     StrippedPartition whole = StrippedPartition::whole(r.num_rows());
     result.stats.validations += tree.root()->rhs.count();
-    ValidationOutcome v = ValidateWithPartition(r, AttributeSet(), tree.root()->rhs,
-                                                whole, AttributeSet(), ddm.refiner());
+    AttributeSet root_rhs = tree.root()->rhs;
+    ValidationOutcome v =
+        approx ? ValidateApproxWithPartition(r, AttributeSet(), root_rhs, whole,
+                                             AttributeSet(), ddm.refiner(), budget)
+               : ValidateWithPartition(r, AttributeSet(), root_rhs, whole,
+                                       AttributeSet(), ddm.refiner());
     result.stats.pairs_compared += v.pairs_checked;
-    result.stats.invalidated += tree.root()->rhs.count() - v.valid_rhs.count();
+    result.stats.invalidated += root_rhs.count() - v.valid_rhs.count();
+    if (approx) {
+      AttributeSet refuted = root_rhs - v.valid_rhs;
+      if (!refuted.empty()) tree.induct(AttributeSet(), refuted);
+    }
     for (AttributeSet& z : v.violations) violations.push_back(z);
   }
 
@@ -73,10 +88,15 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   int64_t num_fds = 0;
   std::vector<ExtendedFdTree::Node*> candidates = tree.level_nodes(1);
 
-  // Line 11: main loop over validation levels.
-  while (!candidates.empty() && !result.stats.timed_out) {
+  // Line 11: main loop over validation levels. The precise arity bound
+  // stops the loop after validating LHSs of max_lhs attributes; anything
+  // deeper the tree speculated about is filtered from the collected cover.
+  std::vector<std::pair<AttributeSet, AttributeSet>> refuted_fds;
+  while (!candidates.empty() && !result.stats.timed_out &&
+         (options_.max_lhs == 0 || vl <= options_.max_lhs)) {
     result.stats.levels = vl;
     violations.clear();
+    refuted_fds.clear();
 
     // Line 13: candidate FDs on this level, before induction.
     int64_t total = 0;
@@ -104,16 +124,28 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
         const StrippedPartition& base = ddm.partition_for_id(node->id);
         AttributeSet base_attrs = ddm.attrs_for_id(node->id);
         result.stats.validations += node->rhs.count();
+        AttributeSet node_rhs = node->rhs;
         ValidationOutcome v =
-            ValidateWithPartition(r, lhs, node->rhs, base, base_attrs, ddm.refiner());
+            approx ? ValidateApproxWithPartition(r, lhs, node_rhs, base,
+                                                 base_attrs, ddm.refiner(), budget)
+                   : ValidateWithPartition(r, lhs, node_rhs, base, base_attrs,
+                                           ddm.refiner());
         result.stats.pairs_compared += v.pairs_checked;
         result.stats.refinements += v.refinements;
-        result.stats.invalidated += node->rhs.count() - v.valid_rhs.count();
+        result.stats.invalidated += node_rhs.count() - v.valid_rhs.count();
+        if (approx) {
+          AttributeSet refuted = node_rhs - v.valid_rhs;
+          if (!refuted.empty()) refuted_fds.emplace_back(lhs, refuted);
+        }
         for (AttributeSet& z : v.violations) violations.push_back(z);
       }
     }
 
-    // Lines 19-20: induct this level's violations, most specific first.
+    // Lines 19-20: induct this level's violations, most specific first. In
+    // approximate mode each refuted candidate is specialized exactly — its
+    // proper LHS subsets already failed at earlier levels (anti-monotone
+    // removal counts), so induct(lhs, refuted_rhs) removes only the refuted
+    // FDs and inserts their minimal specializations.
     {
       TraceSpan induct_span("discover.induction");
       SortBySizeDescending(violations);
@@ -124,7 +156,15 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
         }
         tree.induct(x, all - x);
       }
-      ObsAdd("discover.inductions", static_cast<int64_t>(violations.size()));
+      for (const auto& [lhs, refuted] : refuted_fds) {
+        if (deadline.expired()) {
+          result.stats.timed_out = true;
+          break;
+        }
+        tree.induct(lhs, refuted);
+      }
+      ObsAdd("discover.inductions",
+             static_cast<int64_t>(violations.size() + refuted_fds.size()));
     }
 
     // Lines 21-25: efficiency-inefficiency ratio.
@@ -162,6 +202,13 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
 
   // Line 30.
   result.fds = tree.collect();
+  if (options_.max_lhs > 0) {
+    // Specializations the tree speculated past the arity bound were never
+    // validated; everything at or below the bound was (levels run in order).
+    std::erase_if(result.fds.fds, [&](const Fd& fd) {
+      return fd.lhs.count() > options_.max_lhs;
+    });
+  }
   result.fds.sort();
   ObsAdd("discover.fdtree.fds", tree.total_fd_count());
   ObsAdd("discover.levels", result.stats.levels);

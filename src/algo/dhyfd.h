@@ -16,6 +16,17 @@ struct DhyfdOptions {
   /// If false, the DDM never refreshes: every validation starts from a
   /// single-attribute partition. For the E12 ablation bench.
   bool enable_ddm = true;
+  /// Error threshold for approximate FDs: a candidate X -> A holds when its
+  /// g3 removal count stays within floor(epsilon * |r|). With epsilon > 0
+  /// the sampling phase is skipped — a single violating pair refutes only
+  /// exact FDs — and failed candidates are specialized directly; soundness
+  /// of the tree traversal follows from the measure's anti-monotonicity.
+  /// 0 runs the exact hybrid path unchanged.
+  double epsilon = 0;
+  /// Precise LHS arity bound (0 = unbounded): the level loop stops after
+  /// validating LHSs of max_lhs attributes and deeper speculative FDs are
+  /// dropped from the collected cover.
+  int max_lhs = 0;
   /// Cooperative deadline in seconds (0 = none).
   double time_limit_seconds = 0;
 };

@@ -68,4 +68,66 @@ ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& l
   return out;
 }
 
+ValidationOutcome ValidateApproxWithPartition(const Relation& r,
+                                              const AttributeSet& lhs,
+                                              const AttributeSet& rhs,
+                                              const StrippedPartition& base,
+                                              const AttributeSet& base_attrs,
+                                              PartitionRefiner& refiner,
+                                              int64_t budget) {
+  ValidationOutcome out;
+  out.valid_rhs = rhs;
+  if (rhs.empty()) return out;
+  struct CallCounters {
+    const ValidationOutcome& out;
+    const AttributeSet& rhs;
+    ~CallCounters() {
+      ObsAdd("discover.validator.calls");
+      ObsAdd("discover.validator.pairs", out.pairs_checked);
+      ObsAdd("discover.validator.refuted_fds",
+             rhs.count() - out.valid_rhs.count());
+      ObsAdd("partition.single_cluster_refinements", out.refinements);
+    }
+  } counters{out, rhs};
+
+  AttributeSet missing = lhs - base_attrs;
+  std::vector<AttrId> missing_attrs;
+  missing.for_each([&](AttrId a) { missing_attrs.push_back(a); });
+
+  // Per-RHS removal counts accumulate across base classes; an attribute is
+  // refuted the moment its count exceeds the budget. Removal counting is
+  // additive over disjoint classes, so per-class accumulation computes the
+  // same total as one pass over the full pi_X.
+  ApproxErrorCalculator calc(r);
+  std::vector<int64_t> removals(static_cast<size_t>(r.num_cols()), 0);
+
+  StrippedPartition pi, next;
+  for (ClusterView s : base.clusters()) {
+    pi.clear();
+    pi.add_cluster(s);
+    for (AttrId a : missing_attrs) {
+      next.clear();
+      const size_t n = static_cast<size_t>(pi.size());
+      for (size_t i = 0; i < n; ++i) {
+        refiner.refine_cluster(pi.cluster(i), a, next);
+        ++out.refinements;
+      }
+      pi.swap(next);
+      if (pi.empty()) break;
+    }
+    if (pi.empty()) continue;
+    AttributeSet refuted;
+    out.valid_rhs.for_each([&](AttrId a) {
+      out.pairs_checked += pi.support();
+      removals[a] += calc.removals(pi, a);
+      if (removals[a] > budget) refuted.set(a);
+    });
+    if (!refuted.empty()) {
+      out.valid_rhs -= refuted;
+      if (out.valid_rhs.empty()) return out;
+    }
+  }
+  return out;
+}
+
 }  // namespace dhyfd

@@ -34,6 +34,22 @@ ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& l
                                         const AttributeSet& base_attrs,
                                         PartitionRefiner& refiner);
 
+/// Approximate form: X -> A survives while its g3 removal count (minimum
+/// tuples to delete so the FD holds exactly) stays <= budget; budget == 0
+/// accepts exactly the FDs the exact validator accepts.
+///
+/// Unlike the exact form this records no violation agree sets — one
+/// violating pair refutes an exact FD but says nothing about an approximate
+/// one, so callers must refute failed candidates wholesale (induct the
+/// failed LHS against rhs - valid_rhs) rather than from sampled pairs.
+ValidationOutcome ValidateApproxWithPartition(const Relation& r,
+                                              const AttributeSet& lhs,
+                                              const AttributeSet& rhs,
+                                              const StrippedPartition& base,
+                                              const AttributeSet& base_attrs,
+                                              PartitionRefiner& refiner,
+                                              int64_t budget);
+
 }  // namespace dhyfd
 
 #endif  // DHYFD_ALGO_VALIDATOR_H_

@@ -4,6 +4,7 @@
 
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "query/engine.h"
 #include "util/cancellation.h"
 #include "util/timer.h"
 
@@ -50,9 +51,22 @@ ProfileReport Profiler::profile(const Relation& relation) const {
   report.null_stats = ComputeNullStats(relation);
 
   Timer timer;
-  std::unique_ptr<FdDiscovery> algo =
-      MakeDiscovery(options_.algorithm, options_.time_limit_seconds);
-  {
+  if (options_.query.has_value()) {
+    QueryEngineOptions engine_options;
+    engine_options.time_limit_seconds = options_.time_limit_seconds;
+    TraceSpan span("profile.discover");
+    report.query_result =
+        QueryEngine(engine_options).execute(relation, *options_.query);
+    // Surface the query answer through the generic discovery fields so cover
+    // and ranking consumers work unchanged.
+    report.discovery.fds = report.query_result->cover();
+    report.discovery.stats.seconds = report.query_result->stats.seconds;
+    report.discovery.stats.validations = report.query_result->stats.validations;
+    report.discovery.stats.levels = report.query_result->stats.levels;
+    report.discovery.stats.timed_out = report.query_result->stats.timed_out;
+  } else {
+    std::unique_ptr<FdDiscovery> algo =
+        MakeDiscovery(options_.algorithm, options_.time_limit_seconds);
     TraceSpan span("profile.discover");
     report.discovery = algo->discover(relation);
   }

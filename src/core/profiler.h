@@ -2,11 +2,13 @@
 #define DHYFD_CORE_PROFILER_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algo/discovery.h"
 #include "fd/cover.h"
+#include "query/query.h"
 #include "ranking/ranking.h"
 #include "relation/encoder.h"
 
@@ -31,6 +33,13 @@ struct ProfileOptions {
   /// Cooperative deadline for the discovery stage in seconds (0 = none),
   /// wired into util/deadline.h exactly like the paper's TL budget.
   double time_limit_seconds = 0;
+  /// When set, the discovery stage runs the rank-driven query engine
+  /// (src/query/) instead of `algorithm`: approximate thresholds, arity
+  /// bounds, and top-k early termination all apply, the ranked answer lands
+  /// in ProfileReport::query_result, and discovery/left_reduced hold the
+  /// result's cover so downstream consumers keep working. ranking_mode is
+  /// taken from the query spec, not from this struct.
+  std::optional<DiscoveryQuery> query;
   /// Called on the profiling thread as each stage finishes; the service
   /// layer uses this to feed per-stage latency histograms.
   std::function<void(ProfileStage, double seconds)> stage_hook;
@@ -62,6 +71,9 @@ struct ProfileReport {
   std::vector<FdRedundancy> ranking;
   DatasetRedundancy dataset_redundancy;
   StageTimings timings;
+  /// Present iff ProfileOptions::query was set: the ranked (possibly
+  /// truncated to top-k) answer plus its pruning statistics.
+  std::optional<QueryResult> query_result;
   /// True if a CancelScope token fired mid-pipeline; later stages were
   /// skipped and discovery.stats.timed_out may be set.
   bool cancelled = false;

@@ -46,6 +46,14 @@ DiscoveryResultMsg BlockingClient::submit_discovery(
   return DiscoveryResultMsg::decode(r);
 }
 
+QueryResultMsg BlockingClient::submit_query(const SubmitQueryMsg& request) {
+  std::uint64_t id = next_request_id();
+  sock_.write_all(EncodeMsgFrame(MsgType::kSubmitQuery, id, request));
+  Frame reply = wait_response(id, MsgType::kQueryResult);
+  WireReader r(reply.payload);
+  return QueryResultMsg::decode(r);
+}
+
 CoverResultMsg BlockingClient::query_cover(const std::string& dataset,
                                            std::uint32_t top_k) {
   QueryCoverMsg msg;

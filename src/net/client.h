@@ -66,6 +66,10 @@ class BlockingClient {
                                  const std::string& csv_text, bool live,
                                  std::uint8_t semantics = 0);
   DiscoveryResultMsg submit_discovery(const SubmitDiscoveryMsg& request);
+  /// Protocol v2: rank-driven discovery query (approximate thresholds,
+  /// arity bounds, top-k). RpcError(kUnsupportedVersion) when the server
+  /// negotiated a pre-query protocol version for this connection.
+  QueryResultMsg submit_query(const SubmitQueryMsg& request);
   CoverResultMsg query_cover(const std::string& dataset,
                              std::uint32_t top_k = 0);
   UpdateOkMsg apply_update(const ApplyUpdateMsg& request);

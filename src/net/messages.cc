@@ -155,6 +155,74 @@ DiscoveryResultMsg DiscoveryResultMsg::decode(WireReader& r) {
   return m;
 }
 
+void SubmitQueryMsg::encode(WireWriter& w) const {
+  w.str(dataset);
+  w.u8(semantics);
+  w.u32(static_cast<std::uint32_t>(priority));
+  w.u32(deadline_ms);
+  w.f64(epsilon);
+  w.u32(max_lhs);
+  w.u32(top_k);
+  w.u8(ranking_mode);
+  w.u32(static_cast<std::uint32_t>(include_columns.size()));
+  for (std::uint8_t c : include_columns) w.u8(c);
+  w.u32(static_cast<std::uint32_t>(exclude_columns.size()));
+  for (std::uint8_t c : exclude_columns) w.u8(c);
+}
+
+SubmitQueryMsg SubmitQueryMsg::decode(WireReader& r) {
+  SubmitQueryMsg m;
+  m.dataset = r.str();
+  m.semantics = r.u8();
+  m.priority = static_cast<std::int32_t>(r.u32());
+  m.deadline_ms = r.u32();
+  m.epsilon = r.f64();
+  m.max_lhs = r.u32();
+  m.top_k = r.u32();
+  m.ranking_mode = r.u8();
+  std::uint32_t ni = r.u32();
+  CheckCount(r, ni, 1);
+  m.include_columns.reserve(ni);
+  for (std::uint32_t i = 0; i < ni; ++i) m.include_columns.push_back(r.u8());
+  std::uint32_t ne = r.u32();
+  CheckCount(r, ne, 1);
+  m.exclude_columns.reserve(ne);
+  for (std::uint32_t i = 0; i < ne; ++i) m.exclude_columns.push_back(r.u8());
+  r.expect_done();
+  return m;
+}
+
+void QueryResultMsg::encode(WireWriter& w) const {
+  w.str(state);
+  w.u32(total);
+  w.u8(early_terminated ? 1 : 0);
+  w.u8(timed_out ? 1 : 0);
+  w.u64(validations);
+  w.u64(pruned_epsilon);
+  w.u64(pruned_arity);
+  w.u64(pruned_bound);
+  w.f64(queue_seconds);
+  w.f64(run_seconds);
+  EncodeRankedFds(w, fds);
+}
+
+QueryResultMsg QueryResultMsg::decode(WireReader& r) {
+  QueryResultMsg m;
+  m.state = r.str();
+  m.total = r.u32();
+  m.early_terminated = r.u8() != 0;
+  m.timed_out = r.u8() != 0;
+  m.validations = r.u64();
+  m.pruned_epsilon = r.u64();
+  m.pruned_arity = r.u64();
+  m.pruned_bound = r.u64();
+  m.queue_seconds = r.f64();
+  m.run_seconds = r.f64();
+  m.fds = DecodeRankedFds(r);
+  r.expect_done();
+  return m;
+}
+
 void QueryCoverMsg::encode(WireWriter& w) const {
   w.str(dataset);
   w.u32(top_k);

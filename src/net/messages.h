@@ -16,7 +16,14 @@ namespace dhyfd::net {
 /// the bytes actually present before anything is reserved, so a hostile
 /// count field cannot trigger a multi-gigabyte allocation.
 
-constexpr std::uint32_t kProtocolVersion = 1;
+/// v1: the original message set (kHello .. kPong).
+/// v2: adds kSubmitQuery / kQueryResult (rank-driven discovery queries).
+/// The handshake negotiates min(client, server); v1 clients keep working but
+/// get kError(kUnsupportedVersion) if they send v2-only message types.
+constexpr std::uint32_t kProtocolVersion = 2;
+constexpr std::uint32_t kMinProtocolVersion = 1;
+/// The protocol version that introduced kSubmitQuery / kQueryResult.
+constexpr std::uint32_t kQueryProtocolVersion = 2;
 
 struct HelloMsg {
   std::uint32_t protocol_version = kProtocolVersion;
@@ -99,6 +106,55 @@ struct DiscoveryResultMsg {
 
   void encode(WireWriter& w) const;
   static DiscoveryResultMsg decode(WireReader& r);
+};
+
+/// Protocol v2: a rank-driven discovery query (src/query/) against a
+/// registered dataset. Decode is deliberately permissive about *semantic*
+/// values (a hostile epsilon or an absurd arity bound still decodes); the
+/// server validates the spec with DescribeQueryError and answers
+/// kError(kBadRequest) rather than dropping the connection.
+struct SubmitQueryMsg {
+  std::string dataset;
+  std::uint8_t semantics = 0;
+  std::int32_t priority = 0;
+  /// Per-request deadline, mapped onto the job's cooperative time limit
+  /// (util/deadline.h); 0 = none.
+  std::uint32_t deadline_ms = 0;
+  /// g3-style error threshold in [0, 1]; 0 = exact discovery.
+  double epsilon = 0;
+  /// Maximum LHS arity (0 = unbounded).
+  std::uint32_t max_lhs = 0;
+  /// Keep only the k best-ranked FDs (0 = all).
+  std::uint32_t top_k = 0;
+  /// RedundancyMode as its underlying integer value.
+  std::uint8_t ranking_mode = 0;
+  /// Column scope; empty include list = all columns.
+  std::vector<std::uint8_t> include_columns;
+  std::vector<std::uint8_t> exclude_columns;
+
+  void encode(WireWriter& w) const;
+  static SubmitQueryMsg decode(WireReader& r);
+};
+
+/// Protocol v2: answer to kSubmitQuery. `fds` carries the ranked answer in
+/// rank order; the pruning counters mirror QueryStats so a client can see
+/// why the search stopped.
+struct QueryResultMsg {
+  /// JobStateName() of the terminal state ("done", "cancelled", ...).
+  std::string state;
+  std::uint32_t total = 0;  // FDs in the (possibly truncated) answer
+  bool early_terminated = false;
+  bool timed_out = false;
+  std::uint64_t validations = 0;
+  std::uint64_t pruned_epsilon = 0;
+  std::uint64_t pruned_arity = 0;
+  std::uint64_t pruned_bound = 0;
+  double queue_seconds = 0;
+  double run_seconds = 0;
+  std::vector<RankedFdMsg> fds;
+
+  void encode(WireWriter& w) const;
+  static QueryResultMsg decode(WireReader& r);
 };
 
 struct QueryCoverMsg {

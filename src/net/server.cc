@@ -289,15 +289,21 @@ void ProfilingServer::dispatch(Connection& c, const Frame& frame) {
       case MsgType::kHello: {
         WireReader r(frame.payload);
         HelloMsg hello = HelloMsg::decode(r);
-        if (hello.protocol_version != kProtocolVersion) {
+        if (hello.protocol_version < kMinProtocolVersion ||
+            hello.protocol_version > kProtocolVersion) {
           send_error(c, frame.request_id, ErrCode::kUnsupportedVersion,
-                     "server speaks protocol version " +
+                     "server speaks protocol versions " +
+                         std::to_string(kMinProtocolVersion) + ".." +
                          std::to_string(kProtocolVersion));
           c.closing = true;
           return;
         }
         c.got_hello = true;
+        // Negotiate down to the client's version; v2-only requests from a
+        // v1 connection get a clean per-request error, not a disconnect.
+        c.protocol_version = hello.protocol_version;
         HelloOkMsg ok;
+        ok.protocol_version = c.protocol_version;
         ok.max_inflight = options_.max_inflight;
         ok.credit_max = options_.credit_max;
         ok.heartbeat_seconds = options_.heartbeat_seconds;
@@ -337,6 +343,9 @@ void ProfilingServer::dispatch(Connection& c, const Frame& frame) {
     switch (frame.type) {
       case MsgType::kSubmitDiscovery:
         handle_submit_discovery(c, frame);
+        return;
+      case MsgType::kSubmitQuery:
+        handle_submit_query(c, frame);
         return;
       case MsgType::kRegisterDataset:
         handle_register(c, frame);
@@ -392,6 +401,65 @@ void ProfilingServer::handle_submit_discovery(Connection& c,
   }
   pending_jobs_.push_back(
       {c.id, frame.request_id, msg.top_k, now(), std::move(handle)});
+}
+
+void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame) {
+  if (c.protocol_version < kQueryProtocolVersion) {
+    send_error(c, frame.request_id, ErrCode::kUnsupportedVersion,
+               "submit_query requires protocol version " +
+                   std::to_string(kQueryProtocolVersion) +
+                   "; this connection negotiated " +
+                   std::to_string(c.protocol_version));
+    return;
+  }
+  WireReader r(frame.payload);
+  SubmitQueryMsg msg = SubmitQueryMsg::decode(r);
+  DiscoveryQuery query;
+  query.epsilon = msg.epsilon;
+  query.max_lhs = static_cast<int>(
+      std::min<std::uint32_t>(msg.max_lhs, 1u << 16));
+  query.top_k = msg.top_k;
+  query.ranking_mode = static_cast<RedundancyMode>(msg.ranking_mode);
+  for (std::uint8_t col : msg.include_columns) {
+    query.include_columns.push_back(static_cast<AttrId>(col));
+  }
+  for (std::uint8_t col : msg.exclude_columns) {
+    query.exclude_columns.push_back(static_cast<AttrId>(col));
+  }
+  // Hostile-but-well-framed specs (epsilon out of [0,1], NaN, absurd arity)
+  // decode fine and are rejected here with a per-request error; only
+  // malformed bytes cost the connection. Schema-width checks happen when
+  // the job runs against the resolved dataset.
+  std::string spec_error = DescribeQueryError(query, /*num_cols=*/0);
+  if (!spec_error.empty()) {
+    send_error(c, frame.request_id, ErrCode::kBadRequest, spec_error);
+    return;
+  }
+  if (!c.inflight.try_acquire()) {
+    metrics_->counter("net.inflight_rejects").inc();
+    send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
+               "in-flight window full (" + std::to_string(c.inflight.max()) +
+                   ")");
+    return;
+  }
+  ProfileJob job;
+  job.dataset = msg.dataset;
+  job.options.semantics = SemanticsFromWire(msg.semantics);
+  job.options.query = std::move(query);
+  // The full-profile tail stages add nothing to a query answer.
+  job.options.compute_canonical = false;
+  job.options.compute_ranking = false;
+  job.priority = msg.priority;
+  job.time_limit_seconds = msg.deadline_ms / 1000.0;
+  JobHandlePtr handle = scheduler_->submit(std::move(job));
+  if (handle->rejected()) {
+    c.inflight.release();
+    metrics_->counter("net.busy_rejects").inc();
+    send_error(c, frame.request_id, ErrCode::kServerBusy, handle->error());
+    return;
+  }
+  pending_jobs_.push_back({c.id, frame.request_id, msg.top_k, now(),
+                           std::move(handle), /*is_query=*/true});
 }
 
 void ProfilingServer::handle_register(Connection& c, const Frame& frame) {
@@ -589,7 +657,44 @@ void ProfilingServer::finish_job(const PendingJob& job) {
   metrics_->histogram("net.request_seconds").record(now() - job.started);
   JobState state = job.handle->state();
   if (state == JobState::kFailed) {
-    send_error(c, job.request_id, ErrCode::kInternal, job.handle->error());
+    std::string error = job.handle->error();
+    ErrCode code = error.find("invalid discovery query") != std::string::npos
+                       ? ErrCode::kBadRequest
+                       : ErrCode::kInternal;
+    send_error(c, job.request_id, code, error);
+    return;
+  }
+  if (job.is_query) {
+    QueryResultMsg msg;
+    msg.state = JobStateName(state);
+    msg.queue_seconds = job.handle->queue_seconds();
+    msg.run_seconds = job.handle->run_seconds();
+    try {
+      const ProfileReport& report = job.handle->report();
+      if (report.query_result.has_value()) {
+        const QueryResult& qr = *report.query_result;
+        msg.total = static_cast<std::uint32_t>(qr.fds.size());
+        msg.early_terminated = qr.stats.early_terminated;
+        msg.timed_out = qr.stats.timed_out;
+        msg.validations = static_cast<std::uint64_t>(qr.stats.validations);
+        msg.pruned_epsilon = static_cast<std::uint64_t>(qr.stats.pruned_epsilon);
+        msg.pruned_arity = static_cast<std::uint64_t>(qr.stats.pruned_arity);
+        msg.pruned_bound = static_cast<std::uint64_t>(qr.stats.pruned_bound);
+        msg.fds.reserve(qr.fds.size());
+        for (const RankedFd& f : qr.fds) {
+          msg.fds.push_back(
+              {f.fd.to_string(), static_cast<double>(f.score)});
+        }
+      }
+      if (report.cancelled) {
+        msg.state = "cancelled";
+      } else if (report.discovery.stats.timed_out) {
+        msg.state = "deadline_expired";
+      }
+    } catch (const std::exception&) {
+      // Cancelled before it started: no report, counts stay zero.
+    }
+    send_frame(c, EncodeMsgFrame(MsgType::kQueryResult, job.request_id, msg));
     return;
   }
   DiscoveryResultMsg msg;

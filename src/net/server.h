@@ -139,6 +139,10 @@ class ProfilingServer {
     double last_recv = 0;
     double last_send = 0;
     bool got_hello = false;
+    /// Negotiated at the hello handshake: min(client, server). Gates
+    /// version-specific requests (kSubmitQuery needs v2) without breaking
+    /// older clients.
+    std::uint32_t protocol_version = 0;
     /// Flush the outbound buffer, then close (goodbye / stream-end paths).
     bool closing = false;
     /// The socket failed mid-write (peer reset, buffer overflow). The
@@ -163,6 +167,9 @@ class ProfilingServer {
     std::uint32_t top_k = 0;
     double started = 0;
     JobHandlePtr handle;
+    /// True for kSubmitQuery jobs: the answer is a kQueryResult frame built
+    /// from the report's query_result instead of a kDiscoveryResult.
+    bool is_query = false;
   };
   struct PendingUpdate {
     std::uint64_t conn_id = 0;
@@ -187,6 +194,7 @@ class ProfilingServer {
   void handle_readable(Connection& c);
   void dispatch(Connection& c, const Frame& frame);
   void handle_submit_discovery(Connection& c, const Frame& frame);
+  void handle_submit_query(Connection& c, const Frame& frame);
   void handle_register(Connection& c, const Frame& frame);
   void handle_query_cover(Connection& c, const Frame& frame);
   void handle_apply_update(Connection& c, const Frame& frame);

@@ -4,11 +4,11 @@ namespace dhyfd::net {
 
 bool IsKnownMsgType(std::uint8_t t) {
   if (t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-      t <= static_cast<std::uint8_t>(MsgType::kGoodbye)) {
+      t <= static_cast<std::uint8_t>(MsgType::kSubmitQuery)) {
     return true;
   }
   return t >= static_cast<std::uint8_t>(MsgType::kHelloOk) &&
-         t <= static_cast<std::uint8_t>(MsgType::kPong);
+         t <= static_cast<std::uint8_t>(MsgType::kQueryResult);
 }
 
 const char* ErrCodeName(ErrCode code) {

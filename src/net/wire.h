@@ -39,6 +39,7 @@ enum class MsgType : std::uint8_t {
   kUnsubscribe = 8,      // end a subscription
   kPing = 9,             // liveness probe; also resets the idle timer
   kGoodbye = 10,         // polite close: server flushes, then disconnects
+  kSubmitQuery = 11,     // run a rank-driven discovery query (protocol v2+)
 
   // server -> client
   kHelloOk = 64,         // handshake reply: limits the client must respect
@@ -52,6 +53,7 @@ enum class MsgType : std::uint8_t {
   kStreamEnd = 72,       // subscription closed; reason code
   kHeartbeat = 73,       // periodic keepalive on streaming connections
   kPong = 74,
+  kQueryResult = 75,     // answer to kSubmitQuery (protocol v2+)
 };
 
 /// True if `t` is a value the protocol defines (in either direction).

@@ -163,6 +163,39 @@ StrippedPartition IntersectPartitions(const StrippedPartition& a,
   return out;
 }
 
+ApproxErrorCalculator::ApproxErrorCalculator(const Relation& r)
+    : rel_(r),
+      counts_(static_cast<size_t>(std::max<ValueId>(r.max_domain_size(), 1)), 0) {}
+
+int64_t ApproxErrorCalculator::removals(const StrippedPartition& lhs_partition,
+                                        AttrId rhs) {
+  const std::vector<ValueId>& col = rel_.column(rhs);
+  int64_t total = 0;
+  for (ClusterView cluster : lhs_partition.clusters()) {
+    uint32_t max_group = 0;
+    for (RowId row : cluster) {
+      ValueId v = col[row];
+      if (counts_[v] == 0) touched_.push_back(v);
+      if (++counts_[v] > max_group) max_group = counts_[v];
+    }
+    total += static_cast<int64_t>(cluster.size()) - max_group;
+    for (ValueId v : touched_) counts_[v] = 0;
+    touched_.clear();
+  }
+  return total;
+}
+
+int64_t ApproxFdRemovals(const Relation& r, const StrippedPartition& lhs_partition,
+                         AttrId rhs) {
+  ApproxErrorCalculator calc(r);
+  return calc.removals(lhs_partition, rhs);
+}
+
+int64_t ApproxRemovalBudget(double epsilon, RowId num_rows) {
+  if (epsilon <= 0 || num_rows <= 0) return 0;
+  return static_cast<int64_t>(epsilon * static_cast<double>(num_rows) + 1e-9);
+}
+
 bool PartitionImpliesFd(const Relation& r, const StrippedPartition& lhs_partition,
                         AttrId rhs) {
   const std::vector<ValueId>& col = r.column(rhs);

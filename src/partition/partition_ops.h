@@ -86,6 +86,42 @@ class PartitionIntersector {
 StrippedPartition IntersectPartitions(const StrippedPartition& a,
                                       const StrippedPartition& b, RowId num_rows);
 
+/// The g3-style error numerator for an approximate FD X -> A: the minimum
+/// number of tuples to remove from r so X -> A holds exactly. Computed from
+/// pi_X alone (singleton X-classes contribute nothing): each class pays its
+/// size minus the size of its largest single-A-value group.
+///
+/// The count is anti-monotone in X — refining the LHS partition splits
+/// classes, and the per-class maxima of the parts sum to at least the
+/// parent's maximum — so lattice pruning that relies on "supersets of a
+/// valid LHS stay valid" remains sound under a removal budget, and a budget
+/// of 0 coincides exactly with the exact-FD test (PartitionImpliesFd).
+class ApproxErrorCalculator {
+ public:
+  explicit ApproxErrorCalculator(const Relation& r);
+
+  ApproxErrorCalculator(const ApproxErrorCalculator&) = delete;
+  ApproxErrorCalculator& operator=(const ApproxErrorCalculator&) = delete;
+
+  /// Removal count for lhs_partition -> rhs. O(||pi_X||) with touched-only
+  /// counter resets, like the refiner's counting split.
+  int64_t removals(const StrippedPartition& lhs_partition, AttrId rhs);
+
+ private:
+  const Relation& rel_;
+  std::vector<uint32_t> counts_;
+  std::vector<ValueId> touched_;
+};
+
+/// One-shot removal count; convenience for tests and cold paths.
+int64_t ApproxFdRemovals(const Relation& r, const StrippedPartition& lhs_partition,
+                         AttrId rhs);
+
+/// Integer removal budget for an error threshold: e(X -> A) <= epsilon iff
+/// removals <= floor(epsilon * |r|). The small bias absorbs representation
+/// error so thresholds like 0.1 on 10-row inputs admit exactly 1 removal.
+int64_t ApproxRemovalBudget(double epsilon, RowId num_rows);
+
 /// True if pi_lhs refines to the same error when the RHS attribute is added,
 /// i.e., the FD lhs -> rhs holds (TANE's validity criterion).
 bool PartitionImpliesFd(const Relation& r, const StrippedPartition& lhs_partition,

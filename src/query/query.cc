@@ -1,0 +1,82 @@
+#include "query/query.h"
+
+#include <cmath>
+
+namespace dhyfd {
+
+namespace {
+
+std::string CheckColumns(const std::vector<AttrId>& cols, const char* which,
+                         int num_cols) {
+  if (cols.size() > AttributeSet::kCapacity) {
+    return std::string(which) + " lists " + std::to_string(cols.size()) +
+           " columns; at most " + std::to_string(AttributeSet::kCapacity) +
+           " are addressable";
+  }
+  for (AttrId a : cols) {
+    if (a < 0 || a >= static_cast<AttrId>(AttributeSet::kCapacity)) {
+      return std::string(which) + " column id " + std::to_string(a) +
+             " is out of range";
+    }
+    if (num_cols > 0 && a >= num_cols) {
+      return std::string(which) + " column id " + std::to_string(a) +
+             " exceeds the schema width " + std::to_string(num_cols);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string DescribeQueryError(const DiscoveryQuery& q, int num_cols) {
+  if (std::isnan(q.epsilon) || q.epsilon < 0 || q.epsilon > 1) {
+    return "epsilon must be a finite error rate in [0, 1]";
+  }
+  if (q.max_lhs < 0 ||
+      q.max_lhs > static_cast<int>(AttributeSet::kCapacity)) {
+    return "max_lhs must be in [0, " +
+           std::to_string(AttributeSet::kCapacity) + "]";
+  }
+  switch (q.ranking_mode) {
+    case RedundancyMode::kWithNulls:
+    case RedundancyMode::kExcludingNullRhs:
+    case RedundancyMode::kExcludingNullBoth:
+      break;
+    default:
+      return "unknown ranking mode";
+  }
+  std::string err = CheckColumns(q.include_columns, "include_columns", num_cols);
+  if (!err.empty()) return err;
+  err = CheckColumns(q.exclude_columns, "exclude_columns", num_cols);
+  if (!err.empty()) return err;
+  if (num_cols > 0) {
+    AttributeSet active;
+    if (q.include_columns.empty()) {
+      active = AttributeSet::full(num_cols);
+    } else {
+      for (AttrId a : q.include_columns) active.set(a);
+    }
+    for (AttrId a : q.exclude_columns) active.reset(a);
+    if (active.count() < 2) {
+      return "query scope must keep at least two columns";
+    }
+  }
+  return "";
+}
+
+FdSet QueryResult::cover() const {
+  FdSet out;
+  out.fds.reserve(fds.size());
+  for (const RankedFd& f : fds) out.add(f.fd);
+  return out;
+}
+
+bool RankedFdBetter(const RankedFd& a, const RankedFd& b) {
+  if (a.score != b.score) return a.score > b.score;
+  int ca = a.fd.lhs.count(), cb = b.fd.lhs.count();
+  if (ca != cb) return ca < cb;
+  if (a.fd.lhs != b.fd.lhs) return a.fd.lhs < b.fd.lhs;
+  return a.fd.rhs < b.fd.rhs;
+}
+
+}  // namespace dhyfd

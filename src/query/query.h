@@ -1,0 +1,89 @@
+#ifndef DHYFD_QUERY_QUERY_H_
+#define DHYFD_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "ranking/ranking.h"
+#include "relation/relation.h"
+
+namespace dhyfd {
+
+/// A rank-driven discovery query: instead of the all-or-nothing profiling
+/// pipeline (discover the full cover, then score it), a query bounds the
+/// work up front — by error threshold, LHS arity, a top-k cutoff on the
+/// redundancy rank, and a column scope — and the engine uses those bounds
+/// to prune discovery itself (ROADMAP item 2; see DESIGN.md "Rank-driven
+/// queries" for the early-termination argument).
+struct DiscoveryQuery {
+  /// Error threshold on e(X -> A) = removals / |r| (the g3 measure over
+  /// stripped partitions): a candidate holds when its error is <= epsilon.
+  /// 0 demands exact FDs and reduces to the existing discovery path.
+  double epsilon = 0;
+  /// Maximum LHS attributes (0 = unbounded). Lattice levels past the bound
+  /// are never generated.
+  int max_lhs = 0;
+  /// Return only the k best FDs by redundancy score (0 = the full cover).
+  /// Ties rank in the deterministic FdSet::sort order.
+  std::uint32_t top_k = 0;
+  /// Score/null-handling variant used for the ranking (Section VI).
+  RedundancyMode ranking_mode = RedundancyMode::kExcludingNullRhs;
+  /// Columns the query is scoped to (empty = all). FDs are discovered over
+  /// exactly these columns; attribute ids in the result refer to the
+  /// original schema.
+  std::vector<AttrId> include_columns;
+  /// Columns removed from scope after include_columns is applied.
+  std::vector<AttrId> exclude_columns;
+};
+
+/// Validates a query spec; returns "" when well-formed, else a one-line
+/// reason. num_cols <= 0 skips the schema-width checks (the net front end
+/// validates syntax before the dataset is resolved).
+std::string DescribeQueryError(const DiscoveryQuery& q, int num_cols);
+
+/// Work/pruning counters for one executed query; mirrored into the query.*
+/// obs counters. The three pruned_* counts measure candidate FDs the engine
+/// never validated, by which bound excluded them.
+struct QueryStats {
+  double seconds = 0;
+  /// Candidate error tests performed.
+  std::int64_t validations = 0;
+  /// Candidates rejected by the error threshold (removals > budget).
+  std::int64_t pruned_epsilon = 0;
+  /// Candidate frontier abandoned when the arity bound cut the lattice.
+  std::int64_t pruned_arity = 0;
+  /// Candidate frontier abandoned by top-k early termination (the
+  /// admissible score bound fell to the heap floor).
+  std::int64_t pruned_bound = 0;
+  /// Lattice/validation levels processed.
+  int levels = 0;
+  /// True when top-k mode stopped before exhausting the lattice.
+  bool early_terminated = false;
+  bool timed_out = false;
+};
+
+/// One result FD with its redundancy score under the query's ranking_mode.
+struct RankedFd {
+  Fd fd;
+  std::int64_t score = 0;
+};
+
+/// Query output: FDs in rank order (descending score, FdSet::sort order on
+/// ties), truncated to top_k when set.
+struct QueryResult {
+  std::vector<RankedFd> fds;
+  QueryStats stats;
+
+  /// The result FDs as a plain cover (rank order preserved).
+  FdSet cover() const;
+};
+
+/// True when `a` outranks `b`: higher score first, deterministic FdSet
+/// order (LHS size, LHS bits, RHS bits) on ties.
+bool RankedFdBetter(const RankedFd& a, const RankedFd& b);
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_QUERY_QUERY_H_

@@ -1,14 +1,14 @@
-#include "algo/tane.h"
+#include "query/topk.h"
 
 #include <algorithm>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
-#include "obs/obs.h"
 #include "obs/trace.h"
 #include "partition/partition_ops.h"
+#include "ranking/redundancy.h"
 #include "util/deadline.h"
-#include "util/memory.h"
 #include "util/timer.h"
 
 namespace dhyfd {
@@ -19,16 +19,14 @@ struct LevelEntry {
   AttributeSet attrs;
   AttributeSet cplus;  // TANE's C+(X): still-possible RHS attributes
   StrippedPartition partition;
-  int64_t error = 0;  // e(X) = ||pi_X|| - |pi_X|
+  int64_t error = 0;
 };
 
 using Level = std::vector<LevelEntry>;
 using LevelIndex = std::unordered_map<AttributeSet, int, AttributeSetHash>;
 
-// Persistent store of every C+(X) computed so far. The key-pruning rule
-// needs C+ of sibling sets that may have been deleted — or never generated
-// because an ancestor was a key; Huhtala et al. define those recursively as
-// the intersection of the C+ of all |X|-1-subsets (memoized here).
+// Same memoized C+ store as TANE's (tane.cc): the key-pruning rule needs C+
+// of sibling sets that were deleted or never generated.
 class CplusStore {
  public:
   explicit CplusStore(int num_attrs) {
@@ -50,50 +48,91 @@ class CplusStore {
     return cplus;
   }
 
-  size_t memory_bytes() const {
-    return memo_.size() * (2 * sizeof(AttributeSet) + 2 * sizeof(void*));
-  }
-
  private:
   std::unordered_map<AttributeSet, AttributeSet, AttributeSetHash> memo_;
 };
 
+/// The k best-ranked FDs so far. top() is the current floor: the entry any
+/// new candidate must outrank to enter once the heap is full.
+class TopKHeap {
+ public:
+  explicit TopKHeap(std::uint32_t k) : k_(k) {}
+
+  bool full() const { return heap_.size() >= k_; }
+  int64_t floor_score() const { return heap_.top().score; }
+
+  void offer(RankedFd candidate) {
+    if (!full()) {
+      heap_.push(std::move(candidate));
+    } else if (RankedFdBetter(candidate, heap_.top())) {
+      heap_.pop();
+      heap_.push(std::move(candidate));
+    }
+  }
+
+  std::vector<RankedFd> take_ranked() {
+    std::vector<RankedFd> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());  // worst pops first
+    return out;
+  }
+
+ private:
+  struct Better {
+    bool operator()(const RankedFd& a, const RankedFd& b) const {
+      return RankedFdBetter(a, b);
+    }
+  };
+  // priority_queue surfaces the *last* element under the comparator, so
+  // ordering by "better" keeps the worst kept FD on top.
+  std::priority_queue<RankedFd, std::vector<RankedFd>, Better> heap_;
+  std::uint32_t k_;
+};
+
+/// Candidate FDs still reachable from a level's surviving entries; the
+/// frontier size credited to whichever bound cut the traversal.
+int64_t FrontierSize(const Level& pruned) {
+  int64_t n = 0;
+  for (const LevelEntry& e : pruned) n += e.cplus.count();
+  return n;
+}
+
 }  // namespace
 
-DiscoveryResult Tane::discover(const Relation& r) {
+QueryResult TopKDiscover(const Relation& r, const DiscoveryQuery& q,
+                         double time_limit_seconds) {
   Timer timer;
-  MemoryWatermark mem;
-  Deadline deadline(options_.time_limit_seconds);
-  DiscoveryResult result;
+  Deadline deadline(time_limit_seconds);
+  QueryResult result;
   const int m = r.num_cols();
   const int64_t empty_error = r.num_rows() > 0 ? r.num_rows() - 1 : 0;
   const AttributeSet all = AttributeSet::full(m);
-  // Approximate mode: candidates hold while their g3 removal count stays
-  // within the budget. budget == 0 keeps the exact error-comparison test
-  // (and skips the prev-level partition retention it would need).
-  const int64_t budget = ApproxRemovalBudget(options_.epsilon, r.num_rows());
+  const int64_t budget = ApproxRemovalBudget(q.epsilon, r.num_rows());
   const bool approx = budget > 0;
   ApproxErrorCalculator approx_calc(r);
-
-  // One intersector for the whole run: its probe table and output arenas
-  // persist across every level-(k+1) product.
   PartitionIntersector intersector(r.num_rows());
+  TopKHeap heap(q.top_k);
 
-  // Level 0 state: C+({}) = R, e({}) = |r| - 1.
+  auto offer = [&](const Fd& fd, const StrippedPartition& pi_lhs) {
+    FdRedundancy red = FdRedundancyFromPartition(r, fd, pi_lhs);
+    heap.offer(RankedFd{fd, RedundancyCount(red, q.ranking_mode)});
+  };
+
+  // Level 1: single attributes, plus the {} -> A candidates.
   Level level;
-  LevelIndex index;
   for (AttrId a = 0; a < m; ++a) {
     LevelEntry e;
     e.attrs = AttributeSet::single(a);
     e.cplus = all;
     e.partition = BuildAttributePartition(r, a);
     e.error = e.partition.error();
-    index.emplace(e.attrs, static_cast<int>(level.size()));
     level.push_back(std::move(e));
   }
   CplusStore cplus_store(m);
-  // Level-1 dependencies {} -> A (constant columns; under a removal budget,
-  // near-constant columns). pi_{} is the single whole-relation class.
   const StrippedPartition whole = StrippedPartition::whole(r.num_rows());
   for (LevelEntry& e : level) {
     ++result.stats.validations;
@@ -101,36 +140,27 @@ DiscoveryResult Tane::discover(const Relation& r) {
     bool valid = approx ? approx_calc.removals(whole, a) <= budget
                         : e.error == empty_error;
     if (valid) {
-      result.fds.add(Fd(AttributeSet(), a));
+      offer(Fd(AttributeSet(), a), whole);
       e.cplus.reset(a);
-      // {} -> A valid: remove all B in R - X from C+(X) (X = {A}). This
-      // extra pruning relies on exact-FD augmentation, which the g3 measure
-      // does not satisfy as an equivalence, so approximate runs keep only
-      // the minimality-preserving reset above.
-      if (!approx) e.cplus &= e.attrs;
+      if (!approx) e.cplus &= e.attrs;  // exact-only R - X sweep (cf. tane.cc)
     } else {
-      ++result.stats.invalidated;
+      ++result.stats.pruned_epsilon;
     }
     cplus_store.put(e.attrs, e.cplus);
   }
 
-  // Errors of the previous level, for the e(X - A) == e(X) test. Approximate
-  // runs additionally retain the previous level's partitions: the removal
-  // count for X - A -> A is computed from pi_{X-A} and the A column, which
-  // the error values alone cannot provide.
+  // Previous level's errors and partitions; the partitions both answer the
+  // approximate error tests and score valid candidates (the FD's LHS is the
+  // previous-level set X - A).
   std::unordered_map<AttributeSet, int64_t, AttributeSetHash> prev_errors;
   std::unordered_map<AttributeSet, StrippedPartition, AttributeSetHash>
       prev_partitions;
-  prev_errors.emplace(AttributeSet(), empty_error);
-  size_t logical_peak = 0;
 
   int level_num = 1;
   while (!level.empty() && !result.stats.timed_out) {
-    TraceSpan level_span("discover.validation");
+    TraceSpan level_span("query.lattice_level");
     result.stats.levels = level_num;
-    ObsAdd("discover.lattice_level_entries", static_cast<int64_t>(level.size()));
     if (level_num >= 2) {
-      // compute_dependencies for this level.
       for (LevelEntry& e : level) {
         if (deadline.expired()) {
           result.stats.timed_out = true;
@@ -143,40 +173,33 @@ DiscoveryResult Tane::discover(const Relation& r) {
           auto it = prev_errors.find(x_minus_a);
           if (it == prev_errors.end()) return;  // pruned parent
           ++result.stats.validations;
-          bool valid;
-          if (approx) {
-            valid =
-                approx_calc.removals(prev_partitions.at(x_minus_a), a) <= budget;
-          } else {
-            valid = it->second == e.error;
-          }
+          bool valid =
+              approx
+                  ? approx_calc.removals(prev_partitions.at(x_minus_a), a) <=
+                        budget
+                  : it->second == e.error;
           if (valid) {
-            result.fds.add(Fd(x_minus_a, a));
+            offer(Fd(x_minus_a, a), prev_partitions.at(x_minus_a));
             e.cplus.reset(a);
-            // See the level-1 comment: the R - X sweep is exact-only.
             if (!approx) e.cplus -= all - e.attrs;
           } else {
-            ++result.stats.invalidated;
+            ++result.stats.pruned_epsilon;
           }
         });
         cplus_store.put(e.attrs, e.cplus);
       }
     }
 
-    // Prune: drop X with empty C+; emit key-based FDs and drop superkeys.
-    // Key-rule FDs have an LHS of exactly level_num attributes, so the
-    // precise arity bound suppresses them on its one extra level.
-    const bool emit_key_fds =
-        options_.max_lhs == 0 || level_num <= options_.max_lhs;
+    // Prune: empty C+, and exact keys (emitted through the key rule with an
+    // empty pi_X, so they score 0 — "zero counts hint at keys").
+    const bool emit_key_fds = q.max_lhs == 0 || level_num <= q.max_lhs;
     Level pruned;
     LevelIndex pruned_index;
+    const StrippedPartition empty_partition;
     for (LevelEntry& e : level) {
       if (e.cplus.empty()) continue;
       if (e.error == 0) {
         if (!emit_key_fds) continue;
-        // X is a (super)key. Huhtala et al.'s key pruning rule: emit X -> A
-        // for A in C+(X) - X whenever A survives the C+ of every sibling
-        // set (X + {A}) - {B}, B in X; then delete X from the level.
         AttributeSet extra = e.cplus - e.attrs;
         extra.for_each([&](AttrId a) {
           bool emit = true;
@@ -185,29 +208,41 @@ DiscoveryResult Tane::discover(const Relation& r) {
             AttributeSet sibling = e.attrs;
             sibling.reset(b);
             sibling.set(a);
-            // Sibling C+ may belong to a set that was deleted or never
-            // generated; the store derives it recursively in that case.
             if (!cplus_store.get(sibling).test(a)) emit = false;
           });
           if (emit) {
             ++result.stats.validations;
-            result.fds.add(Fd(e.attrs, a));
+            offer(Fd(e.attrs, a), empty_partition);
           }
         });
-        continue;  // superkeys never extend to the next level
+        continue;
       }
       pruned_index.emplace(e.attrs, static_cast<int>(pruned.size()));
       pruned.push_back(std::move(e));
     }
 
-    if (options_.max_level > 0 && level_num >= options_.max_level) break;
-    // The precise arity bound stops after the level that validates LHSs of
-    // exactly max_lhs attributes (level max_lhs + 1), so the cover below the
-    // bound is complete.
-    if (options_.max_lhs > 0 && level_num > options_.max_lhs) break;
+    if (q.max_lhs > 0 && level_num > q.max_lhs) {
+      result.stats.pruned_arity += FrontierSize(pruned);
+      break;
+    }
 
-    // generate_next_level via prefix blocks: combine entries that share all
-    // attributes except their largest one.
+    // Early termination: every FD still discoverable has an LHS refining
+    // some surviving entry, so its score is bounded by the largest surviving
+    // support. Once that bound cannot beat the heap floor (ties lose to the
+    // strictly smaller LHSs already kept), deeper levels are provably
+    // irrelevant.
+    if (heap.full() && !pruned.empty()) {
+      int64_t bound = 0;
+      for (const LevelEntry& e : pruned) {
+        bound = std::max(bound, e.partition.support());
+      }
+      if (bound <= heap.floor_score()) {
+        result.stats.pruned_bound += FrontierSize(pruned);
+        result.stats.early_terminated = true;
+        break;
+      }
+    }
+
     prev_errors.clear();
     for (const LevelEntry& e : pruned) prev_errors.emplace(e.attrs, e.error);
 
@@ -219,7 +254,6 @@ DiscoveryResult Tane::discover(const Relation& r) {
     }
 
     Level next;
-    LevelIndex next_index;
     for (auto& [prefix, members] : blocks) {
       (void)prefix;
       if (result.stats.timed_out) break;
@@ -232,7 +266,6 @@ DiscoveryResult Tane::discover(const Relation& r) {
           const LevelEntry& a = pruned[members[i]];
           const LevelEntry& b = pruned[members[j]];
           AttributeSet xy = a.attrs | b.attrs;
-          // All |XY|-1 subsets must have survived pruning.
           bool ok = true;
           AttributeSet cplus = all;
           xy.for_each([&](AttrId c) {
@@ -252,35 +285,21 @@ DiscoveryResult Tane::discover(const Relation& r) {
           e.cplus = cplus;
           intersector.intersect(a.partition, b.partition, e.partition);
           e.error = e.partition.error();
-          result.stats.refinements += a.partition.size();
-          next_index.emplace(xy, static_cast<int>(next.size()));
           next.push_back(std::move(e));
         }
         if (result.stats.timed_out) break;
       }
     }
-    mem.sample();
-    size_t level_bytes = cplus_store.memory_bytes();
-    for (const LevelEntry& e : level) level_bytes += e.partition.memory_bytes();
-    for (const LevelEntry& e : next) level_bytes += e.partition.memory_bytes();
-    logical_peak = std::max(logical_peak, level_bytes);
-    if (approx) {
-      // Generation is done with this level's partitions; keep them one more
-      // level for the next round's removal counts.
-      prev_partitions.clear();
-      for (LevelEntry& e : pruned) {
-        prev_partitions.emplace(e.attrs, std::move(e.partition));
-      }
+    prev_partitions.clear();
+    for (LevelEntry& e : pruned) {
+      prev_partitions.emplace(e.attrs, std::move(e.partition));
     }
     level = std::move(next);
-    index = std::move(next_index);
     ++level_num;
   }
 
-  result.fds.sort();
+  result.fds = heap.take_ranked();
   result.stats.seconds = timer.seconds();
-  result.stats.memory_mb = std::max(
-      mem.delta_peak_mb(), static_cast<double>(logical_peak) / (1024.0 * 1024.0));
   return result;
 }
 

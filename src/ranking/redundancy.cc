@@ -16,26 +16,30 @@ bool AnyLhsNull(const Relation& r, RowId row, const AttributeSet& lhs) {
 
 }  // namespace
 
+FdRedundancy FdRedundancyFromPartition(const Relation& r, const Fd& fd,
+                                       const StrippedPartition& pi_lhs) {
+  FdRedundancy red;
+  red.fd = fd;
+  // The redundant rows are exactly the arena rows — the class bounds are
+  // irrelevant here, so scan the CSR arena flat.
+  for (RowId row : pi_lhs.row_arena()) {
+    bool lhs_null = AnyLhsNull(r, row, fd.lhs);
+    fd.rhs.for_each([&](AttrId a) {
+      ++red.with_nulls;
+      if (!r.is_null(row, a)) {
+        ++red.excluding_null_rhs;
+        if (!lhs_null) ++red.excluding_null_lhs_rhs;
+      }
+    });
+  }
+  return red;
+}
+
 std::vector<FdRedundancy> ComputeFdRedundancies(const Relation& r, const FdSet& cover) {
   std::vector<FdRedundancy> out;
   out.reserve(cover.fds.size());
   for (const Fd& fd : cover.fds) {
-    FdRedundancy red;
-    red.fd = fd;
-    StrippedPartition pi = BuildPartition(r, fd.lhs);
-    // The redundant rows are exactly the arena rows — the class bounds are
-    // irrelevant here, so scan the CSR arena flat.
-    for (RowId row : pi.row_arena()) {
-      bool lhs_null = AnyLhsNull(r, row, fd.lhs);
-      fd.rhs.for_each([&](AttrId a) {
-        ++red.with_nulls;
-        if (!r.is_null(row, a)) {
-          ++red.excluding_null_rhs;
-          if (!lhs_null) ++red.excluding_null_lhs_rhs;
-        }
-      });
-    }
-    out.push_back(red);
+    out.push_back(FdRedundancyFromPartition(r, fd, BuildPartition(r, fd.lhs)));
   }
   return out;
 }

@@ -28,6 +28,15 @@ struct FdRedundancy {
 /// Per-FD redundancy counts for every FD of a (valid) cover.
 std::vector<FdRedundancy> ComputeFdRedundancies(const Relation& r, const FdSet& cover);
 
+class StrippedPartition;
+
+/// Redundancy counts for one FD from an already-built pi_{lhs}. The query
+/// engine scores candidates with the partitions its lattice traversal holds
+/// anyway; sharing this kernel keeps those scores bit-identical to the
+/// discover-then-rank pipeline.
+FdRedundancy FdRedundancyFromPartition(const Relation& r, const Fd& fd,
+                                       const StrippedPartition& pi_lhs);
+
 /// Dataset-level redundancy (Table IV): an occurrence counts once no matter
 /// how many FDs of the cover make it redundant.
 struct DatasetRedundancy {

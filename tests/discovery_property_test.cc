@@ -8,6 +8,7 @@
 
 #include "algo/discovery.h"
 #include "fd/cover.h"
+#include "query/engine.h"
 #include "relation/encoder.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -43,6 +44,27 @@ TEST_P(AlgorithmSweep, AgreesWithBruteForce) {
   EXPECT_TRUE(IsLeftReduced(res.fds, c.cols)) << algo_name;
 }
 
+// epsilon = 0, k = 0, unbounded arity must reduce the query engine exactly
+// to today's exact-discovery path: the cover equals brute force (and hence
+// every algorithm above) on every sweep case.
+class QueryEquivalenceSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(QueryEquivalenceSweep, UnconstrainedQueryEqualsExactDiscovery) {
+  const SweepCase& c = GetParam();
+  Relation r = RandomRelation(c.seed, c.rows, c.cols, c.domain, c.null_rate);
+  FdSet expected = BruteForceDiscover(r);
+  QueryResult res = QueryEngine().execute(r, DiscoveryQuery{});
+  EXPECT_EQ(CoverDifference(expected, res.cover(), c.cols), "")
+      << "seed=" << c.seed;
+  EXPECT_EQ(res.fds.size(), expected.size());
+  // The top-k lattice with k >= |cover| must find the identical cover.
+  DiscoveryQuery all_k;
+  all_k.top_k = static_cast<std::uint32_t>(expected.size()) + 1;
+  QueryResult topk = QueryEngine().execute(r, all_k);
+  EXPECT_EQ(CoverDifference(expected, topk.cover(), c.cols), "")
+      << "topk seed=" << c.seed;
+}
+
 std::vector<SweepCase> SweepCases() {
   return {
       {1, 10, 3, 2, 0.0},   {2, 30, 4, 3, 0.0},   {3, 50, 5, 2, 0.0},
@@ -69,6 +91,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(AllPlusExtraNames()),
                        ::testing::ValuesIn(SweepCases())),
     SweepName);
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, QueryEquivalenceSweep, ::testing::ValuesIn(SweepCases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "s" + std::to_string(info.param.seed);
+    });
 
 TEST(DiscoveryFactoryTest, KnownNames) {
   for (const std::string& name : AllDiscoveryNames()) {

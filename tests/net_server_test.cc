@@ -163,6 +163,109 @@ TEST(NetServerTest, RegisterQueryAndDiscoveryEndToEnd) {
   EXPECT_LE(cover.top.size(), 3u);
 }
 
+TEST(NetServerTest, SubmitQueryEndToEnd) {
+  Stack stack;
+  BlockingClient client = stack.connect();
+  client.register_dataset("aba", DemoCsv(), /*live=*/false);
+
+  SubmitQueryMsg submit;
+  submit.dataset = "aba";
+  submit.top_k = 5;
+  QueryResultMsg result = client.submit_query(submit);
+  EXPECT_EQ(result.state, "done");
+  EXPECT_GT(result.validations, 0u);
+  EXPECT_EQ(result.total, result.fds.size());
+  ASSERT_LE(result.fds.size(), 5u);
+  ASSERT_FALSE(result.fds.empty());
+  for (std::size_t i = 1; i < result.fds.size(); ++i) {
+    EXPECT_GE(result.fds[i - 1].redundancy, result.fds[i].redundancy);
+  }
+
+  // Approximate + arity-bounded also answers cleanly.
+  submit.top_k = 0;
+  submit.epsilon = 0.1;
+  submit.max_lhs = 2;
+  QueryResultMsg approx = client.submit_query(submit);
+  EXPECT_EQ(approx.state, "done");
+  EXPECT_EQ(approx.total, approx.fds.size());
+}
+
+TEST(NetServerTest, HostileQuerySpecGetsBadRequestNotDisconnect) {
+  Stack stack;
+  BlockingClient client = stack.connect();
+  client.register_dataset("aba", DemoCsv(), /*live=*/false);
+
+  SubmitQueryMsg submit;
+  submit.dataset = "aba";
+  submit.epsilon = -7.5;  // well-framed, semantically hostile
+  try {
+    client.submit_query(submit);
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kBadRequest);
+  }
+
+  submit.epsilon = 0;
+  submit.max_lhs = 0xffffffffu;  // absurd arity bound
+  try {
+    client.submit_query(submit);
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kBadRequest);
+  }
+
+  // Scope wider than the schema is caught when the job resolves the
+  // dataset; still a clean bad-request, not a dropped connection.
+  submit.max_lhs = 0;
+  submit.include_columns = {0, 200};
+  try {
+    client.submit_query(submit);
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kBadRequest);
+  }
+
+  // The connection survived all three rejections.
+  client.ping();
+  SubmitQueryMsg good;
+  good.dataset = "aba";
+  good.top_k = 3;
+  EXPECT_EQ(client.submit_query(good).state, "done");
+}
+
+TEST(NetServerTest, V1ClientIsRejectedCleanlyOnSubmitQuery) {
+  Stack stack;
+  Socket s = ConnectTcp("127.0.0.1", stack.server->port());
+  s.set_recv_timeout(30);
+  HelloMsg hello;
+  hello.protocol_version = 1;  // an old client
+  hello.client_name = "legacy";
+  s.write_all(EncodeMsgFrame(MsgType::kHello, 1, hello));
+  Frame f;
+  ASSERT_TRUE(ReadRawFrame(s, &f));
+  ASSERT_EQ(f.type, MsgType::kHelloOk);
+  {
+    WireReader r(f.payload);
+    EXPECT_EQ(HelloOkMsg::decode(r).protocol_version, 1u);
+  }
+
+  // v2-only request on a v1 connection: per-request error, no disconnect.
+  SubmitQueryMsg submit;
+  submit.dataset = "whatever";
+  s.write_all(EncodeMsgFrame(MsgType::kSubmitQuery, 2, submit));
+  ASSERT_TRUE(ReadRawFrame(s, &f));
+  ASSERT_EQ(f.type, MsgType::kError);
+  {
+    WireReader r(f.payload);
+    EXPECT_EQ(ErrorMsg::decode(r).code, ErrCode::kUnsupportedVersion);
+  }
+
+  // The v1 message set still works on the same connection.
+  s.write_all(EncodeEmptyFrame(MsgType::kPing, 3));
+  ASSERT_TRUE(ReadRawFrame(s, &f));
+  EXPECT_EQ(f.type, MsgType::kPong);
+}
+
 TEST(NetServerTest, UnknownDatasetErrors) {
   Stack stack;
   BlockingClient client = stack.connect();

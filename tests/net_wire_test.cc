@@ -295,6 +295,129 @@ TEST(MessagesTest, TruncatedPayloadThrowsNotCrashes) {
   }
 }
 
+TEST(MessagesTest, SubmitQueryRoundTrip) {
+  SubmitQueryMsg msg;
+  msg.dataset = "abalone";
+  msg.semantics = 1;
+  msg.priority = 2;
+  msg.deadline_ms = 1500;
+  msg.epsilon = 0.05;
+  msg.max_lhs = 3;
+  msg.top_k = 10;
+  msg.ranking_mode = 1;
+  msg.include_columns = {0, 2, 5};
+  msg.exclude_columns = {2};
+  WireWriter w;
+  msg.encode(w);
+  WireReader r(w.bytes());
+  SubmitQueryMsg out = SubmitQueryMsg::decode(r);
+  EXPECT_EQ(out.dataset, "abalone");
+  EXPECT_EQ(out.epsilon, 0.05);
+  EXPECT_EQ(out.max_lhs, 3u);
+  EXPECT_EQ(out.top_k, 10u);
+  EXPECT_EQ(out.ranking_mode, 1);
+  EXPECT_EQ(out.include_columns, (std::vector<std::uint8_t>{0, 2, 5}));
+  EXPECT_EQ(out.exclude_columns, (std::vector<std::uint8_t>{2}));
+}
+
+TEST(MessagesTest, QueryResultRoundTrip) {
+  QueryResultMsg msg;
+  msg.state = "done";
+  msg.total = 4;
+  msg.early_terminated = true;
+  msg.timed_out = false;
+  msg.validations = 123;
+  msg.pruned_epsilon = 7;
+  msg.pruned_arity = 9;
+  msg.pruned_bound = 55;
+  msg.queue_seconds = 0.125;
+  msg.run_seconds = 2.5;
+  msg.fds = {{"{1} -> {2}", 40.0}, {"{0,3} -> {1}", 12.0}};
+  WireWriter w;
+  msg.encode(w);
+  WireReader r(w.bytes());
+  QueryResultMsg out = QueryResultMsg::decode(r);
+  EXPECT_EQ(out.state, "done");
+  EXPECT_EQ(out.total, 4u);
+  EXPECT_TRUE(out.early_terminated);
+  EXPECT_FALSE(out.timed_out);
+  EXPECT_EQ(out.validations, 123u);
+  EXPECT_EQ(out.pruned_bound, 55u);
+  ASSERT_EQ(out.fds.size(), 2u);
+  EXPECT_EQ(out.fds[1].fd, "{0,3} -> {1}");
+}
+
+TEST(MessagesTest, TruncatedSubmitQueryThrowsAtEveryPrefix) {
+  SubmitQueryMsg msg;
+  msg.dataset = "dataset-name";
+  msg.epsilon = 0.1;
+  msg.top_k = 5;
+  msg.include_columns = {0, 1, 2};
+  msg.exclude_columns = {1};
+  WireWriter w;
+  msg.encode(w);
+  const std::vector<std::uint8_t>& full = w.bytes();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    WireReader r(full.data(), cut);
+    EXPECT_THROW(
+        {
+          SubmitQueryMsg got = SubmitQueryMsg::decode(r);
+          (void)got;
+        },
+        WireError)
+        << "prefix of " << cut << " bytes decoded successfully";
+  }
+  WireReader ok(full.data(), full.size());
+  EXPECT_NO_THROW(SubmitQueryMsg::decode(ok));
+}
+
+TEST(MessagesTest, HostileQueryColumnCountRejectedWithoutAllocation) {
+  // A column list claiming 2^31 entries in a tiny payload must trip the
+  // count guard before any reserve happens.
+  SubmitQueryMsg msg;
+  msg.dataset = "d";
+  WireWriter w;
+  w.str(msg.dataset);
+  w.u8(0);              // semantics
+  w.u32(0);             // priority
+  w.u32(0);             // deadline_ms
+  w.f64(0);             // epsilon
+  w.u32(0);             // max_lhs
+  w.u32(0);             // top_k
+  w.u8(0);              // ranking_mode
+  w.u32(0x80000000u);   // hostile include count
+  WireReader r(w.bytes());
+  EXPECT_THROW(SubmitQueryMsg::decode(r), WireError);
+}
+
+TEST(MessagesTest, HostileEpsilonAndKStillDecode) {
+  // Semantically absurd-but-well-framed values must DECODE fine; rejecting
+  // them is the server's job (kBadRequest), so a hostile spec costs one
+  // request, not the connection.
+  SubmitQueryMsg msg;
+  msg.dataset = "d";
+  msg.epsilon = -42.0;
+  msg.max_lhs = 0xffffffffu;
+  msg.top_k = 0xffffffffu;
+  msg.ranking_mode = 200;
+  WireWriter w;
+  msg.encode(w);
+  WireReader r(w.bytes());
+  SubmitQueryMsg out;
+  EXPECT_NO_THROW(out = SubmitQueryMsg::decode(r));
+  EXPECT_EQ(out.epsilon, -42.0);
+  EXPECT_EQ(out.max_lhs, 0xffffffffu);
+}
+
+TEST(MessagesTest, QueryFrameTypesAreKnown) {
+  EXPECT_TRUE(IsKnownMsgType(static_cast<std::uint8_t>(MsgType::kSubmitQuery)));
+  EXPECT_TRUE(IsKnownMsgType(static_cast<std::uint8_t>(MsgType::kQueryResult)));
+  // The hole between client and server ranges is still unknown.
+  EXPECT_FALSE(IsKnownMsgType(12));
+  EXPECT_FALSE(IsKnownMsgType(63));
+  EXPECT_FALSE(IsKnownMsgType(76));
+}
+
 TEST(MessagesTest, ErrCodeAndReasonNamesCoverAllValues) {
   EXPECT_STREQ(ErrCodeName(ErrCode::kQuotaExceeded), "quota_exceeded");
   EXPECT_STREQ(ErrCodeName(ErrCode::kServerBusy), "server_busy");

@@ -44,6 +44,34 @@ TEST(StrippedPartitionTest, EmptyLhsOnTinyRelation) {
   EXPECT_TRUE(BuildPartition(r0, AttributeSet()).empty());
 }
 
+TEST(StrippedPartitionTest, ErrorOnEmptyRelation) {
+  Relation r = FromValues({});
+  StrippedPartition p = BuildPartition(r, AttributeSet());
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.error(), 0);
+  EXPECT_EQ(p.support(), 0);
+  EXPECT_EQ(StrippedPartition::whole(0).error(), 0);
+}
+
+TEST(StrippedPartitionTest, ErrorOnSingleWholeCluster) {
+  // A constant column: one cluster holding every row, e(X) = n - 1.
+  Relation r = FromValues({{7}, {7}, {7}, {7}});
+  StrippedPartition p = BuildAttributePartition(r, 0);
+  ASSERT_EQ(p.size(), 1);
+  EXPECT_EQ(p.support(), 4);
+  EXPECT_EQ(p.error(), 3);
+  EXPECT_EQ(StrippedPartition::whole(4).error(), 3);
+}
+
+TEST(StrippedPartitionTest, ErrorOnAllDistinctColumn) {
+  // A key column strips to nothing: ||pi|| = |pi| = 0, so e(X) = 0.
+  Relation r = FromValues({{0, 5}, {1, 5}, {2, 5}, {3, 5}});
+  StrippedPartition p = BuildAttributePartition(r, 0);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.error(), 0);
+  EXPECT_EQ(p.support(), 0);
+}
+
 TEST(StrippedPartitionTest, MultiAttributePartition) {
   Relation r = FromValues({{0, 0}, {0, 0}, {0, 1}, {1, 0}, {1, 0}});
   StrippedPartition p = BuildPartition(r, AttributeSet{0, 1});

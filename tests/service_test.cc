@@ -10,6 +10,7 @@
 
 #include "core/profiler.h"
 #include "datagen/benchmark_data.h"
+#include "query/engine.h"
 #include "util/cancellation.h"
 #include "util/deadline.h"
 
@@ -138,6 +139,53 @@ TEST(ServiceTest, ConcurrentJobsMatchSerialProfiler) {
   EXPECT_EQ(metrics.counter("jobs.submitted").value(), 8);
   EXPECT_EQ(metrics.gauge("jobs.running").value(), 0);
   EXPECT_GE(metrics.histogram("stage.discover_seconds").count(), 8);
+}
+
+TEST(ServiceTest, QueryJobsRunThroughScheduler) {
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  datasets.add_table("aba", DemoTable("abalone", 200));
+  auto rel = datasets.get("aba", NullSemantics::kNullEqualsNull);
+
+  // Serial reference: the query engine run directly.
+  DiscoveryQuery query;
+  query.top_k = 4;
+  QueryResult expected = QueryEngine().execute(*rel, query);
+
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 2});
+  ProfileJob job;
+  job.dataset = "aba";
+  job.options.query = query;
+  job.options.compute_canonical = false;
+  job.options.compute_ranking = false;
+  JobHandlePtr handle = scheduler.submit(job);
+  scheduler.wait_all();
+
+  ASSERT_EQ(handle->state(), JobState::kDone) << handle->error();
+  const ProfileReport& got = handle->report();
+  ASSERT_TRUE(got.query_result.has_value());
+  ASSERT_EQ(got.query_result->fds.size(), expected.fds.size());
+  for (size_t i = 0; i < expected.fds.size(); ++i) {
+    EXPECT_EQ(got.query_result->fds[i].fd.to_string(),
+              expected.fds[i].fd.to_string());
+    EXPECT_EQ(got.query_result->fds[i].score, expected.fds[i].score);
+  }
+  // The ranked answer is also surfaced through the generic cover fields.
+  EXPECT_EQ(CoverString(got.left_reduced),
+            CoverString(expected.cover()));
+
+  // An invalid spec fails the job with a diagnosable error.
+  ProfileJob bad;
+  bad.dataset = "aba";
+  DiscoveryQuery bad_query;
+  bad_query.epsilon = 3.0;
+  bad.options.query = bad_query;
+  JobScheduler scheduler2(&datasets, &metrics, {.num_threads = 1});
+  JobHandlePtr bad_handle = scheduler2.submit(bad);
+  scheduler2.wait_all();
+  EXPECT_EQ(bad_handle->state(), JobState::kFailed);
+  EXPECT_NE(bad_handle->error().find("invalid discovery query"),
+            std::string::npos);
 }
 
 TEST(ServiceTest, CancelQueuedJobNeverRuns) {

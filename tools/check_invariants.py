@@ -21,8 +21,9 @@ Rules (suppress one occurrence with `// lint-allow: <rule>` on the line):
                    src/util/random.h — reproducibility across platforms is a
                    hard requirement for the datagen and sampling layers.
   obs-prefix       obs counter/gauge/histogram/span name literals in src/net/
-                   carry the net. prefix, so the subsystem's telemetry stays
-                   greppable and dashboard-stable.
+                   carry the net. prefix (and in src/query/ the query.
+                   prefix), so each subsystem's telemetry stays greppable
+                   and dashboard-stable.
   naked-socket     no raw socket syscalls (socket/bind/listen/accept/connect/
                    recv*/send*/poll/epoll_*/setsockopt/...) outside src/net/ —
                    net/socket.h is the one place fd lifecycle and EINTR/EAGAIN
@@ -237,6 +238,19 @@ def check_net_obs_prefix(path, text):
         exempt=lambda m: m.group(1).startswith("net."))
 
 
+QUERY_DIR = "src/query/"
+
+
+def check_query_obs_prefix(path, text):
+    if not path.replace(os.sep, "/").startswith(QUERY_DIR):
+        return []
+    return line_findings(
+        path, text, "obs-prefix", OBS_CALL_RE,
+        lambda m: f'obs name "{m.group(1)}" in src/query/ must start with '
+                  '"query." so the subsystem\'s telemetry stays greppable',
+        exempt=lambda m: m.group(1).startswith("query."))
+
+
 # A bare or global-namespace call to a socket-layer syscall. The optional
 # prefix group distinguishes `::connect(` (a violation) from `std::bind(`
 # or `resolver::connect(` (library / member-style calls, exempt); the
@@ -268,6 +282,7 @@ ALL_CHECKS = [
     check_header_guard,
     check_nondeterminism,
     check_net_obs_prefix,
+    check_query_obs_prefix,
     check_naked_socket,
 ]
 
@@ -284,6 +299,7 @@ SCOPES = {
     check_header_guard: ["src", "bench", "tests", "examples"],
     check_nondeterminism: ["src", "bench", "examples"],
     check_net_obs_prefix: ["src"],
+    check_query_obs_prefix: ["src"],
     check_naked_socket: ["src", "bench", "examples"],
 }
 
@@ -396,6 +412,20 @@ FIXTURES = [
     (check_net_obs_prefix, "src/service/other.cc",
      'metrics_->counter("jobs.submitted").inc();\n', 0),
     (check_net_obs_prefix, "src/net/allowed.cc",
+     'counter("legacy.name")  // lint-allow: obs-prefix\n', 0),
+    # obs-prefix (query): names in src/query/ must start with "query.";
+    # other trees are out of scope for this variant.
+    (check_query_obs_prefix, "src/query/bad.cc",
+     'ObsAdd("topk.validations");\n', 1),
+    (check_query_obs_prefix, "src/query/bad2.cc",
+     'TraceSpan span("engine.execute");\n', 1),
+    (check_query_obs_prefix, "src/query/good.cc",
+     'ObsAdd("query.validations");\n'
+     'TraceSpan span("query.lattice_level");\n'
+     'metrics_->counter("query.executes").inc();\n', 0),
+    (check_query_obs_prefix, "src/ranking/other.cc",
+     'ObsAdd("rank.scored");\n', 0),
+    (check_query_obs_prefix, "src/query/allowed.cc",
      'counter("legacy.name")  // lint-allow: obs-prefix\n', 0),
     # naked-socket: fires on bare and ::-qualified syscalls outside src/net/,
     # passes on member calls, std::bind, and anything inside src/net/.
