@@ -221,6 +221,39 @@ int Main(int argc, char** argv) {
   long long rejected =
       total.quota_rejects + total.inflight_rejects + total.busy_rejects;
 
+  // Server-side view of the same load: the per-RPC net.rpc.<type>.ok_seconds
+  // histograms, merged across request types. The client numbers above
+  // include the wire and the client scheduler; the gap between the two is
+  // where the network (or a slow client thread pool) hides.
+  Histogram::Snapshot server_ok;
+  for (const auto& [name, snap] : metrics.histogram_values()) {
+    if (name.rfind("net.rpc.", 0) != 0 || snap.count == 0) continue;
+    const std::string suffix = ".ok_seconds";
+    if (name.size() < suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    if (server_ok.count == 0) {
+      server_ok.min = snap.min;
+      server_ok.max = snap.max;
+    } else {
+      server_ok.min = std::min(server_ok.min, snap.min);
+      server_ok.max = std::max(server_ok.max, snap.max);
+    }
+    server_ok.count += snap.count;
+    server_ok.sum += snap.sum;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      server_ok.buckets[b] += snap.buckets[b];
+    }
+  }
+  // The mean is exact (sum/count); the quantiles are decade-bucket upper
+  // bounds clamped to the observed extremes, so they are coarse but never
+  // understate the latency.
+  double srv_mean = server_ok.mean() * 1e3;
+  double srv_p50 = server_ok.quantile(0.50) * 1e3;
+  double srv_p99 = server_ok.quantile(0.99) * 1e3;
+
   std::printf("%-22s %12s\n", "metric", "value");
   PrintRule(36);
   std::printf("%-22s %12lld\n", "requests ok", total.ok);
@@ -234,6 +267,9 @@ int Main(int argc, char** argv) {
   std::printf("%-22s %12.3f\n", "p95 latency (ms)", p95);
   std::printf("%-22s %12.3f\n", "p99 latency (ms)", p99);
   std::printf("%-22s %12.3f\n", "max latency (ms)", pmax);
+  std::printf("%-22s %12.3f\n", "server mean (ms)", srv_mean);
+  std::printf("%-22s %12.3f\n", "server p50 (ms)", srv_p50);
+  std::printf("%-22s %12.3f\n", "server p99 (ms)", srv_p99);
   std::printf("%-22s %12.2f\n", "wall seconds", wall);
   std::printf("%-22s %12lld\n", "stream events seen",
               events_delivered.load());
@@ -249,11 +285,14 @@ int Main(int argc, char** argv) {
       "\"requests_per_client\":%d,\"ok\":%lld,\"rejected\":%lld,"
       "\"quota_rejects\":%lld,\"inflight_rejects\":%lld,\"busy_rejects\":%lld,"
       "\"errors\":%lld,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,"
-      "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,\"wall_s\":%.2f,"
+      "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,"
+      "\"server_mean_ms\":%.3f,\"server_p50_ms\":%.3f,"
+      "\"server_p99_ms\":%.3f,\"server_rpc_ok\":%lld,\"wall_s\":%.2f,"
       "\"stream_events\":%lld,\"slow_consumer_drops\":%lld}\n",
       JsonStamp(dataset).c_str(), mode.c_str(), clients, requests, total.ok,
       rejected, total.quota_rejects, total.inflight_rejects,
-      total.busy_rejects, total.errors, rps, p50, p95, p99, pmax, wall,
+      total.busy_rejects, total.errors, rps, p50, p95, p99, pmax, srv_mean,
+      srv_p50, srv_p99, static_cast<long long>(server_ok.count), wall,
       events_delivered.load(),
       static_cast<long long>(
           metrics.counter("net.slow_consumer_disconnects").value()));

@@ -69,13 +69,16 @@ class Flags {
 };
 
 /// Observability options from the shared --trace=<file> / --metrics=<file>
-/// flags. Typical use, first thing in a bench Main():
+/// flags. --metrics-interval=<seconds> adds periodic Prometheus snapshots
+/// on top of the final flush, so a long bench is scrapeable mid-run.
+/// Typical use, first thing in a bench Main():
 ///
 ///   ObsSession obs(ObsOptionsFromFlags(flags));
 inline ObsSessionOptions ObsOptionsFromFlags(const Flags& flags) {
   ObsSessionOptions options;
   options.trace_path = flags.get_str("trace", "");
   options.metrics_path = flags.get_str("metrics", "");
+  options.snapshot_interval_seconds = flags.get_double("metrics-interval", 0);
   return options;
 }
 

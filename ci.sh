@@ -54,7 +54,8 @@ echo "=== tsan: concurrency targets under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread -DDHYFD_WERROR=ON
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test service_test live_store_test incr_property_test \
-  obs_test trace_propagation_test net_credit_test net_server_test
+  obs_test trace_propagation_test net_credit_test net_server_test \
+  net_http_test cost_ledger_test
 # halt_on_error makes any race abort the run; TSan also reports threads
 # still running at exit, which covers the "zero leaked threads" check.
 # obs_test / trace_propagation_test hammer the tracer's lock-free per-thread
@@ -70,6 +71,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_propagation_test
 # the ops pool, and the scheduler completion sweep all overlap here.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_credit_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_server_test
+# net_http_test mixes HTTP connections into the same poll loop the RPC
+# traffic uses (including a /healthz probe racing a draining shutdown);
+# cost_ledger_test covers the thread-local sink install/forward/restore.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_http_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cost_ledger_test
 
 echo
 echo "=== asan: partition arena indexing under AddressSanitizer ==="

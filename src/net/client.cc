@@ -1,18 +1,88 @@
 #include "net/client.h"
 
 #include <cstring>
+#include <optional>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace dhyfd::net {
 
+namespace {
+
+/// Per-RPC client-side trace context. When the global tracer is enabled the
+/// call runs under a trace id (the caller's, or a fresh one) and records a
+/// "net.client.call" span — the root of the request's causal tree, which
+/// the server-side spans join once the id crosses the wire.
+class CallTrace {
+ public:
+  CallTrace() {
+    Tracer& tracer = Tracer::Global();
+    std::uint64_t current = CurrentTraceId();
+    if (current != 0) {
+      // An explicit TraceIdScope marks this call for end-to-end attribution
+      // even when span recording is off: the envelope still crosses the
+      // wire, so the server charges CPU and returns a cost trailer.
+      trace_id_ = current;
+    } else if (tracer.enabled()) {
+      trace_id_ = tracer.next_trace_id();
+      scope_.emplace(trace_id_);
+    } else {
+      return;  // untraced: bare frame, no envelope, no trailer
+    }
+    if (tracer.enabled()) span_.emplace("net.client.call");
+  }
+
+  std::uint64_t trace_id() const { return trace_id_; }
+
+ private:
+  std::uint64_t trace_id_ = 0;
+  std::optional<TraceIdScope> scope_;
+  std::optional<TraceSpan> span_;
+};
+
+}  // namespace
+
+template <typename Msg>
+void BlockingClient::send_request(MsgType type, std::uint64_t request_id,
+                                  const Msg& msg, std::uint64_t trace_id) {
+  if (limits_.protocol_version >= kTraceProtocolVersion && trace_id != 0) {
+    // Stamp the request: the envelope adds 17 bytes (trace id, span id,
+    // inner type) and the server adopts the ids for all its spans.
+    WireWriter w;
+    msg.encode(w);
+    TraceContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.span_id = Tracer::Global().next_trace_id();
+    sock_.write_all(EncodeTracedFrame(type, request_id, w.bytes(), ctx));
+    return;
+  }
+  sock_.write_all(EncodeMsgFrame(type, request_id, msg));
+}
+
+void BlockingClient::read_cost_trailer(std::uint64_t request_id,
+                                       std::uint64_t trace_id) {
+  // Trailers pair with trace envelopes: the server only appends one when
+  // the request arrived wrapped, so an untraced call must not wait for it
+  // (and pays no extra reads on the fast path).
+  if (trace_id == 0) return;
+  if (limits_.protocol_version < kTraceProtocolVersion) return;
+  Frame trailer = wait_response(request_id, MsgType::kCostTrailer);
+  WireReader r(trailer.payload);
+  last_cost_ = CostTrailerMsg::decode(r);
+  has_last_cost_ = true;
+}
+
 BlockingClient::BlockingClient(const std::string& host, std::uint16_t port,
                                const std::string& client_name,
-                               double timeout_seconds)
+                               double timeout_seconds,
+                               std::uint32_t protocol_version)
     : timeout_seconds_(timeout_seconds) {
   sock_ = ConnectTcp(host, port);
   sock_.set_tcp_nodelay(true);
   sock_.set_recv_timeout(timeout_seconds);
   HelloMsg hello;
+  hello.protocol_version = protocol_version;
   hello.client_name = client_name;
   std::uint64_t id = next_request_id();
   sock_.write_all(EncodeMsgFrame(MsgType::kHello, id, hello));
@@ -30,26 +100,32 @@ RegisterOkMsg BlockingClient::register_dataset(const std::string& name,
   msg.csv_text = csv_text;
   msg.live = live;
   msg.semantics = semantics;
+  CallTrace trace;
   std::uint64_t id = next_request_id();
-  sock_.write_all(EncodeMsgFrame(MsgType::kRegisterDataset, id, msg));
+  send_request(MsgType::kRegisterDataset, id, msg, trace.trace_id());
   Frame reply = wait_response(id, MsgType::kRegisterOk);
+  read_cost_trailer(id, trace.trace_id());
   WireReader r(reply.payload);
   return RegisterOkMsg::decode(r);
 }
 
 DiscoveryResultMsg BlockingClient::submit_discovery(
     const SubmitDiscoveryMsg& request) {
+  CallTrace trace;
   std::uint64_t id = next_request_id();
-  sock_.write_all(EncodeMsgFrame(MsgType::kSubmitDiscovery, id, request));
+  send_request(MsgType::kSubmitDiscovery, id, request, trace.trace_id());
   Frame reply = wait_response(id, MsgType::kDiscoveryResult);
+  read_cost_trailer(id, trace.trace_id());
   WireReader r(reply.payload);
   return DiscoveryResultMsg::decode(r);
 }
 
 QueryResultMsg BlockingClient::submit_query(const SubmitQueryMsg& request) {
+  CallTrace trace;
   std::uint64_t id = next_request_id();
-  sock_.write_all(EncodeMsgFrame(MsgType::kSubmitQuery, id, request));
+  send_request(MsgType::kSubmitQuery, id, request, trace.trace_id());
   Frame reply = wait_response(id, MsgType::kQueryResult);
+  read_cost_trailer(id, trace.trace_id());
   WireReader r(reply.payload);
   return QueryResultMsg::decode(r);
 }
@@ -59,17 +135,21 @@ CoverResultMsg BlockingClient::query_cover(const std::string& dataset,
   QueryCoverMsg msg;
   msg.dataset = dataset;
   msg.top_k = top_k;
+  CallTrace trace;
   std::uint64_t id = next_request_id();
-  sock_.write_all(EncodeMsgFrame(MsgType::kQueryCover, id, msg));
+  send_request(MsgType::kQueryCover, id, msg, trace.trace_id());
   Frame reply = wait_response(id, MsgType::kCoverResult);
+  read_cost_trailer(id, trace.trace_id());
   WireReader r(reply.payload);
   return CoverResultMsg::decode(r);
 }
 
 UpdateOkMsg BlockingClient::apply_update(const ApplyUpdateMsg& request) {
+  CallTrace trace;
   std::uint64_t id = next_request_id();
-  sock_.write_all(EncodeMsgFrame(MsgType::kApplyUpdate, id, request));
+  send_request(MsgType::kApplyUpdate, id, request, trace.trace_id());
   Frame reply = wait_response(id, MsgType::kUpdateOk);
+  read_cost_trailer(id, trace.trace_id());
   WireReader r(reply.payload);
   return UpdateOkMsg::decode(r);
 }

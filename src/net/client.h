@@ -50,10 +50,14 @@ struct StreamEvent {
 class BlockingClient {
  public:
   /// Connects and performs the hello handshake. `timeout_seconds` bounds
-  /// every blocking read on this connection.
+  /// every blocking read on this connection. `protocol_version` is what the
+  /// hello announces — lower it to emulate an older client (compat tests);
+  /// connections below kTraceProtocolVersion neither wrap requests in trace
+  /// envelopes nor expect cost trailers.
   BlockingClient(const std::string& host, std::uint16_t port,
                  const std::string& client_name = "dhyfd-client",
-                 double timeout_seconds = 30);
+                 double timeout_seconds = 30,
+                 std::uint32_t protocol_version = kProtocolVersion);
 
   BlockingClient(const BlockingClient&) = delete;
   BlockingClient& operator=(const BlockingClient&) = delete;
@@ -103,8 +107,30 @@ class BlockingClient {
   /// True until the transport fails or the server closes the connection.
   bool connected() const { return sock_.valid(); }
 
+  // -- cost attribution ------------------------------------------------------
+  /// True once a *traced* RPC on a v3+ connection completed successfully
+  /// (one issued under a TraceIdScope or with the global tracer enabled);
+  /// the server's per-request cost trailer is then available in
+  /// last_cost(). Untraced calls skip the trailer on both ends so the
+  /// fast path pays nothing for attribution it never asked for.
+  bool has_last_cost() const { return has_last_cost_; }
+  /// Server-side resource ledger of the most recent traced successful RPC
+  /// (CPU-ns, validations, partitions built, cache traffic, reply bytes).
+  const CostTrailerMsg& last_cost() const { return last_cost_; }
+
  private:
   std::uint64_t next_request_id() { return next_request_id_++; }
+  /// Sends one request frame, wrapped in a kTracedRequest envelope when the
+  /// connection speaks v3+ and `trace_id` is non-zero. Instantiated only in
+  /// client.cc.
+  template <typename Msg>
+  void send_request(MsgType type, std::uint64_t request_id, const Msg& msg,
+                    std::uint64_t trace_id);
+  /// On v3+ connections a successful result for a *traced* request (one
+  /// that went out wrapped in a kTracedRequest envelope) is followed by a
+  /// kCostTrailer with the same request id; read it into last_cost_.
+  /// Untraced requests get no trailer, so this is a no-op for them.
+  void read_cost_trailer(std::uint64_t request_id, std::uint64_t trace_id);
   /// Reads frames until the response for `request_id` arrives; stream
   /// frames encountered on the way are queued. Throws RpcError on kError.
   Frame wait_response(std::uint64_t request_id, MsgType expected);
@@ -121,6 +147,8 @@ class BlockingClient {
   double timeout_seconds_;
   std::uint64_t next_request_id_ = 1;
   std::deque<StreamEvent> events_;
+  CostTrailerMsg last_cost_;
+  bool has_last_cost_ = false;
 };
 
 }  // namespace dhyfd::net

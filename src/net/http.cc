@@ -1,0 +1,112 @@
+#include "net/http.h"
+
+#include <cstdio>
+
+namespace dhyfd::net {
+
+namespace {
+
+/// Finds the end of the header block; npos if not complete yet. Returns the
+/// offset one past the terminator so callers could locate a body (unused —
+/// the endpoint ignores bodies).
+std::size_t FindHeadEnd(const std::string& buf) {
+  std::size_t p = buf.find("\r\n\r\n");
+  if (p != std::string::npos) return p + 4;
+  p = buf.find("\n\n");
+  if (p != std::string::npos) return p + 2;
+  return std::string::npos;
+}
+
+bool IsToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (char ch : s) {
+    if (ch < 0x21 || ch > 0x7e) return false;  // printable ASCII, no spaces
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpParseStatus ParseHttpRequest(const std::string& buffered, HttpRequest* out,
+                                 std::size_t max_bytes) {
+  std::size_t head_end = FindHeadEnd(buffered);
+  if (head_end == std::string::npos) {
+    return buffered.size() > max_bytes ? HttpParseStatus::kTooLarge
+                                       : HttpParseStatus::kNeedMore;
+  }
+  if (head_end > max_bytes) return HttpParseStatus::kTooLarge;
+
+  std::size_t line_end = buffered.find('\n');
+  std::string line = buffered.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return HttpParseStatus::kBad;
+  std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return HttpParseStatus::kBad;
+  if (line.find(' ', sp2 + 1) != std::string::npos) return HttpParseStatus::kBad;
+
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.version = line.substr(sp2 + 1);
+  if (!IsToken(req.method) || !IsToken(req.target)) return HttpParseStatus::kBad;
+  if (req.target[0] != '/') return HttpParseStatus::kBad;
+  if (req.version.rfind("HTTP/", 0) != 0) return HttpParseStatus::kBad;
+  *out = std::move(req);
+  return HttpParseStatus::kOk;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::vector<std::uint8_t> RenderHttpResponse(int status,
+                                             const std::string& content_type,
+                                             const std::string& body) {
+  char head[256];
+  int n = std::snprintf(head, sizeof head,
+                        "HTTP/1.0 %d %s\r\n"
+                        "Content-Type: %s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "Connection: close\r\n"
+                        "\r\n",
+                        status, HttpStatusReason(status), content_type.c_str(),
+                        body.size());
+  std::vector<std::uint8_t> out(head, head + n);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dhyfd::net

@@ -379,4 +379,56 @@ HeartbeatMsg HeartbeatMsg::decode(WireReader& r) {
   return m;
 }
 
+std::vector<std::uint8_t> EncodeTracedFrame(
+    MsgType inner_type, std::uint64_t request_id,
+    const std::vector<std::uint8_t>& inner_payload, const TraceContext& ctx) {
+  WireWriter w;
+  w.u64(ctx.trace_id);
+  w.u64(ctx.span_id);
+  w.u8(static_cast<std::uint8_t>(inner_type));
+  std::vector<std::uint8_t> payload = w.take();
+  payload.insert(payload.end(), inner_payload.begin(), inner_payload.end());
+  return EncodeFrame(MsgType::kTracedRequest, request_id, payload);
+}
+
+TraceContext DecodeTracedHeader(WireReader& r, MsgType* inner_type) {
+  TraceContext ctx;
+  ctx.trace_id = r.u64();
+  ctx.span_id = r.u64();
+  std::uint8_t t = r.u8();
+  if (!IsKnownMsgType(t) || t == static_cast<std::uint8_t>(MsgType::kTracedRequest)) {
+    throw WireError("traced request wraps unknown or recursive type " +
+                    std::to_string(int{t}));
+  }
+  *inner_type = static_cast<MsgType>(t);
+  // Deliberately no expect_done(): the rest of the payload is the wrapped
+  // request's payload, sliced off by the caller.
+  return ctx;
+}
+
+void CostTrailerMsg::encode(WireWriter& w) const {
+  w.u64(cpu_ns);
+  w.u64(validations);
+  w.u64(partitions_built);
+  w.u64(cache_hits);
+  w.u64(cache_misses);
+  w.u64(bytes_streamed);
+  w.f64(queue_seconds);
+  w.f64(run_seconds);
+}
+
+CostTrailerMsg CostTrailerMsg::decode(WireReader& r) {
+  CostTrailerMsg m;
+  m.cpu_ns = r.u64();
+  m.validations = r.u64();
+  m.partitions_built = r.u64();
+  m.cache_hits = r.u64();
+  m.cache_misses = r.u64();
+  m.bytes_streamed = r.u64();
+  m.queue_seconds = r.f64();
+  m.run_seconds = r.f64();
+  r.expect_done();
+  return m;
+}
+
 }  // namespace dhyfd::net

@@ -18,12 +18,17 @@ namespace dhyfd::net {
 
 /// v1: the original message set (kHello .. kPong).
 /// v2: adds kSubmitQuery / kQueryResult (rank-driven discovery queries).
-/// The handshake negotiates min(client, server); v1 clients keep working but
-/// get kError(kUnsupportedVersion) if they send v2-only message types.
-constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: adds kTracedRequest (client-stamped trace context around any request)
+///     and kCostTrailer (per-request cost ledger after successful results).
+/// The handshake negotiates min(client, server); v1/v2 clients keep working
+/// but get kError(kUnsupportedVersion) if they send newer message types, and
+/// the server never sends a trailer to a connection below v3.
+constexpr std::uint32_t kProtocolVersion = 3;
 constexpr std::uint32_t kMinProtocolVersion = 1;
 /// The protocol version that introduced kSubmitQuery / kQueryResult.
 constexpr std::uint32_t kQueryProtocolVersion = 2;
+/// The protocol version that introduced kTracedRequest / kCostTrailer.
+constexpr std::uint32_t kTraceProtocolVersion = 3;
 
 struct HelloMsg {
   std::uint32_t protocol_version = kProtocolVersion;
@@ -244,6 +249,48 @@ struct HeartbeatMsg {
 
   void encode(WireWriter& w) const;
   static HeartbeatMsg decode(WireReader& r);
+};
+
+/// Protocol v3: the trace context a client stamps on a request. Carried by
+/// the kTracedRequest wrapper, whose payload is
+///
+///   u64 trace_id | u64 span_id | u8 inner_type | inner payload bytes
+///
+/// and whose request id is shared with the wrapped request. The wrapper adds
+/// exactly 17 bytes per request and leaves every inner schema untouched, so
+/// v1/v2 decoders (which reject trailing bytes) never see it.
+struct TraceContext {
+  /// The client's trace id for this causal tree; 0 = untraced.
+  std::uint64_t trace_id = 0;
+  /// The client-side span covering the request round trip.
+  std::uint64_t span_id = 0;
+};
+
+/// Wraps an already-encoded request payload in a kTracedRequest frame.
+std::vector<std::uint8_t> EncodeTracedFrame(
+    MsgType inner_type, std::uint64_t request_id,
+    const std::vector<std::uint8_t>& inner_payload, const TraceContext& ctx);
+
+/// Reads the trace context and inner type from a kTracedRequest payload.
+/// The reader is left positioned at the inner payload's first byte; the
+/// caller slices the remaining bytes as the wrapped request's payload.
+TraceContext DecodeTracedHeader(WireReader& r, MsgType* inner_type);
+
+/// Protocol v3: per-request cost ledger, sent with the request's id
+/// immediately after a *successful* result frame (never after kError), so a
+/// blocking client can read it deterministically. Mirrors obs CostLedger.
+struct CostTrailerMsg {
+  std::uint64_t cpu_ns = 0;           // thread CPU time inside the request
+  std::uint64_t validations = 0;      // FD validations performed
+  std::uint64_t partitions_built = 0; // partition intersections + builds
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t bytes_streamed = 0;   // response bytes for this request
+  double queue_seconds = 0;           // admission -> execution start
+  double run_seconds = 0;             // execution wall time
+
+  void encode(WireWriter& w) const;
+  static CostTrailerMsg decode(WireReader& r);
 };
 
 /// Convenience: encodes `msg` and wraps it into a complete frame.

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "core/profiler.h"
+#include "net/http.h"
 #include "net/messages.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "ranking/ranking.h"
 #include "relation/csv.h"
@@ -14,6 +16,60 @@ namespace dhyfd::net {
 namespace {
 
 constexpr int kOpsThreads = 2;
+
+/// Synthetic Chrome-trace lane for server-side request spans, matching the
+/// scheduler's convention so one trace id lands on one visual row.
+std::uint32_t TraceLane(std::uint64_t trace_id) {
+  return 900000u + static_cast<std::uint32_t>(trace_id % 100000);
+}
+
+/// Stable request-type label for net.rpc.* metric names and /slowlog rows.
+const char* RequestTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kSubmitDiscovery: return "submit_discovery";
+    case MsgType::kSubmitQuery: return "submit_query";
+    case MsgType::kRegisterDataset: return "register_dataset";
+    case MsgType::kQueryCover: return "query_cover";
+    case MsgType::kApplyUpdate: return "apply_update";
+    case MsgType::kSubscribe: return "subscribe";
+    default: return "other";
+  }
+}
+
+bool IsRequestType(MsgType type) {
+  switch (type) {
+    case MsgType::kSubmitDiscovery:
+    case MsgType::kSubmitQuery:
+    case MsgType::kRegisterDataset:
+    case MsgType::kQueryCover:
+    case MsgType::kApplyUpdate:
+    case MsgType::kSubscribe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Appends a kCostTrailer frame (same request_id as the answer it follows)
+/// to `out`, so both ship in one write and the client reads the trailer
+/// deterministically right after the result.
+void AppendCostTrailer(std::vector<std::uint8_t>* out,
+                       std::uint64_t request_id, const CostLedger& cost,
+                       double queue_seconds, double run_seconds) {
+  CostTrailerMsg trailer;
+  trailer.cpu_ns = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      cost.cpu_ns, 0));
+  trailer.validations = static_cast<std::uint64_t>(cost.validations);
+  trailer.partitions_built = static_cast<std::uint64_t>(cost.partitions_built);
+  trailer.cache_hits = static_cast<std::uint64_t>(cost.cache_hits);
+  trailer.cache_misses = static_cast<std::uint64_t>(cost.cache_misses);
+  trailer.bytes_streamed = static_cast<std::uint64_t>(cost.bytes_streamed);
+  trailer.queue_seconds = queue_seconds;
+  trailer.run_seconds = run_seconds;
+  std::vector<std::uint8_t> frame =
+      EncodeMsgFrame(MsgType::kCostTrailer, request_id, trailer);
+  out->insert(out->end(), frame.begin(), frame.end());
+}
 
 NullSemantics SemanticsFromWire(std::uint8_t v) {
   return v == 0 ? NullSemantics::kNullEqualsNull
@@ -53,7 +109,23 @@ ProfilingServer::ProfilingServer(JobScheduler* scheduler, LiveStore* live,
       metrics_(metrics),
       options_(std::move(options)),
       ops_pool_(kOpsThreads),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()),
+      slowlog_(options_.slowlog_capacity),
+      tracez_(options_.tracez_capacity),
+      m_requests_(metrics->counter("net.requests")),
+      m_frames_rx_(metrics->counter("net.frames_rx")),
+      m_bytes_rx_(metrics->counter("net.bytes_rx")),
+      m_frames_tx_(metrics->counter("net.frames_tx")),
+      m_bytes_tx_(metrics->counter("net.bytes_tx")),
+      m_protocol_errors_(metrics->counter("net.protocol_errors")),
+      m_request_seconds_(metrics->histogram("net.request_seconds")),
+      m_rpc_requests_(metrics->counter("net.rpc.requests")),
+      m_rpc_queue_seconds_(metrics->histogram("net.rpc.queue_seconds")),
+      m_rpc_run_seconds_(metrics->histogram("net.rpc.run_seconds")),
+      m_rpc_cpu_ns_(metrics->counter("net.rpc.cpu_ns")),
+      m_rpc_validations_(metrics->counter("net.rpc.validations")),
+      m_rpc_partitions_built_(metrics->counter("net.rpc.partitions_built")),
+      m_rpc_bytes_streamed_(metrics->counter("net.rpc.bytes_streamed")) {}
 
 ProfilingServer::~ProfilingServer() { shutdown(); }
 
@@ -67,6 +139,11 @@ void ProfilingServer::start() {
   listener_ = ListenTcp(options_.host, options_.port, options_.accept_backlog,
                         &port_);
   listener_.set_nonblocking(true);
+  if (options_.http_enabled) {
+    http_listener_ = ListenTcp(options_.host, options_.http_port,
+                               options_.accept_backlog, &http_port_);
+    http_listener_.set_nonblocking(true);
+  }
   // Cover-change events are produced on LiveStore worker threads; they are
   // queued under mu_ and the loop is woken to fan them out to subscribers.
   {
@@ -134,11 +211,19 @@ void ProfilingServer::loop() {
 
     poller.clear();
     if (listener_.valid()) poller.watch(listener_.fd(), true, false);
+    // The HTTP listener outlives the drain start: /healthz keeps answering
+    // (with 503) while the RPC side refuses work.
+    if (http_listener_.valid()) poller.watch(http_listener_.fd(), true, false);
     poller.watch(wake_.read_fd(), true, false);
     for (const auto& [id, conn] : conns_) {
       if (conn->dead) continue;  // reaped at the end of this tick
       bool want_write = conn->out_pos < conn->out.size();
       poller.watch(conn->sock.fd(), true, want_write);
+    }
+    for (const auto& [id, hc] : http_conns_) {
+      if (hc->dead) continue;
+      poller.watch(hc->sock.fd(), !hc->responded,
+                   hc->out_pos < hc->out.size());
     }
     // Job/update completion has no callback — the loop sweeps the handles.
     // Tighten the tick while any are pending so responses stay prompt.
@@ -155,6 +240,28 @@ void ProfilingServer::loop() {
       if (ev.fd == wake_.read_fd()) {
         wake_.drain();
         continue;
+      }
+      if (http_listener_.valid() && ev.fd == http_listener_.fd()) {
+        if (ev.readable) accept_http();
+        continue;
+      }
+      {
+        HttpConnection* hc = nullptr;
+        for (auto& [id, h] : http_conns_) {
+          if (h->sock.fd() == ev.fd) {
+            hc = h.get();
+            break;
+          }
+        }
+        if (hc != nullptr) {
+          if (ev.error) {
+            hc->dead = true;
+          } else {
+            if (ev.readable && !hc->responded) handle_http_readable(*hc);
+            if (ev.writable && !hc->dead) flush_http_writes(*hc);
+          }
+          continue;
+        }
       }
       // Find the connection (ids are stable; fd reuse cannot alias because
       // a dropped connection leaves conns_ in the same tick).
@@ -195,12 +302,17 @@ void ProfilingServer::loop() {
     }
     heartbeat_and_idle();
     reap_connections();
+    reap_http_connections();
   }
 
   // Hard stop: anything still open closes now.
   std::vector<std::uint64_t> remaining;
   for (const auto& [id, conn] : conns_) remaining.push_back(id);
   for (std::uint64_t id : remaining) drop_connection(id, "server stopped");
+  metrics_->gauge("net.http.connections")
+      .add(-static_cast<std::int64_t>(http_conns_.size()));
+  http_conns_.clear();
+  http_listener_.close();
   pending_jobs_.clear();
   pending_updates_.clear();
 }
@@ -252,7 +364,7 @@ void ProfilingServer::handle_readable(Connection& c) {
       drop_connection(c.id, "peer closed");
       return;
     }
-    metrics_->counter("net.bytes_rx").inc(static_cast<std::int64_t>(r.bytes));
+    m_bytes_rx_.inc(static_cast<std::int64_t>(r.bytes));
     c.decoder.feed(buf, r.bytes);
     c.last_recv = now();
     if (r.bytes < sizeof buf) break;
@@ -264,11 +376,11 @@ void ProfilingServer::handle_readable(Connection& c) {
     } catch (const WireError&) {
       // Corrupt framing: there is no resynchronization point inside a byte
       // stream, so the only safe answer is to drop the connection.
-      metrics_->counter("net.protocol_errors").inc();
+      m_protocol_errors_.inc();
       drop_connection(c.id, "protocol error");
       return;
     }
-    metrics_->counter("net.frames_rx").inc();
+    m_frames_rx_.inc();
     std::uint64_t conn_id = c.id;
     dispatch(c, frame);
     if (conns_.find(conn_id) == conns_.end()) return;  // dispatch dropped it
@@ -277,10 +389,49 @@ void ProfilingServer::handle_readable(Connection& c) {
 }
 
 void ProfilingServer::dispatch(Connection& c, const Frame& frame) {
-  TraceSpan span("net.request");
+  if (frame.type == MsgType::kTracedRequest) {
+    // Trace-context envelope (v3+): adopt the client-stamped ids, then
+    // dispatch the wrapped request as if it had arrived bare. The inner
+    // payload is the tail of the envelope's payload — no copy of the frame
+    // header, same request_id.
+    if (c.protocol_version < kTraceProtocolVersion) {
+      send_error(c, frame.request_id, ErrCode::kUnsupportedVersion,
+                 "traced requests require protocol version " +
+                     std::to_string(kTraceProtocolVersion) +
+                     "; this connection negotiated " +
+                     std::to_string(c.protocol_version));
+      return;
+    }
+    Frame inner;
+    TraceContext ctx;
+    try {
+      WireReader r(frame.payload);
+      MsgType inner_type;
+      ctx = DecodeTracedHeader(r, &inner_type);
+      inner.type = inner_type;
+      inner.request_id = frame.request_id;
+      inner.payload.assign(
+          frame.payload.begin() +
+              static_cast<std::ptrdiff_t>(frame.payload.size() - r.remaining()),
+          frame.payload.end());
+    } catch (const WireError&) {
+      m_protocol_errors_.inc();
+      drop_connection(c.id, "malformed traced envelope");
+      return;
+    }
+    TraceIdScope trace_scope(ctx.trace_id);
+    dispatch_request(c, inner, ctx);
+    return;
+  }
+  dispatch_request(c, frame, TraceContext{});
+}
+
+void ProfilingServer::dispatch_request(Connection& c, const Frame& frame,
+                                       const TraceContext& ctx) {
+  TraceSpan span("net.dispatch");
   if (c.closing) return;  // goodbye already seen; ignore the tail
   if (!c.got_hello && frame.type != MsgType::kHello) {
-    metrics_->counter("net.protocol_errors").inc();
+    m_protocol_errors_.inc();
     drop_connection(c.id, "first frame was not hello");
     return;
   }
@@ -302,6 +453,12 @@ void ProfilingServer::dispatch(Connection& c, const Frame& frame) {
         // Negotiate down to the client's version; v2-only requests from a
         // v1 connection get a clean per-request error, not a disconnect.
         c.protocol_version = hello.protocol_version;
+        // The hello name becomes the tenant key for cost attribution;
+        // bounded so a hostile client cannot grow the tenant table rows.
+        if (!hello.client_name.empty()) {
+          c.client_name = hello.client_name.substr(0, 64);
+        }
+        c.tenant_slot = tenant_slot(c.client_name);
         HelloOkMsg ok;
         ok.protocol_version = c.protocol_version;
         ok.max_inflight = options_.max_inflight;
@@ -328,56 +485,70 @@ void ProfilingServer::dispatch(Connection& c, const Frame& frame) {
 
     // Everything below is a real request: quota-charged, and refused
     // outright while draining.
+    RpcFinish reject;
+    reject.rtype = RequestTypeName(frame.type);
+    reject.outcome = "rejected";
+    reject.request_id = frame.request_id;
+    reject.trace_id = ctx.trace_id;
     if (draining_) {
+      if (IsRequestType(frame.type)) record_rpc(c, reject, 0);
       send_error(c, frame.request_id, ErrCode::kShuttingDown,
                  "server is draining");
       return;
     }
-    metrics_->counter("net.requests").inc();
+    m_requests_.inc();
     if (!c.bucket.try_take(now())) {
       metrics_->counter("net.quota_rejects").inc();
+      if (IsRequestType(frame.type)) record_rpc(c, reject, 0);
       send_error(c, frame.request_id, ErrCode::kQuotaExceeded,
                  "request quota exhausted; slow down");
       return;
     }
     switch (frame.type) {
       case MsgType::kSubmitDiscovery:
-        handle_submit_discovery(c, frame);
+        handle_submit_discovery(c, frame, ctx);
         return;
       case MsgType::kSubmitQuery:
-        handle_submit_query(c, frame);
+        handle_submit_query(c, frame, ctx);
         return;
       case MsgType::kRegisterDataset:
-        handle_register(c, frame);
+        handle_register(c, frame, ctx);
         return;
       case MsgType::kQueryCover:
-        handle_query_cover(c, frame);
+        handle_query_cover(c, frame, ctx);
         return;
       case MsgType::kApplyUpdate:
-        handle_apply_update(c, frame);
+        handle_apply_update(c, frame, ctx);
         return;
       case MsgType::kSubscribe:
         handle_subscribe(c, frame);
         return;
       default:
         // A known type that is not a client request (server->client codes).
-        metrics_->counter("net.protocol_errors").inc();
+        m_protocol_errors_.inc();
         drop_connection(c.id, "unexpected message direction");
         return;
     }
   } catch (const WireError&) {
     // The frame header parsed but its payload did not match the schema.
-    metrics_->counter("net.protocol_errors").inc();
+    m_protocol_errors_.inc();
     drop_connection(c.id, "malformed payload");
   }
 }
 
 void ProfilingServer::handle_submit_discovery(Connection& c,
-                                              const Frame& frame) {
+                                              const Frame& frame,
+                                              const TraceContext& ctx) {
   WireReader r(frame.payload);
   SubmitDiscoveryMsg msg = SubmitDiscoveryMsg::decode(r);
+  RpcFinish reject;
+  reject.rtype = "submit_discovery";
+  reject.outcome = "rejected";
+  reject.request_id = frame.request_id;
+  reject.trace_id = ctx.trace_id;
   if (!c.inflight.try_acquire()) {
     metrics_->counter("net.inflight_rejects").inc();
+    record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
                "in-flight window full (" + std::to_string(c.inflight.max()) +
                    ")");
@@ -392,18 +563,26 @@ void ProfilingServer::handle_submit_discovery(Connection& c,
   // discovery loops poll it via util/deadline.h and stop past-due work
   // instead of burning a worker on an answer nobody is waiting for.
   job.time_limit_seconds = msg.deadline_ms / 1000.0;
+  // Client-stamped trace context rides into the scheduler: svc.queue_wait
+  // and svc.job.run land in the same causal tree as the client's call span.
+  job.trace_id = ctx.trace_id;
   JobHandlePtr handle = scheduler_->submit(std::move(job));
   if (handle->rejected()) {
     c.inflight.release();
     metrics_->counter("net.busy_rejects").inc();
+    record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kServerBusy, handle->error());
     return;
   }
-  pending_jobs_.push_back(
-      {c.id, frame.request_id, msg.top_k, now(), std::move(handle)});
+  PendingJob pending{c.id, frame.request_id, msg.top_k, now(),
+                     std::move(handle)};
+  pending.want_trailer = c.protocol_version >= kTraceProtocolVersion &&
+                         ctx.trace_id != 0;
+  pending_jobs_.push_back(std::move(pending));
 }
 
-void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame) {
+void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame,
+                                          const TraceContext& ctx) {
   if (c.protocol_version < kQueryProtocolVersion) {
     send_error(c, frame.request_id, ErrCode::kUnsupportedVersion,
                "submit_query requires protocol version " +
@@ -435,8 +614,14 @@ void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame) {
     send_error(c, frame.request_id, ErrCode::kBadRequest, spec_error);
     return;
   }
+  RpcFinish reject;
+  reject.rtype = "submit_query";
+  reject.outcome = "rejected";
+  reject.request_id = frame.request_id;
+  reject.trace_id = ctx.trace_id;
   if (!c.inflight.try_acquire()) {
     metrics_->counter("net.inflight_rejects").inc();
+    record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
                "in-flight window full (" + std::to_string(c.inflight.max()) +
                    ")");
@@ -451,54 +636,105 @@ void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame) {
   job.options.compute_ranking = false;
   job.priority = msg.priority;
   job.time_limit_seconds = msg.deadline_ms / 1000.0;
+  job.trace_id = ctx.trace_id;
   JobHandlePtr handle = scheduler_->submit(std::move(job));
   if (handle->rejected()) {
     c.inflight.release();
     metrics_->counter("net.busy_rejects").inc();
+    record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kServerBusy, handle->error());
     return;
   }
-  pending_jobs_.push_back({c.id, frame.request_id, msg.top_k, now(),
-                           std::move(handle), /*is_query=*/true});
+  PendingJob pending{c.id, frame.request_id, msg.top_k, now(),
+                     std::move(handle), /*is_query=*/true};
+  pending.want_trailer = c.protocol_version >= kTraceProtocolVersion &&
+                         ctx.trace_id != 0;
+  pending_jobs_.push_back(std::move(pending));
 }
 
-void ProfilingServer::handle_register(Connection& c, const Frame& frame) {
+void ProfilingServer::handle_register(Connection& c, const Frame& frame,
+                                      const TraceContext& ctx) {
   WireReader r(frame.payload);
   auto msg = std::make_shared<RegisterDatasetMsg>(
       RegisterDatasetMsg::decode(r));
   if (!c.inflight.try_acquire()) {
     metrics_->counter("net.inflight_rejects").inc();
+    RpcFinish reject;
+    reject.rtype = "register_dataset";
+    reject.outcome = "rejected";
+    reject.request_id = frame.request_id;
+    reject.trace_id = ctx.trace_id;
+    record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
                "in-flight window full");
     return;
   }
   // CSV parsing and (for live datasets) the synchronous initial discovery
   // are far too slow for the event loop; they run on the ops pool and come
-  // back through the completion queue.
+  // back through the completion queue. The pool inherits the dispatch-time
+  // TraceIdScope, so spans inside the task land on the client's trace.
   std::uint64_t conn_id = c.id;
   std::uint64_t request_id = frame.request_id;
   double started = now();
-  bool submitted = ops_pool_.submit([this, conn_id, request_id, started, msg] {
-    std::vector<std::uint8_t> reply;
-    try {
-      RawTable table = ParseCsvString(msg->csv_text);
-      RegisterOkMsg ok;
-      ok.rows = static_cast<std::uint32_t>(table.num_rows());
-      ok.cols = static_cast<std::uint32_t>(table.num_cols());
-      datasets_->add_table(msg->name, table);
-      if (msg->live && !live_->contains(msg->name)) {
-        LiveDatasetOptions opts;
-        opts.semantics = SemanticsFromWire(msg->semantics);
-        live_->create(msg->name, std::move(table), opts);
-      }
-      reply = EncodeMsgFrame(MsgType::kRegisterOk, request_id, ok);
-    } catch (const std::exception& e) {
-      ErrorMsg err{ErrCode::kBadRequest, e.what()};
-      reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+  std::uint64_t trace_id = ctx.trace_id;
+  bool want_trailer = c.protocol_version >= kTraceProtocolVersion &&
+                         ctx.trace_id != 0;
+  Tracer& tracer = Tracer::Global();
+  std::int64_t enq_us =
+      (trace_id != 0 && tracer.enabled()) ? tracer.now_us() : 0;
+  bool submitted = ops_pool_.submit([this, conn_id, request_id, started, msg,
+                                     trace_id, want_trailer, enq_us] {
+    Tracer& tracer = Tracer::Global();
+    if (enq_us != 0 && tracer.enabled()) {
+      tracer.record_span("net.queue_wait", trace_id, enq_us, tracer.now_us(),
+                         TraceLane(trace_id));
     }
+    double run_start = now();
+    CostLedger cost;
+    std::vector<std::uint8_t> reply;
+    bool ok = false;
+    {
+      // CPU attribution costs a thread-CPU clock syscall on each end;
+      // only traced requests opted into that. Counter classification
+      // (validations, partitions, cache traffic) stays on for everyone.
+      CostLedgerScope cost_scope(&cost, /*charge_cpu=*/trace_id != 0);
+      TraceSpan run_span("net.ops.run");
+      try {
+        RawTable table = ParseCsvString(msg->csv_text);
+        RegisterOkMsg okmsg;
+        okmsg.rows = static_cast<std::uint32_t>(table.num_rows());
+        okmsg.cols = static_cast<std::uint32_t>(table.num_cols());
+        datasets_->add_table(msg->name, table);
+        if (msg->live && !live_->contains(msg->name)) {
+          LiveDatasetOptions opts;
+          opts.semantics = SemanticsFromWire(msg->semantics);
+          live_->create(msg->name, std::move(table), opts);
+        }
+        reply = EncodeMsgFrame(MsgType::kRegisterOk, request_id, okmsg);
+        ok = true;
+      } catch (const std::exception& e) {
+        ErrorMsg err{ErrCode::kBadRequest, e.what()};
+        reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+      }
+    }
+    cost.bytes_streamed = static_cast<std::int64_t>(reply.size());
+    Completion done{conn_id, std::vector<std::uint8_t>(), started, true};
+    done.finish.rtype = "register_dataset";
+    done.finish.outcome = ok ? "ok" : "error";
+    done.finish.request_id = request_id;
+    done.finish.trace_id = trace_id;
+    done.finish.queue_seconds = run_start - started;
+    done.finish.run_seconds = now() - run_start;
+    done.finish.has_cost = true;
+    done.finish.cost = cost;
+    if (ok && want_trailer) {
+      AppendCostTrailer(&reply, request_id, cost, done.finish.queue_seconds,
+                        done.finish.run_seconds);
+    }
+    done.frame = std::move(reply);
     {
       MutexLock lock(&mu_);
-      completions_.push_back({conn_id, std::move(reply), started, true});
+      completions_.push_back(std::move(done));
     }
     wake_.wake();
   });
@@ -509,11 +745,18 @@ void ProfilingServer::handle_register(Connection& c, const Frame& frame) {
   }
 }
 
-void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame) {
+void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame,
+                                         const TraceContext& ctx) {
   WireReader r(frame.payload);
   auto msg = std::make_shared<QueryCoverMsg>(QueryCoverMsg::decode(r));
   if (!c.inflight.try_acquire()) {
     metrics_->counter("net.inflight_rejects").inc();
+    RpcFinish reject;
+    reject.rtype = "query_cover";
+    reject.outcome = "rejected";
+    reject.request_id = frame.request_id;
+    reject.trace_id = ctx.trace_id;
+    record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
                "in-flight window full");
     return;
@@ -523,30 +766,68 @@ void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame) {
   std::uint64_t conn_id = c.id;
   std::uint64_t request_id = frame.request_id;
   double started = now();
-  bool submitted = ops_pool_.submit([this, conn_id, request_id, started, msg] {
-    std::vector<std::uint8_t> reply;
-    try {
-      if (!live_->contains(msg->dataset)) {
-        ErrorMsg err{ErrCode::kUnknownDataset,
-                     "no live dataset named '" + msg->dataset + "'"};
-        reply = EncodeMsgFrame(MsgType::kError, request_id, err);
-      } else {
-        std::vector<FdRedundancy> ranking = live_->ranking(msg->dataset);
-        CoverResultMsg ok;
-        ok.total = static_cast<std::uint32_t>(ranking.size());
-        ok.top = TopRanked(
-            ranking, msg->top_k == 0
-                         ? static_cast<std::uint32_t>(ranking.size())
-                         : msg->top_k);
-        reply = EncodeMsgFrame(MsgType::kCoverResult, request_id, ok);
-      }
-    } catch (const std::exception& e) {
-      ErrorMsg err{ErrCode::kInternal, e.what()};
-      reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+  std::uint64_t trace_id = ctx.trace_id;
+  bool want_trailer = c.protocol_version >= kTraceProtocolVersion &&
+                         ctx.trace_id != 0;
+  Tracer& tracer = Tracer::Global();
+  std::int64_t enq_us =
+      (trace_id != 0 && tracer.enabled()) ? tracer.now_us() : 0;
+  bool submitted = ops_pool_.submit([this, conn_id, request_id, started, msg,
+                                     trace_id, want_trailer, enq_us] {
+    Tracer& tracer = Tracer::Global();
+    if (enq_us != 0 && tracer.enabled()) {
+      tracer.record_span("net.queue_wait", trace_id, enq_us, tracer.now_us(),
+                         TraceLane(trace_id));
     }
+    double run_start = now();
+    CostLedger cost;
+    std::vector<std::uint8_t> reply;
+    bool ok = false;
+    {
+      // CPU attribution costs a thread-CPU clock syscall on each end;
+      // only traced requests opted into that. Counter classification
+      // (validations, partitions, cache traffic) stays on for everyone.
+      CostLedgerScope cost_scope(&cost, /*charge_cpu=*/trace_id != 0);
+      TraceSpan run_span("net.ops.run");
+      try {
+        if (!live_->contains(msg->dataset)) {
+          ErrorMsg err{ErrCode::kUnknownDataset,
+                       "no live dataset named '" + msg->dataset + "'"};
+          reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+        } else {
+          std::vector<FdRedundancy> ranking = live_->ranking(msg->dataset);
+          CoverResultMsg okmsg;
+          okmsg.total = static_cast<std::uint32_t>(ranking.size());
+          okmsg.top = TopRanked(
+              ranking, msg->top_k == 0
+                           ? static_cast<std::uint32_t>(ranking.size())
+                           : msg->top_k);
+          reply = EncodeMsgFrame(MsgType::kCoverResult, request_id, okmsg);
+          ok = true;
+        }
+      } catch (const std::exception& e) {
+        ErrorMsg err{ErrCode::kInternal, e.what()};
+        reply = EncodeMsgFrame(MsgType::kError, request_id, err);
+      }
+    }
+    cost.bytes_streamed = static_cast<std::int64_t>(reply.size());
+    Completion done{conn_id, std::vector<std::uint8_t>(), started, true};
+    done.finish.rtype = "query_cover";
+    done.finish.outcome = ok ? "ok" : "error";
+    done.finish.request_id = request_id;
+    done.finish.trace_id = trace_id;
+    done.finish.queue_seconds = run_start - started;
+    done.finish.run_seconds = now() - run_start;
+    done.finish.has_cost = true;
+    done.finish.cost = cost;
+    if (ok && want_trailer) {
+      AppendCostTrailer(&reply, request_id, cost, done.finish.queue_seconds,
+                        done.finish.run_seconds);
+    }
+    done.frame = std::move(reply);
     {
       MutexLock lock(&mu_);
-      completions_.push_back({conn_id, std::move(reply), started, true});
+      completions_.push_back(std::move(done));
     }
     wake_.wake();
   });
@@ -557,11 +838,18 @@ void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame) {
   }
 }
 
-void ProfilingServer::handle_apply_update(Connection& c, const Frame& frame) {
+void ProfilingServer::handle_apply_update(Connection& c, const Frame& frame,
+                                          const TraceContext& ctx) {
   WireReader r(frame.payload);
   ApplyUpdateMsg msg = ApplyUpdateMsg::decode(r);
   if (!c.inflight.try_acquire()) {
     metrics_->counter("net.inflight_rejects").inc();
+    RpcFinish reject;
+    reject.rtype = "apply_update";
+    reject.outcome = "rejected";
+    reject.request_id = frame.request_id;
+    reject.trace_id = ctx.trace_id;
+    record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
                "in-flight window full");
     return;
@@ -570,8 +858,14 @@ void ProfilingServer::handle_apply_update(Connection& c, const Frame& frame) {
   job.dataset = msg.dataset;
   job.batch.inserts = std::move(msg.inserts);
   job.batch.deletes.assign(msg.deletes.begin(), msg.deletes.end());
+  // The trace id rides the LiveStore strand: incr.queue_wait / incr.batch
+  // spans and the resulting CoverChangeEvent all carry the client's id.
+  job.trace_id = ctx.trace_id;
   UpdateJobHandlePtr handle = live_->submit(std::move(job));
-  pending_updates_.push_back({c.id, frame.request_id, now(), std::move(handle)});
+  PendingUpdate pending{c.id, frame.request_id, now(), std::move(handle)};
+  pending.want_trailer = c.protocol_version >= kTraceProtocolVersion &&
+                         ctx.trace_id != 0;
+  pending_updates_.push_back(std::move(pending));
 }
 
 void ProfilingServer::handle_subscribe(Connection& c, const Frame& frame) {
@@ -654,16 +948,32 @@ void ProfilingServer::finish_job(const PendingJob& job) {
   if (it == conns_.end()) return;  // requester is gone; drop the answer
   Connection& c = *it->second;
   c.inflight.release();
-  metrics_->histogram("net.request_seconds").record(now() - job.started);
+  double duration = now() - job.started;
+  m_request_seconds_.record(duration);
+
+  RpcFinish fin;
+  fin.rtype = job.is_query ? "submit_query" : "submit_discovery";
+  fin.outcome = "ok";
+  fin.request_id = job.request_id;
+  fin.trace_id = job.handle->trace_id();
+  fin.queue_seconds = job.handle->queue_seconds();
+  fin.run_seconds = job.handle->run_seconds();
+  fin.has_cost = true;
+  fin.cost = job.handle->cost();
+
   JobState state = job.handle->state();
   if (state == JobState::kFailed) {
     std::string error = job.handle->error();
     ErrCode code = error.find("invalid discovery query") != std::string::npos
                        ? ErrCode::kBadRequest
                        : ErrCode::kInternal;
+    fin.outcome = "error";
+    record_rpc(c, fin, duration);
     send_error(c, job.request_id, code, error);
     return;
   }
+
+  std::vector<std::uint8_t> reply;
   if (job.is_query) {
     QueryResultMsg msg;
     msg.state = JobStateName(state);
@@ -694,29 +1004,43 @@ void ProfilingServer::finish_job(const PendingJob& job) {
     } catch (const std::exception&) {
       // Cancelled before it started: no report, counts stay zero.
     }
-    send_frame(c, EncodeMsgFrame(MsgType::kQueryResult, job.request_id, msg));
-    return;
-  }
-  DiscoveryResultMsg msg;
-  msg.state = JobStateName(state);
-  msg.queue_seconds = job.handle->queue_seconds();
-  msg.run_seconds = job.handle->run_seconds();
-  try {
-    const ProfileReport& report = job.handle->report();
-    msg.cover_size = static_cast<std::uint32_t>(report.left_reduced.size());
-    msg.canonical_size = static_cast<std::uint32_t>(report.canonical.size());
-    msg.top = TopRanked(report.ranking, job.top_k);
-    // A cancelled or deadline-expired run still finishes with a (partial)
-    // report; on the wire that distinction is the state string.
-    if (report.cancelled) {
-      msg.state = "cancelled";
-    } else if (report.discovery.stats.timed_out) {
-      msg.state = "deadline_expired";
+    if (msg.state == "cancelled") fin.outcome = "cancelled";
+    if (msg.state == "deadline_expired") fin.outcome = "deadline_expired";
+    reply = EncodeMsgFrame(MsgType::kQueryResult, job.request_id, msg);
+  } else {
+    DiscoveryResultMsg msg;
+    msg.state = JobStateName(state);
+    msg.queue_seconds = job.handle->queue_seconds();
+    msg.run_seconds = job.handle->run_seconds();
+    try {
+      const ProfileReport& report = job.handle->report();
+      msg.cover_size = static_cast<std::uint32_t>(report.left_reduced.size());
+      msg.canonical_size = static_cast<std::uint32_t>(report.canonical.size());
+      msg.top = TopRanked(report.ranking, job.top_k);
+      // A cancelled or deadline-expired run still finishes with a (partial)
+      // report; on the wire that distinction is the state string.
+      if (report.cancelled) {
+        msg.state = "cancelled";
+      } else if (report.discovery.stats.timed_out) {
+        msg.state = "deadline_expired";
+      }
+    } catch (const std::exception&) {
+      // Cancelled before it started: no report, counts stay zero.
     }
-  } catch (const std::exception&) {
-    // Cancelled before it started: no report, counts stay zero.
+    if (msg.state == "cancelled") fin.outcome = "cancelled";
+    if (msg.state == "deadline_expired") fin.outcome = "deadline_expired";
+    reply = EncodeMsgFrame(MsgType::kDiscoveryResult, job.request_id, msg);
   }
-  send_frame(c, EncodeMsgFrame(MsgType::kDiscoveryResult, job.request_id, msg));
+  fin.cost.bytes_streamed += static_cast<std::int64_t>(reply.size());
+  if (job.want_trailer) {
+    // Any result frame (including cancelled / deadline_expired partials)
+    // gets the trailer; only kError answers go bare, so a v3 client reads
+    // the trailer exactly when it got a result.
+    AppendCostTrailer(&reply, job.request_id, fin.cost, fin.queue_seconds,
+                      fin.run_seconds);
+  }
+  record_rpc(c, fin, duration);
+  send_frame(c, std::move(reply));
 }
 
 void ProfilingServer::finish_update(const PendingUpdate& update) {
@@ -724,12 +1048,23 @@ void ProfilingServer::finish_update(const PendingUpdate& update) {
   if (it == conns_.end()) return;
   Connection& c = *it->second;
   c.inflight.release();
-  metrics_->histogram("net.request_seconds").record(now() - update.started);
+  double duration = now() - update.started;
+  m_request_seconds_.record(duration);
+  RpcFinish fin;
+  fin.rtype = "apply_update";
+  fin.outcome = "ok";
+  fin.request_id = update.request_id;
+  fin.trace_id = update.handle->trace_id();
+  fin.run_seconds = duration;
+  fin.has_cost = true;
+  fin.cost = update.handle->cost();
   if (update.handle->state() == UpdateJobState::kFailed) {
     std::string error = update.handle->error();
     ErrCode code = error.find("unknown live dataset") != std::string::npos
                        ? ErrCode::kUnknownDataset
                        : ErrCode::kInternal;
+    fin.outcome = "error";
+    record_rpc(c, fin, duration);
     send_error(c, update.request_id, code, error);
     return;
   }
@@ -739,11 +1074,26 @@ void ProfilingServer::finish_update(const PendingUpdate& update) {
   msg.fds_removed = static_cast<std::uint32_t>(delta.removed.size());
   msg.rebuilt = delta.stats.rebuilt;
   msg.seconds = delta.stats.seconds;
-  send_frame(c, EncodeMsgFrame(MsgType::kUpdateOk, update.request_id, msg));
+  std::vector<std::uint8_t> reply =
+      EncodeMsgFrame(MsgType::kUpdateOk, update.request_id, msg);
+  fin.cost.bytes_streamed += static_cast<std::int64_t>(reply.size());
+  if (update.want_trailer) {
+    AppendCostTrailer(&reply, update.request_id, fin.cost, fin.queue_seconds,
+                      fin.run_seconds);
+  }
+  record_rpc(c, fin, duration);
+  send_frame(c, std::move(reply));
 }
 
 void ProfilingServer::deliver_events(std::vector<CoverChangeEvent> events) {
+  Tracer& tracer = Tracer::Global();
   for (const CoverChangeEvent& ev : events) {
+    // A delta born from a traced apply_update is tagged with the client's
+    // trace id; the fan-out instant joins the same causal tree.
+    if (ev.trace_id != 0 && tracer.enabled()) {
+      tracer.record(TraceEvent{"net.stream_delta", 'i', ev.trace_id,
+                               tracer.now_us(), 0, 0, TraceLane(ev.trace_id)});
+    }
     std::vector<std::string> added = FdStrings(ev.added);
     std::vector<std::string> removed = FdStrings(ev.removed);
     // Collect (conn, sub) pairs first: a slow-consumer verdict drops the
@@ -810,7 +1160,12 @@ void ProfilingServer::flush_completions() {
     Connection& c = *it->second;
     if (done.release_inflight) c.inflight.release();
     if (done.started >= 0) {
-      metrics_->histogram("net.request_seconds").record(now() - done.started);
+      m_request_seconds_.record(now() - done.started);
+    }
+    // Telemetry computed off-loop is applied here, on the loop thread that
+    // owns the slow ring and tenant table.
+    if (done.finish.rtype[0] != '\0') {
+      record_rpc(c, done.finish, now() - done.started);
     }
     send_frame(c, std::move(done.frame));
   }
@@ -843,8 +1198,8 @@ void ProfilingServer::heartbeat_and_idle() {
 
 void ProfilingServer::send_frame(Connection& c, std::vector<std::uint8_t> frame) {
   if (c.dead) return;  // socket already failed; the frame has no ride home
-  metrics_->counter("net.frames_tx").inc();
-  metrics_->counter("net.bytes_tx").inc(static_cast<std::int64_t>(frame.size()));
+  m_frames_tx_.inc();
+  m_bytes_tx_.inc(static_cast<std::int64_t>(frame.size()));
   c.out.insert(c.out.end(), frame.begin(), frame.end());
   c.last_send = now();
   flush_writes(c);
@@ -908,6 +1263,236 @@ void ProfilingServer::reap_connections() {
     }
   }
   for (std::uint64_t id : done) drop_connection(id, "dead or flushed");
+}
+
+// ---------------------------------------------------------- RPC telemetry
+
+void ProfilingServer::record_rpc(Connection& c, const RpcFinish& fin,
+                                 double duration) {
+  m_rpc_requests_.inc();
+  // Latency keyed by type x outcome: the registry is string-keyed, so the
+  // family materializes lazily — only combinations that actually occur
+  // show up in /metrics.
+  rpc_outcome_histogram(fin.rtype, fin.outcome).record(duration);
+  if (fin.queue_seconds > 0) {
+    m_rpc_queue_seconds_.record(fin.queue_seconds);
+  }
+  if (fin.run_seconds > 0) {
+    m_rpc_run_seconds_.record(fin.run_seconds);
+  }
+  if (fin.has_cost) {
+    m_rpc_cpu_ns_.inc(std::max<std::int64_t>(fin.cost.cpu_ns, 0));
+    m_rpc_validations_.inc(fin.cost.validations);
+    m_rpc_partitions_built_.inc(fin.cost.partitions_built);
+    m_rpc_bytes_streamed_.inc(fin.cost.bytes_streamed);
+    c.total_cost.add(fin.cost);
+    if (c.tenant_slot != nullptr) c.tenant_slot->add(fin.cost);
+  }
+  RpcRecord rec;
+  rec.rtype = fin.rtype;
+  rec.outcome = fin.outcome;
+  rec.tenant = c.client_name;
+  rec.trace_id = fin.trace_id;
+  rec.request_id = fin.request_id;
+  rec.conn_id = c.id;
+  rec.end_seconds = now();
+  rec.duration_seconds = duration;
+  rec.queue_seconds = fin.queue_seconds;
+  rec.run_seconds = fin.run_seconds;
+  rec.cost = fin.cost;
+  // SlowLog copies only entries that beat the current worst-N floor (one
+  // double compare for everything else); the tracez ring then takes the
+  // record by move so the tenant string is not reallocated.
+  slowlog_.record(rec);
+  tracez_.record(std::move(rec));
+  // The request's server-side envelope span, drawn backwards from "now" so
+  // it visually encloses net.queue_wait / net.ops.run / svc.job.run.
+  Tracer& tracer = Tracer::Global();
+  if (fin.trace_id != 0 && tracer.enabled()) {
+    std::int64_t end_us = tracer.now_us();
+    std::int64_t start_us = end_us - static_cast<std::int64_t>(duration * 1e6);
+    tracer.record_span("net.rpc", fin.trace_id, start_us, end_us,
+                       TraceLane(fin.trace_id));
+  }
+}
+
+Histogram& ProfilingServer::rpc_outcome_histogram(const char* rtype,
+                                                  const char* outcome) {
+  // Both names come from fixed literal tables (RequestTypeName and the
+  // "ok"/"error" outcome strings), so pointer identity is a valid cache
+  // key; a miss from a second literal address just re-resolves the same
+  // registry slot once. Linear scan: the family tops out around two dozen
+  // entries and the hit is almost always near the front.
+  for (const auto& [t, o, h] : rpc_hist_cache_) {
+    if (t == rtype && o == outcome) return *h;
+  }
+  std::string name =
+      std::string("net.rpc.") + rtype + "." + outcome + "_seconds";
+  Histogram& h = metrics_->histogram(name);
+  rpc_hist_cache_.emplace_back(rtype, outcome, &h);
+  return h;
+}
+
+CostLedger* ProfilingServer::tenant_slot(const std::string& tenant) {
+  auto it = tenant_costs_.find(tenant);
+  if (it == tenant_costs_.end()) {
+    // Bounded tenant table: past the cap, cost lands in a shared overflow
+    // row instead of letting hostile hello names grow server memory.
+    if (tenant_costs_.size() >= 64) {
+      return &tenant_costs_["(other)"];
+    }
+    it = tenant_costs_.emplace(tenant, CostLedger{}).first;
+  }
+  return &it->second;
+}
+
+// --------------------------------------------------- observability endpoint
+
+void ProfilingServer::accept_http() {
+  for (;;) {
+    Socket sock = AcceptOn(http_listener_);
+    if (!sock.valid()) return;
+    if (static_cast<int>(http_conns_.size()) >= options_.max_http_connections) {
+      metrics_->counter("net.http.conns_rejected").inc();
+      continue;  // accept-then-close, same posture as the RPC listener
+    }
+    sock.set_nonblocking(true);
+    auto hc = std::make_unique<HttpConnection>();
+    hc->id = next_http_id_++;
+    hc->sock = std::move(sock);
+    metrics_->counter("net.http.conns_accepted").inc();
+    metrics_->gauge("net.http.connections").add(1);
+    http_conns_.emplace(hc->id, std::move(hc));
+  }
+}
+
+void ProfilingServer::handle_http_readable(HttpConnection& h) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    IoResult r = h.sock.read_some(buf, sizeof buf);
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status == IoStatus::kClosed || r.status == IoStatus::kError) {
+      h.dead = true;
+      return;
+    }
+    h.in.append(reinterpret_cast<const char*>(buf), r.bytes);
+    if (r.bytes < sizeof buf) break;
+  }
+  HttpRequest req;
+  switch (ParseHttpRequest(h.in, &req, options_.max_http_request_bytes)) {
+    case HttpParseStatus::kNeedMore:
+      return;
+    case HttpParseStatus::kTooLarge:
+      metrics_->counter("net.http.bad_requests").inc();
+      respond_http(h, 431, "text/plain; charset=utf-8",
+                   "request head too large\n");
+      return;
+    case HttpParseStatus::kBad:
+      metrics_->counter("net.http.bad_requests").inc();
+      respond_http(h, 400, "text/plain; charset=utf-8",
+                   "malformed request\n");
+      return;
+    case HttpParseStatus::kOk:
+      break;
+  }
+  metrics_->counter("net.http.requests").inc();
+  if (req.method != "GET") {
+    respond_http(h, 405, "text/plain; charset=utf-8",
+                 "only GET is supported\n");
+    return;
+  }
+  std::string path = req.target.substr(0, req.target.find('?'));
+  if (path == "/metrics") {
+    metrics_->refresh_process_gauges();
+    respond_http(h, 200, "text/plain; version=0.0.4; charset=utf-8",
+                 PrometheusText(*metrics_));
+  } else if (path == "/healthz") {
+    // Drain-aware: flips to 503 the moment shutdown() starts draining, so
+    // load balancers stop routing before the listener actually closes.
+    if (draining_) {
+      respond_http(h, 503, "text/plain; charset=utf-8", "draining\n");
+    } else {
+      respond_http(h, 200, "text/plain; charset=utf-8", "ok\n");
+    }
+  } else if (path == "/slowlog") {
+    respond_http(h, 200, "application/json", render_slowlog_json());
+  } else if (path == "/tracez") {
+    respond_http(h, 200, "application/json", render_tracez_json());
+  } else {
+    respond_http(h, 404, "text/plain; charset=utf-8", "unknown path\n");
+  }
+}
+
+void ProfilingServer::respond_http(HttpConnection& h, int status,
+                                   const std::string& content_type,
+                                   const std::string& body) {
+  h.out = RenderHttpResponse(status, content_type, body);
+  h.out_pos = 0;
+  h.responded = true;
+  flush_http_writes(h);
+}
+
+void ProfilingServer::flush_http_writes(HttpConnection& h) {
+  if (h.dead) return;
+  while (h.out_pos < h.out.size()) {
+    IoResult r = h.sock.write_some(h.out.data() + h.out_pos,
+                                   h.out.size() - h.out_pos);
+    if (r.status == IoStatus::kOk) {
+      h.out_pos += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) return;
+    h.dead = true;
+    return;
+  }
+  // Close-after-response: HTTP/1.0, Connection: close. The reaper at the
+  // end of the tick erases it.
+  if (h.responded) h.dead = true;
+}
+
+void ProfilingServer::reap_http_connections() {
+  std::vector<std::uint64_t> done;
+  for (const auto& [id, hc] : http_conns_) {
+    if (hc->dead) done.push_back(id);
+  }
+  for (std::uint64_t id : done) {
+    http_conns_.erase(id);
+    metrics_->gauge("net.http.connections").add(-1);
+  }
+}
+
+std::string ProfilingServer::render_slowlog_json() {
+  double t = now();
+  std::string out =
+      "{\"capacity\":" + std::to_string(slowlog_.capacity()) + ",\"slowest\":[";
+  bool first = true;
+  for (const RpcRecord& rec : slowlog_.worst()) {
+    if (!first) out += ",";
+    first = false;
+    out += RpcRecordJson(rec, t);
+  }
+  out += "],\"tenants\":{";
+  first = true;
+  for (const auto& [tenant, cost] : tenant_costs_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(tenant) + "\":" + CostLedgerJson(cost);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ProfilingServer::render_tracez_json() {
+  double t = now();
+  std::string out = "{\"recent\":[";
+  bool first = true;
+  for (const RpcRecord& rec : tracez_.recent()) {
+    if (!first) out += ",";
+    first = false;
+    out += RpcRecordJson(rec, t);
+  }
+  out += "]}";
+  return out;
 }
 
 void ProfilingServer::drop_connection(std::uint64_t conn_id, const char*) {

@@ -7,12 +7,16 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "net/admission.h"
 #include "net/credit.h"
+#include "net/messages.h"
+#include "net/slowlog.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/cost_ledger.h"
 #include "service/live_store.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
@@ -63,6 +67,22 @@ struct ServerOptions {
   /// Drop connections that sent nothing for this long (0 = never).
   double idle_timeout_seconds = 0;
 
+  // -- observability endpoint ----------------------------------------------
+  /// Serve GET /metrics, /healthz, /slowlog, /tracez over HTTP/1.0 from a
+  /// second listener inside the same event loop. Off by default: the
+  /// endpoint is read-only but still a surface.
+  bool http_enabled = false;
+  /// 0 binds an ephemeral port; read the actual one with http_port().
+  std::uint16_t http_port = 0;
+  /// Concurrent HTTP connections beyond this are accepted and closed.
+  int max_http_connections = 32;
+  /// Request head (request line + headers) byte cap; over it -> 431.
+  std::size_t max_http_request_bytes = 8192;
+  /// Worst-N slow-request ring served by /slowlog (0 disables).
+  std::size_t slowlog_capacity = 32;
+  /// Most-recent-N completed-request ring served by /tracez (0 disables).
+  std::size_t tracez_capacity = 64;
+
   // -- lifecycle ------------------------------------------------------------
   /// Graceful-drain budget: shutdown() stops accepting, answers in-flight
   /// work and flushes buffers for up to this long before closing hard.
@@ -90,8 +110,13 @@ struct ServerOptions {
 ///     flushed, then sockets close.
 ///
 /// Observability: net.* counters/gauges/histograms into the shared
-/// MetricsRegistry (so they ride the existing Prometheus exposition) and
-/// net.request spans into the global tracer.
+/// MetricsRegistry (so they ride the existing Prometheus exposition),
+/// net.dispatch / net.queue_wait / net.rpc spans into the global tracer
+/// (adopting client-stamped trace ids from kTracedRequest wrappers), a
+/// per-request CostLedger returned in kCostTrailer frames and aggregated
+/// per connection/tenant, net.rpc.<type>.<outcome>_seconds latency
+/// histograms, and — when options.http_enabled — an embedded HTTP/1.0
+/// endpoint serving /metrics, /healthz, /slowlog, and /tracez.
 class ProfilingServer {
  public:
   /// None of the service objects are owned; all must outlive the server.
@@ -111,6 +136,10 @@ class ProfilingServer {
 
   /// The bound port; valid after start().
   std::uint16_t port() const { return port_; }
+
+  /// The observability endpoint's bound port; valid after start() when
+  /// options.http_enabled (0 otherwise).
+  std::uint16_t http_port() const { return http_port_; }
 
   /// Graceful drain then stop; idempotent, callable from any thread.
   void shutdown();
@@ -152,12 +181,35 @@ class ProfilingServer {
     /// range-iterating conns_. Dead connections are reaped at one safe
     /// point per loop tick instead.
     bool dead = false;
+    /// Hello client_name, used as the tenant key for cost attribution
+    /// ("anonymous" when the client sent none).
+    std::string client_name = "anonymous";
+    /// This tenant's aggregate ledger inside tenant_costs_, resolved once
+    /// at the hello handshake so the per-request path is a pointer add
+    /// instead of a string-keyed map walk. std::map nodes are stable and
+    /// tenant rows are never erased, so the pointer outlives the
+    /// connection. Null until hello names the tenant.
+    CostLedger* tenant_slot = nullptr;
+    /// Running total of every finished request's ledger on this connection.
+    CostLedger total_cost;
 
     Connection(std::uint32_t max_frame_len, double quota_rate,
                double quota_burst, std::uint32_t max_inflight)
         : decoder(max_frame_len),
           bucket(quota_rate, quota_burst),
           inflight(max_inflight) {}
+  };
+
+  /// One observability-endpoint connection: read a bounded request head,
+  /// write one response, close. Owned and touched by the loop thread only.
+  struct HttpConnection {
+    std::uint64_t id = 0;
+    Socket sock;
+    std::string in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+    bool responded = false;
+    bool dead = false;
   };
 
   /// An RPC whose answer comes from a service-layer handle the loop sweeps.
@@ -170,12 +222,27 @@ class ProfilingServer {
     /// True for kSubmitQuery jobs: the answer is a kQueryResult frame built
     /// from the report's query_result instead of a kDiscoveryResult.
     bool is_query = false;
+    /// The connection negotiated v3+: successful answers get a kCostTrailer.
+    bool want_trailer = false;
   };
   struct PendingUpdate {
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
     double started = 0;
     UpdateJobHandlePtr handle;
+    bool want_trailer = false;
+  };
+  /// RPC telemetry computed off-loop, applied on the loop thread where the
+  /// slow ring, tracez ring, and tenant aggregation live. rtype "" = none.
+  struct RpcFinish {
+    const char* rtype = "";
+    const char* outcome = "";
+    std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;
+    double queue_seconds = 0;
+    double run_seconds = 0;
+    bool has_cost = false;
+    CostLedger cost;
   };
   /// A frame produced off-loop (ops pool / LiveStore workers) for a
   /// connection, delivered through the completion queue + wake pipe.
@@ -184,6 +251,7 @@ class ProfilingServer {
     std::vector<std::uint8_t> frame;
     double started = 0;   // request start time; <0 = not a request answer
     bool release_inflight = false;
+    RpcFinish finish;
   };
 
   void loop();
@@ -193,11 +261,21 @@ class ProfilingServer {
   void accept_new();
   void handle_readable(Connection& c);
   void dispatch(Connection& c, const Frame& frame);
-  void handle_submit_discovery(Connection& c, const Frame& frame);
-  void handle_submit_query(Connection& c, const Frame& frame);
-  void handle_register(Connection& c, const Frame& frame);
-  void handle_query_cover(Connection& c, const Frame& frame);
-  void handle_apply_update(Connection& c, const Frame& frame);
+  /// The per-request switch, after dispatch() unwrapped any kTracedRequest
+  /// envelope. `ctx` carries the client-stamped trace context (ids 0 when
+  /// the request was not traced); runs under TraceIdScope(ctx.trace_id).
+  void dispatch_request(Connection& c, const Frame& frame,
+                        const TraceContext& ctx);
+  void handle_submit_discovery(Connection& c, const Frame& frame,
+                               const TraceContext& ctx);
+  void handle_submit_query(Connection& c, const Frame& frame,
+                           const TraceContext& ctx);
+  void handle_register(Connection& c, const Frame& frame,
+                       const TraceContext& ctx);
+  void handle_query_cover(Connection& c, const Frame& frame,
+                          const TraceContext& ctx);
+  void handle_apply_update(Connection& c, const Frame& frame,
+                           const TraceContext& ctx);
   void handle_subscribe(Connection& c, const Frame& frame);
   void handle_credit(Connection& c, const Frame& frame);
   void handle_unsubscribe(Connection& c, const Frame& frame);
@@ -217,6 +295,24 @@ class ProfilingServer {
   bool drain_finished();
   void finish_job(const PendingJob& job);
   void finish_update(const PendingUpdate& update);
+
+  // Per-RPC telemetry (loop thread only): latency histograms by
+  // type x outcome, slow/tracez rings, tenant cost aggregation.
+  void record_rpc(Connection& c, const RpcFinish& fin, double duration);
+  /// Resolves (creating if under the 64-row cap) the tenant's aggregate
+  /// ledger row; past the cap everyone shares the "(other)" overflow row.
+  CostLedger* tenant_slot(const std::string& tenant);
+  Histogram& rpc_outcome_histogram(const char* rtype, const char* outcome);
+
+  // Observability HTTP endpoint (loop thread only).
+  void accept_http();
+  void handle_http_readable(HttpConnection& h);
+  void respond_http(HttpConnection& h, int status,
+                    const std::string& content_type, const std::string& body);
+  void flush_http_writes(HttpConnection& h);
+  void reap_http_connections();
+  std::string render_slowlog_json();
+  std::string render_tracez_json();
 
   JobScheduler* scheduler_;
   LiveStore* live_;
@@ -240,6 +336,43 @@ class ProfilingServer {
   std::vector<PendingUpdate> pending_updates_;
   bool draining_ = false;
   double drain_deadline_ = 0;
+
+  // Observability endpoint state (loop thread only). The HTTP listener
+  // stays open during drain so /healthz can answer 503 while the RPC side
+  // refuses work.
+  Socket http_listener_;
+  std::uint16_t http_port_ = 0;
+  std::map<std::uint64_t, std::unique_ptr<HttpConnection>> http_conns_;
+  std::uint64_t next_http_id_ = 1;
+  SlowLog slowlog_;
+  RecentRpcRing tracez_;
+  std::map<std::string, CostLedger> tenant_costs_;
+
+  // Pre-resolved metric handles for the per-request fast path. Every
+  // registry lookup is a mutex acquisition plus a string-keyed map walk;
+  // at tens of thousands of RPCs per second on the single loop thread that
+  // dwarfs the work being measured. Registry slots are never erased, so
+  // the references stay valid for the server's lifetime.
+  Counter& m_requests_;
+  Counter& m_frames_rx_;
+  Counter& m_bytes_rx_;
+  Counter& m_frames_tx_;
+  Counter& m_bytes_tx_;
+  Counter& m_protocol_errors_;
+  Histogram& m_request_seconds_;
+  Counter& m_rpc_requests_;
+  Histogram& m_rpc_queue_seconds_;
+  Histogram& m_rpc_run_seconds_;
+  Counter& m_rpc_cpu_ns_;
+  Counter& m_rpc_validations_;
+  Counter& m_rpc_partitions_built_;
+  Counter& m_rpc_bytes_streamed_;
+  // Lazily grown cache of the type x outcome latency family, keyed by
+  // pointer identity of the literal name tables (loop thread only). A
+  // duplicate entry from a second literal address is harmless — both
+  // resolve to the same registry slot — and the set stays tiny.
+  std::vector<std::tuple<const char*, const char*, Histogram*>>
+      rpc_hist_cache_;
 
   // Cross-thread state.
   mutable Mutex mu_;

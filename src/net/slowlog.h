@@ -1,0 +1,77 @@
+#ifndef DHYFD_NET_SLOWLOG_H_
+#define DHYFD_NET_SLOWLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/cost_ledger.h"
+
+namespace dhyfd::net {
+
+/// Summary of one completed RPC: what it was, how it ended, what it cost.
+/// Feeds the slow-request log (/slowlog) and the recent-span ring (/tracez).
+struct RpcRecord {
+  const char* rtype = "";    // request type name ("submit_discovery", ...)
+  const char* outcome = "";  // "ok" / "rejected" / "deadline_expired" / ...
+  std::string tenant;        // hello client_name ("anonymous" if empty)
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t conn_id = 0;
+  double end_seconds = 0;       // completion time, server monotonic clock
+  double duration_seconds = 0;  // receive -> response written
+  double queue_seconds = 0;     // admission -> execution start
+  double run_seconds = 0;       // execution wall time
+  CostLedger cost;
+};
+
+/// Bounded worst-N log of completed requests, ordered by duration. Retention
+/// is by pain, not recency: a request only enters once it is slower than the
+/// current N-th worst, and the fastest entry is what eviction drops — so a
+/// burst of cheap traffic can never flush the request you want to debug.
+/// Loop-thread only; the server snapshots it when rendering /slowlog.
+class SlowLog {
+ public:
+  explicit SlowLog(std::size_t capacity) : capacity_(capacity) {}
+
+  void record(const RpcRecord& rec);
+
+  /// Entries sorted slowest-first.
+  const std::vector<RpcRecord>& worst() const { return entries_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<RpcRecord> entries_;  // kept sorted, slowest first
+};
+
+/// Bounded most-recent-N ring of completed requests in completion order,
+/// backing /tracez. Unlike SlowLog this *is* recency-retained: it answers
+/// "what just happened", not "what hurt most".
+class RecentRpcRing {
+ public:
+  explicit RecentRpcRing(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Takes the record by value so the hot path can move it in (the tenant
+  /// string is the only heap member worth avoiding a copy of).
+  void record(RpcRecord rec);
+
+  /// Entries newest-first.
+  std::vector<RpcRecord> recent() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<RpcRecord> ring_;
+};
+
+/// JSON object for one ledger: {"cpu_ms":...,"validations":...,...}.
+std::string CostLedgerJson(const CostLedger& cost);
+
+/// JSON object for one record. `now_seconds` (same clock as end_seconds)
+/// turns completion times into an "age_seconds" the reader can use directly.
+std::string RpcRecordJson(const RpcRecord& rec, double now_seconds);
+
+}  // namespace dhyfd::net
+
+#endif  // DHYFD_NET_SLOWLOG_H_

@@ -4,11 +4,11 @@ namespace dhyfd::net {
 
 bool IsKnownMsgType(std::uint8_t t) {
   if (t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-      t <= static_cast<std::uint8_t>(MsgType::kSubmitQuery)) {
+      t <= static_cast<std::uint8_t>(MsgType::kTracedRequest)) {
     return true;
   }
   return t >= static_cast<std::uint8_t>(MsgType::kHelloOk) &&
-         t <= static_cast<std::uint8_t>(MsgType::kQueryResult);
+         t <= static_cast<std::uint8_t>(MsgType::kCostTrailer);
 }
 
 const char* ErrCodeName(ErrCode code) {

@@ -40,6 +40,7 @@ enum class MsgType : std::uint8_t {
   kPing = 9,             // liveness probe; also resets the idle timer
   kGoodbye = 10,         // polite close: server flushes, then disconnects
   kSubmitQuery = 11,     // run a rank-driven discovery query (protocol v2+)
+  kTracedRequest = 12,   // trace-context wrapper around any request (v3+)
 
   // server -> client
   kHelloOk = 64,         // handshake reply: limits the client must respect
@@ -54,6 +55,7 @@ enum class MsgType : std::uint8_t {
   kHeartbeat = 73,       // periodic keepalive on streaming connections
   kPong = 74,
   kQueryResult = 75,     // answer to kSubmitQuery (protocol v2+)
+  kCostTrailer = 76,     // per-request cost ledger after a success (v3+)
 };
 
 /// True if `t` is a value the protocol defines (in either direction).

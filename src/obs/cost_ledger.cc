@@ -1,0 +1,69 @@
+#include "obs/cost_ledger.h"
+
+#include <ctime>
+#include <cstring>
+
+namespace dhyfd {
+
+namespace {
+
+/// Classification table: which existing counter names feed which ledger
+/// field. Names arrive as string literals, so the per-add cost is a few
+/// short strcmp()s — small next to the registry lookup the forwarded sink
+/// already pays. Unlisted counters are forwarded but not classified.
+enum class LedgerField { kNone, kValidations, kPartitionsBuilt, kHits, kMisses };
+
+LedgerField Classify(const char* name) {
+  if (std::strcmp(name, "discover.validator.calls") == 0 ||
+      std::strcmp(name, "query.validations") == 0 ||
+      std::strcmp(name, "incr.validations") == 0) {
+    return LedgerField::kValidations;
+  }
+  if (std::strcmp(name, "partition.intersections") == 0 ||
+      std::strcmp(name, "partition.ddm_dynamic_builds") == 0) {
+    return LedgerField::kPartitionsBuilt;
+  }
+  if (std::strcmp(name, "partition.cache_hits") == 0 ||
+      std::strcmp(name, "partition.prefix_cache_hits") == 0) {
+    return LedgerField::kHits;
+  }
+  if (std::strcmp(name, "partition.cache_misses") == 0) {
+    return LedgerField::kMisses;
+  }
+  return LedgerField::kNone;
+}
+
+}  // namespace
+
+std::int64_t CurrentThreadCpuNs() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return std::int64_t{ts.tv_sec} * 1'000'000'000 + ts.tv_nsec;
+}
+
+CostLedgerScope::CostLedgerScope(CostLedger* out, bool charge_cpu)
+    : out_(out),
+      prev_(CurrentObsSink()),
+      cpu_start_ns_(charge_cpu ? CurrentThreadCpuNs() : -1) {
+  obs_internal::tls_sink = this;
+}
+
+CostLedgerScope::~CostLedgerScope() {
+  obs_internal::tls_sink = prev_;
+  if (cpu_start_ns_ >= 0) {
+    out_->cpu_ns += CurrentThreadCpuNs() - cpu_start_ns_;
+  }
+}
+
+void CostLedgerScope::add(const char* name, std::int64_t delta) {
+  switch (Classify(name)) {
+    case LedgerField::kValidations: out_->validations += delta; break;
+    case LedgerField::kPartitionsBuilt: out_->partitions_built += delta; break;
+    case LedgerField::kHits: out_->cache_hits += delta; break;
+    case LedgerField::kMisses: out_->cache_misses += delta; break;
+    case LedgerField::kNone: break;
+  }
+  if (prev_ != nullptr) prev_->add(name, delta);
+}
+
+}  // namespace dhyfd

@@ -20,12 +20,20 @@ ObsSession::ObsSession(ObsSessionOptions options)
   // any service layer; the scheduler/store install their own per-job sinks.
   sink_ = std::make_unique<TelemetrySink>(metrics_);
   scope_ = std::make_unique<ObsScope>(sink_.get());
+  if (options_.snapshot_interval_seconds > 0 &&
+      !options_.metrics_path.empty()) {
+    snapshot_writer_ = std::make_unique<SnapshotWriter>(
+        metrics_, options_.metrics_path, options_.snapshot_interval_seconds);
+  }
 }
 
 ObsSession::~ObsSession() {
   scope_.reset();
   sink_.reset();
   if (!options_.trace_path.empty()) Tracer::Global().stop();
+  // Stop the periodic writer (its own final snapshot included) before the
+  // destructor's flush, so the last write on disk is the complete one.
+  snapshot_writer_.reset();
   flush();
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/snapshot_writer.h"
 #include "obs/telemetry.h"
 #include "service/metrics.h"
 
@@ -26,6 +27,10 @@ struct ObsSessionOptions {
   /// Registry to export; nullptr makes the session own a private one
   /// (the single-process bench case). Must outlive the session.
   MetricsRegistry* metrics = nullptr;
+  /// > 0 with a metrics_path: a SnapshotWriter rewrites the metrics file on
+  /// this cadence for the whole session, so a scraper (or `watch cat`) can
+  /// follow a long run instead of waiting for the final flush.
+  double snapshot_interval_seconds = 0;
 };
 
 class ObsSession {
@@ -49,6 +54,7 @@ class ObsSession {
   MetricsRegistry* metrics_;
   std::unique_ptr<TelemetrySink> sink_;
   std::unique_ptr<ObsScope> scope_;
+  std::unique_ptr<SnapshotWriter> snapshot_writer_;
 };
 
 }  // namespace dhyfd

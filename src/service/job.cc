@@ -78,4 +78,9 @@ double JobHandle::run_seconds() const {
   return run_seconds_;
 }
 
+CostLedger JobHandle::cost() const {
+  MutexLock lock(&mu_);
+  return cost_;
+}
+
 }  // namespace dhyfd

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/profiler.h"
+#include "obs/cost_ledger.h"
 #include "util/cancellation.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -23,6 +24,10 @@ struct ProfileJob {
   /// Per-job cooperative time limit in seconds (0 = none). Overrides
   /// options.time_limit_seconds when positive.
   double time_limit_seconds = 0;
+  /// Trace id to adopt for this job's span tree (0 = let the scheduler mint
+  /// one when tracing is on). Set by the server from the client-stamped
+  /// kTracedRequest context so client and server spans share one tree.
+  std::uint64_t trace_id = 0;
 };
 
 /// Lifecycle of a submitted job.
@@ -80,6 +85,10 @@ class JobHandle {
   /// to see one job's queue-wait, run, and discovery stages as one tree.
   std::uint64_t trace_id() const { return trace_id_; }
 
+  /// Resource cost the worker accumulated while executing (zero-valued for
+  /// jobs that never ran). Valid once the job is terminal.
+  CostLedger cost() const DHYFD_EXCLUDES(mu_);
+
  private:
   friend class JobScheduler;
 
@@ -107,6 +116,7 @@ class JobHandle {
   std::string error_ DHYFD_GUARDED_BY(mu_);
   double queue_seconds_ DHYFD_GUARDED_BY(mu_) = 0;
   double run_seconds_ DHYFD_GUARDED_BY(mu_) = 0;
+  CostLedger cost_ DHYFD_GUARDED_BY(mu_);
 };
 
 using JobHandlePtr = std::shared_ptr<JobHandle>;

@@ -56,6 +56,11 @@ std::string UpdateJobHandle::error() const {
   return error_;
 }
 
+CostLedger UpdateJobHandle::cost() const {
+  MutexLock lock(&mu_);
+  return cost_;
+}
+
 // ----------------------------------------------------------------- store
 
 LiveStore::LiveStore(MetricsRegistry* metrics, int num_threads)
@@ -134,7 +139,12 @@ UpdateJobHandlePtr LiveStore::submit(UpdateJob job) {
   UpdateJobHandlePtr h(new UpdateJobHandle(id, std::move(job.dataset),
                                            std::move(job.batch), job.mode));
   Tracer& tracer = Tracer::Global();
-  if (tracer.enabled()) {
+  if (job.trace_id != 0) {
+    // Adopt the caller's (e.g. a client-stamped request's) trace id so this
+    // batch's spans join that tree instead of starting a fresh one.
+    h->trace_id_ = job.trace_id;
+    if (tracer.enabled()) h->submit_ts_us_ = tracer.now_us();
+  } else if (tracer.enabled()) {
     h->trace_id_ = tracer.next_trace_id();
     h->submit_ts_us_ = tracer.now_us();
   }
@@ -185,7 +195,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
   metrics_->gauge("incr.jobs_queued").add(-1);
 
   Tracer& tracer = Tracer::Global();
-  if (h->trace_id_ != 0 && tracer.enabled()) {
+  if (h->trace_id_ != 0 && h->submit_ts_us_ != 0 && tracer.enabled()) {
     // Synthetic per-job lane; see JobScheduler::run_one for why queue-wait
     // spans cannot live on a worker's real lane.
     std::uint32_t lane =
@@ -196,12 +206,15 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
 
   CoverDelta delta;
   std::string error;
+  CostLedger cost;
   {
     // The strand worker runs under the batch's trace id with a per-batch
-    // sink, so incr.* counters and spans group under this update's tree.
+    // sink, so incr.* counters and spans group under this update's tree;
+    // the cost scope classifies the same counters into the batch's ledger.
     TraceIdScope trace_scope(h->trace_id_);
     TelemetrySink sink(metrics_, h->trace_id_);
     ObsScope obs_scope(&sink);
+    CostLedgerScope cost_scope(&cost);
     TraceSpan batch_span("incr.batch");
     MutexLock lock(&entry->profile_mu);
     try {
@@ -227,10 +240,12 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     event.added = delta.added;
     event.removed = delta.removed;
     event.stats = delta.stats;
+    event.trace_id = h->trace_id_;
 
     {
       MutexLock lock(&h->mu_);
       h->delta_ = std::move(delta);
+      h->cost_ = cost;
       h->state_ = UpdateJobState::kDone;
     }
     h->done_cv_.notify_all();
@@ -242,6 +257,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     {
       MutexLock lock(&h->mu_);
       h->error_ = std::move(error);
+      h->cost_ = cost;
       h->state_ = UpdateJobState::kFailed;
     }
     h->done_cv_.notify_all();

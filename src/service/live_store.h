@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "incr/live_profile.h"
+#include "obs/cost_ledger.h"
 #include "relation/csv.h"
 #include "service/metrics.h"
 #include "util/mutex.h"
@@ -30,6 +31,9 @@ struct UpdateJob {
   UpdateBatch batch;
   /// Forces a compact + full re-discovery for this batch.
   ApplyMode mode = ApplyMode::kIncremental;
+  /// Trace id to adopt for this batch's span tree (0 = mint one when tracing
+  /// is on). Set by the net server from the client-stamped trace context.
+  std::uint64_t trace_id = 0;
 };
 
 enum class UpdateJobState { kQueued, kRunning, kDone, kFailed };
@@ -54,6 +58,10 @@ class UpdateJobHandle {
   /// Trace id grouping this batch's spans/counters when tracing was enabled
   /// at submission (0 otherwise).
   std::uint64_t trace_id() const { return trace_id_; }
+
+  /// Resource cost the worker accumulated applying this batch (zero-valued
+  /// until the job ran). Valid once the job is terminal.
+  CostLedger cost() const DHYFD_EXCLUDES(mu_);
 
  private:
   friend class LiveStore;
@@ -81,6 +89,7 @@ class UpdateJobHandle {
   UpdateJobState state_ DHYFD_GUARDED_BY(mu_) = UpdateJobState::kQueued;
   CoverDelta delta_ DHYFD_GUARDED_BY(mu_);
   std::string error_ DHYFD_GUARDED_BY(mu_);
+  CostLedger cost_ DHYFD_GUARDED_BY(mu_);
 };
 
 using UpdateJobHandlePtr = std::shared_ptr<UpdateJobHandle>;
@@ -93,6 +102,9 @@ struct CoverChangeEvent {
   FdSet added;
   FdSet removed;
   BatchStats stats;
+  /// Trace id of the update batch that produced this delta (0 = untraced),
+  /// so streamed events stay attributable to the request that caused them.
+  std::uint64_t trace_id = 0;
 };
 
 using CoverChangeListener = std::function<void(const CoverChangeEvent&)>;

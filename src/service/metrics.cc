@@ -128,6 +128,7 @@ void MetricsRegistry::refresh_process_gauges() {
   gauge("process.rss_bytes").set(static_cast<std::int64_t>(CurrentRssBytes()));
   gauge("process.peak_rss_bytes")
       .set(static_cast<std::int64_t>(PeakRssBytes()));
+  gauge("process.open_fds").set(static_cast<std::int64_t>(CurrentOpenFds()));
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::counter_values() const {

@@ -47,7 +47,13 @@ JobHandlePtr JobScheduler::submit(ProfileJob job) {
     MutexLock lock(&mu_);
     handle = JobHandlePtr(new JobHandle(next_id_++, std::move(job)));
     Tracer& tracer = Tracer::Global();
-    if (tracer.enabled()) {
+    if (handle->job_.trace_id != 0) {
+      // The caller (e.g. the net server relaying a client-stamped trace
+      // context) already owns a trace id; adopt it so this job's spans land
+      // in the caller's tree instead of a fresh one.
+      handle->trace_id_ = handle->job_.trace_id;
+      if (tracer.enabled()) handle->submit_ts_us_ = tracer.now_us();
+    } else if (tracer.enabled()) {
       handle->trace_id_ = tracer.next_trace_id();
       handle->submit_ts_us_ = tracer.now_us();
     }
@@ -124,7 +130,8 @@ void JobScheduler::run_one() {
     }
   }
   Tracer& tracer = Tracer::Global();
-  if (handle->trace_id_ != 0 && tracer.enabled()) {
+  if (handle->trace_id_ != 0 && handle->submit_ts_us_ != 0 &&
+      tracer.enabled()) {
     // Queue-wait spans started on the submitter and ended on the worker, so
     // each gets its own synthetic lane: drawn on a real worker lane they
     // would overlap that worker's previous job and render as bogus nesting.
@@ -161,14 +168,17 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
   ProfileReport report;
   std::string error;
   bool failed = false;
+  CostLedger cost;
   {
     // The worker runs under the job's trace id, with a per-job sink feeding
-    // algorithm counters into the metrics registry and the trace. Every
-    // Deadline constructed below (inside the discovery algorithms) also
-    // polls this job's cancel token.
+    // algorithm counters into the metrics registry and the trace, and a cost
+    // scope on top classifying the same counters into this job's ledger.
+    // Every Deadline constructed below (inside the discovery algorithms)
+    // also polls this job's cancel token.
     TraceIdScope trace_scope(handle->trace_id_);
     TelemetrySink sink(metrics_, handle->trace_id_);
     ObsScope obs_scope(&sink);
+    CostLedgerScope cost_scope(&cost);
     TraceSpan run_span("svc.job.run");
     CancelScope scope(&handle->cancel_token_);
     try {
@@ -220,6 +230,7 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
     MutexLock hlock(&handle->mu_);
     handle->state_ = final_state;
     handle->run_seconds_ = run_seconds;
+    handle->cost_ = cost;
     if (failed) {
       handle->error_ = error;
     } else {

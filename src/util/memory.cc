@@ -1,5 +1,7 @@
 #include "util/memory.h"
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -32,5 +34,18 @@ size_t ReadStatusField(const char* field) {
 size_t CurrentRssBytes() { return ReadStatusField("VmRSS"); }
 
 size_t PeakRssBytes() { return ReadStatusField("VmHWM"); }
+
+size_t CurrentOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t count = 0;
+  while (struct dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;  // "." and ".."
+    ++count;
+  }
+  closedir(dir);
+  // The directory fd used for the walk itself is still open while counting.
+  return count > 0 ? count - 1 : 0;
+}
 
 }  // namespace dhyfd

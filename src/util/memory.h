@@ -12,6 +12,11 @@ size_t CurrentRssBytes();
 /// Peak resident set size (VmHWM) in bytes, or 0 if unavailable.
 size_t PeakRssBytes();
 
+/// Number of open file descriptors of this process (Linux /proc/self/fd),
+/// or 0 if unavailable. Exported as the process.open_fds gauge — the first
+/// thing to watch on a socket-heavy server for descriptor leaks.
+size_t CurrentOpenFds();
+
 /// Tracks the memory high-water mark over a scoped region relative to the
 /// RSS at construction. Benches report `delta_peak_bytes()` as the
 /// algorithm's working memory, mirroring the paper's per-run MB figures.

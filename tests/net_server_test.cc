@@ -14,6 +14,7 @@
 #include "datagen/benchmark_data.h"
 #include "net/client.h"
 #include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "relation/csv.h"
 
 namespace dhyfd::net {
@@ -732,6 +733,102 @@ TEST(NetServerTest, MetricsShowUpInPrometheusExposition) {
   EXPECT_NE(text.find("dhyfd_net_frames_rx"), std::string::npos);
   EXPECT_NE(text.find("dhyfd_net_connections"), std::string::npos);
   EXPECT_NE(text.find("dhyfd_net_request_seconds"), std::string::npos);
+}
+
+TEST(NetServerTest, CostTrailerPairsWithTracedRequests) {
+  Stack stack;
+  BlockingClient client = stack.connect("billed");
+  EXPECT_FALSE(client.has_last_cost());
+
+  // Untraced requests stay bare on the wire: no envelope out, no trailer
+  // back, so the fast path pays nothing for attribution nobody asked for.
+  client.register_dataset("plain", DemoCsv(), /*live=*/false);
+  EXPECT_FALSE(client.has_last_cost());
+
+  // A TraceIdScope opts the calls into end-to-end attribution even with
+  // span recording off: the envelope crosses the wire and every
+  // successful result comes back with its cost trailer.
+  TraceIdScope traced(771);
+  client.register_dataset("aba", DemoCsv(), /*live=*/true);
+  ASSERT_TRUE(client.has_last_cost());
+  EXPECT_GE(client.last_cost().run_seconds, 0.0);
+
+  SubmitDiscoveryMsg submit;
+  submit.dataset = "aba";
+  client.submit_discovery(submit);
+  ASSERT_TRUE(client.has_last_cost());
+  // Discovery validated FDs and burned CPU; the ledger must say so.
+  EXPECT_GT(client.last_cost().validations, 0u);
+  EXPECT_GT(client.last_cost().cpu_ns, 0u);
+
+  CoverResultMsg cover = client.query_cover("aba", 3);
+  EXPECT_GT(cover.total, 0u);
+  ASSERT_TRUE(client.has_last_cost());
+  EXPECT_GT(client.last_cost().bytes_streamed, 0u);
+
+  // The per-RPC metrics saw traced and untraced work alike.
+  EXPECT_GE(stack.metrics.counter("net.rpc.requests").value(), 4);
+}
+
+TEST(NetServerTest, ErrorRepliesCarryNoTrailer) {
+  Stack stack;
+  BlockingClient client = stack.connect();
+  TraceIdScope traced(772);
+  try {
+    client.query_cover("missing");
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kUnknownDataset);
+  }
+  // No trailer followed the error frame — the next RPC's reply frame is
+  // its own result, not a stale kCostTrailer.
+  EXPECT_FALSE(client.has_last_cost());
+  client.register_dataset("aba", DemoCsv(), /*live=*/false);
+  EXPECT_TRUE(client.has_last_cost());
+}
+
+TEST(NetServerTest, V2ClientSpeaksPlainProtocolWithoutTrailers) {
+  Stack stack;
+  BlockingClient client("127.0.0.1", stack.server->port(), "legacy-v2",
+                        /*timeout_seconds=*/30, /*protocol_version=*/2);
+  EXPECT_EQ(client.server_limits().protocol_version, 2u);
+
+  // Every v2 request works unwrapped, and no trailer ever arrives —
+  // the response stream stays exactly the pre-v3 sequence.
+  client.register_dataset("aba", DemoCsv(), /*live=*/true);
+  SubmitDiscoveryMsg submit;
+  submit.dataset = "aba";
+  EXPECT_EQ(client.submit_discovery(submit).state, "done");
+  EXPECT_GT(client.query_cover("aba", 2).total, 0u);
+  EXPECT_FALSE(client.has_last_cost());
+  client.ping();
+}
+
+TEST(NetServerTest, MalformedTracedEnvelopeDropsConnection) {
+  Stack stack;
+  BlockingClient healthy = stack.connect("healthy");
+  BlockingClient hostile = stack.connect("hostile");
+
+  // A traced envelope whose inner type is itself kTracedRequest: the
+  // server must refuse to recurse and drop the connection as a protocol
+  // error, leaving other connections alone.
+  WireWriter w;
+  w.u64(1);  // trace_id
+  w.u64(2);  // span_id
+  w.u8(static_cast<std::uint8_t>(MsgType::kTracedRequest));
+  std::vector<std::uint8_t> frame =
+      EncodeFrame(MsgType::kTracedRequest, 7, w.bytes());
+  hostile.send_bytes(reinterpret_cast<const char*>(frame.data()), frame.size());
+  bool dropped = false;
+  try {
+    Frame f;
+    dropped = !hostile.read_frame(&f);
+  } catch (const std::exception&) {
+    dropped = true;
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_GE(stack.metrics.counter("net.protocol_errors").value(), 1);
+  healthy.ping();
 }
 
 TEST(NetServerTest, MaxConnectionsAcceptThenClose) {

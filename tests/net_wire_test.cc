@@ -412,10 +412,14 @@ TEST(MessagesTest, HostileEpsilonAndKStillDecode) {
 TEST(MessagesTest, QueryFrameTypesAreKnown) {
   EXPECT_TRUE(IsKnownMsgType(static_cast<std::uint8_t>(MsgType::kSubmitQuery)));
   EXPECT_TRUE(IsKnownMsgType(static_cast<std::uint8_t>(MsgType::kQueryResult)));
+  // v3 extends both ranges: the trace envelope and the cost trailer are the
+  // new range ends.
+  EXPECT_TRUE(IsKnownMsgType(static_cast<std::uint8_t>(MsgType::kTracedRequest)));
+  EXPECT_TRUE(IsKnownMsgType(static_cast<std::uint8_t>(MsgType::kCostTrailer)));
   // The hole between client and server ranges is still unknown.
-  EXPECT_FALSE(IsKnownMsgType(12));
+  EXPECT_FALSE(IsKnownMsgType(13));
   EXPECT_FALSE(IsKnownMsgType(63));
-  EXPECT_FALSE(IsKnownMsgType(76));
+  EXPECT_FALSE(IsKnownMsgType(77));
 }
 
 TEST(MessagesTest, ErrCodeAndReasonNamesCoverAllValues) {

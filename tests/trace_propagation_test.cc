@@ -13,8 +13,11 @@
 #include <vector>
 
 #include "datagen/benchmark_data.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "relation/csv.h"
 #include "service/service.h"
 #include "util/thread_pool.h"
 
@@ -232,6 +235,102 @@ TEST(LiveStorePropagationTest, BatchTreeHasQueueWaitAndBatchSpans) {
   EXPECT_TRUE(HasSpan(events, "incr.batch"));
   // Batch counters flow through the per-batch sink into the registry.
   EXPECT_GT(metrics.counter("incr.pairs_compared").value(), 0);
+}
+
+TEST(WirePropagationTest, ClientTraceIdSpansEveryServerLayer) {
+  // The full causal chain over the wire: a TraceIdScope on the client
+  // thread stamps the trace envelope, and every server-side layer — poll
+  // loop, ops pool, job scheduler, live store — must tag its spans with
+  // that id, so one merged Chrome trace shows the request end to end.
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 2});
+  LiveStore live(&metrics, 2);
+  net::ProfilingServer server(&scheduler, &live, &datasets, &metrics, {});
+  server.start();
+
+  Tracer& tracer = Tracer::Global();
+  tracer.start();
+  constexpr std::uint64_t kTraceId = 424242;
+  {
+    net::BlockingClient client("127.0.0.1", server.port(), "traced", 30);
+    TraceIdScope scope(kTraceId);
+    client.register_dataset(
+        "aba", WriteCsvString(GenerateBenchmark("abalone", 120)),
+        /*live=*/true);
+    net::SubmitDiscoveryMsg submit;
+    submit.dataset = "aba";
+    client.submit_discovery(submit);
+    client.query_cover("aba", 3);
+    net::ApplyUpdateMsg update;
+    update.dataset = "aba";
+    RawTable extra = GenerateBenchmark("abalone", 125);
+    for (int i = 120; i < 125; ++i) update.inserts.push_back(extra.rows[i]);
+    client.apply_update(update);
+    client.goodbye();
+  }
+  server.shutdown();
+  live.shutdown();
+  scheduler.shutdown();
+  tracer.stop();
+
+  std::vector<TraceEvent> events = EventsForTraceId(kTraceId);
+  // Client side of the wire.
+  EXPECT_TRUE(HasSpan(events, "net.client.call"));
+  // Server poll loop: per-request dispatch plus the whole-RPC envelope.
+  EXPECT_TRUE(HasSpan(events, "net.dispatch"));
+  EXPECT_TRUE(HasSpan(events, "net.rpc"));
+  // Ops pool (register_dataset / query_cover).
+  EXPECT_TRUE(HasSpan(events, "net.queue_wait"));
+  EXPECT_TRUE(HasSpan(events, "net.ops.run"));
+  // Job scheduler strand (submit_discovery).
+  EXPECT_TRUE(HasSpan(events, "svc.queue_wait"));
+  EXPECT_TRUE(HasSpan(events, "svc.job.run"));
+  EXPECT_TRUE(HasSpan(events, "profile.discover"));
+  // Live store strand (apply_update).
+  EXPECT_TRUE(HasSpan(events, "incr.queue_wait"));
+  EXPECT_TRUE(HasSpan(events, "incr.batch"));
+}
+
+TEST(WirePropagationTest, ClientMintsTraceIdWhenNoScopeIsActive) {
+  // Without an ambient TraceIdScope the client mints a fresh id per call
+  // and propagates that — the server side still joins the same tree.
+  MetricsRegistry metrics;
+  DatasetRegistry datasets(&metrics);
+  JobScheduler scheduler(&datasets, &metrics, {.num_threads = 1});
+  LiveStore live(&metrics, 1);
+  net::ProfilingServer server(&scheduler, &live, &datasets, &metrics, {});
+  server.start();
+
+  Tracer& tracer = Tracer::Global();
+  tracer.start();
+  {
+    net::BlockingClient client("127.0.0.1", server.port(), "untraced", 30);
+    ASSERT_EQ(CurrentTraceId(), 0u);
+    client.register_dataset(
+        "aba", WriteCsvString(GenerateBenchmark("abalone", 60)),
+        /*live=*/true);
+    client.query_cover("aba", 2);
+    client.goodbye();
+  }
+  server.shutdown();
+  live.shutdown();
+  scheduler.shutdown();
+  tracer.stop();
+
+  std::vector<TraceEvent> all = Tracer::Global().drain();
+  std::uint64_t client_trace = 0;
+  for (const TraceEvent& e : all) {
+    if (e.phase != 'X' || e.name == nullptr) continue;
+    if (std::string("net.client.call") == e.name) client_trace = e.trace_id;
+  }
+  ASSERT_NE(client_trace, 0u);
+  std::vector<TraceEvent> events;
+  for (const TraceEvent& e : all) {
+    if (e.trace_id == client_trace) events.push_back(e);
+  }
+  EXPECT_TRUE(HasSpan(events, "net.dispatch"));
+  EXPECT_TRUE(HasSpan(events, "net.rpc"));
 }
 
 TEST(LiveStorePropagationTest, NoTracingMeansZeroTraceId) {

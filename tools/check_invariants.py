@@ -29,6 +29,14 @@ Rules (suppress one occurrence with `// lint-allow: <rule>` on the line):
                    net/socket.h is the one place fd lifecycle and EINTR/EAGAIN
                    edge cases are handled; everything else speaks
                    Socket/Poller.
+  rpc-obs-prefix   obs name literals in src/net/ containing an rpc. or http.
+                   segment live under the net.rpc. / net.http. namespaces —
+                   the per-RPC telemetry and endpoint metrics dashboards key
+                   on those exact prefixes (DESIGN.md "Per-RPC telemetry").
+  naked-http       no hand-rolled HTTP literals (request lines, HTTP/1.x
+                   version strings) outside src/net/ — net/http.h is the one
+                   place the accepted HTTP grammar lives, so the endpoint's
+                   attack surface stays auditable in one file.
 
 Usage:
   check_invariants.py [--root DIR]   lint the tree (exit 1 on findings)
@@ -251,6 +259,48 @@ def check_query_obs_prefix(path, text):
         exempt=lambda m: m.group(1).startswith("query."))
 
 
+# An rpc. or http. segment anywhere in an obs name. Names that carry one
+# must sit under the net.rpc. / net.http. namespaces — /metrics dashboards
+# and the bench's server-side percentiles select on those exact prefixes.
+RPC_SEGMENT_RE = re.compile(r"(?:^|\.)(rpc|http)\.")
+
+
+def check_rpc_obs_prefix(path, text):
+    if not path.replace(os.sep, "/").startswith(NET_DIR):
+        return []
+
+    def exempt(m):
+        name = m.group(1)
+        seg = RPC_SEGMENT_RE.search(name)
+        if seg is None:
+            return True  # no rpc./http. segment: obs-prefix covers the rest
+        return name.startswith(f"net.{seg.group(1)}.")
+
+    return line_findings(
+        path, text, "rpc-obs-prefix", OBS_CALL_RE,
+        lambda m: f'obs name "{m.group(1)}" carries an rpc./http. segment '
+                  'outside the net.rpc./net.http. namespace the dashboards '
+                  "key on",
+        exempt=exempt)
+
+
+# A string literal that starts an HTTP request line or names an HTTP/1.x
+# version. Anywhere outside src/net/ this means someone is hand-rolling the
+# protocol instead of using net/http.h's parser/renderer.
+NAKED_HTTP_RE = re.compile(
+    r'"(?:GET|POST|HEAD|PUT|DELETE|OPTIONS) /|HTTP/1\.[01]')
+
+
+def check_naked_http(path, text):
+    if path.replace(os.sep, "/").startswith(NET_DIR):
+        return []
+    return line_findings(
+        path, text, "naked-http", NAKED_HTTP_RE,
+        lambda m: "hand-rolled HTTP literal outside src/net/; parse and "
+                  "render through net/http.h so the accepted grammar stays "
+                  "in one audited file")
+
+
 # A bare or global-namespace call to a socket-layer syscall. The optional
 # prefix group distinguishes `::connect(` (a violation) from `std::bind(`
 # or `resolver::connect(` (library / member-style calls, exempt); the
@@ -283,6 +333,8 @@ ALL_CHECKS = [
     check_nondeterminism,
     check_net_obs_prefix,
     check_query_obs_prefix,
+    check_rpc_obs_prefix,
+    check_naked_http,
     check_naked_socket,
 ]
 
@@ -300,6 +352,8 @@ SCOPES = {
     check_nondeterminism: ["src", "bench", "examples"],
     check_net_obs_prefix: ["src"],
     check_query_obs_prefix: ["src"],
+    check_rpc_obs_prefix: ["src"],
+    check_naked_http: ["src", "bench", "examples"],
     check_naked_socket: ["src", "bench", "examples"],
 }
 
@@ -427,6 +481,36 @@ FIXTURES = [
      'ObsAdd("rank.scored");\n', 0),
     (check_query_obs_prefix, "src/query/allowed.cc",
      'counter("legacy.name")  // lint-allow: obs-prefix\n', 0),
+    # rpc-obs-prefix: rpc./http. segments in src/net/ obs names must live
+    # under net.rpc./net.http.; names without such a segment are left to the
+    # plain obs-prefix rule, and other trees are out of scope.
+    (check_rpc_obs_prefix, "src/net/bad.cc",
+     'metrics_->counter("rpc.requests").inc();\n', 1),
+    (check_rpc_obs_prefix, "src/net/bad2.cc",
+     'metrics_->gauge("http.connections").add(1);\n', 1),
+    (check_rpc_obs_prefix, "src/net/bad3.cc",
+     'metrics_->histogram("svc.rpc.run_seconds").record(s);\n', 1),
+    (check_rpc_obs_prefix, "src/net/good.cc",
+     'metrics_->counter("net.rpc.requests").inc();\n'
+     'metrics_->gauge("net.http.connections").add(1);\n'
+     'metrics_->histogram("net.rpc.queue_seconds").record(s);\n'
+     'metrics_->counter("net.frames_rx").inc();\n', 0),
+    (check_rpc_obs_prefix, "src/service/other.cc",
+     'metrics_->counter("rpc.requests").inc();\n', 0),
+    (check_rpc_obs_prefix, "src/net/allowed.cc",
+     'counter("rpc.legacy")  // lint-allow: rpc-obs-prefix\n', 0),
+    # naked-http: HTTP request-line / version literals outside src/net/ fire;
+    # net/http.* itself and comments are exempt.
+    (check_naked_http, "src/service/bad.cc",
+     'std::string req = "GET /metrics HTTP/1.0\\r\\n\\r\\n";\n', 2),
+    (check_naked_http, "src/obs/bad2.cc",
+     'out += "HTTP/1.1 200 OK";\n', 1),
+    (check_naked_http, "src/net/http.cc",
+     '"GET /metrics HTTP/1.0\\r\\n\\r\\n";\n', 0),
+    (check_naked_http, "src/service/good.cc",
+     'std::string path = "/metrics";  // served by net/http.h\n', 0),
+    (check_naked_http, "src/service/comment.cc",
+     '// a "GET /metrics HTTP/1.0" example in a comment is fine\n', 0),
     # naked-socket: fires on bare and ::-qualified syscalls outside src/net/,
     # passes on member calls, std::bind, and anything inside src/net/.
     (check_naked_socket, "src/service/bad.cc",
