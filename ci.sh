@@ -55,7 +55,7 @@ cmake -B build-tsan -S . -DDHYFD_SANITIZE=thread -DDHYFD_WERROR=ON
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test service_test live_store_test incr_property_test \
   obs_test trace_propagation_test net_credit_test net_server_test \
-  net_http_test cost_ledger_test
+  net_http_test cost_ledger_test parallel_discovery_test
 # halt_on_error makes any race abort the run; TSan also reports threads
 # still running at exit, which covers the "zero leaked threads" check.
 # obs_test / trace_propagation_test hammer the tracer's lock-free per-thread
@@ -76,6 +76,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_server_test
 # cost_ledger_test covers the thread-local sink install/forward/restore.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_http_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cost_ledger_test
+# parallel_discovery_test runs the sharded DHyFD/HyFD validators and the
+# lock-sharded partition cache under real concurrency: the parallel ==
+# sequential cover equivalence is asserted here with TSan watching the
+# help-first shard claims, the obs-delta relay, and cache pin lifetimes.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_discovery_test
 
 echo
 echo "=== asan: partition arena indexing under AddressSanitizer ==="

@@ -1,6 +1,10 @@
 #include "algo/ddm.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
 
 namespace dhyfd {
 
@@ -25,10 +29,9 @@ AttributeSet Ddm::attrs_for_id(int id) const {
 }
 
 int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
-                    ExtendedFdTree& tree) {
+                    ExtendedFdTree& tree, ThreadPool* pool, int parallelism) {
   const int m = rel_.num_cols();
-  std::vector<Entry> fresh;
-  fresh.reserve(level_nodes.size());
+  std::vector<Entry> fresh(level_nodes.size());
   int64_t refinements = 0;
 
   // Capture the nodes' current partition references before wiping ids:
@@ -41,7 +44,12 @@ int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
   // reference into the dynamic array we are about to replace.
   tree.reset_ids();
 
-  for (size_t idx = 0; idx < level_nodes.size(); ++idx) {
+  // Per-node rebuild. Entry ids are pre-assigned by node index (new_id =
+  // m + idx), so the rebuilt array does not depend on completion order; the
+  // level's nodes root disjoint subtrees, so the id propagation below writes
+  // disjoint node sets.
+  auto rebuild_node = [&](size_t idx, PartitionRefiner& refiner,
+                          int64_t& shard_refinements) {
     ExtendedFdTree::Node* node = level_nodes[idx];
     AttributeSet path = tree.path_of(node);
     // Algorithm 3 steps 7-9: start from the node's current partition — the
@@ -56,16 +64,15 @@ int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
       start = &static_partitions_[node->attr];
       start_attrs = AttributeSet::single(node->attr);
     }
-    Entry entry;
+    Entry& entry = fresh[idx];
     entry.attrs = path;
     entry.partition = *start;
     AttributeSet todo = path - start_attrs;
     todo.for_each([&](AttrId b) {
-      refinements += entry.partition.size();
-      refiner_.refine_inplace(entry.partition, b);
+      shard_refinements += entry.partition.size();
+      refiner.refine_inplace(entry.partition, b);
     });
-    int new_id = m + static_cast<int>(fresh.size());
-    fresh.push_back(std::move(entry));
+    int new_id = m + static_cast<int>(idx);
     // Step 13-15: re-point the node and propagate to descendants, keeping
     // every id consistent (descendant paths are supersets of `path`).
     std::vector<ExtendedFdTree::Node*> stack = {node};
@@ -75,7 +82,32 @@ int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
       cur->id = new_id;
       for (const auto& c : cur->children) stack.push_back(c.get());
     }
+  };
+
+  if (pool != nullptr && parallelism > 1 && level_nodes.size() > 1) {
+    std::size_t shards = std::min(level_nodes.size(),
+                                  static_cast<std::size_t>(parallelism));
+    std::vector<int64_t> shard_refinements(shards, 0);
+    Mutex totals_mu;
+    pool->parallel_for(
+        level_nodes.size(), parallelism,
+        [&](size_t shard, size_t begin, size_t end) {
+          PartitionRefiner refiner(rel_);
+          int64_t local = 0;
+          for (size_t idx = begin; idx < end; ++idx) {
+            rebuild_node(idx, refiner, local);
+          }
+          MutexLock lock(&totals_mu);
+          shard_refinements[shard] = local;
+        },
+        "discover.shard");
+    for (int64_t r : shard_refinements) refinements += r;
+  } else {
+    for (size_t idx = 0; idx < level_nodes.size(); ++idx) {
+      rebuild_node(idx, refiner_, refinements);
+    }
   }
+
   dynamic_ = std::move(fresh);
   ObsAdd("partition.ddm_dynamic_builds", static_cast<int64_t>(dynamic_.size()));
   ObsAdd("partition.ddm_refinements", refinements);

@@ -11,6 +11,8 @@
 
 namespace dhyfd {
 
+class ThreadPool;
+
 /// The paper's dynamic data manager (Section IV-E).
 ///
 /// Holds (a) the pre-computed stripped partition of every single attribute
@@ -46,8 +48,15 @@ class Ddm {
   /// attributes its path adds, the node's id is re-pointed at the new entry,
   /// and the id is copied to all descendants. Returns the number of cluster
   /// refinements performed.
+  ///
+  /// With a pool and parallelism > 1 the per-node refinements are sharded
+  /// over the pool: ids are pre-assigned by node index (so the rebuilt array
+  /// is identical to the sequential one), the level's nodes root disjoint
+  /// subtrees (so id propagation never races), and each shard leases its own
+  /// refiner.
   int64_t update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
-                 ExtendedFdTree& tree);
+                 ExtendedFdTree& tree, ThreadPool* pool = nullptr,
+                 int parallelism = 1);
 
   size_t memory_bytes() const;
   int dynamic_entries() const { return static_cast<int>(dynamic_.size()); }

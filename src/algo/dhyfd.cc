@@ -1,6 +1,7 @@
 #include "algo/dhyfd.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "algo/agree_sets.h"
 #include "algo/ddm.h"
@@ -11,6 +12,7 @@
 #include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace dhyfd {
@@ -22,6 +24,17 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   DiscoveryResult result;
   const int m = r.num_cols();
   const AttributeSet all = AttributeSet::full(m);
+
+  // Intra-job parallelism: shards fan out over the (shared) worker pool,
+  // help-first, with the calling thread always participating. Each shard
+  // gets its own refiner — the refiners' counting arenas are the only
+  // mutable state validation shares.
+  ThreadPool* pool = options_.worker_pool;
+  const int par = pool != nullptr ? std::max(1, options_.parallelism) : 1;
+  std::vector<std::unique_ptr<PartitionRefiner>> shard_refiners;
+  for (int i = 0; i < (par > 1 ? par : 0); ++i) {
+    shard_refiners.push_back(std::make_unique<PartitionRefiner>(r));
+  }
 
   // Algorithm 6 line 3: the DDM pre-computes every single-attribute
   // stripped partition.
@@ -41,7 +54,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
 
   // Lines 5-6: one-off sorted-neighborhood sampling, plus validating the
   // root FD against the whole relation (partition {r}).
-  NeighborhoodSampler sampler(r, ddm.static_partitions());
+  NeighborhoodSampler sampler(r, ddm.static_partitions(), pool, par);
   std::vector<AttributeSet> violations;
   if (!approx) {
     TraceSpan span("discover.sampling");
@@ -88,6 +101,71 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   int64_t num_fds = 0;
   std::vector<ExtendedFdTree::Node*> candidates = tree.level_nodes(1);
 
+  // Per-candidate validation body: candidates are independent (paper
+  // Alg. 4), so a contiguous range of them is the shard unit. Everything a
+  // candidate writes is local (the node's own id re-pointing included —
+  // each node is visited by exactly one shard); the shared DDM is read-only
+  // during a level.
+  auto validate_range = [&](const std::vector<ExtendedFdTree::Node*>& nodes,
+                            PartitionRefiner& refiner, size_t begin,
+                            size_t end) {
+    LevelValidationResult local;
+    for (size_t i = begin; i < end; ++i) {
+      if (deadline.expired()) {
+        local.timed_out = true;
+        break;
+      }
+      ExtendedFdTree::Node* node = nodes[i];
+      if (!node->is_fd_node()) continue;
+      AttributeSet lhs = tree.path_of(node);
+      // Lines 15-16: a node without a dynamic partition starts from the
+      // path attribute with the smallest single-attribute support.
+      if (node->id < m) {
+        AttrId best = lhs.first();
+        lhs.for_each([&](AttrId a) {
+          if (ddm.attribute_support(a) < ddm.attribute_support(best)) best = a;
+        });
+        node->id = best;
+      }
+      // Lines 17-18: validate from the DDM's partition for this node.
+      const StrippedPartition& base = ddm.partition_for_id(node->id);
+      AttributeSet base_attrs = ddm.attrs_for_id(node->id);
+      local.validations += node->rhs.count();
+      AttributeSet node_rhs = node->rhs;
+      ValidationOutcome v =
+          approx ? ValidateApproxWithPartition(r, lhs, node_rhs, base,
+                                               base_attrs, refiner, budget)
+                 : ValidateWithPartition(r, lhs, node_rhs, base, base_attrs,
+                                         refiner);
+      local.pairs_checked += v.pairs_checked;
+      local.refinements += v.refinements;
+      local.invalidated += node_rhs.count() - v.valid_rhs.count();
+      if (approx) {
+        AttributeSet refuted = node_rhs - v.valid_rhs;
+        if (!refuted.empty()) local.refuted_fds.emplace_back(lhs, refuted);
+      }
+      for (AttributeSet& z : v.violations) local.violations.push_back(z);
+    }
+    return local;
+  };
+
+  auto validate_level =
+      [&](const std::vector<ExtendedFdTree::Node*>& nodes) {
+        if (par > 1 && nodes.size() > 1) {
+          ParFdStorageBuilder builder(
+              std::min(nodes.size(), static_cast<std::size_t>(par)));
+          pool->parallel_for(
+              nodes.size(), par,
+              [&](size_t shard, size_t begin, size_t end) {
+                builder.add(shard, validate_range(nodes, *shard_refiners[shard],
+                                                  begin, end));
+              },
+              "discover.shard");
+          return builder.take_merged();
+        }
+        return validate_range(nodes, ddm.refiner(), 0, nodes.size());
+      };
+
   // Line 11: main loop over validation levels. The precise arity bound
   // stops the loop after validating LHSs of max_lhs attributes; anything
   // deeper the tree speculated about is filtered from the collected cover.
@@ -104,41 +182,14 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
 
     {
       TraceSpan level_span("discover.validation");
-      for (ExtendedFdTree::Node* node : candidates) {
-        if (deadline.expired()) {
-          result.stats.timed_out = true;
-          break;
-        }
-        if (!node->is_fd_node()) continue;
-        AttributeSet lhs = tree.path_of(node);
-        // Lines 15-16: a node without a dynamic partition starts from the
-        // path attribute with the smallest single-attribute support.
-        if (node->id < m) {
-          AttrId best = lhs.first();
-          lhs.for_each([&](AttrId a) {
-            if (ddm.attribute_support(a) < ddm.attribute_support(best)) best = a;
-          });
-          node->id = best;
-        }
-        // Lines 17-18: validate from the DDM's partition for this node.
-        const StrippedPartition& base = ddm.partition_for_id(node->id);
-        AttributeSet base_attrs = ddm.attrs_for_id(node->id);
-        result.stats.validations += node->rhs.count();
-        AttributeSet node_rhs = node->rhs;
-        ValidationOutcome v =
-            approx ? ValidateApproxWithPartition(r, lhs, node_rhs, base,
-                                                 base_attrs, ddm.refiner(), budget)
-                   : ValidateWithPartition(r, lhs, node_rhs, base, base_attrs,
-                                           ddm.refiner());
-        result.stats.pairs_compared += v.pairs_checked;
-        result.stats.refinements += v.refinements;
-        result.stats.invalidated += node_rhs.count() - v.valid_rhs.count();
-        if (approx) {
-          AttributeSet refuted = node_rhs - v.valid_rhs;
-          if (!refuted.empty()) refuted_fds.emplace_back(lhs, refuted);
-        }
-        for (AttributeSet& z : v.violations) violations.push_back(z);
-      }
+      LevelValidationResult level = validate_level(candidates);
+      result.stats.validations += level.validations;
+      result.stats.pairs_compared += level.pairs_checked;
+      result.stats.refinements += level.refinements;
+      result.stats.invalidated += level.invalidated;
+      if (level.timed_out) result.stats.timed_out = true;
+      violations = std::move(level.violations);
+      refuted_fds = std::move(level.refuted_fds);
     }
 
     // Lines 19-20: induct this level's violations, most specific first. In
@@ -189,7 +240,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
       TraceSpan span("discover.ddm_update");
       cl = vl;
       tree.set_controlled_level(cl);
-      result.stats.refinements += ddm.update(reusables, tree);
+      result.stats.refinements += ddm.update(reusables, tree, pool, par);
       ++result.stats.ddm_updates;
     }
     mem.sample();

@@ -5,6 +5,8 @@
 
 namespace dhyfd {
 
+class ThreadPool;
+
 struct DhyfdOptions {
   /// The efficiency-inefficiency ratio above which the DDM refreshes its
   /// dynamic partitions (paper Section IV-G; Figure 6 tunes this — 3.0 is
@@ -29,6 +31,15 @@ struct DhyfdOptions {
   int max_lhs = 0;
   /// Cooperative deadline in seconds (0 = none).
   double time_limit_seconds = 0;
+  /// Threads used within this run, including the calling thread (<= 1 =
+  /// sequential). Effective only with a worker_pool; the cover is
+  /// bit-identical to the sequential one at any degree (see DESIGN.md,
+  /// "Parallel discovery").
+  int parallelism = 1;
+  /// Pool to fan validation/sampling/DDM shards out over. Not owned; may be
+  /// shared with other jobs (shards are claimed help-first, so a busy pool
+  /// degrades to sequential instead of deadlocking).
+  ThreadPool* worker_pool = nullptr;
 };
 
 /// DHyFD (paper Algorithm 6): the dynamic hybrid FD-discovery algorithm.

@@ -14,7 +14,9 @@
 namespace dhyfd {
 
 std::unique_ptr<FdDiscovery> MakeDiscovery(const std::string& name,
-                                           double time_limit_seconds) {
+                                           double time_limit_seconds,
+                                           int parallelism,
+                                           ThreadPool* worker_pool) {
   if (name == "tane") {
     TaneOptions opt;
     opt.time_limit_seconds = time_limit_seconds;
@@ -32,11 +34,15 @@ std::unique_ptr<FdDiscovery> MakeDiscovery(const std::string& name,
   if (name == "hyfd") {
     HyfdOptions opt;
     opt.time_limit_seconds = time_limit_seconds;
+    opt.parallelism = parallelism;
+    opt.worker_pool = worker_pool;
     return std::make_unique<Hyfd>(opt);
   }
   if (name == "dhyfd") {
     DhyfdOptions opt;
     opt.time_limit_seconds = time_limit_seconds;
+    opt.parallelism = parallelism;
+    opt.worker_pool = worker_pool;
     return std::make_unique<Dhyfd>(opt);
   }
   // Extra baselines beyond the paper's Table II line-up.

@@ -11,6 +11,8 @@
 
 namespace dhyfd {
 
+class ThreadPool;
+
 /// Run statistics shared by every discovery algorithm; these back the
 /// paper's Table II (time, memory) and the scalability figures.
 struct DiscoveryStats {
@@ -47,8 +49,13 @@ class FdDiscovery {
 /// Names accepted by MakeDiscovery: "tane", "fdep", "fdep1", "fdep2",
 /// "hyfd", "dhyfd", plus the extra row-based baselines "fastfds" and
 /// "depminer". time_limit_seconds > 0 sets a cooperative deadline.
+/// parallelism > 1 with a worker_pool shards the hybrid algorithms (hyfd,
+/// dhyfd) over the pool; other algorithms ignore it. Parallel runs return
+/// bit-identical covers to sequential ones.
 std::unique_ptr<FdDiscovery> MakeDiscovery(const std::string& name,
-                                           double time_limit_seconds = 0);
+                                           double time_limit_seconds = 0,
+                                           int parallelism = 1,
+                                           ThreadPool* worker_pool = nullptr);
 
 /// All six algorithm names in the paper's Table II order.
 const std::vector<std::string>& AllDiscoveryNames();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 
 #include "algo/agree_sets.h"
 #include "algo/sampler.h"
@@ -11,6 +12,7 @@
 #include "partition/partition_ops.h"
 #include "util/deadline.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace dhyfd {
@@ -23,6 +25,13 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
   const int m = r.num_cols();
   const AttributeSet all = AttributeSet::full(m);
 
+  ThreadPool* pool = options_.worker_pool;
+  const int par = pool != nullptr ? std::max(1, options_.parallelism) : 1;
+  std::vector<std::unique_ptr<PartitionRefiner>> shard_refiners;
+  for (int i = 0; i < (par > 1 ? par : 0); ++i) {
+    shard_refiners.push_back(std::make_unique<PartitionRefiner>(r));
+  }
+
   // Static single-attribute stripped partitions (HyFD's PLIs).
   std::vector<StrippedPartition> attr_partitions;
   attr_partitions.reserve(m);
@@ -32,7 +41,7 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
     supports[a] = attr_partitions.back().support();
   }
   PartitionRefiner refiner(r);
-  NeighborhoodSampler sampler(r, attr_partitions);
+  NeighborhoodSampler sampler(r, attr_partitions, pool, par);
   size_t static_bytes = 0;
   for (const StrippedPartition& p : attr_partitions) static_bytes += p.memory_bytes();
   size_t logical_peak = 2 * static_bytes;  // PLIs + the sampler's sorted copy
@@ -79,21 +88,23 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
   while (vl <= tree.depth() && !result.stats.timed_out) {
     result.stats.levels = vl;
     std::vector<ExtendedFdTree::Node*> candidates = tree.level_nodes(vl);
-    std::vector<AttributeSet> violations;
-    int64_t total = 0;
-    int64_t invalid = 0;
-    {
-      TraceSpan level_span("discover.validation");
-      for (ExtendedFdTree::Node* node : candidates) {
+    // Candidate validation shards over the pool: per-candidate work is
+    // independent (reads of the static PLIs and tree paths, plus the
+    // shard-private refiner), and the shard-ordered merge keeps the
+    // violation sequence identical to the sequential loop's.
+    auto validate_range = [&](PartitionRefiner& shard_refiner, size_t begin,
+                              size_t end) {
+      LevelValidationResult local;
+      for (size_t i = begin; i < end; ++i) {
         if (deadline.expired()) {
-          result.stats.timed_out = true;
+          local.timed_out = true;
           break;
         }
+        ExtendedFdTree::Node* node = candidates[i];
         if (!node->is_fd_node()) continue;
         AttributeSet lhs = tree.path_of(node);
         AttributeSet rhs = node->rhs;
-        total += rhs.count();
-        result.stats.validations += rhs.count();
+        local.validations += rhs.count();
         // HyFD always starts from a single-attribute partition: pick the
         // path attribute whose partition has the least support.
         AttrId pivot = lhs.first();
@@ -102,14 +113,39 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
         });
         ValidationOutcome v =
             ValidateWithPartition(r, lhs, rhs, attr_partitions[pivot],
-                                  AttributeSet::single(pivot), refiner);
-        result.stats.pairs_compared += v.pairs_checked;
-        result.stats.refinements += v.refinements;
-        invalid += rhs.count() - v.valid_rhs.count();
-        for (AttributeSet& z : v.violations) violations.push_back(z);
+                                  AttributeSet::single(pivot), shard_refiner);
+        local.pairs_checked += v.pairs_checked;
+        local.refinements += v.refinements;
+        local.invalidated += rhs.count() - v.valid_rhs.count();
+        for (AttributeSet& z : v.violations) local.violations.push_back(z);
+      }
+      return local;
+    };
+    LevelValidationResult level;
+    {
+      TraceSpan level_span("discover.validation");
+      if (par > 1 && candidates.size() > 1) {
+        ParFdStorageBuilder builder(
+            std::min(candidates.size(), static_cast<std::size_t>(par)));
+        pool->parallel_for(
+            candidates.size(), par,
+            [&](size_t shard, size_t begin, size_t end) {
+              builder.add(shard,
+                          validate_range(*shard_refiners[shard], begin, end));
+            },
+            "discover.shard");
+        level = builder.take_merged();
+      } else {
+        level = validate_range(refiner, 0, candidates.size());
       }
     }
-    induct_sorted(std::move(violations));
+    int64_t total = level.validations;
+    int64_t invalid = level.invalidated;
+    result.stats.validations += level.validations;
+    result.stats.pairs_compared += level.pairs_checked;
+    result.stats.refinements += level.refinements;
+    if (level.timed_out) result.stats.timed_out = true;
+    induct_sorted(std::move(level.violations));
     mem.sample();
     logical_peak = std::max(logical_peak, 2 * static_bytes + tree.memory_bytes());
     if (total > 0 &&

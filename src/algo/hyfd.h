@@ -5,6 +5,8 @@
 
 namespace dhyfd {
 
+class ThreadPool;
+
 struct HyfdOptions {
   /// Sampling runs stop once (new non-FDs / comparisons) drops below this.
   double sampling_efficiency_threshold = 0.01;
@@ -15,6 +17,12 @@ struct HyfdOptions {
   int max_windows_per_phase = 4;
   /// Cooperative deadline in seconds (0 = none).
   double time_limit_seconds = 0;
+  /// Threads used within this run, including the calling thread (<= 1 =
+  /// sequential). Effective only with a worker_pool; the cover is
+  /// bit-identical to the sequential one at any degree.
+  int parallelism = 1;
+  /// Pool to fan validation/sampling shards out over (not owned).
+  ThreadPool* worker_pool = nullptr;
 };
 
 /// HyFD (Papenbrock & Naumann 2016): the sampling-focused hybrid baseline.

@@ -3,15 +3,19 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "util/thread_pool.h"
 
 namespace dhyfd {
 
 NeighborhoodSampler::NeighborhoodSampler(
-    const Relation& r, const std::vector<StrippedPartition>& attr_partitions)
-    : rel_(r) {
+    const Relation& r, const std::vector<StrippedPartition>& attr_partitions,
+    ThreadPool* pool, int parallelism)
+    : rel_(r), pool_(pool), parallelism_(parallelism) {
   const int m = r.num_cols();
   sorted_.resize(m);
-  for (AttrId a = 0; a < m; ++a) {
+  // Per-attribute neighborhood sort; attributes are independent, so shards
+  // write disjoint sorted_[a] slots.
+  auto sort_attribute = [&](size_t a) {
     sorted_[a] = attr_partitions[a];
     for (size_t ci = 0; ci < static_cast<size_t>(sorted_[a].size()); ++ci) {
       std::span<RowId> cluster = sorted_[a].mutable_cluster(ci);
@@ -19,30 +23,71 @@ NeighborhoodSampler::NeighborhoodSampler(
       // neighborhood ordering differs per attribute and covers more pairs.
       std::sort(cluster.begin(), cluster.end(), [&](RowId x, RowId y) {
         for (int off = 1; off < m; ++off) {
-          AttrId c = (a + off) % m;
+          AttrId c = (static_cast<int>(a) + off) % m;
           ValueId vx = rel_.value(x, c), vy = rel_.value(y, c);
           if (vx != vy) return vx < vy;
         }
         return x < y;
       });
     }
+  };
+  if (pool_ != nullptr && parallelism_ > 1 && m > 1) {
+    pool_->parallel_for(
+        m, parallelism_,
+        [&](size_t, size_t begin, size_t end) {
+          for (size_t a = begin; a < end; ++a) sort_attribute(a);
+        },
+        "discover.shard");
+  } else {
+    for (int a = 0; a < m; ++a) sort_attribute(a);
+  }
+}
+
+void NeighborhoodSampler::collect_attribute(AttrId a, int window,
+                                            std::vector<AttributeSet>& out,
+                                            int64_t& comparisons) const {
+  const int m = rel_.num_cols();
+  for (ClusterView cluster : sorted_[a].clusters()) {
+    if (static_cast<int>(cluster.size()) <= window) continue;
+    for (size_t i = 0; i + window < cluster.size(); ++i) {
+      RowId s = cluster[i], t = cluster[i + window];
+      ++comparisons;
+      AttributeSet ag = rel_.agree_set(s, t);
+      if (ag.count() == m) continue;  // duplicate rows imply no non-FD
+      out.push_back(ag);
+    }
   }
 }
 
 std::vector<AttributeSet> NeighborhoodSampler::run(int window) {
+  const int m = rel_.num_cols();
+  // Agree-set induction fans out per attribute; dedup stays on the calling
+  // thread, replayed in attribute order, so `fresh` (and the seen_ state
+  // feeding every later run) is independent of shard timing.
+  std::vector<std::vector<AttributeSet>> per_attr(m);
+  std::vector<int64_t> per_attr_comparisons(m, 0);
+  if (pool_ != nullptr && parallelism_ > 1 && m > 1) {
+    pool_->parallel_for(
+        m, parallelism_,
+        [&](size_t, size_t begin, size_t end) {
+          for (size_t a = begin; a < end; ++a) {
+            collect_attribute(static_cast<AttrId>(a), window, per_attr[a],
+                              per_attr_comparisons[a]);
+          }
+        },
+        "discover.shard");
+  } else {
+    for (AttrId a = 0; a < m; ++a) {
+      collect_attribute(a, window, per_attr[a], per_attr_comparisons[a]);
+    }
+  }
+
   std::vector<AttributeSet> fresh;
   int64_t comparisons = 0;
-  const int m = rel_.num_cols();
-  for (AttrId a = 0; a < m; ++a) {
-    for (ClusterView cluster : sorted_[a].clusters()) {
-      if (static_cast<int>(cluster.size()) <= window) continue;
-      for (size_t i = 0; i + window < cluster.size(); ++i) {
-        RowId s = cluster[i], t = cluster[i + window];
-        ++comparisons;
-        AttributeSet ag = rel_.agree_set(s, t);
-        if (ag.count() == m) continue;  // duplicate rows imply no non-FD
-        if (seen_.insert(ag).second) fresh.push_back(ag);
-      }
+  for (int a = 0; a < m; ++a) {
+    comparisons += per_attr_comparisons[a];
+    for (AttributeSet& ag : per_attr[a]) {
+      if (seen_.insert(ag).second) fresh.push_back(ag);
     }
   }
   pairs_compared_ += comparisons;

@@ -9,6 +9,8 @@
 
 namespace dhyfd {
 
+class ThreadPool;
+
 /// Sorted-neighborhood pair selection sampling (Hernandez & Stolfo; used by
 /// HyFD and, once at start-up, by DHyFD).
 ///
@@ -17,12 +19,21 @@ namespace dhyfd {
 /// neighborhood"); likely-similar tuples then sit next to each other.
 /// Comparing rows at neighbor distance w harvests large agree sets — the
 /// most specific non-FDs — cheaply.
+///
+/// With a pool and parallelism > 1, the per-attribute work — neighborhood
+/// sorting in the constructor, agree-set induction in run() — is sharded
+/// over the pool. Each shard fills per-attribute buckets; the dedup against
+/// `seen_` then replays the buckets in attribute order on the calling
+/// thread, so the returned fresh agree sets are the exact sequence the
+/// sequential loop produces.
 class NeighborhoodSampler {
  public:
   /// `attr_partitions` must contain one partition per attribute and outlive
-  /// the sampler.
+  /// the sampler. `pool` (not owned, may be null) enables sharded sampling
+  /// with up to `parallelism` threads including the caller.
   NeighborhoodSampler(const Relation& r,
-                      const std::vector<StrippedPartition>& attr_partitions);
+                      const std::vector<StrippedPartition>& attr_partitions,
+                      ThreadPool* pool = nullptr, int parallelism = 1);
 
   /// Compares rows at distance `window` within every sorted cluster and
   /// returns the agree sets not seen before (across all calls).
@@ -41,7 +52,14 @@ class NeighborhoodSampler {
   int window() const { return window_; }
 
  private:
+  /// All (non-trivial) agree sets of attribute a's clusters at `window`, in
+  /// cluster-then-pair order, before dedup.
+  void collect_attribute(AttrId a, int window, std::vector<AttributeSet>& out,
+                         int64_t& comparisons) const;
+
   const Relation& rel_;
+  ThreadPool* pool_;
+  int parallelism_;
   // Per attribute: a CSR copy of that attribute's partition with rows in
   // sorted-neighborhood order (reordered in place via mutable_cluster).
   std::vector<StrippedPartition> sorted_;

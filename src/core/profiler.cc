@@ -54,6 +54,8 @@ ProfileReport Profiler::profile(const Relation& relation) const {
   if (options_.query.has_value()) {
     QueryEngineOptions engine_options;
     engine_options.time_limit_seconds = options_.time_limit_seconds;
+    engine_options.parallelism = options_.parallelism;
+    engine_options.worker_pool = options_.worker_pool;
     TraceSpan span("profile.discover");
     report.query_result =
         QueryEngine(engine_options).execute(relation, *options_.query);
@@ -66,7 +68,8 @@ ProfileReport Profiler::profile(const Relation& relation) const {
     report.discovery.stats.timed_out = report.query_result->stats.timed_out;
   } else {
     std::unique_ptr<FdDiscovery> algo =
-        MakeDiscovery(options_.algorithm, options_.time_limit_seconds);
+        MakeDiscovery(options_.algorithm, options_.time_limit_seconds,
+                      options_.parallelism, options_.worker_pool);
     TraceSpan span("profile.discover");
     report.discovery = algo->discover(relation);
   }

@@ -33,6 +33,14 @@ struct ProfileOptions {
   /// Cooperative deadline for the discovery stage in seconds (0 = none),
   /// wired into util/deadline.h exactly like the paper's TL budget.
   double time_limit_seconds = 0;
+  /// Threads used inside the discovery stage, including the calling thread
+  /// (<= 1 = sequential). Effective only with worker_pool set; parallel
+  /// runs return bit-identical covers to sequential ones.
+  int parallelism = 1;
+  /// Worker pool the discovery shards fan out over (not owned; may be
+  /// shared with other jobs). The JobScheduler sets this for service jobs;
+  /// library callers may pass their own pool.
+  ThreadPool* worker_pool = nullptr;
   /// When set, the discovery stage runs the rank-driven query engine
   /// (src/query/) instead of `algorithm`: approximate thresholds, arity
   /// bounds, and top-k early termination all apply, the ranked answer lands

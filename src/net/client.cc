@@ -46,18 +46,24 @@ class CallTrace {
 template <typename Msg>
 void BlockingClient::send_request(MsgType type, std::uint64_t request_id,
                                   const Msg& msg, std::uint64_t trace_id) {
+  WireWriter w;
+  msg.encode(w);
+  send_payload(type, request_id, w.bytes(), trace_id);
+}
+
+void BlockingClient::send_payload(MsgType type, std::uint64_t request_id,
+                                  const std::vector<std::uint8_t>& payload,
+                                  std::uint64_t trace_id) {
   if (limits_.protocol_version >= kTraceProtocolVersion && trace_id != 0) {
     // Stamp the request: the envelope adds 17 bytes (trace id, span id,
     // inner type) and the server adopts the ids for all its spans.
-    WireWriter w;
-    msg.encode(w);
     TraceContext ctx;
     ctx.trace_id = trace_id;
     ctx.span_id = Tracer::Global().next_trace_id();
-    sock_.write_all(EncodeTracedFrame(type, request_id, w.bytes(), ctx));
+    sock_.write_all(EncodeTracedFrame(type, request_id, payload, ctx));
     return;
   }
-  sock_.write_all(EncodeMsgFrame(type, request_id, msg));
+  sock_.write_all(EncodeFrame(type, request_id, payload));
 }
 
 void BlockingClient::read_cost_trailer(std::uint64_t request_id,
@@ -113,7 +119,11 @@ DiscoveryResultMsg BlockingClient::submit_discovery(
     const SubmitDiscoveryMsg& request) {
   CallTrace trace;
   std::uint64_t id = next_request_id();
-  send_request(MsgType::kSubmitDiscovery, id, request, trace.trace_id());
+  // Encoded against the negotiated version: a v<=3 server gets the
+  // pre-parallelism schema (and the parallelism request is simply dropped).
+  WireWriter w;
+  request.encode(w, limits_.protocol_version);
+  send_payload(MsgType::kSubmitDiscovery, id, w.bytes(), trace.trace_id());
   Frame reply = wait_response(id, MsgType::kDiscoveryResult);
   read_cost_trailer(id, trace.trace_id());
   WireReader r(reply.payload);
@@ -123,7 +133,9 @@ DiscoveryResultMsg BlockingClient::submit_discovery(
 QueryResultMsg BlockingClient::submit_query(const SubmitQueryMsg& request) {
   CallTrace trace;
   std::uint64_t id = next_request_id();
-  send_request(MsgType::kSubmitQuery, id, request, trace.trace_id());
+  WireWriter w;
+  request.encode(w, limits_.protocol_version);
+  send_payload(MsgType::kSubmitQuery, id, w.bytes(), trace.trace_id());
   Frame reply = wait_response(id, MsgType::kQueryResult);
   read_cost_trailer(id, trace.trace_id());
   WireReader r(reply.payload);

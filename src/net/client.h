@@ -126,6 +126,12 @@ class BlockingClient {
   template <typename Msg>
   void send_request(MsgType type, std::uint64_t request_id, const Msg& msg,
                     std::uint64_t trace_id);
+  /// Same, for an already-encoded payload — used by calls whose message
+  /// schema depends on the negotiated protocol version (v4 submit requests
+  /// encode themselves against limits_.protocol_version first).
+  void send_payload(MsgType type, std::uint64_t request_id,
+                    const std::vector<std::uint8_t>& payload,
+                    std::uint64_t trace_id);
   /// On v3+ connections a successful result for a *traced* request (one
   /// that went out wrapped in a kTracedRequest envelope) is followed by a
   /// kCostTrailer with the same request id; read it into last_cost_.

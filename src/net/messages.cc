@@ -113,16 +113,18 @@ RegisterOkMsg RegisterOkMsg::decode(WireReader& r) {
   return m;
 }
 
-void SubmitDiscoveryMsg::encode(WireWriter& w) const {
+void SubmitDiscoveryMsg::encode(WireWriter& w, std::uint32_t version) const {
   w.str(dataset);
   w.str(algorithm);
   w.u8(semantics);
   w.u32(static_cast<std::uint32_t>(priority));
   w.u32(deadline_ms);
   w.u32(top_k);
+  if (version >= kParallelProtocolVersion) w.u32(parallelism);
 }
 
-SubmitDiscoveryMsg SubmitDiscoveryMsg::decode(WireReader& r) {
+SubmitDiscoveryMsg SubmitDiscoveryMsg::decode(WireReader& r,
+                                              std::uint32_t version) {
   SubmitDiscoveryMsg m;
   m.dataset = r.str();
   m.algorithm = r.str();
@@ -130,6 +132,10 @@ SubmitDiscoveryMsg SubmitDiscoveryMsg::decode(WireReader& r) {
   m.priority = static_cast<std::int32_t>(r.u32());
   m.deadline_ms = r.u32();
   m.top_k = r.u32();
+  // The field is read per negotiated version, not by sniffing remaining
+  // bytes, so a truncated v4 payload still fails expect_done() instead of
+  // silently decoding as a v3 one.
+  if (version >= kParallelProtocolVersion) m.parallelism = r.u32();
   r.expect_done();
   return m;
 }
@@ -155,7 +161,7 @@ DiscoveryResultMsg DiscoveryResultMsg::decode(WireReader& r) {
   return m;
 }
 
-void SubmitQueryMsg::encode(WireWriter& w) const {
+void SubmitQueryMsg::encode(WireWriter& w, std::uint32_t version) const {
   w.str(dataset);
   w.u8(semantics);
   w.u32(static_cast<std::uint32_t>(priority));
@@ -168,9 +174,10 @@ void SubmitQueryMsg::encode(WireWriter& w) const {
   for (std::uint8_t c : include_columns) w.u8(c);
   w.u32(static_cast<std::uint32_t>(exclude_columns.size()));
   for (std::uint8_t c : exclude_columns) w.u8(c);
+  if (version >= kParallelProtocolVersion) w.u32(parallelism);
 }
 
-SubmitQueryMsg SubmitQueryMsg::decode(WireReader& r) {
+SubmitQueryMsg SubmitQueryMsg::decode(WireReader& r, std::uint32_t version) {
   SubmitQueryMsg m;
   m.dataset = r.str();
   m.semantics = r.u8();
@@ -188,6 +195,7 @@ SubmitQueryMsg SubmitQueryMsg::decode(WireReader& r) {
   CheckCount(r, ne, 1);
   m.exclude_columns.reserve(ne);
   for (std::uint32_t i = 0; i < ne; ++i) m.exclude_columns.push_back(r.u8());
+  if (version >= kParallelProtocolVersion) m.parallelism = r.u32();
   r.expect_done();
   return m;
 }

@@ -20,15 +20,22 @@ namespace dhyfd::net {
 /// v2: adds kSubmitQuery / kQueryResult (rank-driven discovery queries).
 /// v3: adds kTracedRequest (client-stamped trace context around any request)
 ///     and kCostTrailer (per-request cost ledger after successful results).
-/// The handshake negotiates min(client, server); v1/v2 clients keep working
+/// v4: appends a `parallelism` field to kSubmitDiscovery / kSubmitQuery
+///     (requested intra-job thread count; the server clamps it to its pool).
+///     No new message types — both codecs are version-parameterized, so a
+///     v<=3 connection keeps the old byte-exact schema and its strict
+///     truncation checks.
+/// The handshake negotiates min(client, server); older clients keep working
 /// but get kError(kUnsupportedVersion) if they send newer message types, and
 /// the server never sends a trailer to a connection below v3.
-constexpr std::uint32_t kProtocolVersion = 3;
+constexpr std::uint32_t kProtocolVersion = 4;
 constexpr std::uint32_t kMinProtocolVersion = 1;
 /// The protocol version that introduced kSubmitQuery / kQueryResult.
 constexpr std::uint32_t kQueryProtocolVersion = 2;
 /// The protocol version that introduced kTracedRequest / kCostTrailer.
 constexpr std::uint32_t kTraceProtocolVersion = 3;
+/// The protocol version that introduced the submit-side parallelism field.
+constexpr std::uint32_t kParallelProtocolVersion = 4;
 
 struct HelloMsg {
   std::uint32_t protocol_version = kProtocolVersion;
@@ -89,9 +96,17 @@ struct SubmitDiscoveryMsg {
   std::uint32_t deadline_ms = 0;
   /// How many ranked FDs the response should carry (0 = none).
   std::uint32_t top_k = 0;
+  /// Protocol v4: requested intra-job parallelism — threads the discovery
+  /// stage may shard over, including the job's own worker (0 or 1 =
+  /// sequential). The server clamps to its pool size; the answer is
+  /// bit-identical at any degree. Encoded only on v4+ connections.
+  std::uint32_t parallelism = 0;
 
-  void encode(WireWriter& w) const;
-  static SubmitDiscoveryMsg decode(WireReader& r);
+  /// `version` is the connection's negotiated protocol version: v<=3 peers
+  /// keep the pre-parallelism schema byte for byte.
+  void encode(WireWriter& w, std::uint32_t version = kProtocolVersion) const;
+  static SubmitDiscoveryMsg decode(WireReader& r,
+                                   std::uint32_t version = kProtocolVersion);
 };
 
 /// One ranked FD, rendered in numeric form ("{1,5} -> {3}").
@@ -136,9 +151,16 @@ struct SubmitQueryMsg {
   /// Column scope; empty include list = all columns.
   std::vector<std::uint8_t> include_columns;
   std::vector<std::uint8_t> exclude_columns;
+  /// Protocol v4: requested intra-job parallelism (see SubmitDiscoveryMsg).
+  /// Applies to the full-discovery query path; the top-k lattice walk is
+  /// sequential and ignores it. Encoded only on v4+ connections.
+  std::uint32_t parallelism = 0;
 
-  void encode(WireWriter& w) const;
-  static SubmitQueryMsg decode(WireReader& r);
+  /// `version` is the connection's negotiated protocol version: v<=3 peers
+  /// keep the pre-parallelism schema byte for byte.
+  void encode(WireWriter& w, std::uint32_t version = kProtocolVersion) const;
+  static SubmitQueryMsg decode(WireReader& r,
+                               std::uint32_t version = kProtocolVersion);
 };
 
 /// Protocol v2: answer to kSubmitQuery. `fds` carries the ranked answer in

@@ -157,7 +157,9 @@ void ProfilingServer::start() {
       wake_.wake();
     });
   }
-  loop_thread_ = std::thread([this] { loop(); });
+  // The event loop owns its thread for its whole lifetime; pool workers
+  // are for bounded tasks.  // lint-allow: naked-thread
+  loop_thread_ = std::thread([this] { loop(); });  // lint-allow: naked-thread
 }
 
 void ProfilingServer::shutdown() {
@@ -540,7 +542,7 @@ void ProfilingServer::handle_submit_discovery(Connection& c,
                                               const Frame& frame,
                                               const TraceContext& ctx) {
   WireReader r(frame.payload);
-  SubmitDiscoveryMsg msg = SubmitDiscoveryMsg::decode(r);
+  SubmitDiscoveryMsg msg = SubmitDiscoveryMsg::decode(r, c.protocol_version);
   RpcFinish reject;
   reject.rtype = "submit_discovery";
   reject.outcome = "rejected";
@@ -563,6 +565,11 @@ void ProfilingServer::handle_submit_discovery(Connection& c,
   // discovery loops poll it via util/deadline.h and stop past-due work
   // instead of burning a worker on an answer nobody is waiting for.
   job.time_limit_seconds = msg.deadline_ms / 1000.0;
+  // v4 parallelism request: a hostile degree is harmless — the scheduler
+  // clamps to its pool size — but bound it anyway so the int cast is safe.
+  job.options.parallelism = static_cast<int>(
+      std::max<std::uint32_t>(1, std::min<std::uint32_t>(msg.parallelism,
+                                                         1u << 10)));
   // Client-stamped trace context rides into the scheduler: svc.queue_wait
   // and svc.job.run land in the same causal tree as the client's call span.
   job.trace_id = ctx.trace_id;
@@ -592,7 +599,7 @@ void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame,
     return;
   }
   WireReader r(frame.payload);
-  SubmitQueryMsg msg = SubmitQueryMsg::decode(r);
+  SubmitQueryMsg msg = SubmitQueryMsg::decode(r, c.protocol_version);
   DiscoveryQuery query;
   query.epsilon = msg.epsilon;
   query.max_lhs = static_cast<int>(
@@ -636,6 +643,9 @@ void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame,
   job.options.compute_ranking = false;
   job.priority = msg.priority;
   job.time_limit_seconds = msg.deadline_ms / 1000.0;
+  job.options.parallelism = static_cast<int>(
+      std::max<std::uint32_t>(1, std::min<std::uint32_t>(msg.parallelism,
+                                                         1u << 10)));
   job.trace_id = ctx.trace_id;
   JobHandlePtr handle = scheduler_->submit(std::move(job));
   if (handle->rejected()) {

@@ -11,13 +11,22 @@ namespace {
 /// field. Names arrive as string literals, so the per-add cost is a few
 /// short strcmp()s — small next to the registry lookup the forwarded sink
 /// already pays. Unlisted counters are forwarded but not classified.
-enum class LedgerField { kNone, kValidations, kPartitionsBuilt, kHits, kMisses };
+enum class LedgerField {
+  kNone, kValidations, kPartitionsBuilt, kHits, kMisses, kCpu
+};
 
 LedgerField Classify(const char* name) {
   if (std::strcmp(name, "discover.validator.calls") == 0 ||
       std::strcmp(name, "query.validations") == 0 ||
       std::strcmp(name, "incr.validations") == 0) {
     return LedgerField::kValidations;
+  }
+  // CPU burned by pool helpers running another job's shards; the helper
+  // measures its own thread clock and ThreadPool::run_shards replays the
+  // delta on the requesting thread, so it lands in that job's ledger (the
+  // scope's own CLOCK_THREAD_CPUTIME_ID window cannot see foreign threads).
+  if (std::strcmp(name, "pool.shard_cpu_ns") == 0) {
+    return LedgerField::kCpu;
   }
   if (std::strcmp(name, "partition.intersections") == 0 ||
       std::strcmp(name, "partition.ddm_dynamic_builds") == 0) {
@@ -61,6 +70,7 @@ void CostLedgerScope::add(const char* name, std::int64_t delta) {
     case LedgerField::kPartitionsBuilt: out_->partitions_built += delta; break;
     case LedgerField::kHits: out_->cache_hits += delta; break;
     case LedgerField::kMisses: out_->cache_misses += delta; break;
+    case LedgerField::kCpu: out_->cpu_ns += delta; break;
     case LedgerField::kNone: break;
   }
   if (prev_ != nullptr) prev_->add(name, delta);

@@ -12,7 +12,9 @@ SnapshotWriter::SnapshotWriter(MetricsRegistry* metrics, std::string path,
     : metrics_(metrics),
       path_(std::move(path)),
       interval_seconds_(std::max(interval_seconds, 0.01)) {
-  thread_ = std::thread([this] { loop(); });
+  // A periodic background writer, not pool work: it sleeps most of its
+  // life and must survive pool saturation.  // lint-allow: naked-thread
+  thread_ = std::thread([this] { loop(); });  // lint-allow: naked-thread
 }
 
 SnapshotWriter::~SnapshotWriter() { stop(); }

@@ -1,71 +1,101 @@
 #include "partition/partition_cache.h"
 
 #include <cassert>
+#include <utility>
 
 #include "obs/obs.h"
 
 namespace dhyfd {
 
-PartitionCache::PartitionCache(const Relation& r, size_t max_entries,
-                               size_t max_bytes)
-    : rel_(r), refiner_(r), max_entries_(max_entries), max_bytes_(max_bytes) {}
+namespace {
 
-void PartitionCache::touch(Entry& e) {
-  lru_.splice(lru_.begin(), lru_, e.lru_it);
+size_t PerShard(size_t budget, size_t shards) {
+  size_t slice = budget / shards;
+  return slice > 0 ? slice : 1;
 }
 
-void PartitionCache::evict_until_fits() {
-  while (!lru_.empty() &&
-         (cache_.size() >= max_entries_ || bytes_ > max_bytes_)) {
-    auto it = cache_.find(lru_.back());
-    assert(it != cache_.end());
-    bytes_ -= it->second.bytes;
-    cache_.erase(it);
-    lru_.pop_back();
-    ++evictions_;
+}  // namespace
+
+PartitionCache::PartitionCache(const Relation& r, size_t max_entries,
+                               size_t max_bytes)
+    : rel_(r),
+      refiners_([&r] { return std::make_unique<PartitionRefiner>(r); }),
+      max_entries_per_shard_(PerShard(max_entries, kLockShards)),
+      max_bytes_per_shard_(PerShard(max_bytes, kLockShards)),
+      max_bytes_(max_bytes) {}
+
+PartitionPin PartitionCache::lookup(const AttributeSet& x) {
+  Shard& shard = shard_for(x);
+  MutexLock lock(&shard.mu);
+  auto it = shard.map.find(x);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.pin;
+}
+
+void PartitionCache::evict_past_budget(Shard& shard) {
+  while (shard.lru.size() > 1 && (shard.map.size() > max_entries_per_shard_ ||
+                                  shard.bytes > max_bytes_per_shard_)) {
+    auto it = shard.map.find(shard.lru.back());
+    assert(it != shard.map.end());
+    shard.bytes -= it->second.bytes;
+    shard.map.erase(it);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     ObsAdd("partition.cache_evictions");
   }
 }
 
-const StrippedPartition& PartitionCache::get(const AttributeSet& x) {
+PartitionPin PartitionCache::insert(const AttributeSet& x,
+                                    StrippedPartition partition) {
+  auto pin = std::make_shared<const StrippedPartition>(std::move(partition));
+  Shard& shard = shard_for(x);
+  MutexLock lock(&shard.mu);
+  auto it = shard.map.find(x);
+  if (it != shard.map.end()) {
+    // A racing build published first; same attribute set, same partition —
+    // adopt the incumbent so the LRU/byte books stay single-entry.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return it->second.pin;
+  }
+  Entry entry;
+  entry.pin = pin;
+  entry.bytes = pin->memory_bytes();
+  shard.lru.push_front(x);
+  entry.lru_it = shard.lru.begin();
+  shard.bytes += entry.bytes;
+  shard.map.emplace(x, std::move(entry));
+  evict_past_budget(shard);
+  return pin;
+}
+
+PartitionPin PartitionCache::get(const AttributeSet& x) {
   assert(!x.empty());
-  auto it = cache_.find(x);
-  if (it != cache_.end()) {
+  if (PartitionPin hit = lookup(x)) {
     ObsAdd("partition.cache_hits");
-    touch(it->second);
-    return it->second.partition;
+    return hit;
   }
   ObsAdd("partition.cache_misses");
 
-  // Make room up front: references produced below stay valid until the
-  // next get(), so eviction must not run while the chain is being built.
-  evict_until_fits();
-
   // Build along the sorted-prefix chain, reusing the longest cached prefix.
+  // The leased refiner's arenas stay warm across the chain's refinements.
+  auto refiner = refiners_.acquire();
   AttributeSet prefix;
-  const StrippedPartition* current = nullptr;
+  PartitionPin current;
   x.for_each([&](AttrId a) {
     prefix.set(a);
-    auto hit = cache_.find(prefix);
-    if (hit != cache_.end()) {
-      ObsAdd("partition.prefix_cache_hits");
-      touch(hit->second);
-      current = &hit->second.partition;
+    if (PartitionPin hit = lookup(prefix)) {
+      if (prefix != x) ObsAdd("partition.prefix_cache_hits");
+      current = std::move(hit);
       return;
     }
     StrippedPartition next = current == nullptr
                                  ? BuildAttributePartition(rel_, a)
-                                 : refiner_.refine(*current, a);
-    ++built_;
-    Entry entry;
-    entry.partition = std::move(next);
-    entry.bytes = entry.partition.memory_bytes();
-    lru_.push_front(prefix);
-    entry.lru_it = lru_.begin();
-    bytes_ += entry.bytes;
-    current = &cache_.emplace(prefix, std::move(entry)).first->second.partition;
+                                 : refiner->refine(*current, a);
+    built_.fetch_add(1, std::memory_order_relaxed);
+    current = insert(prefix, std::move(next));
   });
-  return *current;
+  return current;
 }
 
 bool PartitionCache::implies(const AttributeSet& x, AttrId a) {
@@ -77,7 +107,25 @@ bool PartitionCache::implies(const AttributeSet& x, AttrId a) {
     }
     return true;
   }
-  return PartitionImpliesFd(rel_, get(x), a);
+  return PartitionImpliesFd(rel_, *get(x), a);
+}
+
+size_t PartitionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+size_t PartitionCache::memory_bytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    total += shard.bytes;
+  }
+  return total;
 }
 
 }  // namespace dhyfd

@@ -1,28 +1,50 @@
 #ifndef DHYFD_PARTITION_PARTITION_CACHE_H_
 #define DHYFD_PARTITION_PARTITION_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <unordered_map>
 
 #include "partition/partition_ops.h"
+#include "partition/scratch_pool.h"
 #include "partition/stripped_partition.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dhyfd {
 
-/// Lazily computed, cached stripped partitions keyed by attribute set.
+/// A cached partition, pinned: holding the pointer keeps the partition alive
+/// even if the cache evicts the entry, so readers never see a partition
+/// disappear under them. Partitions are immutable once published.
+using PartitionPin = std::shared_ptr<const StrippedPartition>;
+
+/// Lazily computed, cached stripped partitions keyed by attribute set, safe
+/// for concurrent readers.
 ///
 /// pi_X is built by refining along the sorted-prefix chain of X (each
 /// prefix is cached too), so repeated lattice probes — the access pattern
-/// of DFD-style searches — share work. Entries are tracked LRU with
+/// of DFD-style searches — share work. The key space is hashed over a fixed
+/// number of lock shards; each shard tracks its entries LRU with
 /// byte-accurate accounting (the CSR arena footprint of every resident
-/// partition); get() evicts the least recently used partitions until the
-/// cache fits both the entry and byte budgets.
+/// partition) against a 1/kLockShards slice of the entry and byte budgets.
+/// Eviction only drops the cache's own reference — get() hands out pins, so
+/// an evicted-while-in-use partition lives until its last reader lets go.
+///
+/// Builds happen outside the shard locks with a leased refiner from a
+/// scratch pool (the refiner's warm counting arenas are single-threaded by
+/// design). Two threads racing to build the same prefix both compute it;
+/// insert() keeps the first and returns it to both — partitions of the same
+/// attribute set are structurally identical, so the loser's copy is merely
+/// wasted work, never divergent state.
 class PartitionCache {
  public:
   /// Default byte budget: enough for dense lattice sweeps on the bench
   /// datasets, small enough to bound service-side memory per job.
   static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;
+
+  static constexpr size_t kLockShards = 8;
 
   explicit PartitionCache(const Relation& r, size_t max_entries = 8192,
                           size_t max_bytes = kDefaultMaxBytes);
@@ -30,41 +52,60 @@ class PartitionCache {
   PartitionCache(const PartitionCache&) = delete;
   PartitionCache& operator=(const PartitionCache&) = delete;
 
-  /// pi_X; X must be non-empty. The reference is valid until the next get()
-  /// (which may evict).
-  const StrippedPartition& get(const AttributeSet& x);
+  /// pi_X, pinned; X must be non-empty. Never null.
+  PartitionPin get(const AttributeSet& x);
 
   /// True if X -> a holds, validated against pi_X.
   bool implies(const AttributeSet& x, AttrId a);
 
-  int64_t partitions_built() const { return built_; }
-  int64_t evictions() const { return evictions_; }
-  size_t size() const { return cache_.size(); }
-
-  /// Bytes held by the resident partitions (their exact arena footprint).
-  size_t memory_bytes() const { return bytes_; }
+  int64_t partitions_built() const {
+    return built_.load(std::memory_order_relaxed);
+  }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Resident entries / bytes across all lock shards (momentary snapshot;
+  /// pinned-but-evicted partitions are not counted).
+  size_t size() const;
+  size_t memory_bytes() const;
   size_t max_bytes() const { return max_bytes_; }
 
  private:
   struct Entry {
-    StrippedPartition partition;
+    PartitionPin pin;
     std::list<AttributeSet>::iterator lru_it;
     size_t bytes = 0;
   };
 
-  void touch(Entry& e);
-  void evict_until_fits();
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<AttributeSet, Entry, AttributeSetHash> map
+        DHYFD_GUARDED_BY(mu);
+    // Front = most recently used.
+    std::list<AttributeSet> lru DHYFD_GUARDED_BY(mu);
+    size_t bytes DHYFD_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& shard_for(const AttributeSet& x) {
+    return shards_[AttributeSetHash{}(x) % kLockShards];
+  }
+
+  /// Pin for x if resident (touches LRU), else null.
+  PartitionPin lookup(const AttributeSet& x);
+  /// Publishes a freshly built partition; if x is already resident (a racing
+  /// build won), returns the incumbent pin instead. Evicts LRU entries past
+  /// the shard budget — never the entry just inserted.
+  PartitionPin insert(const AttributeSet& x, StrippedPartition partition);
+  void evict_past_budget(Shard& shard) DHYFD_REQUIRES(shard.mu);
 
   const Relation& rel_;
-  PartitionRefiner refiner_;
-  size_t max_entries_;
-  size_t max_bytes_;
-  std::unordered_map<AttributeSet, Entry, AttributeSetHash> cache_;
-  // Front = most recently used.
-  std::list<AttributeSet> lru_;
-  size_t bytes_ = 0;
-  int64_t built_ = 0;
-  int64_t evictions_ = 0;
+  ScratchPool<PartitionRefiner> refiners_;
+  const size_t max_entries_per_shard_;
+  const size_t max_bytes_per_shard_;
+  const size_t max_bytes_;
+  Shard shards_[kLockShards];
+  std::atomic<int64_t> built_{0};
+  std::atomic<int64_t> evictions_{0};
 };
 
 }  // namespace dhyfd

@@ -1,0 +1,87 @@
+#ifndef DHYFD_PARTITION_SCRATCH_POOL_H_
+#define DHYFD_PARTITION_SCRATCH_POOL_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace dhyfd {
+
+/// Free-list of reusable scratch objects (PartitionRefiner,
+/// PartitionIntersector, ...) for code paths that run on arbitrary pool
+/// threads. The scratch classes themselves are deliberately single-threaded
+/// — their value is the warm counting-sort arenas — so concurrent callers
+/// each lease their own instance instead of sharing one behind a lock held
+/// across the whole operation.
+///
+/// acquire() pops a warm instance or builds a fresh one via the factory;
+/// the returned Lease returns it on destruction. Instances therefore migrate
+/// between threads but are never used by two at once, and the pool retains
+/// at most as many instances as the peak concurrency that touched it.
+template <typename T>
+class ScratchPool {
+ public:
+  explicit ScratchPool(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {}
+
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+    ~Lease() {
+      if (obj_) pool_->release(std::move(obj_));
+    }
+
+    Lease(Lease&& o) noexcept : pool_(o.pool_), obj_(std::move(o.obj_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    T& operator*() const { return *obj_; }
+    T* operator->() const { return obj_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<T> obj_;
+  };
+
+  Lease acquire() DHYFD_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> obj = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(obj));
+      }
+    }
+    // Build outside the lock — factories (refiner construction) touch the
+    // relation and size arenas, too slow to serialize.
+    return Lease(this, factory_());
+  }
+
+  std::size_t idle_count() const DHYFD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<T> obj) DHYFD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    free_.push_back(std::move(obj));
+  }
+
+  std::function<std::unique_ptr<T>()> factory_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<T>> free_ DHYFD_GUARDED_BY(mu_);
+};
+
+}  // namespace dhyfd
+
+#endif  // DHYFD_PARTITION_SCRATCH_POOL_H_

@@ -36,11 +36,13 @@ std::vector<AttrId> ActiveColumns(const Relation& r, const DiscoveryQuery& q) {
 /// whole cover scored and sorted — discovery-then-rank, but already pruned
 /// by epsilon and arity.
 QueryResult FullDiscoverRanked(const Relation& r, const DiscoveryQuery& q,
-                               double time_limit_seconds) {
+                               const QueryEngineOptions& engine_options) {
   DhyfdOptions opts;
   opts.epsilon = q.epsilon;
   opts.max_lhs = q.max_lhs;
-  opts.time_limit_seconds = time_limit_seconds;
+  opts.time_limit_seconds = engine_options.time_limit_seconds;
+  opts.parallelism = engine_options.parallelism;
+  opts.worker_pool = engine_options.worker_pool;
   DiscoveryResult discovered = Dhyfd(opts).discover(r);
 
   QueryResult result;
@@ -99,7 +101,7 @@ QueryResult QueryEngine::execute(const Relation& r,
 
   QueryResult result =
       q.top_k > 0 ? TopKDiscover(*target, q, options_.time_limit_seconds)
-                  : FullDiscoverRanked(*target, q, options_.time_limit_seconds);
+                  : FullDiscoverRanked(*target, q, options_);
 
   if (projected) {
     // Map attribute ids from projection positions back to the schema.

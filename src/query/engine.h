@@ -6,10 +6,18 @@
 
 namespace dhyfd {
 
+class ThreadPool;
+
 struct QueryEngineOptions {
   /// Cooperative deadline in seconds (0 = none); expiry sets
   /// stats.timed_out and the result is partial.
   double time_limit_seconds = 0;
+  /// Threads used by the full-discovery path (DHyFD), including the calling
+  /// thread; the ranked answer is bit-identical at any degree. The top-k
+  /// lattice walk is sequential and ignores this.
+  int parallelism = 1;
+  /// Pool the discovery shards fan out over (not owned).
+  ThreadPool* worker_pool = nullptr;
 };
 
 /// Executes DiscoveryQuery specs. Routing:

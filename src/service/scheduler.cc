@@ -1,5 +1,6 @@
 #include "service/scheduler.h"
 
+#include <algorithm>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -155,6 +156,14 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
   if (handle->job_.time_limit_seconds > 0) {
     options.time_limit_seconds = handle->job_.time_limit_seconds;
   }
+  // Intra-job parallelism: this job's discovery shards fan out over the
+  // same pool that runs the jobs. Degree is clamped to the pool size; the
+  // slot accounting lives in ThreadPool::run_shards, which enlists only
+  // idle workers — an N-way job on a busy pool degrades toward sequential
+  // instead of oversubscribing.
+  options.worker_pool = &pool_;
+  options.parallelism =
+      std::max(1, std::min(options.parallelism, pool_.num_threads()));
   std::function<void(ProfileStage, double)> user_hook = options.stage_hook;
   options.stage_hook = [this, &user_hook](ProfileStage stage, double seconds) {
     metrics_

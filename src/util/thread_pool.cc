@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/cost_ledger.h"
+#include "obs/obs.h"
 #include "obs/trace.h"
 
 namespace dhyfd {
@@ -20,6 +22,30 @@ std::function<void()> CaptureTraceContext(std::function<void()> task) {
     task();
   };
 }
+
+/// Per-helper counter buffer: shards on helper threads record into this
+/// instead of the (single-threaded) per-job sink chain; run_shards replays
+/// the coalesced deltas on the caller thread after the join. Names are
+/// string literals, so coalescing compares pointers.
+class DeltaBuffer : public ObsSink {
+ public:
+  void add(const char* name, std::int64_t delta) override {
+    for (auto& [n, d] : deltas_) {
+      if (n == name) {
+        d += delta;
+        return;
+      }
+    }
+    deltas_.emplace_back(name, delta);
+  }
+
+  std::vector<std::pair<const char*, std::int64_t>>& deltas() {
+    return deltas_;
+  }
+
+ private:
+  std::vector<std::pair<const char*, std::int64_t>> deltas_;
+};
 
 }  // namespace
 
@@ -90,6 +116,127 @@ std::size_t ThreadPool::queue_depth() const {
   return queue_.size();
 }
 
+std::size_t ThreadPool::idle_threads() const {
+  MutexLock lock(&mu_);
+  std::size_t committed = busy_workers_ + queue_.size();
+  return workers_.size() > committed ? workers_.size() - committed : 0;
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::ShardRange(std::size_t n,
+                                                           std::size_t shards,
+                                                           std::size_t s) {
+  std::size_t base = n / shards;
+  std::size_t extra = n % shards;
+  std::size_t begin = s * base + std::min(s, extra);
+  std::size_t end = begin + base + (s < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::run_shards(int parallelism, std::size_t shards,
+                            const std::function<void(std::size_t)>& body,
+                            const char* span_name) {
+  if (shards == 0) return;
+
+  struct State {
+    Mutex mu;
+    CondVar helpers_done;
+    int helpers_active DHYFD_GUARDED_BY(mu) = 0;
+    std::exception_ptr error DHYFD_GUARDED_BY(mu);
+    std::vector<std::pair<const char*, std::int64_t>> deltas
+        DHYFD_GUARDED_BY(mu);
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+  };
+  State state;
+
+  // Claims shards until the counter runs out (or a shard threw somewhere).
+  // Runs on the caller and on every helper; each shard index is handed out
+  // exactly once by the fetch_add.
+  auto drain = [&state, &body, span_name, shards] {
+    for (;;) {
+      if (state.abort.load(std::memory_order_relaxed)) return;
+      std::size_t shard = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      try {
+        TraceSpan span(span_name != nullptr ? span_name : "pool.shard");
+        body(shard);
+      } catch (...) {
+        state.abort.store(true, std::memory_order_relaxed);
+        MutexLock lock(&state.mu);
+        if (!state.error) state.error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  // Enlist idle workers, capped so caller + helpers <= parallelism. Helpers
+  // are strictly optional — if the queue is full, the pool is stopping, or
+  // every worker is busy, the caller just runs all shards itself.
+  std::size_t helpers_wanted = 0;
+  if (parallelism > 1 && shards > 1) {
+    helpers_wanted = std::min({shards, static_cast<std::size_t>(parallelism),
+                               idle_threads() + 1}) -
+                     1;
+  }
+  for (std::size_t h = 0; h < helpers_wanted; ++h) {
+    {
+      MutexLock lock(&state.mu);
+      ++state.helpers_active;
+    }
+    bool queued = try_submit([&state, &drain] {
+      DeltaBuffer buffer;
+      std::int64_t cpu_start = CurrentThreadCpuNs();
+      {
+        ObsScope scope(&buffer);
+        drain();
+      }
+      buffer.add("pool.shard_cpu_ns", CurrentThreadCpuNs() - cpu_start);
+      MutexLock lock(&state.mu);
+      for (auto& d : buffer.deltas()) state.deltas.push_back(d);
+      --state.helpers_active;
+      state.helpers_done.notify_all();
+    });
+    if (!queued) {
+      MutexLock lock(&state.mu);
+      --state.helpers_active;
+      break;
+    }
+  }
+
+  // The caller thread already carries the job's sink chain — no buffering.
+  drain();
+
+  std::exception_ptr error;
+  std::vector<std::pair<const char*, std::int64_t>> deltas;
+  {
+    MutexLock lock(&state.mu);
+    while (state.helpers_active > 0) state.helpers_done.wait(lock);
+    error = state.error;
+    deltas.swap(state.deltas);
+  }
+  // Replay helper-side counters on the caller thread so the per-job sink
+  // chain (TelemetrySink, CostLedgerScope) aggregates them — even when a
+  // shard threw, the work that did happen stays accounted.
+  for (const auto& [name, delta] : deltas) ObsAdd(name, delta);
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, int parallelism,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    const char* span_name) {
+  if (n == 0) return;
+  std::size_t shards = std::min(n, static_cast<std::size_t>(
+                                       std::max(1, parallelism)));
+  run_shards(
+      parallelism, shards,
+      [&body, n, shards](std::size_t s) {
+        auto [begin, end] = ShardRange(n, shards, s);
+        body(s, begin, end);
+      },
+      span_name);
+}
+
 std::int64_t ThreadPool::tasks_executed() const {
   MutexLock lock(&mu_);
   return tasks_executed_;
@@ -117,6 +264,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       handler = exception_handler_;
+      ++busy_workers_;
       not_full_.notify_one();
     }
     try {
@@ -125,6 +273,7 @@ void ThreadPool::worker_loop() {
       handler(std::current_exception());
     }
     MutexLock lock(&mu_);
+    --busy_workers_;
     ++tasks_executed_;
   }
 }

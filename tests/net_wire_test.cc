@@ -320,6 +320,64 @@ TEST(MessagesTest, SubmitQueryRoundTrip) {
   EXPECT_EQ(out.exclude_columns, (std::vector<std::uint8_t>{2}));
 }
 
+TEST(MessagesTest, SubmitParallelismRoundTripsAtV4) {
+  SubmitDiscoveryMsg msg;
+  msg.dataset = "d";
+  msg.parallelism = 6;
+  WireWriter w;
+  msg.encode(w);  // default version is v4+
+  WireReader r(w.bytes());
+  EXPECT_EQ(SubmitDiscoveryMsg::decode(r).parallelism, 6u);
+
+  SubmitQueryMsg qmsg;
+  qmsg.dataset = "d";
+  qmsg.parallelism = 3;
+  WireWriter qw;
+  qmsg.encode(qw);
+  WireReader qr(qw.bytes());
+  EXPECT_EQ(SubmitQueryMsg::decode(qr).parallelism, 3u);
+}
+
+TEST(MessagesTest, SubmitSchemaIsVersionExact) {
+  // A v3 encoding omits the parallelism field entirely; a v3 decode of it
+  // succeeds with the default degree. The same bytes at v4 are a truncated
+  // payload, and a v4 encoding carries trailing bytes for a v3 decoder —
+  // both directions must throw rather than guess.
+  SubmitDiscoveryMsg msg;
+  msg.dataset = "d";
+  msg.parallelism = 8;
+  WireWriter v3;
+  msg.encode(v3, kTraceProtocolVersion);
+  WireWriter v4;
+  msg.encode(v4, kParallelProtocolVersion);
+  EXPECT_EQ(v3.bytes().size() + 4, v4.bytes().size());
+
+  WireReader ok(v3.bytes());
+  SubmitDiscoveryMsg old = SubmitDiscoveryMsg::decode(ok,
+                                                      kTraceProtocolVersion);
+  EXPECT_EQ(old.parallelism, 0u);  // field never crossed the wire
+
+  WireReader short_read(v3.bytes());
+  EXPECT_THROW(SubmitDiscoveryMsg::decode(short_read,
+                                          kParallelProtocolVersion),
+               WireError);
+  WireReader long_read(v4.bytes());
+  EXPECT_THROW(SubmitDiscoveryMsg::decode(long_read, kTraceProtocolVersion),
+               WireError);
+
+  SubmitQueryMsg qmsg;
+  qmsg.dataset = "d";
+  qmsg.parallelism = 8;
+  WireWriter qv3;
+  qmsg.encode(qv3, kTraceProtocolVersion);
+  WireReader qok(qv3.bytes());
+  EXPECT_EQ(SubmitQueryMsg::decode(qok, kTraceProtocolVersion).parallelism,
+            0u);
+  WireReader qshort(qv3.bytes());
+  EXPECT_THROW(SubmitQueryMsg::decode(qshort, kParallelProtocolVersion),
+               WireError);
+}
+
 TEST(MessagesTest, QueryResultRoundTrip) {
   QueryResultMsg msg;
   msg.state = "done";

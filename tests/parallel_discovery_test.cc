@@ -1,0 +1,259 @@
+// Parallel-equals-sequential equivalence: sharded DHyFD/HyFD runs must
+// return bit-identical covers (same FDs, same order) to their sequential
+// counterparts at every degree, across the same randomized sweep the
+// cross-algorithm property tests use — including the approximate (epsilon >
+// 0), arity-bounded, and query-engine paths. Also hammers the lock-sharded
+// PartitionCache with concurrent readers; this binary runs under the TSan
+// CI leg, so the determinism claims are checked race-free, not just equal.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algo/dhyfd.h"
+#include "algo/hyfd.h"
+#include "fd/cover.h"
+#include "partition/partition_cache.h"
+#include "query/engine.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace dhyfd {
+namespace {
+
+using testutil::CoverDifference;
+using testutil::RandomRelation;
+
+struct SweepCase {
+  int seed;
+  int rows;
+  int cols;
+  int domain;
+  double null_rate;
+};
+
+std::vector<SweepCase> SweepCases() {
+  return {
+      {1, 10, 3, 2, 0.0},   {2, 30, 4, 3, 0.0},   {3, 50, 5, 2, 0.0},
+      {4, 80, 4, 5, 0.0},   {5, 25, 6, 2, 0.0},   {6, 120, 3, 8, 0.0},
+      {7, 40, 5, 3, 0.2},   {8, 60, 4, 4, 0.1},   {9, 35, 7, 2, 0.0},
+      {10, 200, 4, 10, 0.0}, {11, 15, 5, 2, 0.5},  {12, 70, 5, 4, 0.05},
+  };
+}
+
+/// Bit-identical: same FDs in the same positions, not just the same set.
+void ExpectIdenticalCovers(const FdSet& sequential, const FdSet& parallel,
+                           const std::string& label) {
+  ASSERT_EQ(sequential.fds.size(), parallel.fds.size()) << label;
+  for (std::size_t i = 0; i < sequential.fds.size(); ++i) {
+    EXPECT_TRUE(sequential.fds[i] == parallel.fds[i])
+        << label << " diverges at index " << i << ": sequential "
+        << sequential.fds[i].to_string() << " vs parallel "
+        << parallel.fds[i].to_string();
+  }
+}
+
+class ParallelEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, SweepCase>> {};
+
+TEST_P(ParallelEquivalenceSweep, DhyfdParallelEqualsSequential) {
+  const auto& [degree, c] = GetParam();
+  Relation r = RandomRelation(c.seed, c.rows, c.cols, c.domain, c.null_rate);
+  DiscoveryResult sequential = Dhyfd(DhyfdOptions{}).discover(r);
+
+  ThreadPool pool(degree);
+  DhyfdOptions opt;
+  opt.parallelism = degree;
+  opt.worker_pool = &pool;
+  DiscoveryResult parallel = Dhyfd(opt).discover(r);
+
+  ExpectIdenticalCovers(sequential.fds, parallel.fds,
+                        "dhyfd p=" + std::to_string(degree) + " seed=" +
+                            std::to_string(c.seed));
+  // The same candidates are validated in both runs, so the counters agree
+  // too — parallelism changes who does the work, never how much.
+  EXPECT_EQ(sequential.stats.validations, parallel.stats.validations);
+  EXPECT_EQ(sequential.stats.invalidated, parallel.stats.invalidated);
+}
+
+TEST_P(ParallelEquivalenceSweep, HyfdParallelEqualsSequential) {
+  const auto& [degree, c] = GetParam();
+  Relation r = RandomRelation(c.seed, c.rows, c.cols, c.domain, c.null_rate);
+  DiscoveryResult sequential = Hyfd(HyfdOptions{}).discover(r);
+
+  ThreadPool pool(degree);
+  HyfdOptions opt;
+  opt.parallelism = degree;
+  opt.worker_pool = &pool;
+  DiscoveryResult parallel = Hyfd(opt).discover(r);
+
+  ExpectIdenticalCovers(sequential.fds, parallel.fds,
+                        "hyfd p=" + std::to_string(degree) + " seed=" +
+                            std::to_string(c.seed));
+  EXPECT_EQ(sequential.stats.validations, parallel.stats.validations);
+}
+
+TEST_P(ParallelEquivalenceSweep, ApproximateAndBoundedPathsMatch) {
+  const auto& [degree, c] = GetParam();
+  Relation r = RandomRelation(c.seed, c.rows, c.cols, c.domain, c.null_rate);
+  ThreadPool pool(degree);
+  // epsilon > 0 skips sampling and specializes refuted candidates directly;
+  // max_lhs truncates the level loop — both reshape the candidate stream,
+  // so each must stay shard-order invariant on its own.
+  for (double epsilon : {0.0, 0.1}) {
+    for (int max_lhs : {0, 2}) {
+      DhyfdOptions seq;
+      seq.epsilon = epsilon;
+      seq.max_lhs = max_lhs;
+      DhyfdOptions par = seq;
+      par.parallelism = degree;
+      par.worker_pool = &pool;
+      DiscoveryResult a = Dhyfd(seq).discover(r);
+      DiscoveryResult b = Dhyfd(par).discover(r);
+      ExpectIdenticalCovers(
+          a.fds, b.fds,
+          "dhyfd eps=" + std::to_string(epsilon) + " max_lhs=" +
+              std::to_string(max_lhs) + " p=" + std::to_string(degree));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degrees, ParallelEquivalenceSweep,
+    ::testing::Combine(::testing::Values(2, 4),
+                       ::testing::ValuesIn(SweepCases())),
+    [](const ::testing::TestParamInfo<std::tuple<int, SweepCase>>& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param).seed);
+    });
+
+TEST(ParallelQueryTest, RankedAnswerIdenticalAtAnyDegree) {
+  Relation r = RandomRelation(42, 120, 5, 4, 0.1);
+  QueryResult sequential = QueryEngine().execute(r, DiscoveryQuery{});
+
+  ThreadPool pool(4);
+  QueryEngineOptions opt;
+  opt.parallelism = 4;
+  opt.worker_pool = &pool;
+  QueryResult parallel = QueryEngine(opt).execute(r, DiscoveryQuery{});
+
+  ASSERT_EQ(sequential.fds.size(), parallel.fds.size());
+  for (std::size_t i = 0; i < sequential.fds.size(); ++i) {
+    EXPECT_TRUE(sequential.fds[i].fd == parallel.fds[i].fd) << i;
+    EXPECT_EQ(sequential.fds[i].score, parallel.fds[i].score) << i;
+  }
+}
+
+TEST(ParallelQueryTest, EpsilonQueryIdenticalAtAnyDegree) {
+  Relation r = RandomRelation(7, 80, 5, 3, 0.0);
+  DiscoveryQuery q;
+  q.epsilon = 0.05;
+  q.max_lhs = 3;
+  QueryResult sequential = QueryEngine().execute(r, q);
+
+  ThreadPool pool(3);
+  QueryEngineOptions opt;
+  opt.parallelism = 3;
+  opt.worker_pool = &pool;
+  QueryResult parallel = QueryEngine(opt).execute(r, q);
+
+  ASSERT_EQ(sequential.fds.size(), parallel.fds.size());
+  for (std::size_t i = 0; i < sequential.fds.size(); ++i) {
+    EXPECT_TRUE(sequential.fds[i].fd == parallel.fds[i].fd) << i;
+  }
+}
+
+TEST(ParallelQueryTest, TopKPathIgnoresParallelismButStillMatches) {
+  // The top-k lattice walk is sequential by design; setting a degree must
+  // neither change its answer nor touch the pool.
+  Relation r = RandomRelation(9, 60, 5, 3, 0.0);
+  DiscoveryQuery q;
+  q.top_k = 3;
+  QueryResult sequential = QueryEngine().execute(r, q);
+
+  ThreadPool pool(4);
+  QueryEngineOptions opt;
+  opt.parallelism = 4;
+  opt.worker_pool = &pool;
+  QueryResult parallel = QueryEngine(opt).execute(r, q);
+
+  ASSERT_EQ(sequential.fds.size(), parallel.fds.size());
+  for (std::size_t i = 0; i < sequential.fds.size(); ++i) {
+    EXPECT_TRUE(sequential.fds[i].fd == parallel.fds[i].fd) << i;
+  }
+  EXPECT_EQ(pool.tasks_executed(), 0);
+}
+
+// ------------------------------------------------- concurrent cache readers
+
+TEST(ConcurrentPartitionCacheTest, ParallelImpliesMatchesSequential) {
+  Relation r = RandomRelation(13, 150, 6, 3, 0.1);
+  // Deterministic query mix: every 2-attribute LHS against every RHS.
+  std::vector<std::pair<AttributeSet, AttrId>> queries;
+  for (AttrId a = 0; a < 6; ++a) {
+    for (AttrId b = 0; b < 6; ++b) {
+      if (a == b) continue;
+      AttributeSet x;
+      x.set(a);
+      x.set(b);
+      for (AttrId rhs = 0; rhs < 6; ++rhs) {
+        if (!x.test(rhs)) queries.emplace_back(x, rhs);
+      }
+    }
+  }
+  std::vector<char> expected(queries.size());
+  {
+    PartitionCache baseline(r);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      expected[i] = baseline.implies(queries[i].first, queries[i].second);
+    }
+  }
+  // A tiny budget forces eviction churn while readers race; answers must
+  // not change (evicted partitions are rebuilt, never corrupted).
+  PartitionCache cache(r, /*max_entries=*/16, /*max_bytes=*/1 << 14);
+  ThreadPool pool(4);
+  std::vector<char> got(queries.size());
+  pool.parallel_for(queries.size(), 4,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        got[i] = cache.implies(queries[i].first,
+                                               queries[i].second);
+                      }
+                    });
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "query " << i;
+  }
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+TEST(ConcurrentPartitionCacheTest, PinsSurviveEvictionUnderConcurrency) {
+  Relation r = RandomRelation(17, 100, 6, 2, 0.0);
+  PartitionCache cache(r, /*max_entries=*/4, /*max_bytes=*/1 << 12);
+  AttributeSet pinned_set;
+  pinned_set.set(0);
+  pinned_set.set(1);
+  PartitionPin pin = cache.get(pinned_set);
+  const int64_t support_before = pin->support();
+  const int64_t clusters_before = pin->size();
+
+  // Concurrently churn the cache far past its budget.
+  ThreadPool pool(4);
+  pool.parallel_for(64, 4, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      AttributeSet x;
+      x.set(static_cast<AttrId>(i % 6));
+      x.set(static_cast<AttrId>((i / 6 + 1 + i % 5) % 6));
+      if (x.count() < 2) x.set(static_cast<AttrId>((i + 3) % 6));
+      cache.get(x);
+    }
+  });
+  EXPECT_GT(cache.evictions(), 0);
+  // The pin still reads the same immutable partition, evicted or not.
+  EXPECT_EQ(pin->support(), support_before);
+  EXPECT_EQ(pin->size(), clusters_before);
+}
+
+}  // namespace
+}  // namespace dhyfd

@@ -14,7 +14,7 @@ TEST(PartitionCacheTest, MatchesDirectBuild) {
   Relation r = RandomRelation(3, 120, 5, 3);
   PartitionCache cache(r);
   for (AttributeSet x : {AttributeSet{0}, AttributeSet{1, 3}, AttributeSet{0, 2, 4}}) {
-    StrippedPartition cached = cache.get(x);
+    StrippedPartition cached = *cache.get(x);
     StrippedPartition direct = BuildPartition(r, x);
     cached.normalize();
     direct.normalize();
@@ -59,9 +59,9 @@ TEST(PartitionCacheTest, EvictionKeepsCorrectness) {
   Relation r = RandomRelation(11, 80, 6, 3);
   PartitionCache cache(r, /*max_entries=*/2);
   for (int round = 0; round < 3; ++round) {
-    StrippedPartition p = cache.get(AttributeSet{1, 4});
+    PartitionPin p = cache.get(AttributeSet{1, 4});
     StrippedPartition direct = BuildPartition(r, AttributeSet{1, 4});
-    EXPECT_EQ(p.support(), direct.support());
+    EXPECT_EQ(p->support(), direct.support());
     cache.get(AttributeSet{0, 2});  // force churn
   }
 }

@@ -37,6 +37,14 @@ Rules (suppress one occurrence with `// lint-allow: <rule>` on the line):
                    version strings) outside src/net/ — net/http.h is the one
                    place the accepted HTTP grammar lives, so the endpoint's
                    attack surface stays auditable in one file.
+  naked-thread     no raw std::thread / std::jthread outside src/util/ —
+                   compute parallelism goes through ThreadPool (run_shards /
+                   parallel_for handle slot accounting, trace propagation,
+                   and obs-delta relay; a raw thread gets none of that).
+                   std::thread::hardware_concurrency() is a capacity query,
+                   not a thread, and stays legal. The rare legitimate
+                   dedicated thread (an event loop, a background writer)
+                   carries a lint-allow with its rationale.
 
 Usage:
   check_invariants.py [--root DIR]   lint the tree (exit 1 on findings)
@@ -325,6 +333,24 @@ def check_naked_socket(path, text):
         exempt=lambda m: m.group(1) not in ("", "::"))
 
 
+# A raw std::thread/std::jthread mention outside src/util/. The negative
+# lookahead keeps std::thread::hardware_concurrency() (a capacity query with
+# no thread behind it) legal everywhere.
+NAKED_THREAD_RE = re.compile(
+    r"\bstd::(thread|jthread)\b(?!::hardware_concurrency)")
+UTIL_DIR = "src/util/"
+
+
+def check_naked_thread(path, text):
+    if path.replace(os.sep, "/").startswith(UTIL_DIR):
+        return []
+    return line_findings(
+        path, text, "naked-thread", NAKED_THREAD_RE,
+        lambda m: f"raw std::{m.group(1)} outside src/util/; fan work out "
+                  "through ThreadPool (run_shards/parallel_for) so slot "
+                  "accounting, trace propagation, and obs-delta relay hold")
+
+
 ALL_CHECKS = [
     check_nested_rowid,
     check_obs_naming,
@@ -336,6 +362,7 @@ ALL_CHECKS = [
     check_rpc_obs_prefix,
     check_naked_http,
     check_naked_socket,
+    check_naked_thread,
 ]
 
 # ------------------------------------------------------------------- driver
@@ -355,6 +382,7 @@ SCOPES = {
     check_rpc_obs_prefix: ["src"],
     check_naked_http: ["src", "bench", "examples"],
     check_naked_socket: ["src", "bench", "examples"],
+    check_naked_thread: ["src"],
 }
 
 SOURCE_EXTS = (".h", ".cc", ".cpp")
@@ -533,6 +561,26 @@ FIXTURES = [
      "// recv(fd, ...) in a comment is fine\n", 0),
     (check_naked_socket, "src/service/allowed.cc",
      "poll(fds, n, t);  // lint-allow: naked-socket\n", 0),
+    # naked-thread: fires on raw std::thread/jthread outside src/util/,
+    # passes on hardware_concurrency queries, the pool's own home, member
+    # names, suppressed lines, and comments.
+    (check_naked_thread, "src/service/bad.cc",
+     "std::thread worker([] { run(); });\n", 1),
+    (check_naked_thread, "src/net/bad2.h",
+     "std::jthread loop_;\n", 1),
+    (check_naked_thread, "src/service/bad3.h",
+     "std::vector<std::thread> workers_;\n", 1),
+    (check_naked_thread, "src/service/good.cc",
+     "unsigned hw = std::thread::hardware_concurrency();\n"
+     "pool_.parallel_for(n, par, body);\n", 0),
+    (check_naked_thread, "src/util/thread_pool.cc",
+     "std::vector<std::thread> to_join;\n", 0),
+    (check_naked_thread, "src/service/member.cc",
+     "my::thread t;\nobj.thread();\n", 0),
+    (check_naked_thread, "src/net/allowed.cc",
+     "std::thread loop_;  // lint-allow: naked-thread\n", 0),
+    (check_naked_thread, "src/service/comment.cc",
+     "// std::thread is banned outside src/util/\n", 0),
 ]
 
 
