@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point. Legs, in order:
 #   1. invariant lint    — tools/check_invariants.py self-test + tree sweep
-#   2. tier-1            — full -Werror build + every ctest
+#   2. analyze           — tools/analyze/analyze.py self-test, tree sweep
+#                          (layering + obs schema + switch exhaustiveness),
+#                          seeded mis-architecture that must FAIL, generated
+#                          header/dot drift gate, and a typo'd-constant smoke
+#                          that must FAIL to compile
+#   3. tier-1            — full -Werror build + every ctest
 #   3. bench             — build-only compile of every bench/ harness
 #   4. tsan              — concurrency tests under ThreadSanitizer, including
 #                          the net server round-trip + backpressure suite
@@ -34,6 +39,32 @@ done
 echo "=== invariant lint: rule self-test + repo sweep ==="
 python3 tools/check_invariants.py --self-test
 python3 tools/check_invariants.py --root .
+
+echo
+echo "=== analyze: layering + obs schema + exhaustiveness ==="
+python3 tools/analyze/analyze.py --self-test
+python3 tools/analyze/analyze.py --root .
+# Negative control: a seeded mis-architecture (layer inversion, unregistered
+# counter, non-exhaustive switch — one per pass) must make the analyzer exit
+# nonzero, proving each pass bites.
+if python3 tools/analyze/analyze.py \
+     --root tools/analyze/fixtures/seeded \
+     --config tools/analyze/fixtures/seeded > /dev/null 2>&1; then
+  echo "FATAL: seeded fixture tree passed — the analyzer gate is inert" >&2
+  exit 1
+fi
+# Drift gate: the checked-in generated header and include-graph dot must be
+# byte-identical to what --fix regenerates from the manifests.
+python3 tools/analyze/analyze.py --root . --fix
+git diff --exit-code -- src/obs/obs_schema.gen.h tools/analyze/include_graph.dot
+# Negative control: a typo'd kObs* constant must FAIL to compile — that is
+# the whole point of generating constants instead of comparing strings.
+if "${CXX:-c++}" -fsyntax-only -std=c++20 -Isrc \
+     tools/obs_schema_smoke.cc 2> /dev/null; then
+  echo "FATAL: obs_schema_smoke.cc compiled — the schema gate is inert" >&2
+  exit 1
+fi
+echo "analyze OK (tree clean, seeded tree rejected, smoke typo rejected)"
 
 echo
 echo "=== tier-1: configure + build (-Werror) + ctest ==="

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
 
@@ -100,7 +101,7 @@ int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
           MutexLock lock(&totals_mu);
           shard_refinements[shard] = local;
         },
-        "discover.shard");
+        kObsDiscoverShard);
     for (int64_t r : shard_refinements) refinements += r;
   } else {
     for (size_t idx = 0; idx < level_nodes.size(); ++idx) {
@@ -109,8 +110,8 @@ int64_t Ddm::update(const std::vector<ExtendedFdTree::Node*>& level_nodes,
   }
 
   dynamic_ = std::move(fresh);
-  ObsAdd("partition.ddm_dynamic_builds", static_cast<int64_t>(dynamic_.size()));
-  ObsAdd("partition.ddm_refinements", refinements);
+  ObsAdd(kObsPartitionDdmDynamicBuilds, static_cast<int64_t>(dynamic_.size()));
+  ObsAdd(kObsPartitionDdmRefinements, refinements);
   return refinements;
 }
 

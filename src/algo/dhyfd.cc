@@ -9,6 +9,7 @@
 #include "algo/validator.h"
 #include "fdtree/extended_fd_tree.h"
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/memory.h"
@@ -57,7 +58,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
   NeighborhoodSampler sampler(r, ddm.static_partitions(), pool, par);
   std::vector<AttributeSet> violations;
   if (!approx) {
-    TraceSpan span("discover.sampling");
+    TraceSpan span(kObsDiscoverSampling);
     violations = sampler.initial(options_.initial_sampling_windows);
   }
   result.stats.sampled_non_fds = static_cast<int64_t>(violations.size());
@@ -82,7 +83,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
 
   // Lines 7-8: induct all initial non-FDs, most specific first.
   {
-    TraceSpan span("discover.induction");
+    TraceSpan span(kObsDiscoverInduction);
     SortBySizeDescending(violations);
     for (const AttributeSet& x : violations) {
       if (deadline.expired()) {
@@ -91,7 +92,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
       }
       tree.induct(x, all - x);
     }
-    ObsAdd("discover.inductions", static_cast<int64_t>(violations.size()));
+    ObsAdd(kObsDiscoverInductions, static_cast<int64_t>(violations.size()));
   }
 
   // Lines 9-10.
@@ -160,7 +161,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
                 builder.add(shard, validate_range(nodes, *shard_refiners[shard],
                                                   begin, end));
               },
-              "discover.shard");
+              kObsDiscoverShard);
           return builder.take_merged();
         }
         return validate_range(nodes, ddm.refiner(), 0, nodes.size());
@@ -181,7 +182,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
     for (ExtendedFdTree::Node* n : candidates) total += n->rhs.count();
 
     {
-      TraceSpan level_span("discover.validation");
+      TraceSpan level_span(kObsDiscoverValidation);
       LevelValidationResult level = validate_level(candidates);
       result.stats.validations += level.validations;
       result.stats.pairs_compared += level.pairs_checked;
@@ -198,7 +199,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
     // removal counts), so induct(lhs, refuted_rhs) removes only the refuted
     // FDs and inserts their minimal specializations.
     {
-      TraceSpan induct_span("discover.induction");
+      TraceSpan induct_span(kObsDiscoverInduction);
       SortBySizeDescending(violations);
       for (const AttributeSet& x : violations) {
         if (deadline.expired()) {
@@ -214,7 +215,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
         }
         tree.induct(lhs, refuted);
       }
-      ObsAdd("discover.inductions",
+      ObsAdd(kObsDiscoverInductions,
              static_cast<int64_t>(violations.size() + refuted_fds.size()));
     }
 
@@ -237,7 +238,7 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
     // Lines 26-27: refresh the DDM when validation is paying off.
     if (options_.enable_ddm && vl > 1 && !reusables.empty() && inefficiency > 0 &&
         efficiency / inefficiency > options_.ratio_threshold) {
-      TraceSpan span("discover.ddm_update");
+      TraceSpan span(kObsDiscoverDdmUpdate);
       cl = vl;
       tree.set_controlled_level(cl);
       result.stats.refinements += ddm.update(reusables, tree, pool, par);
@@ -261,8 +262,8 @@ DiscoveryResult Dhyfd::discover(const Relation& r) {
     });
   }
   result.fds.sort();
-  ObsAdd("discover.fdtree.fds", tree.total_fd_count());
-  ObsAdd("discover.levels", result.stats.levels);
+  ObsAdd(kObsDiscoverFdtreeFds, tree.total_fd_count());
+  ObsAdd(kObsDiscoverLevels, result.stats.levels);
   result.stats.seconds = timer.seconds();
   logical_peak = std::max(logical_peak, ddm.memory_bytes() + tree.memory_bytes());
   result.stats.memory_mb = std::max(

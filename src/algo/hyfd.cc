@@ -8,6 +8,7 @@
 #include "algo/sampler.h"
 #include "algo/validator.h"
 #include "fdtree/extended_fd_tree.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 #include "partition/partition_ops.h"
 #include "util/deadline.h"
@@ -61,7 +62,7 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
   };
 
   auto sampling_phase = [&]() {
-    TraceSpan span("discover.sampling");
+    TraceSpan span(kObsDiscoverSampling);
     for (int i = 0; i < options_.max_windows_per_phase; ++i) {
       std::vector<AttributeSet> fresh = sampler.run(sampler.window() + 1);
       result.stats.sampled_non_fds += static_cast<int64_t>(fresh.size());
@@ -123,7 +124,7 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
     };
     LevelValidationResult level;
     {
-      TraceSpan level_span("discover.validation");
+      TraceSpan level_span(kObsDiscoverValidation);
       if (par > 1 && candidates.size() > 1) {
         ParFdStorageBuilder builder(
             std::min(candidates.size(), static_cast<std::size_t>(par)));
@@ -133,7 +134,7 @@ DiscoveryResult Hyfd::discover(const Relation& r) {
               builder.add(shard,
                           validate_range(*shard_refiners[shard], begin, end));
             },
-            "discover.shard");
+            kObsDiscoverShard);
         level = builder.take_merged();
       } else {
         level = validate_range(refiner, 0, candidates.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "util/thread_pool.h"
 
 namespace dhyfd {
@@ -37,7 +38,7 @@ NeighborhoodSampler::NeighborhoodSampler(
         [&](size_t, size_t begin, size_t end) {
           for (size_t a = begin; a < end; ++a) sort_attribute(a);
         },
-        "discover.shard");
+        kObsDiscoverShard);
   } else {
     for (int a = 0; a < m; ++a) sort_attribute(a);
   }
@@ -75,7 +76,7 @@ std::vector<AttributeSet> NeighborhoodSampler::run(int window) {
                               per_attr_comparisons[a]);
           }
         },
-        "discover.shard");
+        kObsDiscoverShard);
   } else {
     for (AttrId a = 0; a < m; ++a) {
       collect_attribute(a, window, per_attr[a], per_attr_comparisons[a]);
@@ -95,9 +96,9 @@ std::vector<AttributeSet> NeighborhoodSampler::run(int window) {
       comparisons == 0 ? 0.0
                        : static_cast<double>(fresh.size()) / static_cast<double>(comparisons);
   window_ = std::max(window_, window);
-  ObsAdd("discover.sampler.rounds");
-  ObsAdd("discover.sampler.pairs", comparisons);
-  ObsAdd("discover.sampler.new_agree_sets", static_cast<int64_t>(fresh.size()));
+  ObsAdd(kObsDiscoverSamplerRounds);
+  ObsAdd(kObsDiscoverSamplerPairs, comparisons);
+  ObsAdd(kObsDiscoverSamplerNewAgreeSets, static_cast<int64_t>(fresh.size()));
   return fresh;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 #include "partition/partition_ops.h"
 #include "util/deadline.h"
@@ -126,9 +127,9 @@ DiscoveryResult Tane::discover(const Relation& r) {
 
   int level_num = 1;
   while (!level.empty() && !result.stats.timed_out) {
-    TraceSpan level_span("discover.validation");
+    TraceSpan level_span(kObsDiscoverValidation);
     result.stats.levels = level_num;
-    ObsAdd("discover.lattice_level_entries", static_cast<int64_t>(level.size()));
+    ObsAdd(kObsDiscoverLatticeLevelEntries, static_cast<int64_t>(level.size()));
     if (level_num >= 2) {
       // compute_dependencies for this level.
       for (LevelEntry& e : level) {

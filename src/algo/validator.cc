@@ -3,6 +3,7 @@
 #include <iterator>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 
 namespace dhyfd {
 
@@ -20,11 +21,11 @@ ValidationOutcome ValidateWithPartition(const Relation& r, const AttributeSet& l
     const ValidationOutcome& out;
     const AttributeSet& rhs;
     ~CallCounters() {
-      ObsAdd("discover.validator.calls");
-      ObsAdd("discover.validator.pairs", out.pairs_checked);
-      ObsAdd("discover.validator.refuted_fds",
+      ObsAdd(kObsDiscoverValidatorCalls);
+      ObsAdd(kObsDiscoverValidatorPairs, out.pairs_checked);
+      ObsAdd(kObsDiscoverValidatorRefutedFds,
              rhs.count() - out.valid_rhs.count());
-      ObsAdd("partition.single_cluster_refinements", out.refinements);
+      ObsAdd(kObsPartitionSingleClusterRefinements, out.refinements);
     }
   } counters{out, rhs};
 
@@ -84,11 +85,11 @@ ValidationOutcome ValidateApproxWithPartition(const Relation& r,
     const ValidationOutcome& out;
     const AttributeSet& rhs;
     ~CallCounters() {
-      ObsAdd("discover.validator.calls");
-      ObsAdd("discover.validator.pairs", out.pairs_checked);
-      ObsAdd("discover.validator.refuted_fds",
+      ObsAdd(kObsDiscoverValidatorCalls);
+      ObsAdd(kObsDiscoverValidatorPairs, out.pairs_checked);
+      ObsAdd(kObsDiscoverValidatorRefutedFds,
              rhs.count() - out.valid_rhs.count());
-      ObsAdd("partition.single_cluster_refinements", out.refinements);
+      ObsAdd(kObsPartitionSingleClusterRefinements, out.refinements);
     }
   } counters{out, rhs};
 

@@ -3,8 +3,8 @@
 #include <sstream>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
-#include "query/engine.h"
 #include "util/cancellation.h"
 #include "util/timer.h"
 
@@ -33,7 +33,7 @@ ProfileReport Profiler::profile(const RawTable& table) const {
   Timer timer;
   EncodedRelation encoded;
   {
-    TraceSpan span("profile.encode");
+    TraceSpan span(kObsProfileEncode);
     encoded = EncodeRelation(table, options_.semantics);
   }
   double encode_seconds = timer.seconds();
@@ -51,31 +51,19 @@ ProfileReport Profiler::profile(const Relation& relation) const {
   report.null_stats = ComputeNullStats(relation);
 
   Timer timer;
-  if (options_.query.has_value()) {
-    QueryEngineOptions engine_options;
-    engine_options.time_limit_seconds = options_.time_limit_seconds;
-    engine_options.parallelism = options_.parallelism;
-    engine_options.worker_pool = options_.worker_pool;
-    TraceSpan span("profile.discover");
-    report.query_result =
-        QueryEngine(engine_options).execute(relation, *options_.query);
-    // Surface the query answer through the generic discovery fields so cover
-    // and ranking consumers work unchanged.
-    report.discovery.fds = report.query_result->cover();
-    report.discovery.stats.seconds = report.query_result->stats.seconds;
-    report.discovery.stats.validations = report.query_result->stats.validations;
-    report.discovery.stats.levels = report.query_result->stats.levels;
-    report.discovery.stats.timed_out = report.query_result->stats.timed_out;
+  if (options_.discovery_override) {
+    TraceSpan span(kObsProfileDiscover);
+    report.discovery = options_.discovery_override(relation, options_);
   } else {
     std::unique_ptr<FdDiscovery> algo =
         MakeDiscovery(options_.algorithm, options_.time_limit_seconds,
                       options_.parallelism, options_.worker_pool);
-    TraceSpan span("profile.discover");
+    TraceSpan span(kObsProfileDiscover);
     report.discovery = algo->discover(relation);
   }
   report.left_reduced = report.discovery.fds;
   report.timings.discover_seconds = timer.seconds();
-  ObsAdd("discover.fds", report.left_reduced.size());
+  ObsAdd(kObsDiscoverFds, report.left_reduced.size());
   if (options_.stage_hook) {
     options_.stage_hook(ProfileStage::kDiscover, report.timings.discover_seconds);
   }
@@ -89,7 +77,7 @@ ProfileReport Profiler::profile(const Relation& relation) const {
 
   if (options_.compute_canonical) {
     timer.reset();
-    TraceSpan span("profile.canonical");
+    TraceSpan span(kObsProfileCanonical);
     report.cover_stats = ComputeCoverStats(report.left_reduced, relation.num_cols());
     report.canonical = CanonicalCover(report.left_reduced, relation.num_cols());
     report.timings.canonical_seconds = timer.seconds();
@@ -107,7 +95,7 @@ ProfileReport Profiler::profile(const Relation& relation) const {
     const FdSet& cover =
         options_.compute_canonical ? report.canonical : report.left_reduced;
     timer.reset();
-    TraceSpan span("profile.rank");
+    TraceSpan span(kObsProfileRank);
     report.ranking = RankFds(relation, cover, options_.ranking_mode);
     report.dataset_redundancy = ComputeDatasetRedundancy(relation, cover);
     report.timings.ranking_seconds = timer.seconds();

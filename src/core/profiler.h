@@ -8,7 +8,6 @@
 
 #include "algo/discovery.h"
 #include "fd/cover.h"
-#include "query/query.h"
 #include "ranking/ranking.h"
 #include "relation/encoder.h"
 
@@ -41,13 +40,16 @@ struct ProfileOptions {
   /// shared with other jobs). The JobScheduler sets this for service jobs;
   /// library callers may pass their own pool.
   ThreadPool* worker_pool = nullptr;
-  /// When set, the discovery stage runs the rank-driven query engine
-  /// (src/query/) instead of `algorithm`: approximate thresholds, arity
-  /// bounds, and top-k early termination all apply, the ranked answer lands
-  /// in ProfileReport::query_result, and discovery/left_reduced hold the
-  /// result's cover so downstream consumers keep working. ranking_mode is
-  /// taken from the query spec, not from this struct.
-  std::optional<DiscoveryQuery> query;
+  /// When set, replaces the discovery stage wholesale: the hook receives
+  /// the relation plus these options (after the service layer's
+  /// parallelism/worker_pool adjustments) and must return the cover and
+  /// stats the rest of the pipeline consumes. This is how upper layers
+  /// inject richer discovery without core depending on them — the query
+  /// layer's BindQueryToProfile (src/query/profile_query.h) installs an
+  /// override that runs the rank-driven engine and parks the full
+  /// QueryResult in a side slot. `algorithm` is ignored while set.
+  std::function<DiscoveryResult(const Relation&, const ProfileOptions&)>
+      discovery_override;
   /// Called on the profiling thread as each stage finishes; the service
   /// layer uses this to feed per-stage latency histograms.
   std::function<void(ProfileStage, double seconds)> stage_hook;
@@ -79,9 +81,6 @@ struct ProfileReport {
   std::vector<FdRedundancy> ranking;
   DatasetRedundancy dataset_redundancy;
   StageTimings timings;
-  /// Present iff ProfileOptions::query was set: the ranked (possibly
-  /// truncated to top-k) answer plus its pruning statistics.
-  std::optional<QueryResult> query_result;
   /// True if a CancelScope token fired mid-pipeline; later stages were
   /// skipped and discovery.stats.timed_out may be set.
   bool cancelled = false;

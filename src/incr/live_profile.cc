@@ -5,6 +5,7 @@
 #include "algo/agree_sets.h"
 #include "algo/validator.h"
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -157,8 +158,8 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
   }
 
   if (!reason.empty()) {
-    TraceSpan span("incr.rebuild");
-    ObsAdd("incr.rebuild_fallbacks");
+    TraceSpan span(kObsIncrRebuild);
+    ObsAdd(kObsIncrRebuildFallbacks);
     for (const auto& cells : batch.inserts) {
       rel_.insert_row(cells);
       ++stats.rows_inserted;
@@ -205,7 +206,7 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
     // A pair sharing no value has an empty agree set and refutes only the
     // root FDs, which the live distinct counts catch below.
     {
-      TraceSpan insert_span("incr.inserts");
+      TraceSpan insert_span(kObsIncrInserts);
       for (const auto& cells : batch.inserts) {
         RowId t = rel_.insert_row(cells);
         ++stats.rows_inserted;
@@ -233,7 +234,7 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
 
     // --- Deletes: record the agree set of every destroyed pair before the
     // row leaves the indexes; these bound which FDs can newly hold.
-    TraceSpan delete_span("incr.deletes");
+    TraceSpan delete_span(kObsIncrDeletes);
     std::unordered_set<AttributeSet, AttributeSetHash> destroyed;
     for (LiveRowId id : batch.deletes) {
       RowId d = rel_.row_of(id);
@@ -311,7 +312,7 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
     }
     refresh_cover();
     if (options_.maintain_ranking) {
-      TraceSpan rerank_span("incr.rerank");
+      TraceSpan rerank_span(kObsIncrRerank);
       FdSet added = CoverMinus(cover_, old_cover);
       FdSet removed = CoverMinus(old_cover, cover_);
       rerank_dirty(touched_profiles, added, removed, &stats);
@@ -325,10 +326,10 @@ CoverDelta LiveProfile::apply(const UpdateBatch& batch, ApplyMode mode) {
   stats.fds_removed = delta.removed.size();
   stats.seconds = timer.seconds();
   ++batches_applied_;
-  ObsAdd("incr.pairs_compared", stats.pairs_compared);
-  ObsAdd("incr.agree_sets", stats.agree_sets);
-  ObsAdd("incr.validations", stats.validations);
-  ObsAdd("incr.fds_reranked", stats.fds_reranked);
+  ObsAdd(kObsIncrPairsCompared, stats.pairs_compared);
+  ObsAdd(kObsIncrAgreeSets, stats.agree_sets);
+  ObsAdd(kObsIncrValidations, stats.validations);
+  ObsAdd(kObsIncrFdsReranked, stats.fds_reranked);
   return delta;
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 
 namespace dhyfd::net {
@@ -30,7 +31,7 @@ class CallTrace {
     } else {
       return;  // untraced: bare frame, no envelope, no trailer
     }
-    if (tracer.enabled()) span_.emplace("net.client.call");
+    if (tracer.enabled()) span_.emplace(kObsNetClientCall);
   }
 
   std::uint64_t trace_id() const { return trace_id_; }
@@ -40,6 +41,56 @@ class CallTrace {
   std::optional<TraceIdScope> scope_;
   std::optional<TraceSpan> span_;
 };
+
+/// Decodes one subscription-side frame. Exhaustive over MsgType so adding a
+/// stream frame type forces a decode path here; the callers have already
+/// checked is_stream_type, so the non-stream arms mean a logic bug, not a
+/// peer protocol violation — and unlike the old `default: heartbeat` shape
+/// they can never silently misread a future frame type as a keepalive.
+StreamEvent DecodeStreamEvent(const Frame& frame) {
+  StreamEvent ev;
+  WireReader r(frame.payload);
+  switch (frame.type) {
+    case MsgType::kCoverUpdate:
+      ev.kind = StreamEvent::Kind::kCoverUpdate;
+      ev.sub_id = frame.request_id;
+      ev.update = CoverUpdateMsg::decode(r);
+      break;
+    case MsgType::kStreamEnd:
+      ev.kind = StreamEvent::Kind::kStreamEnd;
+      ev.sub_id = frame.request_id;
+      ev.end = StreamEndMsg::decode(r);
+      break;
+    case MsgType::kHeartbeat:
+      ev.kind = StreamEvent::Kind::kHeartbeat;
+      ev.heartbeat = HeartbeatMsg::decode(r);
+      break;
+    case MsgType::kHello:
+    case MsgType::kRegisterDataset:
+    case MsgType::kSubmitDiscovery:
+    case MsgType::kQueryCover:
+    case MsgType::kApplyUpdate:
+    case MsgType::kSubscribe:
+    case MsgType::kCredit:
+    case MsgType::kUnsubscribe:
+    case MsgType::kPing:
+    case MsgType::kGoodbye:
+    case MsgType::kSubmitQuery:
+    case MsgType::kTracedRequest:
+    case MsgType::kHelloOk:
+    case MsgType::kError:
+    case MsgType::kRegisterOk:
+    case MsgType::kDiscoveryResult:
+    case MsgType::kCoverResult:
+    case MsgType::kUpdateOk:
+    case MsgType::kSubscribeOk:
+    case MsgType::kPong:
+    case MsgType::kQueryResult:
+    case MsgType::kCostTrailer:
+      throw std::runtime_error("DecodeStreamEvent on non-stream frame");
+  }
+  return ev;
+}
 
 }  // namespace
 
@@ -244,25 +295,7 @@ bool BlockingClient::poll_event(StreamEvent* out, double timeout_seconds) {
   if (!is_stream_type(frame.type)) {
     throw std::runtime_error("unexpected non-stream frame while polling");
   }
-  StreamEvent ev;
-  WireReader r(frame.payload);
-  switch (frame.type) {
-    case MsgType::kCoverUpdate:
-      ev.kind = StreamEvent::Kind::kCoverUpdate;
-      ev.sub_id = frame.request_id;
-      ev.update = CoverUpdateMsg::decode(r);
-      break;
-    case MsgType::kStreamEnd:
-      ev.kind = StreamEvent::Kind::kStreamEnd;
-      ev.sub_id = frame.request_id;
-      ev.end = StreamEndMsg::decode(r);
-      break;
-    default:
-      ev.kind = StreamEvent::Kind::kHeartbeat;
-      ev.heartbeat = HeartbeatMsg::decode(r);
-      break;
-  }
-  *out = std::move(ev);
+  *out = DecodeStreamEvent(frame);
   return true;
 }
 
@@ -315,25 +348,7 @@ Frame BlockingClient::wait_response(std::uint64_t request_id,
     if (is_stream_type(frame.type)) {
       // Subscription traffic interleaves freely with responses; stash it
       // for poll_event() instead of dropping it on the floor.
-      StreamEvent ev;
-      WireReader r(frame.payload);
-      switch (frame.type) {
-        case MsgType::kCoverUpdate:
-          ev.kind = StreamEvent::Kind::kCoverUpdate;
-          ev.sub_id = frame.request_id;
-          ev.update = CoverUpdateMsg::decode(r);
-          break;
-        case MsgType::kStreamEnd:
-          ev.kind = StreamEvent::Kind::kStreamEnd;
-          ev.sub_id = frame.request_id;
-          ev.end = StreamEndMsg::decode(r);
-          break;
-        default:
-          ev.kind = StreamEvent::Kind::kHeartbeat;
-          ev.heartbeat = HeartbeatMsg::decode(r);
-          break;
-      }
-      events_.push_back(std::move(ev));
+      events_.push_back(DecodeStreamEvent(frame));
       continue;
     }
     if (frame.request_id != request_id) {

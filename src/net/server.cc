@@ -6,6 +6,7 @@
 #include "core/profiler.h"
 #include "net/http.h"
 #include "net/messages.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "ranking/ranking.h"
@@ -32,8 +33,28 @@ const char* RequestTypeName(MsgType type) {
     case MsgType::kQueryCover: return "query_cover";
     case MsgType::kApplyUpdate: return "apply_update";
     case MsgType::kSubscribe: return "subscribe";
-    default: return "other";
+    case MsgType::kHello:
+    case MsgType::kCredit:
+    case MsgType::kUnsubscribe:
+    case MsgType::kPing:
+    case MsgType::kGoodbye:
+    case MsgType::kTracedRequest:
+    case MsgType::kHelloOk:
+    case MsgType::kError:
+    case MsgType::kRegisterOk:
+    case MsgType::kDiscoveryResult:
+    case MsgType::kCoverResult:
+    case MsgType::kUpdateOk:
+    case MsgType::kSubscribeOk:
+    case MsgType::kCoverUpdate:
+    case MsgType::kStreamEnd:
+    case MsgType::kHeartbeat:
+    case MsgType::kPong:
+    case MsgType::kQueryResult:
+    case MsgType::kCostTrailer:
+      return "other";
   }
+  return "other";
 }
 
 bool IsRequestType(MsgType type) {
@@ -45,9 +66,28 @@ bool IsRequestType(MsgType type) {
     case MsgType::kApplyUpdate:
     case MsgType::kSubscribe:
       return true;
-    default:
+    case MsgType::kHello:
+    case MsgType::kCredit:
+    case MsgType::kUnsubscribe:
+    case MsgType::kPing:
+    case MsgType::kGoodbye:
+    case MsgType::kTracedRequest:
+    case MsgType::kHelloOk:
+    case MsgType::kError:
+    case MsgType::kRegisterOk:
+    case MsgType::kDiscoveryResult:
+    case MsgType::kCoverResult:
+    case MsgType::kUpdateOk:
+    case MsgType::kSubscribeOk:
+    case MsgType::kCoverUpdate:
+    case MsgType::kStreamEnd:
+    case MsgType::kHeartbeat:
+    case MsgType::kPong:
+    case MsgType::kQueryResult:
+    case MsgType::kCostTrailer:
       return false;
   }
+  return false;
 }
 
 /// Appends a kCostTrailer frame (same request_id as the answer it follows)
@@ -112,20 +152,20 @@ ProfilingServer::ProfilingServer(JobScheduler* scheduler, LiveStore* live,
       epoch_(std::chrono::steady_clock::now()),
       slowlog_(options_.slowlog_capacity),
       tracez_(options_.tracez_capacity),
-      m_requests_(metrics->counter("net.requests")),
-      m_frames_rx_(metrics->counter("net.frames_rx")),
-      m_bytes_rx_(metrics->counter("net.bytes_rx")),
-      m_frames_tx_(metrics->counter("net.frames_tx")),
-      m_bytes_tx_(metrics->counter("net.bytes_tx")),
-      m_protocol_errors_(metrics->counter("net.protocol_errors")),
-      m_request_seconds_(metrics->histogram("net.request_seconds")),
-      m_rpc_requests_(metrics->counter("net.rpc.requests")),
-      m_rpc_queue_seconds_(metrics->histogram("net.rpc.queue_seconds")),
-      m_rpc_run_seconds_(metrics->histogram("net.rpc.run_seconds")),
-      m_rpc_cpu_ns_(metrics->counter("net.rpc.cpu_ns")),
-      m_rpc_validations_(metrics->counter("net.rpc.validations")),
-      m_rpc_partitions_built_(metrics->counter("net.rpc.partitions_built")),
-      m_rpc_bytes_streamed_(metrics->counter("net.rpc.bytes_streamed")) {}
+      m_requests_(metrics->counter(kObsNetRequests)),
+      m_frames_rx_(metrics->counter(kObsNetFramesRx)),
+      m_bytes_rx_(metrics->counter(kObsNetBytesRx)),
+      m_frames_tx_(metrics->counter(kObsNetFramesTx)),
+      m_bytes_tx_(metrics->counter(kObsNetBytesTx)),
+      m_protocol_errors_(metrics->counter(kObsNetProtocolErrors)),
+      m_request_seconds_(metrics->histogram(kObsNetRequestSeconds)),
+      m_rpc_requests_(metrics->counter(kObsNetRpcRequests)),
+      m_rpc_queue_seconds_(metrics->histogram(kObsNetRpcQueueSeconds)),
+      m_rpc_run_seconds_(metrics->histogram(kObsNetRpcRunSeconds)),
+      m_rpc_cpu_ns_(metrics->counter(kObsNetRpcCpuNs)),
+      m_rpc_validations_(metrics->counter(kObsNetRpcValidations)),
+      m_rpc_partitions_built_(metrics->counter(kObsNetRpcPartitionsBuilt)),
+      m_rpc_bytes_streamed_(metrics->counter(kObsNetRpcBytesStreamed)) {}
 
 ProfilingServer::~ProfilingServer() { shutdown(); }
 
@@ -311,7 +351,7 @@ void ProfilingServer::loop() {
   std::vector<std::uint64_t> remaining;
   for (const auto& [id, conn] : conns_) remaining.push_back(id);
   for (std::uint64_t id : remaining) drop_connection(id, "server stopped");
-  metrics_->gauge("net.http.connections")
+  metrics_->gauge(kObsNetHttpConnections)
       .add(-static_cast<std::int64_t>(http_conns_.size()));
   http_conns_.clear();
   http_listener_.close();
@@ -340,7 +380,7 @@ void ProfilingServer::accept_new() {
         draining_) {
       // Admission control, layer 1: over capacity the connection is closed
       // immediately — the client sees EOF instead of an unbounded queue.
-      metrics_->counter("net.conns_rejected").inc();
+      metrics_->counter(kObsNetConnsRejected).inc();
       continue;
     }
     sock.set_nonblocking(true);
@@ -351,8 +391,8 @@ void ProfilingServer::accept_new() {
     conn->id = next_conn_id_++;
     conn->sock = std::move(sock);
     conn->last_recv = conn->last_send = now();
-    metrics_->counter("net.conns_accepted").inc();
-    metrics_->gauge("net.connections").add(1);
+    metrics_->counter(kObsNetConnsAccepted).inc();
+    metrics_->gauge(kObsNetConnections).add(1);
     conns_.emplace(conn->id, std::move(conn));
   }
 }
@@ -430,7 +470,7 @@ void ProfilingServer::dispatch(Connection& c, const Frame& frame) {
 
 void ProfilingServer::dispatch_request(Connection& c, const Frame& frame,
                                        const TraceContext& ctx) {
-  TraceSpan span("net.dispatch");
+  TraceSpan span(kObsNetDispatch);
   if (c.closing) return;  // goodbye already seen; ignore the tail
   if (!c.got_hello && frame.type != MsgType::kHello) {
     m_protocol_errors_.inc();
@@ -481,8 +521,27 @@ void ProfilingServer::dispatch_request(Connection& c, const Frame& frame,
       case MsgType::kUnsubscribe:
         handle_unsubscribe(c, frame);
         return;
-      default:
-        break;
+      case MsgType::kRegisterDataset:
+      case MsgType::kSubmitDiscovery:
+      case MsgType::kQueryCover:
+      case MsgType::kApplyUpdate:
+      case MsgType::kSubscribe:
+      case MsgType::kSubmitQuery:
+      case MsgType::kTracedRequest:
+      case MsgType::kHelloOk:
+      case MsgType::kError:
+      case MsgType::kRegisterOk:
+      case MsgType::kDiscoveryResult:
+      case MsgType::kCoverResult:
+      case MsgType::kUpdateOk:
+      case MsgType::kSubscribeOk:
+      case MsgType::kCoverUpdate:
+      case MsgType::kStreamEnd:
+      case MsgType::kHeartbeat:
+      case MsgType::kPong:
+      case MsgType::kQueryResult:
+      case MsgType::kCostTrailer:
+        break;  // falls through to the quota-charged request path below
     }
 
     // Everything below is a real request: quota-charged, and refused
@@ -500,7 +559,7 @@ void ProfilingServer::dispatch_request(Connection& c, const Frame& frame,
     }
     m_requests_.inc();
     if (!c.bucket.try_take(now())) {
-      metrics_->counter("net.quota_rejects").inc();
+      metrics_->counter(kObsNetQuotaRejects).inc();
       if (IsRequestType(frame.type)) record_rpc(c, reject, 0);
       send_error(c, frame.request_id, ErrCode::kQuotaExceeded,
                  "request quota exhausted; slow down");
@@ -525,8 +584,27 @@ void ProfilingServer::dispatch_request(Connection& c, const Frame& frame,
       case MsgType::kSubscribe:
         handle_subscribe(c, frame);
         return;
-      default:
-        // A known type that is not a client request (server->client codes).
+      case MsgType::kHello:
+      case MsgType::kCredit:
+      case MsgType::kUnsubscribe:
+      case MsgType::kPing:
+      case MsgType::kGoodbye:
+      case MsgType::kTracedRequest:
+      case MsgType::kHelloOk:
+      case MsgType::kError:
+      case MsgType::kRegisterOk:
+      case MsgType::kDiscoveryResult:
+      case MsgType::kCoverResult:
+      case MsgType::kUpdateOk:
+      case MsgType::kSubscribeOk:
+      case MsgType::kCoverUpdate:
+      case MsgType::kStreamEnd:
+      case MsgType::kHeartbeat:
+      case MsgType::kPong:
+      case MsgType::kQueryResult:
+      case MsgType::kCostTrailer:
+        // A known type that is not a client request: server->client codes,
+        // a nested kTracedRequest, or control frames already handled above.
         m_protocol_errors_.inc();
         drop_connection(c.id, "unexpected message direction");
         return;
@@ -549,7 +627,7 @@ void ProfilingServer::handle_submit_discovery(Connection& c,
   reject.request_id = frame.request_id;
   reject.trace_id = ctx.trace_id;
   if (!c.inflight.try_acquire()) {
-    metrics_->counter("net.inflight_rejects").inc();
+    metrics_->counter(kObsNetInflightRejects).inc();
     record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
                "in-flight window full (" + std::to_string(c.inflight.max()) +
@@ -576,7 +654,7 @@ void ProfilingServer::handle_submit_discovery(Connection& c,
   JobHandlePtr handle = scheduler_->submit(std::move(job));
   if (handle->rejected()) {
     c.inflight.release();
-    metrics_->counter("net.busy_rejects").inc();
+    metrics_->counter(kObsNetBusyRejects).inc();
     record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kServerBusy, handle->error());
     return;
@@ -627,7 +705,7 @@ void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame,
   reject.request_id = frame.request_id;
   reject.trace_id = ctx.trace_id;
   if (!c.inflight.try_acquire()) {
-    metrics_->counter("net.inflight_rejects").inc();
+    metrics_->counter(kObsNetInflightRejects).inc();
     record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kTooManyInFlight,
                "in-flight window full (" + std::to_string(c.inflight.max()) +
@@ -637,7 +715,10 @@ void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame,
   ProfileJob job;
   job.dataset = msg.dataset;
   job.options.semantics = SemanticsFromWire(msg.semantics);
-  job.options.query = std::move(query);
+  // Route the discovery stage through the query engine; the ranked answer
+  // lands in `query_slot` once the handle finishes.
+  std::shared_ptr<QueryResultSlot> query_slot =
+      BindQueryToProfile(job.options, std::move(query));
   // The full-profile tail stages add nothing to a query answer.
   job.options.compute_canonical = false;
   job.options.compute_ranking = false;
@@ -650,13 +731,14 @@ void ProfilingServer::handle_submit_query(Connection& c, const Frame& frame,
   JobHandlePtr handle = scheduler_->submit(std::move(job));
   if (handle->rejected()) {
     c.inflight.release();
-    metrics_->counter("net.busy_rejects").inc();
+    metrics_->counter(kObsNetBusyRejects).inc();
     record_rpc(c, reject, 0);
     send_error(c, frame.request_id, ErrCode::kServerBusy, handle->error());
     return;
   }
   PendingJob pending{c.id, frame.request_id, msg.top_k, now(),
-                     std::move(handle), /*is_query=*/true};
+                     std::move(handle), /*is_query=*/true,
+                     std::move(query_slot)};
   pending.want_trailer = c.protocol_version >= kTraceProtocolVersion &&
                          ctx.trace_id != 0;
   pending_jobs_.push_back(std::move(pending));
@@ -668,7 +750,7 @@ void ProfilingServer::handle_register(Connection& c, const Frame& frame,
   auto msg = std::make_shared<RegisterDatasetMsg>(
       RegisterDatasetMsg::decode(r));
   if (!c.inflight.try_acquire()) {
-    metrics_->counter("net.inflight_rejects").inc();
+    metrics_->counter(kObsNetInflightRejects).inc();
     RpcFinish reject;
     reject.rtype = "register_dataset";
     reject.outcome = "rejected";
@@ -696,7 +778,7 @@ void ProfilingServer::handle_register(Connection& c, const Frame& frame,
                                      trace_id, want_trailer, enq_us] {
     Tracer& tracer = Tracer::Global();
     if (enq_us != 0 && tracer.enabled()) {
-      tracer.record_span("net.queue_wait", trace_id, enq_us, tracer.now_us(),
+      tracer.record_span(kObsNetQueueWait, trace_id, enq_us, tracer.now_us(),
                          TraceLane(trace_id));
     }
     double run_start = now();
@@ -708,7 +790,7 @@ void ProfilingServer::handle_register(Connection& c, const Frame& frame,
       // only traced requests opted into that. Counter classification
       // (validations, partitions, cache traffic) stays on for everyone.
       CostLedgerScope cost_scope(&cost, /*charge_cpu=*/trace_id != 0);
-      TraceSpan run_span("net.ops.run");
+      TraceSpan run_span(kObsNetOpsRun);
       try {
         RawTable table = ParseCsvString(msg->csv_text);
         RegisterOkMsg okmsg;
@@ -760,7 +842,7 @@ void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame,
   WireReader r(frame.payload);
   auto msg = std::make_shared<QueryCoverMsg>(QueryCoverMsg::decode(r));
   if (!c.inflight.try_acquire()) {
-    metrics_->counter("net.inflight_rejects").inc();
+    metrics_->counter(kObsNetInflightRejects).inc();
     RpcFinish reject;
     reject.rtype = "query_cover";
     reject.outcome = "rejected";
@@ -786,7 +868,7 @@ void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame,
                                      trace_id, want_trailer, enq_us] {
     Tracer& tracer = Tracer::Global();
     if (enq_us != 0 && tracer.enabled()) {
-      tracer.record_span("net.queue_wait", trace_id, enq_us, tracer.now_us(),
+      tracer.record_span(kObsNetQueueWait, trace_id, enq_us, tracer.now_us(),
                          TraceLane(trace_id));
     }
     double run_start = now();
@@ -798,7 +880,7 @@ void ProfilingServer::handle_query_cover(Connection& c, const Frame& frame,
       // only traced requests opted into that. Counter classification
       // (validations, partitions, cache traffic) stays on for everyone.
       CostLedgerScope cost_scope(&cost, /*charge_cpu=*/trace_id != 0);
-      TraceSpan run_span("net.ops.run");
+      TraceSpan run_span(kObsNetOpsRun);
       try {
         if (!live_->contains(msg->dataset)) {
           ErrorMsg err{ErrCode::kUnknownDataset,
@@ -853,7 +935,7 @@ void ProfilingServer::handle_apply_update(Connection& c, const Frame& frame,
   WireReader r(frame.payload);
   ApplyUpdateMsg msg = ApplyUpdateMsg::decode(r);
   if (!c.inflight.try_acquire()) {
-    metrics_->counter("net.inflight_rejects").inc();
+    metrics_->counter(kObsNetInflightRejects).inc();
     RpcFinish reject;
     reject.rtype = "apply_update";
     reject.outcome = "rejected";
@@ -897,7 +979,7 @@ void ProfilingServer::handle_subscribe(Connection& c, const Frame& frame) {
   SubscribeOkMsg ok;
   ok.granted_credits = sub.window.credits();
   c.subs.emplace(frame.request_id, std::move(sub));
-  metrics_->gauge("net.subscriptions").add(1);
+  metrics_->gauge(kObsNetSubscriptions).add(1);
   send_frame(c, EncodeMsgFrame(MsgType::kSubscribeOk, frame.request_id, ok));
 }
 
@@ -910,7 +992,7 @@ void ProfilingServer::handle_credit(Connection& c, const Frame& frame) {
   if (it == c.subs.end()) return;
   for (std::vector<std::uint8_t>& buffered :
        it->second.window.grant(msg.credits)) {
-    metrics_->counter("net.stream_events").inc();
+    metrics_->counter(kObsNetStreamEvents).inc();
     send_frame(c, std::move(buffered));
   }
 }
@@ -925,7 +1007,7 @@ void ProfilingServer::end_subscription(Connection& c, std::uint64_t sub_id,
   auto it = c.subs.find(sub_id);
   if (it == c.subs.end()) return;
   c.subs.erase(it);
-  metrics_->gauge("net.subscriptions").add(-1);
+  metrics_->gauge(kObsNetSubscriptions).add(-1);
   StreamEndMsg end{reason, detail};
   send_frame(c, EncodeMsgFrame(MsgType::kStreamEnd, sub_id, end));
 }
@@ -991,8 +1073,8 @@ void ProfilingServer::finish_job(const PendingJob& job) {
     msg.run_seconds = job.handle->run_seconds();
     try {
       const ProfileReport& report = job.handle->report();
-      if (report.query_result.has_value()) {
-        const QueryResult& qr = *report.query_result;
+      if (job.query_slot != nullptr && job.query_slot->result.has_value()) {
+        const QueryResult& qr = *job.query_slot->result;
         msg.total = static_cast<std::uint32_t>(qr.fds.size());
         msg.early_terminated = qr.stats.early_terminated;
         msg.timed_out = qr.stats.timed_out;
@@ -1101,7 +1183,7 @@ void ProfilingServer::deliver_events(std::vector<CoverChangeEvent> events) {
     // A delta born from a traced apply_update is tagged with the client's
     // trace id; the fan-out instant joins the same causal tree.
     if (ev.trace_id != 0 && tracer.enabled()) {
-      tracer.record(TraceEvent{"net.stream_delta", 'i', ev.trace_id,
+      tracer.record(TraceEvent{kObsNetStreamDelta, 'i', ev.trace_id,
                                tracer.now_us(), 0, 0, TraceLane(ev.trace_id)});
     }
     std::vector<std::string> added = FdStrings(ev.added);
@@ -1137,17 +1219,17 @@ void ProfilingServer::deliver_events(std::vector<CoverChangeEvent> events) {
       // ship the original ourselves on kSend.
       switch (sit->second.window.push(frame)) {
         case CreditWindow::Push::kSend:
-          metrics_->counter("net.stream_events").inc();
+          metrics_->counter(kObsNetStreamEvents).inc();
           send_frame(c, std::move(frame));
           break;
         case CreditWindow::Push::kBuffered:
-          metrics_->counter("net.stream_buffered").inc();
+          metrics_->counter(kObsNetStreamBuffered).inc();
           break;
         case CreditWindow::Push::kOverflow: {
           // Credit window and buffer both exhausted: the consumer is not
           // keeping up. End its stream and drop the connection so it can
           // never stall the other subscribers.
-          metrics_->counter("net.slow_consumer_disconnects").inc();
+          metrics_->counter(kObsNetSlowConsumerDisconnects).inc();
           end_subscription(c, sub_id, StreamEndReason::kSlowConsumer,
                            "credit window and event buffer exhausted");
           c.closing = true;
@@ -1196,12 +1278,12 @@ void ProfilingServer::heartbeat_and_idle() {
         !conn->closing && t - conn->last_send >= options_.heartbeat_seconds) {
       HeartbeatMsg hb;
       hb.server_time_us = static_cast<std::uint64_t>(t * 1e6);
-      metrics_->counter("net.heartbeats").inc();
+      metrics_->counter(kObsNetHeartbeats).inc();
       send_frame(*conn, EncodeMsgFrame(MsgType::kHeartbeat, 0, hb));
     }
   }
   for (std::uint64_t id : idle) {
-    metrics_->counter("net.idle_disconnects").inc();
+    metrics_->counter(kObsNetIdleDisconnects).inc();
     drop_connection(id, "idle timeout");
   }
 }
@@ -1247,7 +1329,7 @@ void ProfilingServer::flush_writes(Connection& c) {
   if (c.out.size() - c.out_pos > options_.max_write_buffer_bytes) {
     // TCP-level slow consumer: the peer stopped reading. Same verdict as a
     // credit overflow — kill it before the buffer eats the server.
-    metrics_->counter("net.slow_consumer_disconnects").inc();
+    metrics_->counter(kObsNetSlowConsumerDisconnects).inc();
     mark_dead(c);
   }
 }
@@ -1321,7 +1403,7 @@ void ProfilingServer::record_rpc(Connection& c, const RpcFinish& fin,
   if (fin.trace_id != 0 && tracer.enabled()) {
     std::int64_t end_us = tracer.now_us();
     std::int64_t start_us = end_us - static_cast<std::int64_t>(duration * 1e6);
-    tracer.record_span("net.rpc", fin.trace_id, start_us, end_us,
+    tracer.record_span(kObsNetRpc, fin.trace_id, start_us, end_us,
                        TraceLane(fin.trace_id));
   }
 }
@@ -1363,15 +1445,15 @@ void ProfilingServer::accept_http() {
     Socket sock = AcceptOn(http_listener_);
     if (!sock.valid()) return;
     if (static_cast<int>(http_conns_.size()) >= options_.max_http_connections) {
-      metrics_->counter("net.http.conns_rejected").inc();
+      metrics_->counter(kObsNetHttpConnsRejected).inc();
       continue;  // accept-then-close, same posture as the RPC listener
     }
     sock.set_nonblocking(true);
     auto hc = std::make_unique<HttpConnection>();
     hc->id = next_http_id_++;
     hc->sock = std::move(sock);
-    metrics_->counter("net.http.conns_accepted").inc();
-    metrics_->gauge("net.http.connections").add(1);
+    metrics_->counter(kObsNetHttpConnsAccepted).inc();
+    metrics_->gauge(kObsNetHttpConnections).add(1);
     http_conns_.emplace(hc->id, std::move(hc));
   }
 }
@@ -1393,19 +1475,19 @@ void ProfilingServer::handle_http_readable(HttpConnection& h) {
     case HttpParseStatus::kNeedMore:
       return;
     case HttpParseStatus::kTooLarge:
-      metrics_->counter("net.http.bad_requests").inc();
+      metrics_->counter(kObsNetHttpBadRequests).inc();
       respond_http(h, 431, "text/plain; charset=utf-8",
                    "request head too large\n");
       return;
     case HttpParseStatus::kBad:
-      metrics_->counter("net.http.bad_requests").inc();
+      metrics_->counter(kObsNetHttpBadRequests).inc();
       respond_http(h, 400, "text/plain; charset=utf-8",
                    "malformed request\n");
       return;
     case HttpParseStatus::kOk:
       break;
   }
-  metrics_->counter("net.http.requests").inc();
+  metrics_->counter(kObsNetHttpRequests).inc();
   if (req.method != "GET") {
     respond_http(h, 405, "text/plain; charset=utf-8",
                  "only GET is supported\n");
@@ -1467,7 +1549,7 @@ void ProfilingServer::reap_http_connections() {
   }
   for (std::uint64_t id : done) {
     http_conns_.erase(id);
-    metrics_->gauge("net.http.connections").add(-1);
+    metrics_->gauge(kObsNetHttpConnections).add(-1);
   }
 }
 
@@ -1508,10 +1590,10 @@ std::string ProfilingServer::render_tracez_json() {
 void ProfilingServer::drop_connection(std::uint64_t conn_id, const char*) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
-  metrics_->gauge("net.subscriptions")
+  metrics_->gauge(kObsNetSubscriptions)
       .add(-static_cast<std::int64_t>(it->second->subs.size()));
-  metrics_->counter("net.conns_closed").inc();
-  metrics_->gauge("net.connections").add(-1);
+  metrics_->counter(kObsNetConnsClosed).inc();
+  metrics_->gauge(kObsNetConnections).add(-1);
   conns_.erase(it);
   // Pending jobs for this connection stay in the sweep lists; their answers
   // are dropped when they complete (finish_* finds no connection).

@@ -17,6 +17,8 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/cost_ledger.h"
+#include "obs/obs_schema.gen.h"
+#include "query/profile_query.h"
 #include "service/live_store.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
@@ -146,7 +148,7 @@ class ProfilingServer {
 
   /// Live connection count (mirrors the net.connections gauge).
   std::int64_t connections() const {
-    return metrics_->gauge("net.connections").value();
+    return metrics_->gauge(kObsNetConnections).value();
   }
 
  private:
@@ -220,8 +222,12 @@ class ProfilingServer {
     double started = 0;
     JobHandlePtr handle;
     /// True for kSubmitQuery jobs: the answer is a kQueryResult frame built
-    /// from the report's query_result instead of a kDiscoveryResult.
+    /// from query_slot instead of a kDiscoveryResult.
     bool is_query = false;
+    /// Set for kSubmitQuery jobs: BindQueryToProfile routes the job's
+    /// discovery stage through the query engine and parks the ranked
+    /// answer here; safe to read once handle->finished() is true.
+    std::shared_ptr<QueryResultSlot> query_slot;
     /// The connection negotiated v3+: successful answers get a kCostTrailer.
     bool want_trailer = false;
   };

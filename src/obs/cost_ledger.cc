@@ -3,6 +3,8 @@
 #include <ctime>
 #include <cstring>
 
+#include "obs/obs_schema.gen.h"
+
 namespace dhyfd {
 
 namespace {
@@ -16,27 +18,27 @@ enum class LedgerField {
 };
 
 LedgerField Classify(const char* name) {
-  if (std::strcmp(name, "discover.validator.calls") == 0 ||
-      std::strcmp(name, "query.validations") == 0 ||
-      std::strcmp(name, "incr.validations") == 0) {
+  if (std::strcmp(name, kObsDiscoverValidatorCalls) == 0 ||
+      std::strcmp(name, kObsQueryValidations) == 0 ||
+      std::strcmp(name, kObsIncrValidations) == 0) {
     return LedgerField::kValidations;
   }
   // CPU burned by pool helpers running another job's shards; the helper
   // measures its own thread clock and ThreadPool::run_shards replays the
   // delta on the requesting thread, so it lands in that job's ledger (the
   // scope's own CLOCK_THREAD_CPUTIME_ID window cannot see foreign threads).
-  if (std::strcmp(name, "pool.shard_cpu_ns") == 0) {
+  if (std::strcmp(name, kObsPoolShardCpuNs) == 0) {
     return LedgerField::kCpu;
   }
-  if (std::strcmp(name, "partition.intersections") == 0 ||
-      std::strcmp(name, "partition.ddm_dynamic_builds") == 0) {
+  if (std::strcmp(name, kObsPartitionIntersections) == 0 ||
+      std::strcmp(name, kObsPartitionDdmDynamicBuilds) == 0) {
     return LedgerField::kPartitionsBuilt;
   }
-  if (std::strcmp(name, "partition.cache_hits") == 0 ||
-      std::strcmp(name, "partition.prefix_cache_hits") == 0) {
+  if (std::strcmp(name, kObsPartitionCacheHits) == 0 ||
+      std::strcmp(name, kObsPartitionPrefixCacheHits) == 0) {
     return LedgerField::kHits;
   }
-  if (std::strcmp(name, "partition.cache_misses") == 0) {
+  if (std::strcmp(name, kObsPartitionCacheMisses) == 0) {
     return LedgerField::kMisses;
   }
   return LedgerField::kNone;

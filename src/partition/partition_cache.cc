@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 
 namespace dhyfd {
 
@@ -42,7 +43,7 @@ void PartitionCache::evict_past_budget(Shard& shard) {
     shard.map.erase(it);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
-    ObsAdd("partition.cache_evictions");
+    ObsAdd(kObsPartitionCacheEvictions);
   }
 }
 
@@ -72,10 +73,10 @@ PartitionPin PartitionCache::insert(const AttributeSet& x,
 PartitionPin PartitionCache::get(const AttributeSet& x) {
   assert(!x.empty());
   if (PartitionPin hit = lookup(x)) {
-    ObsAdd("partition.cache_hits");
+    ObsAdd(kObsPartitionCacheHits);
     return hit;
   }
-  ObsAdd("partition.cache_misses");
+  ObsAdd(kObsPartitionCacheMisses);
 
   // Build along the sorted-prefix chain, reusing the longest cached prefix.
   // The leased refiner's arenas stay warm across the chain's refinements.
@@ -85,7 +86,7 @@ PartitionPin PartitionCache::get(const AttributeSet& x) {
   x.for_each([&](AttrId a) {
     prefix.set(a);
     if (PartitionPin hit = lookup(prefix)) {
-      if (prefix != x) ObsAdd("partition.prefix_cache_hits");
+      if (prefix != x) ObsAdd(kObsPartitionPrefixCacheHits);
       current = std::move(hit);
       return;
     }

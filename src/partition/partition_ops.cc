@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 
 namespace dhyfd {
 
@@ -62,9 +63,9 @@ void PartitionRefiner::refine_into(const StrippedPartition& p, AttrId a,
   const size_t n = static_cast<size_t>(p.size());
   for (size_t i = 0; i < n; ++i) refine_cluster(p.cluster(i), a, out);
   if (out.rows_.capacity() == cap_before) {
-    ObsAdd("partition.arena_reuses");
+    ObsAdd(kObsPartitionArenaReuses);
   } else {
-    ObsAdd("partition.arena_growths");
+    ObsAdd(kObsPartitionArenaGrowths);
   }
 }
 
@@ -93,7 +94,7 @@ PartitionIntersector::PartitionIntersector(RowId num_rows)
 void PartitionIntersector::intersect(const StrippedPartition& a,
                                      const StrippedPartition& b,
                                      StrippedPartition& out) {
-  ObsAdd("partition.intersections");
+  ObsAdd(kObsPartitionIntersections);
   size_t cap_before = out.rows_.capacity();
   out.clear();
   if (++epoch_ == 0) {
@@ -149,9 +150,9 @@ void PartitionIntersector::intersect(const StrippedPartition& a,
     touched_.clear();
   }
   if (out.rows_.capacity() == cap_before) {
-    ObsAdd("partition.arena_reuses");
+    ObsAdd(kObsPartitionArenaReuses);
   } else {
-    ObsAdd("partition.arena_growths");
+    ObsAdd(kObsPartitionArenaGrowths);
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "algo/dhyfd.h"
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 #include "partition/stripped_partition.h"
 #include "query/topk.h"
@@ -85,8 +86,8 @@ QueryResult QueryEngine::execute(const Relation& r,
   if (!err.empty()) {
     throw std::invalid_argument("invalid discovery query: " + err);
   }
-  TraceSpan span("query.execute");
-  ObsAdd("query.executes");
+  TraceSpan span(kObsQueryExecute);
+  ObsAdd(kObsQueryExecutes);
   Timer timer;
 
   std::vector<AttrId> cols = ActiveColumns(r, q);
@@ -94,7 +95,7 @@ QueryResult QueryEngine::execute(const Relation& r,
   Relation scoped;
   const Relation* target = &r;
   if (projected) {
-    TraceSpan project_span("query.project");
+    TraceSpan project_span(kObsQueryProject);
     scoped = ProjectRelation(r, cols);
     target = &scoped;
   }
@@ -114,12 +115,12 @@ QueryResult QueryEngine::execute(const Relation& r,
   }
   result.stats.seconds = timer.seconds();
 
-  ObsAdd("query.validations", result.stats.validations);
-  ObsAdd("query.pruned_epsilon", result.stats.pruned_epsilon);
-  ObsAdd("query.pruned_arity", result.stats.pruned_arity);
-  ObsAdd("query.pruned_bound", result.stats.pruned_bound);
-  if (result.stats.early_terminated) ObsAdd("query.early_terminations");
-  if (result.stats.timed_out) ObsAdd("query.timeouts");
+  ObsAdd(kObsQueryValidations, result.stats.validations);
+  ObsAdd(kObsQueryPrunedEpsilon, result.stats.pruned_epsilon);
+  ObsAdd(kObsQueryPrunedArity, result.stats.pruned_arity);
+  ObsAdd(kObsQueryPrunedBound, result.stats.pruned_bound);
+  if (result.stats.early_terminated) ObsAdd(kObsQueryEarlyTerminations);
+  if (result.stats.timed_out) ObsAdd(kObsQueryTimeouts);
   return result;
 }
 

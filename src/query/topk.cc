@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 #include "partition/partition_ops.h"
 #include "ranking/redundancy.h"
@@ -158,7 +159,7 @@ QueryResult TopKDiscover(const Relation& r, const DiscoveryQuery& q,
 
   int level_num = 1;
   while (!level.empty() && !result.stats.timed_out) {
-    TraceSpan level_span("query.lattice_level");
+    TraceSpan level_span(kObsQueryLatticeLevel);
     result.stats.levels = level_num;
     if (level_num >= 2) {
       for (LevelEntry& e : level) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs_schema.gen.h"
 #include "util/timer.h"
 
 namespace dhyfd {
@@ -48,7 +49,7 @@ std::shared_ptr<const Relation> DatasetRegistry::get(const std::string& name,
   }
 
   if (metrics_ != nullptr) {
-    metrics_->counter(encoder ? "dataset.cache_misses" : "dataset.cache_hits")
+    metrics_->counter(encoder ? kObsDatasetCacheMisses : kObsDatasetCacheHits)
         .inc();
   }
 
@@ -64,7 +65,7 @@ std::shared_ptr<const Relation> DatasetRegistry::get(const std::string& name,
       auto relation = std::make_shared<const Relation>(
           EncodeRelation(*source, semantics).relation);
       if (metrics_ != nullptr) {
-        metrics_->histogram("dataset.encode_seconds").record(timer.seconds());
+        metrics_->histogram(kObsDatasetEncodeSeconds).record(timer.seconds());
       }
       promise.set_value(std::move(relation));
     } catch (...) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -85,7 +86,7 @@ void LiveStore::create(const std::string& name, RawTable initial,
       throw std::invalid_argument("live dataset already exists: " + name);
     }
   }
-  metrics_->gauge("incr.datasets").add(1);
+  metrics_->gauge(kObsIncrDatasets).add(1);
 }
 
 bool LiveStore::contains(const std::string& name) const {
@@ -125,13 +126,13 @@ UpdateJobHandlePtr LiveStore::submit(UpdateJob job) {
     MutexLock lock(&mu_);
     id = next_job_id_++;
     if (shutdown_) {
-      metrics_->counter("incr.jobs_failed").inc();
+      metrics_->counter(kObsIncrJobsFailed).inc();
       return failed_handle(id, std::move(job), "LiveStore is shut down");
     }
   }
   std::shared_ptr<Entry> entry = find(job.dataset);
   if (!entry) {
-    metrics_->counter("incr.jobs_failed").inc();
+    metrics_->counter(kObsIncrJobsFailed).inc();
     std::string error = "unknown live dataset: " + job.dataset;
     return failed_handle(id, std::move(job), std::move(error));
   }
@@ -152,7 +153,7 @@ UpdateJobHandlePtr LiveStore::submit(UpdateJob job) {
     MutexLock lock(&mu_);
     ++unfinished_jobs_;
   }
-  metrics_->gauge("incr.jobs_queued").add(1);
+  metrics_->gauge(kObsIncrJobsQueued).add(1);
 
   bool claim;
   {
@@ -192,7 +193,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     MutexLock lock(&h->mu_);
     h->state_ = UpdateJobState::kRunning;
   }
-  metrics_->gauge("incr.jobs_queued").add(-1);
+  metrics_->gauge(kObsIncrJobsQueued).add(-1);
 
   Tracer& tracer = Tracer::Global();
   if (h->trace_id_ != 0 && h->submit_ts_us_ != 0 && tracer.enabled()) {
@@ -200,7 +201,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     // spans cannot live on a worker's real lane.
     std::uint32_t lane =
         900000u + static_cast<std::uint32_t>(h->trace_id_ % 100000);
-    tracer.record_span("incr.queue_wait", h->trace_id_, h->submit_ts_us_,
+    tracer.record_span(kObsIncrQueueWait, h->trace_id_, h->submit_ts_us_,
                        tracer.now_us(), lane);
   }
 
@@ -215,7 +216,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     TelemetrySink sink(metrics_, h->trace_id_);
     ObsScope obs_scope(&sink);
     CostLedgerScope cost_scope(&cost);
-    TraceSpan batch_span("incr.batch");
+    TraceSpan batch_span(kObsIncrBatch);
     MutexLock lock(&entry->profile_mu);
     try {
       delta = entry->profile->apply(h->batch_, h->mode_);
@@ -226,13 +227,13 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
 
   if (error.empty()) {
     const BatchStats& s = delta.stats;
-    metrics_->counter("incr.batches").inc();
-    metrics_->counter("incr.rows_inserted").inc(s.rows_inserted);
-    metrics_->counter("incr.rows_deleted").inc(s.rows_deleted);
-    metrics_->counter("incr.fds_added").inc(s.fds_added);
-    metrics_->counter("incr.fds_removed").inc(s.fds_removed);
-    if (s.rebuilt) metrics_->counter("incr.rebuilds").inc();
-    metrics_->histogram("incr.batch_seconds").record(s.seconds);
+    metrics_->counter(kObsIncrBatches).inc();
+    metrics_->counter(kObsIncrRowsInserted).inc(s.rows_inserted);
+    metrics_->counter(kObsIncrRowsDeleted).inc(s.rows_deleted);
+    metrics_->counter(kObsIncrFdsAdded).inc(s.fds_added);
+    metrics_->counter(kObsIncrFdsRemoved).inc(s.fds_removed);
+    if (s.rebuilt) metrics_->counter(kObsIncrRebuilds).inc();
+    metrics_->histogram(kObsIncrBatchSeconds).record(s.seconds);
 
     CoverChangeEvent event;
     event.dataset = h->dataset_;
@@ -253,7 +254,7 @@ void LiveStore::run_job(const std::shared_ptr<Entry>& entry,
     // one dataset's events arrive in batch order.
     notify(event);
   } else {
-    metrics_->counter("incr.jobs_failed").inc();
+    metrics_->counter(kObsIncrJobsFailed).inc();
     {
       MutexLock lock(&h->mu_);
       h->error_ = std::move(error);

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/obs_schema.gen.h"
 #include "util/memory.h"
 
 namespace dhyfd {
@@ -125,10 +126,10 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 void MetricsRegistry::refresh_process_gauges() {
-  gauge("process.rss_bytes").set(static_cast<std::int64_t>(CurrentRssBytes()));
-  gauge("process.peak_rss_bytes")
+  gauge(kObsProcessRssBytes).set(static_cast<std::int64_t>(CurrentRssBytes()));
+  gauge(kObsProcessPeakRssBytes)
       .set(static_cast<std::int64_t>(PeakRssBytes()));
-  gauge("process.open_fds").set(static_cast<std::int64_t>(CurrentOpenFds()));
+  gauge(kObsProcessOpenFds).set(static_cast<std::int64_t>(CurrentOpenFds()));
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::counter_values() const {

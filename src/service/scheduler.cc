@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/cancellation.h"
@@ -69,7 +70,7 @@ JobHandlePtr JobScheduler::submit(ProfileJob job) {
       // Admission backstop: refuse instead of queueing without bound (or
       // blocking the caller, which may be a server's event loop).
       handle->rejected_ = true;
-      metrics_->counter("jobs.rejected").inc();
+      metrics_->counter(kObsJobsRejected).inc();
       MutexLock hlock(&handle->mu_);
       handle->state_ = JobState::kFailed;
       handle->error_ = "job queue full (" + std::to_string(pending_.size()) +
@@ -79,8 +80,8 @@ JobHandlePtr JobScheduler::submit(ProfileJob job) {
     }
     all_jobs_.push_back(handle);
     pending_.push(handle);
-    metrics_->counter("jobs.submitted").inc();
-    metrics_->gauge("jobs.queued").set(static_cast<std::int64_t>(pending_.size()));
+    metrics_->counter(kObsJobsSubmitted).inc();
+    metrics_->gauge(kObsJobsQueued).set(static_cast<std::int64_t>(pending_.size()));
   }
   // One pool ticket per pending job; each ticket pops the then-best job.
   // This may block while the pool queue is at its bound.
@@ -100,11 +101,11 @@ void JobScheduler::reclaim_pending() {
     MutexLock hlock(&handle->mu_);
     if (handle->state_ == JobState::kQueued) {
       handle->state_ = JobState::kCancelled;
-      metrics_->counter("jobs.cancelled").inc();
+      metrics_->counter(kObsJobsCancelled).inc();
       handle->done_cv_.notify_all();
     }
   }
-  metrics_->gauge("jobs.queued").set(0);
+  metrics_->gauge(kObsJobsQueued).set(0);
 }
 
 void JobScheduler::run_one() {
@@ -114,7 +115,7 @@ void JobScheduler::run_one() {
     if (pending_.empty()) return;  // its job was reclaimed by shutdown()
     handle = pending_.top();
     pending_.pop();
-    metrics_->gauge("jobs.queued").set(static_cast<std::int64_t>(pending_.size()));
+    metrics_->gauge(kObsJobsQueued).set(static_cast<std::int64_t>(pending_.size()));
   }
 
   bool cancelled_in_queue = false;
@@ -123,7 +124,7 @@ void JobScheduler::run_one() {
     handle->queue_seconds_ = handle->queue_timer_.seconds();
     if (handle->cancel_token_.cancelled()) {
       handle->state_ = JobState::kCancelled;
-      metrics_->counter("jobs.cancelled").inc();
+      metrics_->counter(kObsJobsCancelled).inc();
       handle->done_cv_.notify_all();
       cancelled_in_queue = true;
     } else {
@@ -138,16 +139,16 @@ void JobScheduler::run_one() {
     // would overlap that worker's previous job and render as bogus nesting.
     std::uint32_t lane =
         900000u + static_cast<std::uint32_t>(handle->trace_id_ % 100000);
-    tracer.record_span("svc.queue_wait", handle->trace_id_,
+    tracer.record_span(kObsSvcQueueWait, handle->trace_id_,
                        handle->submit_ts_us_, tracer.now_us(), lane);
     if (cancelled_in_queue) {
-      tracer.record(TraceEvent{"svc.job.cancelled", 'i', handle->trace_id_,
+      tracer.record(TraceEvent{kObsSvcJobCancelled, 'i', handle->trace_id_,
                                tracer.now_us(), 0, 0, 0});
     }
   }
   if (cancelled_in_queue) return;
-  metrics_->histogram("job.queue_seconds").record(handle->queue_seconds());
-  metrics_->gauge("jobs.running").add(1);
+  metrics_->histogram(kObsJobsQueueSeconds).record(handle->queue_seconds());
+  metrics_->gauge(kObsJobsRunning).add(1);
   execute(handle);
 }
 
@@ -188,7 +189,7 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
     TelemetrySink sink(metrics_, handle->trace_id_);
     ObsScope obs_scope(&sink);
     CostLedgerScope cost_scope(&cost);
-    TraceSpan run_span("svc.job.run");
+    TraceSpan run_span(kObsSvcJobRun);
     CancelScope scope(&handle->cancel_token_);
     try {
       std::shared_ptr<const Relation> relation =
@@ -215,25 +216,30 @@ void JobScheduler::execute(const JobHandlePtr& handle) {
   Tracer& tracer = Tracer::Global();
   if (handle->trace_id_ != 0 && tracer.enabled() &&
       final_state == JobState::kCancelled) {
-    tracer.record(TraceEvent{"svc.job.cancelled", 'i', handle->trace_id_,
+    tracer.record(TraceEvent{kObsSvcJobCancelled, 'i', handle->trace_id_,
                              tracer.now_us(), 0, 0, 0});
   }
 
   // Metrics are finalized before the handle turns terminal, so a thread
   // returning from wait()/wait_all() always sees consistent counts.
-  metrics_->histogram("job.run_seconds").record(run_seconds);
+  metrics_->histogram(kObsJobsRunSeconds).record(run_seconds);
   switch (final_state) {
     case JobState::kDone:
-      metrics_->counter("jobs.completed").inc();
+      metrics_->counter(kObsJobsCompleted).inc();
       break;
     case JobState::kFailed:
-      metrics_->counter("jobs.failed").inc();
+      metrics_->counter(kObsJobsFailed).inc();
       break;
-    default:
-      metrics_->counter("jobs.cancelled").inc();
+    case JobState::kCancelled:
+      metrics_->counter(kObsJobsCancelled).inc();
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      // Unreachable: final_state is computed above from the terminal
+      // outcome of a job that just finished executing.
       break;
   }
-  metrics_->gauge("jobs.running").add(-1);
+  metrics_->gauge(kObsJobsRunning).add(-1);
 
   {
     MutexLock hlock(&handle->mu_);

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/obs_schema.gen.h"
 #include "service/dataset_registry.h"
 #include "service/job.h"
 #include "service/metrics.h"
@@ -35,7 +36,7 @@ struct SchedulerOptions {
 ///
 ///   counters   jobs.submitted / completed / failed / cancelled / rejected
 ///   gauges     jobs.queued, jobs.running
-///   histograms job.queue_seconds, job.run_seconds, and
+///   histograms jobs.queue_seconds, jobs.run_seconds, and
 ///              stage.{encode,discover,canonical,rank}_seconds
 ///
 /// Datasets are resolved by name through the DatasetRegistry, so concurrent
@@ -65,8 +66,8 @@ class JobScheduler {
   void wait_all() const DHYFD_EXCLUDES(mu_);
 
   int num_threads() const { return pool_.num_threads(); }
-  std::int64_t queued_jobs() const { return metrics_->gauge("jobs.queued").value(); }
-  std::int64_t running_jobs() const { return metrics_->gauge("jobs.running").value(); }
+  std::int64_t queued_jobs() const { return metrics_->gauge(kObsJobsQueued).value(); }
+  std::int64_t running_jobs() const { return metrics_->gauge(kObsJobsRunning).value(); }
 
  private:
   struct PendingOrder {

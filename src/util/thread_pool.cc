@@ -5,6 +5,7 @@
 
 #include "obs/cost_ledger.h"
 #include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
 #include "obs/trace.h"
 
 namespace dhyfd {
@@ -158,7 +159,7 @@ void ThreadPool::run_shards(int parallelism, std::size_t shards,
       std::size_t shard = state.next.fetch_add(1, std::memory_order_relaxed);
       if (shard >= shards) return;
       try {
-        TraceSpan span(span_name != nullptr ? span_name : "pool.shard");
+        TraceSpan span(span_name != nullptr ? span_name : kObsPoolShard);
         body(shard);
       } catch (...) {
         state.abort.store(true, std::memory_order_relaxed);
@@ -190,7 +191,7 @@ void ThreadPool::run_shards(int parallelism, std::size_t shards,
         ObsScope scope(&buffer);
         drain();
       }
-      buffer.add("pool.shard_cpu_ns", CurrentThreadCpuNs() - cpu_start);
+      buffer.add(kObsPoolShardCpuNs, CurrentThreadCpuNs() - cpu_start);
       MutexLock lock(&state.mu);
       for (auto& d : buffer.deltas()) state.deltas.push_back(d);
       --state.helpers_active;

@@ -118,7 +118,7 @@ TEST(MetricsRegistryTest, SortedValueAccessorsAreDeterministic) {
 }
 
 TEST(PrometheusTest, NameMangling) {
-  EXPECT_EQ(PrometheusName("job.run_seconds"), "dhyfd_job_run_seconds");
+  EXPECT_EQ(PrometheusName("jobs.run_seconds"), "dhyfd_jobs_run_seconds");
   EXPECT_EQ(PrometheusName("discover.sampler.rounds"),
             "dhyfd_discover_sampler_rounds");
 }
@@ -131,8 +131,8 @@ TEST(PrometheusTest, GoldenTextExposition) {
   MetricsRegistry metrics;
   metrics.counter("discover.fds").inc(42);
   metrics.gauge("jobs.running").set(3);
-  metrics.histogram("job.run_seconds").record(0.5);
-  metrics.histogram("job.run_seconds").record(2.0);
+  metrics.histogram("jobs.run_seconds").record(0.5);
+  metrics.histogram("jobs.run_seconds").record(2.0);
 
   std::string text = PrometheusText(metrics);
   std::string filtered;
@@ -148,20 +148,20 @@ TEST(PrometheusTest, GoldenTextExposition) {
       "dhyfd_discover_fds 42\n"
       "# TYPE dhyfd_jobs_running gauge\n"
       "dhyfd_jobs_running 3\n"
-      "# TYPE dhyfd_job_run_seconds histogram\n"
-      "dhyfd_job_run_seconds_bucket{le=\"1e-06\"} 0\n"
-      "dhyfd_job_run_seconds_bucket{le=\"1e-05\"} 0\n"
-      "dhyfd_job_run_seconds_bucket{le=\"0.0001\"} 0\n"
-      "dhyfd_job_run_seconds_bucket{le=\"0.001\"} 0\n"
-      "dhyfd_job_run_seconds_bucket{le=\"0.01\"} 0\n"
-      "dhyfd_job_run_seconds_bucket{le=\"0.1\"} 0\n"
-      "dhyfd_job_run_seconds_bucket{le=\"1\"} 1\n"
-      "dhyfd_job_run_seconds_bucket{le=\"10\"} 2\n"
-      "dhyfd_job_run_seconds_bucket{le=\"100\"} 2\n"
-      "dhyfd_job_run_seconds_bucket{le=\"1000\"} 2\n"
-      "dhyfd_job_run_seconds_bucket{le=\"+Inf\"} 2\n"
-      "dhyfd_job_run_seconds_sum 2.5\n"
-      "dhyfd_job_run_seconds_count 2\n";
+      "# TYPE dhyfd_jobs_run_seconds histogram\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"1e-06\"} 0\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"1e-05\"} 0\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"0.0001\"} 0\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"0.001\"} 0\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"0.01\"} 0\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"0.1\"} 0\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"1\"} 1\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"10\"} 2\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"100\"} 2\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"1000\"} 2\n"
+      "dhyfd_jobs_run_seconds_bucket{le=\"+Inf\"} 2\n"
+      "dhyfd_jobs_run_seconds_sum 2.5\n"
+      "dhyfd_jobs_run_seconds_count 2\n";
   EXPECT_EQ(filtered, golden);
 }
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "obs/chrome_trace.h"
+#include "obs/obs_schema.gen.h"
+#include "obs/prometheus.h"
 #include "obs/session.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -252,6 +254,95 @@ TEST(ObsSessionTest, WritesTraceAndMetricsFilesOnDestruction) {
   EXPECT_NE(prom.find("dhyfd_obs_test_session_counter 6"), std::string::npos);
   std::remove(trace_path.c_str());
   std::remove(metrics_path.c_str());
+}
+
+// ---- generated observability schema (src/obs/obs_schema.gen.h) ----------
+
+// The layer.noun[_verb] grammar from DESIGN.md "Observability": dotted
+// lowercase, >= 2 segments, first segment = owning subsystem. Mirrors
+// OBS_NAME_RE in tools/analyze/obs_grammar.py.
+bool FollowsObsGrammar(std::string_view name) {
+  auto segment_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+  };
+  if (name.empty() || name.front() < 'a' || name.front() > 'z') return false;
+  std::size_t segments = 1;
+  char prev = '\0';
+  for (char c : name) {
+    if (c == '.') {
+      if (prev == '.' || prev == '\0') return false;  // empty segment
+      ++segments;
+    } else if (!segment_char(c)) {
+      return false;
+    }
+    prev = c;
+  }
+  return prev != '.' && segments >= 2;
+}
+
+TEST(ObsSchemaTest, EveryGeneratedNameFollowsTheGrammar) {
+  ASSERT_GT(kObsSchemaNameCount, 0u);
+  for (std::string_view name : kObsSchemaNames) {
+    EXPECT_TRUE(FollowsObsGrammar(name)) << "schema name violates "
+        "layer.noun[_verb] grammar: " << name;
+  }
+}
+
+TEST(ObsSchemaTest, NamesTableIsSortedAndUnique) {
+  // ObsSchemaMatches binary-searches kObsSchemaNames; the generator must
+  // emit it sorted with no duplicates or lookups silently miss.
+  for (std::size_t i = 1; i < kObsSchemaNameCount; ++i) {
+    EXPECT_LT(kObsSchemaNames[i - 1], kObsSchemaNames[i]);
+  }
+}
+
+TEST(ObsSchemaTest, MatchesExactNamesAndPatterns) {
+  EXPECT_TRUE(ObsSchemaMatches(kObsJobsSubmitted));
+  EXPECT_TRUE(ObsSchemaMatches(kObsProfileDiscover));
+  // Dynamically composed names are admitted by the wildcard patterns.
+  EXPECT_TRUE(ObsSchemaMatches("net.rpc.submit_discovery.ok_seconds"));
+  EXPECT_TRUE(ObsSchemaMatches("stage.encode_seconds"));
+  EXPECT_FALSE(ObsSchemaMatches("net.rpc.bogus"));         // no _seconds tail
+  EXPECT_FALSE(ObsSchemaMatches("discover.validator.callz"));  // typo
+  EXPECT_FALSE(ObsSchemaMatches(""));
+}
+
+TEST(ObsSchemaTest, PrometheusExpositionIsSubsetOfSchema) {
+  // Golden subset property: every family a real registry exports maps back
+  // to a registered schema name (or wildcard pattern). Uses the same
+  // constants production code uses, plus the two dynamic families.
+  MetricsRegistry metrics;
+  metrics.counter(kObsJobsSubmitted).inc();
+  metrics.counter(kObsNetFramesRx).inc(3);
+  metrics.gauge(kObsJobsRunning).set(1);
+  metrics.histogram(kObsJobsRunSeconds).record(0.25);
+  metrics.histogram("net.rpc.submit_discovery.ok_seconds").record(0.01);
+  metrics.histogram("stage.encode_seconds").record(0.001);
+
+  std::string text = PrometheusText(metrics);
+  auto check = [&](const std::map<std::string, std::int64_t>& values) {
+    for (const auto& [name, unused] : values) {
+      EXPECT_TRUE(ObsSchemaMatches(name))
+          << "exported metric not in obs_schema.json: " << name;
+      EXPECT_NE(text.find(PrometheusName(name)), std::string::npos)
+          << "registered metric missing from exposition: " << name;
+    }
+  };
+  check(metrics.counter_values());
+  check(metrics.gauge_values());  // includes the process.* gauges
+  for (const auto& [name, unused] : metrics.histogram_values()) {
+    EXPECT_TRUE(ObsSchemaMatches(name))
+        << "exported histogram not in obs_schema.json: " << name;
+    EXPECT_NE(text.find(PrometheusName(name) + "_count"), std::string::npos);
+  }
+}
+
+TEST(ObsSchemaTest, WildcardNeverCrossesDots) {
+  // `*` is a single-segment wildcard; a name with extra segments must not
+  // sneak through a pattern.
+  EXPECT_TRUE(ObsWildcardMatch("stage.*_seconds", "stage.rank_seconds"));
+  EXPECT_FALSE(ObsWildcardMatch("stage.*_seconds", "stage.a.b_seconds"));
+  EXPECT_FALSE(ObsWildcardMatch("stage.*_seconds", "stagex.rank_seconds"));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "core/profiler.h"
 #include "datagen/benchmark_data.h"
 #include "query/engine.h"
+#include "query/profile_query.h"
 #include "util/cancellation.h"
 #include "util/deadline.h"
 
@@ -155,7 +156,7 @@ TEST(ServiceTest, QueryJobsRunThroughScheduler) {
   JobScheduler scheduler(&datasets, &metrics, {.num_threads = 2});
   ProfileJob job;
   job.dataset = "aba";
-  job.options.query = query;
+  auto slot = BindQueryToProfile(job.options, query);
   job.options.compute_canonical = false;
   job.options.compute_ranking = false;
   JobHandlePtr handle = scheduler.submit(job);
@@ -163,12 +164,12 @@ TEST(ServiceTest, QueryJobsRunThroughScheduler) {
 
   ASSERT_EQ(handle->state(), JobState::kDone) << handle->error();
   const ProfileReport& got = handle->report();
-  ASSERT_TRUE(got.query_result.has_value());
-  ASSERT_EQ(got.query_result->fds.size(), expected.fds.size());
+  ASSERT_TRUE(slot->result.has_value());
+  ASSERT_EQ(slot->result->fds.size(), expected.fds.size());
   for (size_t i = 0; i < expected.fds.size(); ++i) {
-    EXPECT_EQ(got.query_result->fds[i].fd.to_string(),
+    EXPECT_EQ(slot->result->fds[i].fd.to_string(),
               expected.fds[i].fd.to_string());
-    EXPECT_EQ(got.query_result->fds[i].score, expected.fds[i].score);
+    EXPECT_EQ(slot->result->fds[i].score, expected.fds[i].score);
   }
   // The ranked answer is also surfaced through the generic cover fields.
   EXPECT_EQ(CoverString(got.left_reduced),
@@ -179,7 +180,7 @@ TEST(ServiceTest, QueryJobsRunThroughScheduler) {
   bad.dataset = "aba";
   DiscoveryQuery bad_query;
   bad_query.epsilon = 3.0;
-  bad.options.query = bad_query;
+  auto bad_slot = BindQueryToProfile(bad.options, bad_query);
   JobScheduler scheduler2(&datasets, &metrics, {.num_threads = 1});
   JobHandlePtr bad_handle = scheduler2.submit(bad);
   scheduler2.wait_all();

@@ -1,0 +1,15 @@
+#ifndef SEEDED_CORE_PROFILER_H_
+#define SEEDED_CORE_PROFILER_H_
+
+// SEEDED VIOLATION: core may not include query (query depends on core).
+#include "query/query.h"
+
+namespace seeded {
+
+struct Profiler {
+  Query pending;
+};
+
+}  // namespace seeded
+
+#endif  // SEEDED_CORE_PROFILER_H_

@@ -1,0 +1,12 @@
+#ifndef SEEDED_QUERY_QUERY_H_
+#define SEEDED_QUERY_QUERY_H_
+
+namespace seeded {
+
+struct Query {
+  int top_k = 0;
+};
+
+}  // namespace seeded
+
+#endif  // SEEDED_QUERY_QUERY_H_

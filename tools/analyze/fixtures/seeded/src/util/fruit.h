@@ -1,0 +1,10 @@
+#ifndef SEEDED_UTIL_FRUIT_H_
+#define SEEDED_UTIL_FRUIT_H_
+
+namespace seeded {
+
+enum class Fruit { kApple, kBanana, kCherry };
+
+}  // namespace seeded
+
+#endif  // SEEDED_UTIL_FRUIT_H_

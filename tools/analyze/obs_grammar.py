@@ -1,0 +1,50 @@
+"""Single source of truth for the observability naming grammar.
+
+Both repo gates import from here, so a name cannot pass one and fail the
+other (they used to carry divergent copies of these regexes):
+
+  tools/check_invariants.py   per-file regex linter (string literals only)
+  tools/analyze/analyze.py    multi-pass analyzer (literals + generated
+                              kObs* schema constants, tools/analyze/
+                              obs_schema.json manifest)
+
+The grammar (DESIGN.md "Observability"): names are dotted lowercase,
+`layer.noun[_verb]`, first segment = owning subsystem. Subsystem-scoped
+trees additionally pin the first segment (src/net/ -> net., src/query/ ->
+query.) so each subsystem's telemetry stays greppable and dashboard-stable.
+"""
+
+import re
+
+# A legal obs name: dotted lowercase, >= 2 segments, layer.noun[_verb].
+OBS_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+# Call sites whose first string literal is an obs/metrics name. TraceSpan
+# appears both as a declaration (TraceSpan span("x")) and a temporary;
+# TraceEvent is brace-initialized with the name first.
+OBS_CALL_RE = re.compile(
+    r"\b(?:ObsAdd|record_span|TraceSpan(?:\s+\w+)?|TraceEvent\s*\{"
+    r"|counter|gauge|histogram)"
+    r"\s*[({]\s*\"([^\"]+)\"")
+
+# Directory -> mandatory first segment ("prefix") for obs names used there.
+# Checked by check_invariants.py on raw literals and by analyze.py on both
+# literals and schema-constant references.
+PREFIX_RULES = (
+    ("src/net/", "net."),
+    ("src/query/", "query."),
+)
+
+
+def required_prefix(relpath):
+    """The name prefix obs names in `relpath` must carry, or None."""
+    path = relpath.replace("\\", "/")
+    for directory, prefix in PREFIX_RULES:
+        if path.startswith(directory):
+            return prefix
+    return None
+
+
+def name_ok(name):
+    """True if `name` satisfies the layer.noun[_verb] grammar."""
+    return OBS_NAME_RE.match(name) is not None

@@ -56,6 +56,13 @@ import os
 import re
 import sys
 
+# The obs naming grammar (name regex, call-site regex, per-directory prefix
+# rules) is shared with tools/analyze/analyze.py via one module, so the two
+# gates can never drift apart on what a legal name is.
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "analyze"))
+from obs_grammar import OBS_CALL_RE, OBS_NAME_RE, required_prefix  # noqa: E402
+
 # ------------------------------------------------------------------ helpers
 
 SUPPRESS_RE = re.compile(r"//\s*lint-allow:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
@@ -170,14 +177,8 @@ def check_nested_rowid(path, text):
                   "use the flat CSR StrippedPartition arena instead")
 
 
-OBS_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
-# Call sites whose first string literal is an obs/metrics name. TraceSpan
-# appears both as a declaration (TraceSpan span("x")) and a temporary.
-OBS_CALL_RE = re.compile(
-    r"\b(?:ObsAdd|record_span|TraceSpan(?:\s+\w+)?|counter|gauge|histogram)"
-    r"\s*\(\s*\"([^\"]+)\"")
-
-
+# OBS_NAME_RE / OBS_CALL_RE come from tools/analyze/obs_grammar.py (shared
+# with the analyzer's schema pass).
 def check_obs_naming(path, text):
     return line_findings(
         path, text, "obs-naming", OBS_CALL_RE,
@@ -242,29 +243,31 @@ def check_nondeterminism(path, text):
 
 
 NET_DIR = "src/net/"
-
-
-def check_net_obs_prefix(path, text):
-    if not path.replace(os.sep, "/").startswith(NET_DIR):
-        return []
-    return line_findings(
-        path, text, "obs-prefix", OBS_CALL_RE,
-        lambda m: f'obs name "{m.group(1)}" in src/net/ must start with '
-                  '"net." so the subsystem\'s telemetry stays greppable',
-        exempt=lambda m: m.group(1).startswith("net."))
-
-
 QUERY_DIR = "src/query/"
 
 
-def check_query_obs_prefix(path, text):
-    if not path.replace(os.sep, "/").startswith(QUERY_DIR):
+def _check_obs_prefix(path, text, scope_dir):
+    """Common body for the per-subsystem prefix rules: the prefix itself
+    comes from obs_grammar.PREFIX_RULES via required_prefix()."""
+    norm = path.replace(os.sep, "/")
+    if not norm.startswith(scope_dir):
+        return []
+    prefix = required_prefix(norm)
+    if prefix is None:
         return []
     return line_findings(
         path, text, "obs-prefix", OBS_CALL_RE,
-        lambda m: f'obs name "{m.group(1)}" in src/query/ must start with '
-                  '"query." so the subsystem\'s telemetry stays greppable',
-        exempt=lambda m: m.group(1).startswith("query."))
+        lambda m: f'obs name "{m.group(1)}" in {scope_dir} must start with '
+                  f'"{prefix}" so the subsystem\'s telemetry stays greppable',
+        exempt=lambda m: m.group(1).startswith(prefix))
+
+
+def check_net_obs_prefix(path, text):
+    return _check_obs_prefix(path, text, NET_DIR)
+
+
+def check_query_obs_prefix(path, text):
+    return _check_obs_prefix(path, text, QUERY_DIR)
 
 
 # An rpc. or http. segment anywhere in an obs name. Names that carry one
@@ -435,7 +438,7 @@ FIXTURES = [
     (check_obs_naming, "src/algo/good.cc",
      'ObsAdd("discover.validator.calls");\n'
      'TraceSpan span("discover.sampling");\n'
-     'metrics_->histogram("job.run_seconds").record(s);\n'
+     'metrics_->histogram("jobs.run_seconds").record(s);\n'
      'tracer.record_span("svc.queue_wait", id, a, b);\n', 0),
     (check_obs_naming, "src/algo/nonliteral.cc",
      "metrics_->histogram(stage_name).record(s);\n", 0),

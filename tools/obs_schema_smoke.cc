@@ -1,0 +1,20 @@
+// Deliberately typo'd observability constant. This TU is NOT part of any
+// build target: ci.sh compiles it with -fsyntax-only and requires the
+// compile to FAIL, proving the generated-schema gate actually bites — with
+// string literals a typo'd counter name silently forked a metric series;
+// with src/obs/obs_schema.gen.h constants it cannot name-lookup.
+//
+// If this file ever compiles, the schema gate is broken — fix the gate
+// (or the generator), not this file.
+
+#include "obs/obs.h"
+#include "obs/obs_schema.gen.h"
+
+namespace dhyfd {
+
+void SmokeEmit() {
+  // BUG: "callz" — the registered constant is kObsDiscoverValidatorCalls.
+  ObsAdd(kObsDiscoverValidatorCallz, 1);
+}
+
+}  // namespace dhyfd
